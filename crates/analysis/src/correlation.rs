@@ -1,0 +1,167 @@
+//! Degree and age correlations.
+//!
+//! The paper's key structural observation about evolving models: *"the
+//! degree and age of a vertex are positively correlated. In particular,
+//! the degrees of neighbors are not independent, and mean-field analysis
+//! of the models tends to give incorrect results"* — unlike the pure
+//! (configuration-model) random graphs where neighbor degrees are
+//! independent. These estimators make that distinction measurable.
+
+use nonsearch_graph::{NodeId, UndirectedCsr};
+
+/// Pearson correlation of two equal-length samples.
+///
+/// Returns `None` if fewer than two points, lengths differ, inputs are
+/// non-finite, or either sample is constant.
+pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    if x.iter().chain(y.iter()).any(|v| !v.is_finite()) {
+        return None;
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    let mut sxy = 0.0;
+    for (xi, yi) in x.iter().zip(y) {
+        sxx += (xi - mx) * (xi - mx);
+        syy += (yi - my) * (yi - my);
+        sxy += (xi - mx) * (yi - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// Degree assortativity: the Pearson correlation of the endpoint degrees
+/// over all edges (both orientations, the standard Newman estimator).
+///
+/// Positive for assortative graphs, negative for disassortative ones —
+/// evolving scale-free models are typically disassortative (new
+/// low-degree vertices attach to old hubs), while the configuration
+/// model is asymptotically neutral.
+///
+/// Returns `None` for graphs with no edges or constant degrees.
+pub fn degree_assortativity(graph: &UndirectedCsr) -> Option<f64> {
+    let mut xs = Vec::with_capacity(2 * graph.edge_count());
+    let mut ys = Vec::with_capacity(2 * graph.edge_count());
+    for (_, (u, v)) in graph.edges() {
+        let (du, dv) = (graph.degree(u) as f64, graph.degree(v) as f64);
+        xs.push(du);
+        ys.push(dv);
+        xs.push(dv);
+        ys.push(du);
+    }
+    pearson(&xs, &ys)
+}
+
+/// Age–degree correlation: Pearson correlation between a vertex's
+/// arrival rank (its id) and its degree.
+///
+/// Strongly negative in attachment models (old ⇒ high degree) and near
+/// zero in models without arrival structure.
+///
+/// Returns `None` for graphs with fewer than two vertices or constant
+/// degrees.
+pub fn age_degree_correlation(graph: &UndirectedCsr) -> Option<f64> {
+    let ages: Vec<f64> = (0..graph.node_count()).map(|i| i as f64).collect();
+    let degrees: Vec<f64> =
+        (0..graph.node_count()).map(|i| graph.degree(NodeId::new(i)) as f64).collect();
+    pearson(&ages, &degrees)
+}
+
+/// Mean neighbor degree as a function of vertex degree (`k_nn(d)`), the
+/// standard neighbor-degree-dependence curve.
+///
+/// Entry `d` holds `Some(mean degree of neighbors of degree-d vertices)`
+/// or `None` if no vertex has degree `d`. A flat curve means neighbor
+/// degrees are independent of own degree (pure random graphs); a falling
+/// curve is the disassortative signature of attachment models.
+pub fn mean_neighbor_degree_curve(graph: &UndirectedCsr) -> Vec<Option<f64>> {
+    let n = graph.node_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let max_degree = (0..n).map(|i| graph.degree(NodeId::new(i))).max().unwrap_or(0);
+    let mut sums = vec![0.0f64; max_degree + 1];
+    let mut counts = vec![0usize; max_degree + 1];
+    for i in 0..n {
+        let v = NodeId::new(i);
+        let d = graph.degree(v);
+        if d == 0 {
+            continue;
+        }
+        let neighbor_sum: usize = graph.neighbors(v).map(|w| graph.degree(w)).sum();
+        sums[d] += neighbor_sum as f64 / d as f64;
+        counts[d] += 1;
+    }
+    sums.into_iter()
+        .zip(counts)
+        .map(|(s, c)| if c == 0 { None } else { Some(s / c as f64) })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nonsearch_graph::UndirectedCsr;
+
+    #[test]
+    fn pearson_basics() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y_pos: Vec<f64> = x.iter().map(|v| 2.0 * v + 1.0).collect();
+        assert!((pearson(&x, &y_pos).unwrap() - 1.0).abs() < 1e-12);
+        let y_neg: Vec<f64> = x.iter().map(|v| -v).collect();
+        assert!((pearson(&x, &y_neg).unwrap() + 1.0).abs() < 1e-12);
+        assert!(pearson(&x, &[1.0, 1.0, 1.0, 1.0]).is_none());
+        assert!(pearson(&[1.0], &[2.0]).is_none());
+        assert!(pearson(&x, &y_pos[..3]).is_none());
+    }
+
+    #[test]
+    fn star_is_maximally_disassortative() {
+        let g = UndirectedCsr::from_edges(6, (1..6).map(|i| (0, i))).unwrap();
+        let r = degree_assortativity(&g).unwrap();
+        assert!((r + 1.0).abs() < 1e-12, "star assortativity = {r}");
+    }
+
+    #[test]
+    fn regular_graph_has_no_assortativity() {
+        // Cycle: all degrees equal → correlation undefined.
+        let g = UndirectedCsr::from_edges(5, (0..5).map(|i| (i, (i + 1) % 5))).unwrap();
+        assert!(degree_assortativity(&g).is_none());
+    }
+
+    #[test]
+    fn age_degree_in_a_growing_star() {
+        // Vertex 0 oldest and highest degree: strong negative correlation
+        // of age rank (0 = oldest) with... rank 0 has degree 5, so the
+        // correlation between index and degree is negative.
+        let g = UndirectedCsr::from_edges(6, (1..6).map(|i| (0, i))).unwrap();
+        let r = age_degree_correlation(&g).unwrap();
+        assert!(r < -0.4, "age-degree correlation = {r}");
+    }
+
+    #[test]
+    fn neighbor_degree_curve_on_star() {
+        let g = UndirectedCsr::from_edges(5, (1..5).map(|i| (0, i))).unwrap();
+        let curve = mean_neighbor_degree_curve(&g);
+        // Degree-1 vertices (leaves) neighbor the degree-4 hub.
+        assert_eq!(curve[1], Some(4.0));
+        // The hub's neighbors are all leaves.
+        assert_eq!(curve[4], Some(1.0));
+        assert_eq!(curve[2], None);
+    }
+
+    #[test]
+    fn empty_and_trivial_graphs() {
+        let g = UndirectedCsr::from_edges(0, []).unwrap();
+        assert!(degree_assortativity(&g).is_none());
+        assert!(age_degree_correlation(&g).is_none());
+        assert!(mean_neighbor_degree_curve(&g).is_empty());
+    }
+}

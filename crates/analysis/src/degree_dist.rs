@@ -1,0 +1,171 @@
+//! Empirical degree distributions.
+
+use nonsearch_graph::{degree_histogram, UndirectedCsr};
+
+/// The empirical degree distribution of a graph.
+///
+/// Provides the PMF, the complementary CDF (`P(D ≥ d)`, the standard
+/// visualization for scale-free graphs) and the raw counts.
+///
+/// # Example
+///
+/// ```
+/// use nonsearch_analysis::DegreeDistribution;
+/// use nonsearch_graph::UndirectedCsr;
+///
+/// // Star on 5 vertices: one vertex of degree 4, four of degree 1.
+/// let g = UndirectedCsr::from_edges(5, (1..5).map(|i| (0, i)))?;
+/// let dist = DegreeDistribution::of(&g);
+/// assert_eq!(dist.count(1), 4);
+/// assert!((dist.pmf(4) - 0.2).abs() < 1e-12);
+/// assert!((dist.ccdf(1) - 1.0).abs() < 1e-12);
+/// # Ok::<(), nonsearch_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeDistribution {
+    counts: Vec<usize>,
+    total: usize,
+}
+
+impl DegreeDistribution {
+    /// Computes the distribution of `graph`.
+    pub fn of(graph: &UndirectedCsr) -> DegreeDistribution {
+        DegreeDistribution {
+            counts: degree_histogram(graph),
+            total: graph.node_count(),
+        }
+    }
+
+    /// Builds a distribution directly from a degree sequence.
+    pub fn from_degrees(degrees: &[usize]) -> DegreeDistribution {
+        let max = degrees.iter().copied().max().unwrap_or(0);
+        let mut counts = vec![0usize; if degrees.is_empty() { 0 } else { max + 1 }];
+        for &d in degrees {
+            counts[d] += 1;
+        }
+        DegreeDistribution { counts, total: degrees.len() }
+    }
+
+    /// Number of vertices with degree exactly `d`.
+    pub fn count(&self, d: usize) -> usize {
+        self.counts.get(d).copied().unwrap_or(0)
+    }
+
+    /// `P(D = d)`.
+    pub fn pmf(&self, d: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(d) as f64 / self.total as f64
+        }
+    }
+
+    /// `P(D ≥ d)` — the complementary CDF.
+    pub fn ccdf(&self, d: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let tail: usize = self.counts.iter().skip(d).sum();
+        tail as f64 / self.total as f64
+    }
+
+    /// Largest observed degree.
+    pub fn max_degree(&self) -> usize {
+        self.counts.len().saturating_sub(1)
+    }
+
+    /// Mean degree.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(d, &c)| d as f64 * c as f64)
+            .sum::<f64>()
+            / self.total as f64
+    }
+
+    /// Number of vertices described.
+    pub fn node_count(&self) -> usize {
+        self.total
+    }
+
+    /// The degree sequence expanded back out (sorted ascending).
+    pub fn to_degrees(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.total);
+        for (d, &c) in self.counts.iter().enumerate() {
+            out.extend(std::iter::repeat(d).take(c));
+        }
+        out
+    }
+
+    /// Iterator over `(degree, count)` pairs with positive count.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(d, &c)| (d, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nonsearch_graph::UndirectedCsr;
+
+    fn star5() -> DegreeDistribution {
+        let g = UndirectedCsr::from_edges(5, (1..5).map(|i| (0, i))).unwrap();
+        DegreeDistribution::of(&g)
+    }
+
+    #[test]
+    fn counts_and_pmf() {
+        let d = star5();
+        assert_eq!(d.count(1), 4);
+        assert_eq!(d.count(4), 1);
+        assert_eq!(d.count(9), 0);
+        assert!((d.pmf(1) - 0.8).abs() < 1e-12);
+        assert_eq!(d.node_count(), 5);
+    }
+
+    #[test]
+    fn ccdf_is_monotone_nonincreasing() {
+        let d = star5();
+        assert!((d.ccdf(0) - 1.0).abs() < 1e-12);
+        let mut prev = 2.0;
+        for deg in 0..=6 {
+            let c = d.ccdf(deg);
+            assert!(c <= prev + 1e-15);
+            prev = c;
+        }
+        assert_eq!(d.ccdf(5), 0.0);
+    }
+
+    #[test]
+    fn from_degrees_roundtrip() {
+        let degrees = vec![1, 1, 2, 3, 3, 3];
+        let d = DegreeDistribution::from_degrees(&degrees);
+        assert_eq!(d.to_degrees(), degrees);
+        assert_eq!(d.max_degree(), 3);
+        assert!((d.mean() - 13.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_distribution() {
+        let d = DegreeDistribution::from_degrees(&[]);
+        assert_eq!(d.node_count(), 0);
+        assert_eq!(d.pmf(0), 0.0);
+        assert_eq!(d.ccdf(0), 0.0);
+        assert_eq!(d.mean(), 0.0);
+    }
+
+    #[test]
+    fn iter_skips_zero_counts() {
+        let d = star5();
+        let pairs: Vec<(usize, usize)> = d.iter().collect();
+        assert_eq!(pairs, vec![(1, 4), (4, 1)]);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the analysis toolkit.
+
+use nonsearch_analysis::{
+    fit_linear, fit_log_log, log_binned_histogram, pearson, DegreeDistribution,
+    SampleStats,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn stats_bounds_hold(data in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let s = SampleStats::from_slice(&data).unwrap();
+        prop_assert!(s.min() <= s.mean() + 1e-6);
+        prop_assert!(s.mean() <= s.max() + 1e-6);
+        prop_assert!(s.min() <= s.median() && s.median() <= s.max());
+        prop_assert!(s.variance() >= 0.0);
+        prop_assert_eq!(s.count(), data.len());
+    }
+
+    #[test]
+    fn quantiles_are_monotone(
+        data in proptest::collection::vec(-1e5f64..1e5, 2..100),
+        q1 in 0.0f64..=1.0,
+        q2 in 0.0f64..=1.0,
+    ) {
+        let s = SampleStats::from_slice(&data).unwrap();
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(s.quantile(lo) <= s.quantile(hi) + 1e-9);
+    }
+
+    #[test]
+    fn shifting_data_shifts_mean_only(
+        data in proptest::collection::vec(-1e3f64..1e3, 2..100),
+        shift in -1e3f64..1e3,
+    ) {
+        let s1 = SampleStats::from_slice(&data).unwrap();
+        let shifted: Vec<f64> = data.iter().map(|x| x + shift).collect();
+        let s2 = SampleStats::from_slice(&shifted).unwrap();
+        prop_assert!((s2.mean() - s1.mean() - shift).abs() < 1e-6);
+        prop_assert!((s2.variance() - s1.variance()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn linear_fit_recovers_exact_lines(
+        slope in -100.0f64..100.0,
+        intercept in -100.0f64..100.0,
+        xs in proptest::collection::hash_set(-1000i32..1000, 2..50),
+    ) {
+        let xs: Vec<f64> = xs.into_iter().map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| slope * x + intercept).collect();
+        let fit = fit_linear(&xs, &ys).unwrap();
+        prop_assert!((fit.slope - slope).abs() < 1e-6 * (1.0 + slope.abs()));
+        prop_assert!((fit.intercept - intercept).abs() < 1e-4 * (1.0 + intercept.abs()));
+        prop_assert!(fit.r_squared > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn log_log_fit_recovers_power_laws(
+        exponent in -3.0f64..3.0,
+        scale_log in -3.0f64..3.0,
+        xs in proptest::collection::hash_set(1u32..10_000, 2..40),
+    ) {
+        let scale = scale_log.exp();
+        let xs: Vec<f64> = xs.into_iter().map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| scale * x.powf(exponent)).collect();
+        prop_assume!(ys.iter().all(|y| y.is_finite() && *y > 0.0));
+        let fit = fit_log_log(&xs, &ys).unwrap();
+        prop_assert!((fit.slope - exponent).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degree_distribution_is_a_distribution(
+        degrees in proptest::collection::vec(0usize..200, 1..300),
+    ) {
+        let dist = DegreeDistribution::from_degrees(&degrees);
+        // PMF sums to 1.
+        let total: f64 = (0..=dist.max_degree()).map(|d| dist.pmf(d)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        // CCDF at 0 is 1 and is non-increasing.
+        prop_assert!((dist.ccdf(0) - 1.0).abs() < 1e-12);
+        for d in 0..dist.max_degree() {
+            prop_assert!(dist.ccdf(d) + 1e-12 >= dist.ccdf(d + 1));
+        }
+        // Expansion round-trips (sorted).
+        let mut sorted = degrees.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(dist.to_degrees(), sorted);
+    }
+
+    #[test]
+    fn log_bins_partition_positive_mass(
+        data in proptest::collection::vec(0usize..100_000, 0..300),
+        growth_centi in 110u32..500,
+    ) {
+        let growth = growth_centi as f64 / 100.0;
+        let bins = log_binned_histogram(&data, growth);
+        let binned: usize = bins.iter().map(|b| b.count).sum();
+        let positive = data.iter().filter(|&&x| x > 0).count();
+        prop_assert_eq!(binned, positive);
+        // Bins are ordered and disjoint.
+        for w in bins.windows(2) {
+            prop_assert!(w[0].hi <= w[1].lo);
+        }
+    }
+
+    #[test]
+    fn pearson_is_symmetric_and_bounded(
+        pairs in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 2..100),
+    ) {
+        let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        if let Some(r) = pearson(&xs, &ys) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+            let r2 = pearson(&ys, &xs).unwrap();
+            prop_assert!((r - r2).abs() < 1e-12);
+        }
+    }
+}

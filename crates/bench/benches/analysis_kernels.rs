@@ -1,0 +1,41 @@
+//! Analysis kernels: power-law MLE, BFS distances, regression.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nonsearch_analysis::{
+    average_distance, fit_log_log, fit_power_law_mle, DegreeDistribution,
+};
+use nonsearch_generators::{rng_from_seed, MoriTree};
+use nonsearch_graph::degree_sequence;
+
+fn bench_analysis(c: &mut Criterion) {
+    let tree = MoriTree::sample(50_000, 0.6, &mut rng_from_seed(1)).unwrap();
+    let graph = tree.undirected();
+    let degrees = degree_sequence(&graph);
+
+    let mut group = c.benchmark_group("analysis");
+    group.sample_size(10);
+
+    group.bench_function("power_law_mle_50k", |b| {
+        b.iter(|| fit_power_law_mle(&degrees, 2).unwrap());
+    });
+
+    group.bench_function("degree_distribution_50k", |b| {
+        b.iter(|| DegreeDistribution::of(&graph));
+    });
+
+    group.bench_function("avg_distance_8_sources_50k", |b| {
+        let mut rng = rng_from_seed(2);
+        b.iter(|| average_distance(&graph, 8, &mut rng).unwrap());
+    });
+
+    group.bench_function("log_log_fit_1k_points", |b| {
+        let xs: Vec<f64> = (1..1000).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x.powf(0.5)).collect();
+        b.iter(|| fit_log_log(&xs, &ys).unwrap());
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Equivalence machinery: event checking, exact probabilities and the
+//! small-tree enumerator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nonsearch_core::{
+    enumerate_mori_trees, estimate_mori_event_probability, mori_event_probability_exact,
+    mori_window_event_holds, EquivalenceWindow,
+};
+use nonsearch_generators::{rng_from_seed, MoriTree};
+
+fn bench_equivalence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("equivalence");
+    group.sample_size(10);
+
+    group.bench_function("exact_event_probability_a_1e6", |b| {
+        let w = EquivalenceWindow::from_anchor(1_000_000);
+        b.iter(|| mori_event_probability_exact(w.a(), w.b(), 0.5).unwrap());
+    });
+
+    group.bench_function("event_check_on_trace_b_10k", |b| {
+        let w = EquivalenceWindow::from_anchor(10_000 - 100);
+        let tree = MoriTree::sample(10_000, 0.5, &mut rng_from_seed(1)).unwrap();
+        b.iter(|| mori_window_event_holds(tree.trace(), &w));
+    });
+
+    group.bench_function("monte_carlo_event_200_trials", |b| {
+        let w = EquivalenceWindow::from_anchor(200);
+        b.iter(|| estimate_mori_event_probability(&w, 0.5, 200, 3).unwrap());
+    });
+
+    group.bench_function("enumerate_trees_n9", |b| {
+        b.iter(|| enumerate_mori_trees(9, 0.5).unwrap());
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_equivalence);
+criterion_main!(benches);

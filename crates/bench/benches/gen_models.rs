@@ -1,0 +1,54 @@
+//! Generator throughput: vertices/second for each graph model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nonsearch_generators::{
+    power_law_degree_sequence, rng_from_seed, BarabasiAlbert, ConfigModel, CooperFrieze,
+    CooperFriezeConfig, KleinbergGrid, MergedMori, MoriTree, PowerLawConfig,
+    SimplificationPolicy, UniformAttachment,
+};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(10);
+
+    for &n in &[1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::new("mori_tree_p05", n), &n, |b, &n| {
+            let mut rng = rng_from_seed(1);
+            b.iter(|| MoriTree::sample(n, 0.5, &mut rng).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("merged_mori_m3", n), &n, |b, &n| {
+            let mut rng = rng_from_seed(2);
+            b.iter(|| MergedMori::sample(n, 3, 0.5, &mut rng).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("cooper_frieze", n), &n, |b, &n| {
+            let cfg = CooperFriezeConfig::balanced(0.7).unwrap();
+            let mut rng = rng_from_seed(3);
+            b.iter(|| CooperFrieze::sample(n, &cfg, &mut rng).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("barabasi_albert_m2", n), &n, |b, &n| {
+            let mut rng = rng_from_seed(4);
+            b.iter(|| BarabasiAlbert::sample(n, 2, &mut rng).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("uniform_attachment", n), &n, |b, &n| {
+            let mut rng = rng_from_seed(5);
+            b.iter(|| UniformAttachment::sample(n, 1, &mut rng).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("config_model_k23", n), &n, |b, &n| {
+            let cfg = PowerLawConfig::new(2.3, 1).unwrap();
+            let mut rng = rng_from_seed(6);
+            b.iter(|| {
+                let degrees = power_law_degree_sequence(n, &cfg, &mut rng).unwrap();
+                ConfigModel::sample(&degrees, SimplificationPolicy::Multigraph, &mut rng)
+                    .unwrap()
+            });
+        });
+    }
+    group.bench_function("kleinberg_grid_64_r2", |b| {
+        let mut rng = rng_from_seed(7);
+        b.iter(|| KleinbergGrid::sample(64, 2.0, 1, &mut rng).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

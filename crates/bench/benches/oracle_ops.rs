@@ -1,0 +1,53 @@
+//! Oracle request overhead: cost per weak/strong request including view
+//! bookkeeping.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nonsearch_generators::{rng_from_seed, MergedMori};
+use nonsearch_graph::NodeId;
+use nonsearch_search::{StrongSearchState, WeakSearchState};
+
+fn bench_oracles(c: &mut Criterion) {
+    let mori = MergedMori::sample(10_000, 2, 0.5, &mut rng_from_seed(1)).unwrap();
+    let graph = mori.undirected();
+
+    let mut group = c.benchmark_group("oracle");
+    group.sample_size(20);
+
+    group.bench_function("weak_flood_10k", |b| {
+        b.iter(|| {
+            // Resolve every edge once, BFS style.
+            let mut state = WeakSearchState::new(&graph, NodeId::from_label(1)).unwrap();
+            let mut cursor = 0usize;
+            while cursor < state.view().len() {
+                let v = state.view().discovered()[cursor];
+                let pending = state.view().unexplored_edges_of(v);
+                if pending.is_empty() {
+                    cursor += 1;
+                    continue;
+                }
+                for e in pending {
+                    state.request(v, e).unwrap();
+                }
+            }
+            state.requests()
+        });
+    });
+
+    group.bench_function("strong_expand_all_10k", |b| {
+        b.iter(|| {
+            let mut state = StrongSearchState::new(&graph, NodeId::from_label(1)).unwrap();
+            let mut cursor = 0usize;
+            while cursor < state.view().len() {
+                let v = state.view().discovered()[cursor];
+                cursor += 1;
+                state.request(v).unwrap();
+            }
+            state.requests()
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_oracles);
+criterion_main!(benches);

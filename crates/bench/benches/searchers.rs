@@ -1,0 +1,29 @@
+//! Searcher throughput: one full search per iteration for each suite
+//! member on a fixed Móri graph.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nonsearch_generators::{rng_from_seed, MoriTree};
+use nonsearch_graph::NodeId;
+use nonsearch_search::{run_weak, SearchTask, SearcherKind};
+
+fn bench_searchers(c: &mut Criterion) {
+    let n = 4096;
+    let tree = MoriTree::sample(n, 0.5, &mut rng_from_seed(1)).unwrap();
+    let graph = tree.undirected();
+    let task =
+        SearchTask::new(NodeId::from_label(1), NodeId::from_label(n)).with_budget(50 * n);
+
+    let mut group = c.benchmark_group("searchers_mori_4096");
+    group.sample_size(10);
+    for kind in SearcherKind::all() {
+        group.bench_function(kind.name(), |b| {
+            let mut searcher = kind.build();
+            let mut rng = rng_from_seed(7);
+            b.iter(|| run_weak(&graph, &task, &mut *searcher, &mut rng).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_searchers);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! E11 — Kleinberg's navigability dichotomy: greedy routing is polylog
+//! only at the critical exponent `r = 2` (2-D lattice).
+
+use nonsearch_bench::{banner, quick, trials};
+use nonsearch_analysis::{fit_log_log, SampleStats, Table};
+use nonsearch_generators::{KleinbergGrid, SeedSequence};
+use nonsearch_graph::NodeId;
+use nonsearch_search::greedy_route;
+use rand::Rng;
+
+fn main() {
+    banner(
+        "E11 / Kleinberg navigability",
+        "greedy routing on the 2-D small-world lattice is O(log² n) at \
+         r = 2 and polynomially slower at other exponents",
+    );
+
+    let sides: Vec<usize> =
+        if quick() { vec![16, 32, 64] } else { vec![16, 32, 64, 128, 256] };
+    let r_values = [0.0, 1.0, 2.0, 3.0];
+    let routes = trials(300);
+    let seeds = SeedSequence::new(0xE11);
+
+    let mut table = Table::with_columns(&[
+        "r",
+        "side",
+        "n",
+        "mean hops",
+        "hops / log2²(n)",
+    ]);
+    for (ri, &r) in r_values.iter().enumerate() {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for (si, &side) in sides.iter().enumerate() {
+            let n = side * side;
+            let mut rng = seeds.subsequence(ri as u64).child_rng(si as u64);
+            let grid = KleinbergGrid::sample(side, r, 1, &mut rng).expect("valid grid");
+            let mut hops = Vec::new();
+            for _ in 0..routes {
+                let s = NodeId::new(rng.gen_range(0..n));
+                let t = NodeId::new(rng.gen_range(0..n));
+                let out = greedy_route(&grid, s, t, 100 * n);
+                assert!(out.reached, "greedy cannot get stuck on a full lattice");
+                hops.push(out.steps as f64);
+            }
+            let stats = SampleStats::from_slice(&hops).expect("routes ≥ 1");
+            let polylog = (n as f64).log2().powi(2);
+            table.row(vec![
+                format!("{r:.1}"),
+                side.to_string(),
+                n.to_string(),
+                format!("{:.1} ±{:.1}", stats.mean(), stats.ci95_half_width()),
+                format!("{:.3}", stats.mean() / polylog),
+            ]);
+            xs.push(n as f64);
+            ys.push(stats.mean());
+        }
+        if let Some(fit) = fit_log_log(&xs, &ys) {
+            println!(
+                "r = {r:.1}: hops ~ n^{:.3}  {}",
+                fit.slope,
+                if r == 2.0 {
+                    "(navigable: ratio column flat, tiny exponent)"
+                } else {
+                    "(polynomial growth away from r = 2)"
+                }
+            );
+        }
+    }
+    println!("\n{table}");
+    println!("the r = 2 row's hops/log² column stays near-constant; r = 0, 1");
+    println!("and 3 drift upward — Kleinberg's dichotomy, the positive contrast");
+    println!("to the paper's negative result for scale-free graphs.");
+}

@@ -1,0 +1,247 @@
+//! Shared helpers for the experiment binaries and Criterion benches.
+//!
+//! Every `exp_*` binary regenerates one evaluation artifact from
+//! EXPERIMENTS.md. Pass `--quick` (or set `NONSEARCH_QUICK=1`) to run a
+//! reduced sweep; defaults reproduce the recorded tables.
+
+use nonsearch_analysis::SampleStats;
+use nonsearch_core::GraphModel;
+use nonsearch_generators::SeedSequence;
+use nonsearch_graph::NodeId;
+use nonsearch_search::{
+    run_strong, run_weak, SearchTask, StrongSearcher, SuccessCriterion,
+};
+
+/// `true` when the caller asked for a reduced sweep.
+pub fn quick() -> bool {
+    std::env::args().any(|a| a == "--quick")
+        || std::env::var_os("NONSEARCH_QUICK").is_some()
+}
+
+/// Truncates a size sweep in quick mode.
+pub fn sweep(full: &[usize]) -> Vec<usize> {
+    if quick() {
+        full.iter().copied().take(3.min(full.len())).collect()
+    } else {
+        full.to_vec()
+    }
+}
+
+/// Scales a trial count down in quick mode.
+pub fn trials(full: usize) -> usize {
+    if quick() {
+        (full / 3).max(3)
+    } else {
+        full
+    }
+}
+
+/// Prints the standard experiment banner.
+pub fn banner(id: &str, claim: &str) {
+    println!("=== {id} ===");
+    println!("claim: {claim}");
+    if quick() {
+        println!("mode: QUICK (reduced sweep; run without --quick for the full table)");
+    }
+    println!();
+}
+
+/// Aggregated measurement of one (model, size, searcher) cell.
+#[derive(Debug, Clone, Copy)]
+pub struct CellStats {
+    /// Mean request count.
+    pub mean: f64,
+    /// 95% CI half-width.
+    pub ci95: f64,
+    /// Fraction of trials that found the target.
+    pub success: f64,
+}
+
+/// Strong-model searcher selection for the Theorem 1 strong experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrongKind {
+    /// Discovery-order expansion.
+    Bfs,
+    /// Max-degree-first expansion.
+    HighDegree,
+    /// Target-label-proximity expansion.
+    GreedyId,
+}
+
+impl StrongKind {
+    /// All strong searchers.
+    pub fn all() -> &'static [StrongKind] {
+        &[StrongKind::Bfs, StrongKind::HighDegree, StrongKind::GreedyId]
+    }
+
+    /// Report name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StrongKind::Bfs => "strong-bfs",
+            StrongKind::HighDegree => "strong-high-degree",
+            StrongKind::GreedyId => "strong-greedy-id",
+        }
+    }
+
+    /// Builds a fresh instance.
+    pub fn build(&self) -> Box<dyn StrongSearcher> {
+        match self {
+            StrongKind::Bfs => Box::new(nonsearch_search::StrongBfs::new()),
+            StrongKind::HighDegree => Box::new(nonsearch_search::StrongHighDegree::new()),
+            StrongKind::GreedyId => Box::new(nonsearch_search::StrongGreedyId::new()),
+        }
+    }
+}
+
+/// Measures a strong-model searcher on `model` at size `n`: mean
+/// requests to find the newest vertex from vertex 1.
+pub fn strong_cell<M: GraphModel>(
+    model: &M,
+    n: usize,
+    kind: StrongKind,
+    trial_count: usize,
+    seeds: &SeedSequence,
+) -> CellStats {
+    let mut requests = Vec::with_capacity(trial_count);
+    let mut found = 0usize;
+    for t in 0..trial_count {
+        let cell_seeds = seeds.subsequence(t as u64);
+        let mut rng = cell_seeds.child_rng(0);
+        let graph = model.sample_graph(n, &mut rng);
+        let actual = graph.node_count();
+        let task = SearchTask::new(NodeId::from_label(1), NodeId::from_label(actual))
+            .with_budget(50 * actual);
+        let mut searcher = kind.build();
+        let mut search_rng = cell_seeds.child_rng(1);
+        let outcome = run_strong(&graph, &task, &mut *searcher, &mut search_rng)
+            .expect("suite searchers never violate the protocol");
+        requests.push(outcome.requests as f64);
+        found += outcome.found as usize;
+    }
+    let stats = SampleStats::from_slice(&requests).expect("trials ≥ 1");
+    CellStats {
+        mean: stats.mean(),
+        ci95: stats.ci95_half_width(),
+        success: found as f64 / trial_count as f64,
+    }
+}
+
+/// Where the searcher starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StartPolicy {
+    /// The oldest vertex (label 1) — the model's best-connected hub.
+    OldestHub,
+    /// A uniformly random vertex.
+    Uniform,
+    /// The second-newest vertex (label n−1) — right next to the window.
+    NearTarget,
+}
+
+impl StartPolicy {
+    /// Report name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StartPolicy::OldestHub => "hub(v1)",
+            StartPolicy::Uniform => "uniform",
+            StartPolicy::NearTarget => "near(v[n-1])",
+        }
+    }
+
+    fn pick(&self, n: usize, rng: &mut rand_chacha::ChaCha8Rng) -> NodeId {
+        use rand::Rng;
+        match self {
+            StartPolicy::OldestHub => NodeId::from_label(1),
+            StartPolicy::Uniform => NodeId::new(rng.gen_range(0..n.saturating_sub(1))),
+            StartPolicy::NearTarget => NodeId::from_label((n - 1).max(1)),
+        }
+    }
+}
+
+/// Measures a weak-model searcher on `model` at size `n` with explicit
+/// start/criterion policy (used by the ablation experiment).
+#[allow(clippy::too_many_arguments)]
+pub fn weak_cell_with_policy<M: GraphModel>(
+    model: &M,
+    n: usize,
+    kind: nonsearch_search::SearcherKind,
+    criterion: SuccessCriterion,
+    start_policy: StartPolicy,
+    trial_count: usize,
+    budget_multiplier: usize,
+    seeds: &SeedSequence,
+) -> CellStats {
+    let mut requests = Vec::with_capacity(trial_count);
+    let mut found = 0usize;
+    for t in 0..trial_count {
+        let cell_seeds = seeds.subsequence(t as u64);
+        let mut rng = cell_seeds.child_rng(0);
+        let graph = model.sample_graph(n, &mut rng);
+        let actual = graph.node_count();
+        let start = start_policy.pick(actual, &mut rng);
+        let task = SearchTask::new(start, NodeId::from_label(actual))
+            .with_criterion(criterion)
+            .with_budget(budget_multiplier * actual);
+        let mut searcher = kind.build();
+        let mut search_rng = cell_seeds.child_rng(1);
+        let outcome = run_weak(&graph, &task, &mut *searcher, &mut search_rng)
+            .expect("suite searchers never violate the protocol");
+        requests.push(outcome.requests as f64);
+        found += outcome.found as usize;
+    }
+    let stats = SampleStats::from_slice(&requests).expect("trials ≥ 1");
+    CellStats {
+        mean: stats.mean(),
+        ci95: stats.ci95_half_width(),
+        success: found as f64 / trial_count as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nonsearch_core::MergedMoriModel;
+    use nonsearch_search::SearcherKind;
+
+    #[test]
+    fn strong_cell_measures_something() {
+        let model = MergedMoriModel { p: 0.5, m: 1 };
+        let seeds = SeedSequence::new(1);
+        let cell = strong_cell(&model, 256, StrongKind::HighDegree, 4, &seeds);
+        assert!(cell.mean > 0.0);
+        assert!(cell.success > 0.9);
+    }
+
+    #[test]
+    fn weak_cell_policies_work() {
+        let model = MergedMoriModel { p: 0.5, m: 1 };
+        let seeds = SeedSequence::new(2);
+        for policy in [StartPolicy::OldestHub, StartPolicy::Uniform, StartPolicy::NearTarget] {
+            let cell = weak_cell_with_policy(
+                &model,
+                256,
+                SearcherKind::BfsFlood,
+                SuccessCriterion::DiscoverTarget,
+                policy,
+                4,
+                100,
+                &seeds,
+            );
+            assert!(cell.success > 0.9, "{}", policy.name());
+        }
+    }
+
+    #[test]
+    fn strong_kind_names_unique() {
+        let names: Vec<&str> = StrongKind::all().iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), 3);
+        assert!(names.contains(&"strong-bfs"));
+    }
+
+    #[test]
+    fn sweep_respects_quick() {
+        if !quick() {
+            assert_eq!(sweep(&[1, 2, 3, 4]), vec![1, 2, 3, 4]);
+            assert_eq!(trials(12), 12);
+        }
+    }
+}

@@ -1,0 +1,353 @@
+//! Empirical searchability certification.
+//!
+//! The theorems quantify over *all* local algorithms; empirically we
+//! approximate that by racing a diverse suite of searchers over a size
+//! sweep and fitting the scaling exponent of the best one. A model is
+//! consistent with the paper's non-searchability claim when even the
+//! best measured exponent stays near (or above) `1/2` — and a navigable
+//! contrast (e.g. a path-structured label metric) would show up as an
+//! exponent near zero.
+
+use crate::model::GraphModel;
+use nonsearch_analysis::{fit_log_log, LinearFit, SampleStats, Table};
+use nonsearch_generators::SeedSequence;
+use nonsearch_graph::NodeId;
+use nonsearch_search::{run_weak, SearchTask, SearcherKind, SuccessCriterion};
+use std::fmt;
+
+/// Configuration of a certification sweep.
+#[derive(Debug, Clone)]
+pub struct CertifyConfig {
+    /// Graph sizes to sweep (the target is always the newest vertex).
+    pub sizes: Vec<usize>,
+    /// Independent graph samples per size.
+    pub trials: usize,
+    /// Root seed; every (size, trial, searcher) cell derives its own
+    /// stream, so reports are reproducible bit-for-bit.
+    pub seed: u64,
+    /// The searcher suite to race.
+    pub searchers: Vec<SearcherKind>,
+    /// Success criterion passed to the runner.
+    pub criterion: SuccessCriterion,
+    /// Request budget per run, as a multiple of the graph size.
+    pub budget_multiplier: usize,
+}
+
+impl Default for CertifyConfig {
+    fn default() -> Self {
+        CertifyConfig {
+            sizes: vec![512, 1024, 2048, 4096, 8192],
+            trials: 12,
+            seed: 0xC0FFEE,
+            searchers: SearcherKind::informed().to_vec(),
+            criterion: SuccessCriterion::DiscoverTarget,
+            budget_multiplier: 50,
+        }
+    }
+}
+
+/// One measured point of an algorithm's scaling curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalingPoint {
+    /// Requested model size.
+    pub n: usize,
+    /// Mean request count over trials.
+    pub mean_requests: f64,
+    /// 95% confidence half-width of the mean.
+    pub ci95: f64,
+    /// Fraction of trials that found the target within budget.
+    pub success_rate: f64,
+}
+
+/// An algorithm's measured scaling across the size sweep.
+#[derive(Debug, Clone)]
+pub struct AlgorithmScaling {
+    /// Which searcher.
+    pub kind: SearcherKind,
+    /// One point per size.
+    pub points: Vec<ScalingPoint>,
+    /// Log–log fit of mean requests vs. size (`None` if degenerate).
+    pub fit: Option<LinearFit>,
+}
+
+impl AlgorithmScaling {
+    /// The fitted scaling exponent, if available.
+    pub fn exponent(&self) -> Option<f64> {
+        self.fit.map(|f| f.slope)
+    }
+
+    /// Mean requests at the largest size measured.
+    pub fn final_cost(&self) -> Option<f64> {
+        self.points.last().map(|p| p.mean_requests)
+    }
+}
+
+/// The certification verdict for one model.
+#[derive(Debug, Clone)]
+pub struct SearchabilityReport {
+    /// Model name with parameters.
+    pub model: String,
+    /// Per-algorithm scaling results.
+    pub algorithms: Vec<AlgorithmScaling>,
+    /// The exponent the paper proves no algorithm can beat (1/2 for the
+    /// weak model).
+    pub theoretical_exponent: f64,
+}
+
+impl SearchabilityReport {
+    /// The algorithm with the lowest cost at the largest size.
+    pub fn best_algorithm(&self) -> Option<&AlgorithmScaling> {
+        self.algorithms
+            .iter()
+            .filter(|a| a.final_cost().is_some())
+            .min_by(|a, b| {
+                a.final_cost()
+                    .partial_cmp(&b.final_cost())
+                    .expect("final costs are finite")
+            })
+    }
+
+    /// The best algorithm's fitted exponent.
+    pub fn best_exponent(&self) -> Option<f64> {
+        self.best_algorithm().and_then(|a| a.exponent())
+    }
+
+    /// Renders the report as an aligned text table (one row per
+    /// algorithm × size, plus the fitted exponent).
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::with_columns(&[
+            "algorithm",
+            "n",
+            "mean requests",
+            "ci95",
+            "success",
+            "exponent",
+        ]);
+        for a in &self.algorithms {
+            for (i, pt) in a.points.iter().enumerate() {
+                let expo = if i + 1 == a.points.len() {
+                    a.exponent().map_or("-".to_string(), |e| format!("{e:.3}"))
+                } else {
+                    String::new()
+                };
+                t.row(vec![
+                    a.kind.name().to_string(),
+                    pt.n.to_string(),
+                    format!("{:.1}", pt.mean_requests),
+                    format!("{:.1}", pt.ci95),
+                    format!("{:.2}", pt.success_rate),
+                    expo,
+                ]);
+            }
+        }
+        t
+    }
+}
+
+impl fmt::Display for SearchabilityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "searchability report for {}", self.model)?;
+        write!(f, "{}", self.to_table())
+    }
+}
+
+/// Runs the certification sweep for `model`.
+///
+/// Trials are parallelized with scoped threads; every cell's RNG stream
+/// is derived from `(seed, size index, trial)`, so results do not depend
+/// on scheduling.
+pub fn certify<M: GraphModel + Sync>(
+    model: &M,
+    config: &CertifyConfig,
+) -> SearchabilityReport {
+    let seeds = SeedSequence::new(config.seed);
+    let n_searchers = config.searchers.len();
+    // results[size][searcher] = per-trial (requests, found)
+    let mut all_points: Vec<Vec<ScalingPoint>> = vec![Vec::new(); n_searchers];
+
+    for (size_idx, &n) in config.sizes.iter().enumerate() {
+        let size_seeds = seeds.subsequence(size_idx as u64);
+        let trial_results = run_size_trials(model, config, n, &size_seeds);
+        for (s_idx, cells) in trial_results.iter().enumerate() {
+            let requests: Vec<f64> = cells.iter().map(|&(r, _)| r as f64).collect();
+            let stats = SampleStats::from_slice(&requests)
+                .expect("trials ≥ 1 produce finite request counts");
+            let successes = cells.iter().filter(|&&(_, f)| f).count();
+            all_points[s_idx].push(ScalingPoint {
+                n,
+                mean_requests: stats.mean(),
+                ci95: stats.ci95_half_width(),
+                success_rate: successes as f64 / cells.len() as f64,
+            });
+        }
+    }
+
+    let algorithms = config
+        .searchers
+        .iter()
+        .zip(all_points)
+        .map(|(&kind, points)| {
+            let xs: Vec<f64> = points.iter().map(|p| p.n as f64).collect();
+            let ys: Vec<f64> = points.iter().map(|p| p.mean_requests.max(1e-9)).collect();
+            let fit = fit_log_log(&xs, &ys);
+            AlgorithmScaling { kind, points, fit }
+        })
+        .collect();
+
+    SearchabilityReport {
+        model: model.name(),
+        algorithms,
+        theoretical_exponent: 0.5,
+    }
+}
+
+/// Runs all trials for one size, in parallel, returning per-searcher
+/// per-trial `(requests, found)` cells in trial order.
+fn run_size_trials<M: GraphModel + Sync>(
+    model: &M,
+    config: &CertifyConfig,
+    n: usize,
+    size_seeds: &SeedSequence,
+) -> Vec<Vec<(usize, bool)>> {
+    let trials = config.trials;
+    let threads = std::thread::available_parallelism()
+        .map(|x| x.get())
+        .unwrap_or(1)
+        .min(trials)
+        .max(1);
+    let mut per_trial: Vec<Vec<(usize, bool)>> = vec![Vec::new(); trials];
+
+    crossbeam::thread::scope(|scope| {
+        let chunks: Vec<(usize, &mut [Vec<(usize, bool)>])> = {
+            let mut chunks = Vec::new();
+            let mut rest = per_trial.as_mut_slice();
+            let chunk_size = trials.div_ceil(threads);
+            let mut offset = 0;
+            while !rest.is_empty() {
+                let take = chunk_size.min(rest.len());
+                let (head, tail) = rest.split_at_mut(take);
+                chunks.push((offset, head));
+                offset += take;
+                rest = tail;
+            }
+            chunks
+        };
+        for (offset, chunk) in chunks {
+            scope.spawn(move |_| {
+                for (local, out) in chunk.iter_mut().enumerate() {
+                    let trial = offset + local;
+                    *out = run_one_trial(model, config, n, size_seeds, trial);
+                }
+            });
+        }
+    })
+    .expect("trial workers do not panic");
+
+    // Transpose to per-searcher layout.
+    let n_searchers = config.searchers.len();
+    let mut per_searcher: Vec<Vec<(usize, bool)>> =
+        vec![Vec::with_capacity(trials); n_searchers];
+    for trial_cells in per_trial {
+        for (s_idx, cell) in trial_cells.into_iter().enumerate() {
+            per_searcher[s_idx].push(cell);
+        }
+    }
+    per_searcher
+}
+
+/// One graph sample, all searchers raced on it.
+fn run_one_trial<M: GraphModel>(
+    model: &M,
+    config: &CertifyConfig,
+    n: usize,
+    size_seeds: &SeedSequence,
+    trial: usize,
+) -> Vec<(usize, bool)> {
+    let trial_seeds = size_seeds.subsequence(trial as u64);
+    let mut graph_rng = trial_seeds.child_rng(0);
+    let graph = model.sample_graph(n, &mut graph_rng);
+    let actual = graph.node_count();
+    let task = SearchTask::new(NodeId::from_label(1), NodeId::from_label(actual))
+        .with_criterion(config.criterion)
+        .with_budget(config.budget_multiplier * actual);
+    config
+        .searchers
+        .iter()
+        .enumerate()
+        .map(|(s_idx, kind)| {
+            let mut rng = trial_seeds.child_rng(1 + s_idx as u64);
+            let mut searcher = kind.build();
+            let outcome = run_weak(&graph, &task, &mut *searcher, &mut rng)
+                .expect("suite searchers never violate the protocol");
+            (outcome.requests, outcome.found)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{MergedMoriModel, UniformAttachmentModel};
+
+    fn small_config() -> CertifyConfig {
+        CertifyConfig {
+            sizes: vec![128, 256, 512],
+            trials: 6,
+            seed: 7,
+            searchers: vec![
+                SearcherKind::BfsFlood,
+                SearcherKind::HighDegree,
+                SearcherKind::GreedyId,
+            ],
+            criterion: SuccessCriterion::DiscoverTarget,
+            budget_multiplier: 50,
+        }
+    }
+
+    #[test]
+    fn report_shape_is_complete() {
+        let model = MergedMoriModel { p: 0.5, m: 1 };
+        let report = certify(&model, &small_config());
+        assert_eq!(report.algorithms.len(), 3);
+        for a in &report.algorithms {
+            assert_eq!(a.points.len(), 3);
+            assert!(a.fit.is_some());
+            for pt in &a.points {
+                assert!(pt.mean_requests > 0.0);
+                assert!(pt.success_rate > 0.9, "{}: {pt:?}", a.kind);
+            }
+        }
+        assert!(report.best_algorithm().is_some());
+        assert!(report.to_table().len() >= 9);
+    }
+
+    #[test]
+    fn certification_is_deterministic() {
+        let model = MergedMoriModel { p: 0.3, m: 1 };
+        let cfg = small_config();
+        let a = certify(&model, &cfg);
+        let b = certify(&model, &cfg);
+        for (x, y) in a.algorithms.iter().zip(&b.algorithms) {
+            for (px, py) in x.points.iter().zip(&y.points) {
+                assert_eq!(px.mean_requests, py.mean_requests);
+            }
+        }
+    }
+
+    #[test]
+    fn mori_cost_grows_with_n() {
+        let model = MergedMoriModel { p: 0.6, m: 1 };
+        let report = certify(&model, &small_config());
+        let best = report.best_algorithm().unwrap();
+        let first = best.points.first().unwrap().mean_requests;
+        let last = best.points.last().unwrap().mean_requests;
+        assert!(last > first, "cost should grow: {first} → {last}");
+    }
+
+    #[test]
+    fn uniform_attachment_also_certifiable() {
+        let model = UniformAttachmentModel { m: 1 };
+        let report = certify(&model, &small_config());
+        assert!(report.best_exponent().is_some());
+    }
+}

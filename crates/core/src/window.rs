@@ -1,0 +1,150 @@
+//! The equivalence window of Lemma 2 / Lemma 3.
+
+use crate::theory::lemma3_window_end;
+use nonsearch_graph::NodeId;
+
+/// The vertex window `V = [[a+1, b]]` that is probabilistically
+/// equivalent conditional on `E_{a,b}`, with the Lemma 3 sizing
+/// `b = a + ⌊√(a−1)⌋`.
+///
+/// For Theorem 1 the window is anchored so that it *contains the target
+/// vertex `n`*: taking `a = n − 1` makes `V = [[n, n + ⌊√(n−2)⌋]]`, a set
+/// of `Θ(√n)` vertices the searcher cannot tell apart.
+///
+/// # Example
+///
+/// ```
+/// use nonsearch_core::EquivalenceWindow;
+///
+/// let w = EquivalenceWindow::for_target(10_001);
+/// assert_eq!(w.a(), 10_000);
+/// assert!(w.contains_label(10_001));
+/// assert_eq!(w.len(), 99); // ⌊√9999⌋
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EquivalenceWindow {
+    a: usize,
+    b: usize,
+}
+
+impl EquivalenceWindow {
+    /// Window anchored at `a`: `V = [[a+1, a+⌊√(a−1)⌋]]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a < 2`.
+    pub fn from_anchor(a: usize) -> EquivalenceWindow {
+        EquivalenceWindow { a, b: lemma3_window_end(a) }
+    }
+
+    /// Window containing the target vertex `n` as its first element
+    /// (anchor `a = n − 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3`.
+    pub fn for_target(n: usize) -> EquivalenceWindow {
+        assert!(n >= 3, "target must be at least 3");
+        Self::from_anchor(n - 1)
+    }
+
+    /// A window with explicit bounds (for experiments that vary widths).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 ≤ a ≤ b`.
+    pub fn with_bounds(a: usize, b: usize) -> EquivalenceWindow {
+        assert!(a >= 2 && b >= a, "window requires 2 ≤ a ≤ b");
+        EquivalenceWindow { a, b }
+    }
+
+    /// The anchor `a`: all fathers must land at or before this label.
+    pub fn a(&self) -> usize {
+        self.a
+    }
+
+    /// The last window label `b`.
+    pub fn b(&self) -> usize {
+        self.b
+    }
+
+    /// Number of window vertices `|V| = b − a`.
+    pub fn len(&self) -> usize {
+        self.b - self.a
+    }
+
+    /// `true` if the window is empty (`b == a`).
+    pub fn is_empty(&self) -> bool {
+        self.b == self.a
+    }
+
+    /// `true` if one-based `label` lies in `[[a+1, b]]`.
+    pub fn contains_label(&self, label: usize) -> bool {
+        label > self.a && label <= self.b
+    }
+
+    /// The window vertices as [`NodeId`]s.
+    pub fn members(&self) -> Vec<NodeId> {
+        ((self.a + 1)..=self.b).map(NodeId::from_label).collect()
+    }
+
+    /// Smallest tree size that realizes the full window (`t ≥ b`).
+    pub fn minimum_tree_size(&self) -> usize {
+        self.b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchored_window_sizing() {
+        let w = EquivalenceWindow::from_anchor(101);
+        assert_eq!(w.a(), 101);
+        assert_eq!(w.b(), 111);
+        assert_eq!(w.len(), 10);
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn target_window_contains_target_first() {
+        let w = EquivalenceWindow::for_target(1000);
+        assert_eq!(w.a(), 999);
+        assert!(w.contains_label(1000));
+        assert!(!w.contains_label(999));
+        assert_eq!(w.members()[0], NodeId::from_label(1000));
+    }
+
+    #[test]
+    fn window_scales_like_sqrt_n() {
+        let small = EquivalenceWindow::for_target(1_000).len() as f64;
+        let large = EquivalenceWindow::for_target(100_000).len() as f64;
+        let ratio = large / small;
+        assert!((ratio - 10.0).abs() < 0.5, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn membership_bounds() {
+        let w = EquivalenceWindow::with_bounds(5, 8);
+        assert!(!w.contains_label(5));
+        assert!(w.contains_label(6));
+        assert!(w.contains_label(8));
+        assert!(!w.contains_label(9));
+        assert_eq!(w.members().len(), 3);
+        assert_eq!(w.minimum_tree_size(), 8);
+    }
+
+    #[test]
+    fn empty_window_allowed_explicitly() {
+        let w = EquivalenceWindow::with_bounds(4, 4);
+        assert!(w.is_empty());
+        assert!(w.members().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "2 ≤ a ≤ b")]
+    fn invalid_bounds_panic() {
+        let _ = EquivalenceWindow::with_bounds(8, 5);
+    }
+}

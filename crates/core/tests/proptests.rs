@@ -1,0 +1,127 @@
+//! Property-based tests: permutation group laws, window invariants, and
+//! probability bounds.
+
+use nonsearch_core::{
+    lemma1_lower_bound, lemma3_bound, mori_conditional_factor,
+    mori_event_probability_exact, EquivalenceWindow, Permutation,
+};
+use nonsearch_graph::{NodeId, UndirectedCsr};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn arb_permutation(n: usize, seed: u64) -> Permutation {
+    let window: Vec<NodeId> = (0..n).map(NodeId::new).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    Permutation::random_window_shuffle(n, &window, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn permutation_group_laws(n in 1usize..30, s1 in 0u64..500, s2 in 0u64..500) {
+        let a = arb_permutation(n, s1);
+        let b = arb_permutation(n, s2);
+        // Inverse cancels.
+        prop_assert!(a.compose(&a.inverse()).is_identity());
+        prop_assert!(a.inverse().compose(&a).is_identity());
+        // Associativity via triple compose on images.
+        let c = arb_permutation(n, s1 ^ s2 ^ 0x5555);
+        let left = a.compose(&b).compose(&c);
+        let right = a.compose(&b.compose(&c));
+        prop_assert_eq!(left, right);
+        // (a∘b)⁻¹ = b⁻¹∘a⁻¹.
+        prop_assert_eq!(a.compose(&b).inverse(), b.inverse().compose(&a.inverse()));
+    }
+
+    #[test]
+    fn permutation_graph_action_is_a_group_action(
+        n in 2usize..20,
+        edges in proptest::collection::vec((0usize..20, 0usize..20), 0..30),
+        s1 in 0u64..300,
+        s2 in 0u64..300,
+    ) {
+        let edges: Vec<(usize, usize)> =
+            edges.into_iter().map(|(u, v)| (u % n, v % n)).collect();
+        let g = UndirectedCsr::from_edges(n, edges).unwrap();
+        let a = arb_permutation(n, s1);
+        let b = arb_permutation(n, s2);
+        // (a∘b)(G) = a(b(G)).
+        let lhs = a.compose(&b).apply_to_graph(&g);
+        let rhs = a.apply_to_graph(&b.apply_to_graph(&g));
+        prop_assert_eq!(lhs, rhs);
+        // Identity fixes G; action preserves degree multiset.
+        prop_assert_eq!(Permutation::identity(n).apply_to_graph(&g), g.clone());
+        let mut before: Vec<usize> = g.nodes().map(|v| g.degree(v)).collect();
+        let image = a.apply_to_graph(&g);
+        let mut after: Vec<usize> = image.nodes().map(|v| image.degree(v)).collect();
+        before.sort_unstable();
+        after.sort_unstable();
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn window_size_is_floor_sqrt(a in 2usize..100_000) {
+        let w = EquivalenceWindow::from_anchor(a);
+        let width = w.len();
+        prop_assert!(width * width <= a - 1);
+        prop_assert!((width + 1) * (width + 1) > a - 1);
+        prop_assert!(w.contains_label(a + 1) || w.is_empty());
+        prop_assert!(!w.contains_label(a));
+        prop_assert!(!w.contains_label(w.b() + 1));
+    }
+
+    #[test]
+    fn conditional_factors_are_probabilities(
+        a in 2usize..500,
+        width in 1usize..60,
+        p_centi in 0u32..=100,
+    ) {
+        let p = p_centi as f64 / 100.0;
+        for k in (a + 1)..=(a + width) {
+            let f = mori_conditional_factor(k, a, p).unwrap();
+            prop_assert!((0.0..=1.0).contains(&f), "k={k} a={a} p={p}: {f}");
+        }
+    }
+
+    #[test]
+    fn event_probability_monotone_in_width_and_bounded(
+        a in 2usize..2000,
+        width in 0usize..100,
+        p_centi in 0u32..=100,
+    ) {
+        let p = p_centi as f64 / 100.0;
+        let shorter = mori_event_probability_exact(a, a + width, p).unwrap();
+        let longer = mori_event_probability_exact(a, a + width + 1, p).unwrap();
+        prop_assert!(longer <= shorter + 1e-15);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&shorter));
+    }
+
+    #[test]
+    fn lemma3_bound_holds_for_all_anchors_and_p(
+        a in 2usize..50_000,
+        p_centi in 0u32..=100,
+    ) {
+        let p = p_centi as f64 / 100.0;
+        let w = EquivalenceWindow::from_anchor(a);
+        let exact = mori_event_probability_exact(w.a(), w.b(), p).unwrap();
+        prop_assert!(
+            exact >= lemma3_bound(p) - 1e-12,
+            "a={a} p={p}: {exact} < {}",
+            lemma3_bound(p)
+        );
+    }
+
+    #[test]
+    fn lemma1_bound_is_monotone(
+        size in 0usize..10_000,
+        prob_centi in 0u32..=100,
+    ) {
+        let prob = prob_centi as f64 / 100.0;
+        let bound = lemma1_lower_bound(size, prob);
+        prop_assert!(bound >= 0.0);
+        prop_assert!(bound <= size as f64 / 2.0 + 1e-12);
+        prop_assert!(lemma1_lower_bound(size + 1, prob) >= bound);
+    }
+}

@@ -1,0 +1,195 @@
+//! The Barabási–Albert preferential-attachment model.
+//!
+//! The classic evolving scale-free model \[BA99\]: each new vertex sends
+//! `m` edges to existing vertices chosen proportionally to **total
+//! degree**. Included as the baseline the paper's conclusion discusses
+//! (its max degree grows like `t^{1/2}`, too large for the strong-model
+//! bound to bite).
+
+use crate::{
+    AttachmentKind, AttachmentRecord, AttachmentTrace, GeneratorError, Result, UrnSampler,
+};
+use nonsearch_graph::{EvolvingDigraph, NodeId, UndirectedCsr};
+use rand::Rng;
+
+/// A sampled Barabási–Albert graph with construction provenance.
+///
+/// The seed is a star on `m + 1` vertices (vertices `2..=m+1` each point
+/// at vertex 1), after which every arriving vertex draws `m` distinct
+/// targets proportionally to total degree. Self-loops never occur;
+/// duplicate targets are redrawn.
+///
+/// # Example
+///
+/// ```
+/// use nonsearch_generators::{rng_from_seed, BarabasiAlbert};
+///
+/// let mut rng = rng_from_seed(1);
+/// let ba = BarabasiAlbert::sample(100, 2, &mut rng)?;
+/// assert_eq!(ba.digraph().node_count(), 100);
+/// // Seed star has m = 2 edges; each of the 97 later vertices adds 2.
+/// assert_eq!(ba.digraph().edge_count(), 2 + 97 * 2);
+/// # Ok::<(), nonsearch_generators::GeneratorError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BarabasiAlbert {
+    digraph: EvolvingDigraph,
+    trace: AttachmentTrace,
+    m: usize,
+}
+
+impl BarabasiAlbert {
+    /// Samples a BA graph on `n` vertices with `m ≥ 1` edges per arrival.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeneratorError::InvalidParameter`] if `m == 0` and
+    /// [`GeneratorError::TooSmall`] if `n < m + 2`.
+    pub fn sample<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Result<BarabasiAlbert> {
+        if m == 0 {
+            return Err(GeneratorError::invalid("m", 0usize, "a positive integer"));
+        }
+        if n < m + 2 {
+            return Err(GeneratorError::TooSmall { requested: n, minimum: m + 2 });
+        }
+        let mut digraph = EvolvingDigraph::with_capacity(n, m * n);
+        let mut trace = AttachmentTrace::with_capacity(m * n);
+        // Urn holds one ticket per edge endpoint → sampling ∝ total degree.
+        let mut urn = UrnSampler::with_capacity(2 * m * n);
+
+        let hub = digraph.add_node();
+        for _ in 0..m {
+            let leaf = digraph.add_node();
+            digraph.add_edge(leaf, hub).expect("seed endpoints exist");
+            trace.push(AttachmentRecord {
+                child: leaf,
+                father: hub,
+                kind: AttachmentKind::Seed,
+            });
+            urn.push(leaf);
+            urn.push(hub);
+        }
+
+        let mut targets: Vec<NodeId> = Vec::with_capacity(m);
+        for _ in (m + 1)..n {
+            let child = digraph.add_node();
+            targets.clear();
+            // Draw m distinct targets ∝ degree; duplicates are redrawn,
+            // which conditions the law on distinctness (the standard
+            // "BA without multi-edges" variant).
+            while targets.len() < m {
+                let candidate = urn.sample(rng).expect("urn non-empty after seed");
+                if !targets.contains(&candidate) {
+                    targets.push(candidate);
+                }
+            }
+            for &father in &targets {
+                digraph.add_edge(child, father).expect("endpoints exist");
+                trace.push(AttachmentRecord {
+                    child,
+                    father,
+                    kind: AttachmentKind::Preferential,
+                });
+                urn.push(child);
+                urn.push(father);
+            }
+        }
+
+        Ok(BarabasiAlbert { digraph, trace, m })
+    }
+
+    /// Edges added per arriving vertex.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// The evolving digraph (edges point newer → older).
+    pub fn digraph(&self) -> &EvolvingDigraph {
+        &self.digraph
+    }
+
+    /// The attachment history.
+    pub fn trace(&self) -> &AttachmentTrace {
+        &self.trace
+    }
+
+    /// Builds the unoriented view searching takes place in.
+    pub fn undirected(&self) -> UndirectedCsr {
+        UndirectedCsr::from_digraph(&self.digraph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng_from_seed;
+    use nonsearch_graph::{is_connected, GraphProperties};
+
+    #[test]
+    fn shape_invariants() {
+        let mut rng = rng_from_seed(1);
+        let ba = BarabasiAlbert::sample(200, 3, &mut rng).unwrap();
+        let g = ba.digraph();
+        assert_eq!(g.node_count(), 200);
+        assert_eq!(g.edge_count(), 3 + (200 - 4) * 3);
+        let und = ba.undirected();
+        assert!(is_connected(&und));
+        assert_eq!(und.self_loop_count(), 0);
+        // Distinct targets per arrival: no parallel edges from one child.
+        assert_eq!(und.parallel_edge_count(), 0);
+    }
+
+    #[test]
+    fn m1_gives_a_tree() {
+        let mut rng = rng_from_seed(2);
+        let ba = BarabasiAlbert::sample(150, 1, &mut rng).unwrap();
+        assert!(ba.undirected().is_tree());
+    }
+
+    #[test]
+    fn min_degree_is_m() {
+        let mut rng = rng_from_seed(3);
+        let ba = BarabasiAlbert::sample(120, 2, &mut rng).unwrap();
+        let und = ba.undirected();
+        let min = und.nodes().map(|v| und.degree(v)).min().unwrap();
+        assert!(min >= 2);
+    }
+
+    #[test]
+    fn rich_get_richer() {
+        // The hub (vertex 1) should end up far above the median degree.
+        let mut rng = rng_from_seed(4);
+        let ba = BarabasiAlbert::sample(2000, 1, &mut rng).unwrap();
+        let und = ba.undirected();
+        let hub_degree = und.degree(NodeId::from_label(1));
+        let mut degrees: Vec<usize> = und.nodes().map(|v| und.degree(v)).collect();
+        degrees.sort_unstable();
+        let median = degrees[degrees.len() / 2];
+        assert!(
+            hub_degree > 10 * median,
+            "hub degree {hub_degree} vs median {median}"
+        );
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let a = BarabasiAlbert::sample(90, 2, &mut rng_from_seed(5)).unwrap();
+        let b = BarabasiAlbert::sample(90, 2, &mut rng_from_seed(5)).unwrap();
+        assert_eq!(a.digraph(), b.digraph());
+    }
+
+    #[test]
+    fn validation() {
+        let mut rng = rng_from_seed(6);
+        assert!(BarabasiAlbert::sample(10, 0, &mut rng).is_err());
+        assert!(BarabasiAlbert::sample(3, 2, &mut rng).is_err());
+        assert!(BarabasiAlbert::sample(4, 2, &mut rng).is_ok());
+    }
+
+    #[test]
+    fn trace_has_one_record_per_edge() {
+        let mut rng = rng_from_seed(7);
+        let ba = BarabasiAlbert::sample(60, 2, &mut rng).unwrap();
+        assert_eq!(ba.trace().len(), ba.digraph().edge_count());
+    }
+}

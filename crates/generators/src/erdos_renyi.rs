@@ -1,0 +1,196 @@
+//! Erdős–Rényi random graphs `G(n, p)` and `G(n, m)`.
+//!
+//! The paper notes that Kleinberg-style models have degree distributions
+//! "close to a Poisson distribution" — the ER baseline makes that contrast
+//! measurable next to the scale-free generators.
+
+use crate::error::check_probability;
+use crate::{GeneratorError, Result};
+use nonsearch_graph::UndirectedCsr;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Namespace for the two classic Erdős–Rényi samplers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ErdosRenyi;
+
+impl ErdosRenyi {
+    /// Samples `G(n, p)`: every unordered pair appears independently with
+    /// probability `p`.
+    ///
+    /// Uses geometric gap-skipping, so the cost is O(n + m) rather than
+    /// O(n²) for sparse graphs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeneratorError::InvalidParameter`] if `p ∉ [0, 1]`.
+    pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Result<UndirectedCsr> {
+        check_probability("p", p)?;
+        if n == 0 || p == 0.0 {
+            return Ok(UndirectedCsr::from_edges(n, []).expect("no edges"));
+        }
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        if p >= 1.0 {
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    edges.push((u, v));
+                }
+            }
+            return Ok(UndirectedCsr::from_edges(n, edges).expect("pairs in range"));
+        }
+        // Walk the linearized pair index with geometric gaps.
+        let total_pairs = n * (n - 1) / 2;
+        let log1mp = (1.0 - p).ln();
+        let mut idx: usize = 0;
+        loop {
+            let u01: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let gap = (u01.ln() / log1mp).floor() as usize;
+            idx = match idx.checked_add(gap) {
+                Some(i) if i < total_pairs => i,
+                _ => break,
+            };
+            edges.push(pair_from_index(idx, n));
+            idx += 1;
+            if idx >= total_pairs {
+                break;
+            }
+        }
+        Ok(UndirectedCsr::from_edges(n, edges).expect("pairs in range"))
+    }
+
+    /// Samples `G(n, m)`: a uniform graph with exactly `m` distinct edges
+    /// (no self-loops, no parallels).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeneratorError::InvalidParameter`] if `m` exceeds
+    /// `n(n−1)/2`.
+    pub fn gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Result<UndirectedCsr> {
+        let total_pairs = if n < 2 { 0 } else { n * (n - 1) / 2 };
+        if m > total_pairs {
+            return Err(GeneratorError::invalid(
+                "m",
+                m,
+                "at most n(n-1)/2 distinct edges",
+            ));
+        }
+        // Rejection is fine while m is at most half of all pairs;
+        // otherwise sample the complement.
+        let invert = m > total_pairs / 2;
+        let want = if invert { total_pairs - m } else { m };
+        let mut chosen: HashSet<usize> = HashSet::with_capacity(want);
+        while chosen.len() < want {
+            chosen.insert(rng.gen_range(0..total_pairs));
+        }
+        let edges: Vec<(usize, usize)> = if invert {
+            (0..total_pairs)
+                .filter(|i| !chosen.contains(i))
+                .map(|i| pair_from_index(i, n))
+                .collect()
+        } else {
+            chosen.iter().map(|&i| pair_from_index(i, n)).collect()
+        };
+        Ok(UndirectedCsr::from_edges(n, edges).expect("pairs in range"))
+    }
+}
+
+/// Maps a linear index in `0..n(n−1)/2` to the corresponding unordered
+/// pair `(u, v)` with `u < v`, in row-major order of the strict upper
+/// triangle.
+fn pair_from_index(index: usize, n: usize) -> (usize, usize) {
+    // Row u occupies indices [u·n − u(u+3)/2 ... ) — solve by scanning
+    // from an analytic initial guess to stay O(1) amortized.
+    let mut u = 0usize;
+    let mut row_start = 0usize;
+    loop {
+        let row_len = n - u - 1;
+        if index < row_start + row_len {
+            return (u, u + 1 + (index - row_start));
+        }
+        row_start += row_len;
+        u += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng_from_seed;
+
+    #[test]
+    fn pair_indexing_is_a_bijection() {
+        let n = 7;
+        let mut seen = HashSet::new();
+        for i in 0..(n * (n - 1) / 2) {
+            let (u, v) = pair_from_index(i, n);
+            assert!(u < v && v < n);
+            assert!(seen.insert((u, v)));
+        }
+        assert_eq!(seen.len(), 21);
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = rng_from_seed(1);
+        let empty = ErdosRenyi::gnp(10, 0.0, &mut rng).unwrap();
+        assert_eq!(empty.edge_count(), 0);
+        let full = ErdosRenyi::gnp(10, 1.0, &mut rng).unwrap();
+        assert_eq!(full.edge_count(), 45);
+    }
+
+    #[test]
+    fn gnp_edge_count_concentrates() {
+        let mut rng = rng_from_seed(2);
+        let n = 400;
+        let p = 0.02;
+        let trials = 20;
+        let total: usize = (0..trials)
+            .map(|_| ErdosRenyi::gnp(n, p, &mut rng).unwrap().edge_count())
+            .sum();
+        let mean = total as f64 / trials as f64;
+        let expect = p * (n * (n - 1) / 2) as f64;
+        assert!(
+            (mean - expect).abs() < 0.08 * expect,
+            "mean = {mean}, expect = {expect}"
+        );
+    }
+
+    #[test]
+    fn gnm_exact_count_and_simple() {
+        let mut rng = rng_from_seed(3);
+        let g = ErdosRenyi::gnm(50, 100, &mut rng).unwrap();
+        assert_eq!(g.edge_count(), 100);
+        assert_eq!(g.self_loop_count(), 0);
+        use nonsearch_graph::GraphProperties;
+        assert_eq!(g.parallel_edge_count(), 0);
+    }
+
+    #[test]
+    fn gnm_dense_side_uses_complement() {
+        let mut rng = rng_from_seed(4);
+        let g = ErdosRenyi::gnm(10, 44, &mut rng).unwrap();
+        assert_eq!(g.edge_count(), 44);
+    }
+
+    #[test]
+    fn gnm_validation() {
+        let mut rng = rng_from_seed(5);
+        assert!(ErdosRenyi::gnm(4, 7, &mut rng).is_err());
+        assert!(ErdosRenyi::gnm(4, 6, &mut rng).is_ok());
+        assert!(ErdosRenyi::gnm(0, 0, &mut rng).is_ok());
+    }
+
+    #[test]
+    fn gnp_validation() {
+        let mut rng = rng_from_seed(6);
+        assert!(ErdosRenyi::gnp(4, 1.5, &mut rng).is_err());
+        assert!(ErdosRenyi::gnp(4, -0.5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let a = ErdosRenyi::gnp(64, 0.1, &mut rng_from_seed(7)).unwrap();
+        let b = ErdosRenyi::gnp(64, 0.1, &mut rng_from_seed(7)).unwrap();
+        assert_eq!(a, b);
+    }
+}

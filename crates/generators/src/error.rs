@@ -1,0 +1,114 @@
+//! Error type for generator configuration and sampling.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by graph generators.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GeneratorError {
+    /// A numeric parameter was outside its valid range.
+    InvalidParameter {
+        /// Parameter name as it appears in the model definition.
+        name: &'static str,
+        /// The offending value, formatted.
+        value: String,
+        /// The valid range, human-readable.
+        expected: &'static str,
+    },
+    /// The requested graph size is too small for the model's seed graph.
+    TooSmall {
+        /// Requested number of vertices.
+        requested: usize,
+        /// Minimum supported by the model.
+        minimum: usize,
+    },
+    /// A degree sequence cannot be realized (e.g. odd stub sum).
+    InvalidDegreeSequence {
+        /// Human-readable cause.
+        reason: String,
+    },
+    /// Rejection sampling exhausted its attempt budget.
+    RejectionBudgetExhausted {
+        /// Number of attempts made.
+        attempts: usize,
+    },
+}
+
+impl fmt::Display for GeneratorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeneratorError::InvalidParameter { name, value, expected } => {
+                write!(f, "parameter `{name}` = {value} is invalid (expected {expected})")
+            }
+            GeneratorError::TooSmall { requested, minimum } => {
+                write!(f, "requested {requested} vertices but the model needs at least {minimum}")
+            }
+            GeneratorError::InvalidDegreeSequence { reason } => {
+                write!(f, "degree sequence cannot be realized: {reason}")
+            }
+            GeneratorError::RejectionBudgetExhausted { attempts } => {
+                write!(f, "rejection sampling failed after {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl Error for GeneratorError {}
+
+impl GeneratorError {
+    /// Convenience constructor for [`GeneratorError::InvalidParameter`].
+    pub fn invalid<V: fmt::Display>(
+        name: &'static str,
+        value: V,
+        expected: &'static str,
+    ) -> Self {
+        GeneratorError::InvalidParameter { name, value: value.to_string(), expected }
+    }
+}
+
+/// Validates that a probability lies in `[0, 1]`.
+pub(crate) fn check_probability(name: &'static str, value: f64) -> crate::Result<()> {
+    if value.is_finite() && (0.0..=1.0).contains(&value) {
+        Ok(())
+    } else {
+        Err(GeneratorError::invalid(name, value, "a probability in [0, 1]"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = GeneratorError::invalid("p", 1.5, "a probability in [0, 1]");
+        assert!(e.to_string().contains("`p`"));
+        assert!(e.to_string().contains("1.5"));
+
+        let e = GeneratorError::TooSmall { requested: 1, minimum: 2 };
+        assert!(e.to_string().contains("at least 2"));
+
+        let e = GeneratorError::InvalidDegreeSequence { reason: "odd sum".into() };
+        assert!(e.to_string().contains("odd sum"));
+
+        let e = GeneratorError::RejectionBudgetExhausted { attempts: 9 };
+        assert!(e.to_string().contains('9'));
+    }
+
+    #[test]
+    fn probability_check() {
+        assert!(check_probability("p", 0.0).is_ok());
+        assert!(check_probability("p", 1.0).is_ok());
+        assert!(check_probability("p", 0.5).is_ok());
+        assert!(check_probability("p", -0.1).is_err());
+        assert!(check_probability("p", 1.1).is_err());
+        assert!(check_probability("p", f64::NAN).is_err());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GeneratorError>();
+    }
+}

@@ -1,0 +1,71 @@
+//! Random graph generators for the `nonsearch` project.
+//!
+//! Implements every graph model the paper uses, compares against, or
+//! contrasts with:
+//!
+//! * [`MoriTree`] / [`MergedMori`] — the Móri model `G_t` and its merged
+//!   `m`-out variant `G_t^{(m)}`, mixing preferential (by **indegree**) and
+//!   uniform attachment with parameter `p`. These are the subjects of the
+//!   paper's Theorem 1.
+//! * [`CooperFrieze`] — the Cooper–Frieze general web-graph model
+//!   (Theorem 2), rephrased with indegree as in the paper.
+//! * [`BarabasiAlbert`], [`UniformAttachment`] — the classic evolving
+//!   baselines.
+//! * [`ConfigModel`] + [`power_law_degree_sequence`] — the "pure random
+//!   graph" family of Molloy–Reed, the substrate for Adamic et al.'s
+//!   high-degree search analysis.
+//! * [`KleinbergGrid`] — Kleinberg's navigable small-world lattice, the
+//!   positive contrast the paper's introduction is framed against.
+//! * [`ErdosRenyi`], [`WattsStrogatz`] — additional classical baselines.
+//!
+//! All generators are deterministic given a seed (ChaCha8 streams via
+//! [`rng_from_seed`]), and evolving models record full construction
+//! [`provenance`](AttachmentTrace) so that the equivalence events of the
+//! paper's Lemma 2 can be checked on the generated sample.
+//!
+//! # Example
+//!
+//! ```
+//! use nonsearch_generators::{rng_from_seed, MoriTree};
+//!
+//! let mut rng = rng_from_seed(7);
+//! let tree = MoriTree::sample(100, 0.6, &mut rng)?;
+//! assert_eq!(tree.digraph().node_count(), 100);
+//! // A Móri graph is a tree: every non-root vertex has one out-edge.
+//! assert_eq!(tree.digraph().edge_count(), 99);
+//! # Ok::<(), nonsearch_generators::GeneratorError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod barabasi_albert;
+mod config_model;
+mod cooper_frieze;
+mod erdos_renyi;
+mod error;
+mod kleinberg;
+mod mori;
+mod power_law;
+mod provenance;
+mod seeded;
+mod uniform_attachment;
+mod watts_strogatz;
+mod weights;
+
+pub use barabasi_albert::BarabasiAlbert;
+pub use config_model::{ConfigModel, SimplificationPolicy};
+pub use cooper_frieze::{CooperFrieze, CooperFriezeConfig, StepKind};
+pub use erdos_renyi::ErdosRenyi;
+pub use error::GeneratorError;
+pub use kleinberg::{GridCoord, KleinbergGrid};
+pub use mori::{MergedMori, MoriTree};
+pub use power_law::{power_law_degree_sequence, PowerLawConfig};
+pub use provenance::{AttachmentKind, AttachmentRecord, AttachmentTrace};
+pub use seeded::{rng_from_seed, SeedSequence};
+pub use uniform_attachment::UniformAttachment;
+pub use watts_strogatz::WattsStrogatz;
+pub use weights::{CumulativeSampler, DiscreteDistribution, UrnSampler};
+
+/// Result alias used across this crate.
+pub type Result<T> = std::result::Result<T, GeneratorError>;

@@ -1,0 +1,201 @@
+//! Construction provenance for evolving models.
+//!
+//! The paper's lower-bound machinery reasons about the *construction
+//! process*, not just the resulting graph: the event `E_{a,b}` of Lemma 2
+//! asks where every window vertex's **father** (`N_k`, the destination of
+//! its outgoing edge) landed. Generators therefore record an
+//! [`AttachmentTrace`] alongside the graph so that analysis code can check
+//! such events on each sample without re-deriving them from topology.
+
+use nonsearch_graph::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// How an attachment target was chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttachmentKind {
+    /// Part of the fixed seed graph (e.g. the initial edge `2 → 1`).
+    Seed,
+    /// Drawn from the preferential (degree-weighted) component.
+    Preferential,
+    /// Drawn from the uniform component.
+    Uniform,
+}
+
+/// One attachment decision: `child` chose `father` via `kind`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AttachmentRecord {
+    /// The newly attached vertex (the edge source).
+    pub child: NodeId,
+    /// The chosen older vertex `N_child` (the edge destination).
+    pub father: NodeId,
+    /// Which mixture component produced the choice.
+    pub kind: AttachmentKind,
+}
+
+/// The full attachment history of an evolving graph, in time order.
+///
+/// For tree models there is exactly one record per non-root vertex; for
+/// multi-edge models (merged Móri, Cooper–Frieze) there is one record per
+/// edge.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttachmentTrace {
+    records: Vec<AttachmentRecord>,
+}
+
+impl AttachmentTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty trace with reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        AttachmentTrace { records: Vec::with_capacity(capacity) }
+    }
+
+    /// Appends a record (construction-time use).
+    pub fn push(&mut self, record: AttachmentRecord) {
+        self.records.push(record);
+    }
+
+    /// Number of recorded attachments.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` if no attachments were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All records in time order.
+    pub fn records(&self) -> &[AttachmentRecord] {
+        &self.records
+    }
+
+    /// Iterator over records in time order.
+    pub fn iter(&self) -> std::slice::Iter<'_, AttachmentRecord> {
+        self.records.iter()
+    }
+
+    /// The father `N_k` of the vertex with one-based label `k`, if the
+    /// trace contains exactly one record for it (tree models).
+    ///
+    /// For multi-edge traces this returns the *first* father.
+    pub fn father_of_label(&self, k: usize) -> Option<NodeId> {
+        let child = NodeId::from_label(k);
+        self.records.iter().find(|r| r.child == child).map(|r| r.father)
+    }
+
+    /// All fathers of the vertex with one-based label `k`, in time order.
+    pub fn fathers_of_label(&self, k: usize) -> Vec<NodeId> {
+        let child = NodeId::from_label(k);
+        self.records
+            .iter()
+            .filter(|r| r.child == child)
+            .map(|r| r.father)
+            .collect()
+    }
+
+    /// Fraction of non-seed records drawn from the preferential component.
+    ///
+    /// Returns `None` if there are no non-seed records.
+    pub fn preferential_fraction(&self) -> Option<f64> {
+        let non_seed: Vec<_> =
+            self.records.iter().filter(|r| r.kind != AttachmentKind::Seed).collect();
+        if non_seed.is_empty() {
+            return None;
+        }
+        let pref =
+            non_seed.iter().filter(|r| r.kind == AttachmentKind::Preferential).count();
+        Some(pref as f64 / non_seed.len() as f64)
+    }
+}
+
+impl<'a> IntoIterator for &'a AttachmentTrace {
+    type Item = &'a AttachmentRecord;
+    type IntoIter = std::slice::Iter<'a, AttachmentRecord>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.iter()
+    }
+}
+
+impl FromIterator<AttachmentRecord> for AttachmentTrace {
+    fn from_iter<I: IntoIterator<Item = AttachmentRecord>>(iter: I) -> Self {
+        AttachmentTrace { records: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(child: usize, father: usize, kind: AttachmentKind) -> AttachmentRecord {
+        AttachmentRecord {
+            child: NodeId::from_label(child),
+            father: NodeId::from_label(father),
+            kind,
+        }
+    }
+
+    #[test]
+    fn trace_accumulates_in_order() {
+        let mut t = AttachmentTrace::new();
+        assert!(t.is_empty());
+        t.push(rec(2, 1, AttachmentKind::Seed));
+        t.push(rec(3, 1, AttachmentKind::Preferential));
+        t.push(rec(4, 3, AttachmentKind::Uniform));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.records()[2].child, NodeId::from_label(4));
+    }
+
+    #[test]
+    fn father_lookup() {
+        let t: AttachmentTrace = [
+            rec(2, 1, AttachmentKind::Seed),
+            rec(3, 2, AttachmentKind::Uniform),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(t.father_of_label(3), Some(NodeId::from_label(2)));
+        assert_eq!(t.father_of_label(9), None);
+    }
+
+    #[test]
+    fn multi_edge_fathers() {
+        let t: AttachmentTrace = [
+            rec(3, 1, AttachmentKind::Preferential),
+            rec(3, 2, AttachmentKind::Uniform),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(t.fathers_of_label(3).len(), 2);
+        assert_eq!(t.father_of_label(3), Some(NodeId::from_label(1)));
+    }
+
+    #[test]
+    fn preferential_fraction_ignores_seed() {
+        let t: AttachmentTrace = [
+            rec(2, 1, AttachmentKind::Seed),
+            rec(3, 1, AttachmentKind::Preferential),
+            rec(4, 1, AttachmentKind::Uniform),
+            rec(5, 1, AttachmentKind::Preferential),
+        ]
+        .into_iter()
+        .collect();
+        let f = t.preferential_fraction().unwrap();
+        assert!((f - 2.0 / 3.0).abs() < 1e-12);
+
+        let seed_only: AttachmentTrace =
+            [rec(2, 1, AttachmentKind::Seed)].into_iter().collect();
+        assert!(seed_only.preferential_fraction().is_none());
+    }
+
+    #[test]
+    fn iteration() {
+        let t: AttachmentTrace = [rec(2, 1, AttachmentKind::Seed)].into_iter().collect();
+        assert_eq!(t.iter().count(), 1);
+        assert_eq!((&t).into_iter().count(), 1);
+    }
+}

@@ -1,0 +1,139 @@
+//! The Watts–Strogatz small-world model.
+//!
+//! A ring lattice with `k` neighbors per vertex whose edges are rewired
+//! independently with probability `beta`. Included as the classic
+//! "small-world without scale-freeness" baseline: low diameter, Poisson-ish
+//! degrees — the regime the paper distinguishes from scale-free graphs.
+
+use crate::error::check_probability;
+use crate::{GeneratorError, Result};
+use nonsearch_graph::UndirectedCsr;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Namespace for the Watts–Strogatz sampler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WattsStrogatz;
+
+impl WattsStrogatz {
+    /// Samples a Watts–Strogatz graph on `n` vertices: ring lattice with
+    /// `k` nearest neighbors (`k` even, `k < n`), each edge's far endpoint
+    /// rewired with probability `beta` to a uniform non-duplicate target.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeneratorError::InvalidParameter`] if `k` is odd, zero,
+    /// or `≥ n`, or if `beta ∉ [0, 1]`.
+    pub fn sample<R: Rng + ?Sized>(
+        n: usize,
+        k: usize,
+        beta: f64,
+        rng: &mut R,
+    ) -> Result<UndirectedCsr> {
+        check_probability("beta", beta)?;
+        if k == 0 || k % 2 == 1 {
+            return Err(GeneratorError::invalid("k", k, "a positive even integer"));
+        }
+        if k >= n {
+            return Err(GeneratorError::invalid("k", k, "less than n"));
+        }
+        let mut present: HashSet<(usize, usize)> = HashSet::with_capacity(n * k / 2);
+        let mut edges: Vec<(usize, usize)> = Vec::with_capacity(n * k / 2);
+        let norm = |u: usize, v: usize| if u < v { (u, v) } else { (v, u) };
+        for u in 0..n {
+            for j in 1..=(k / 2) {
+                let v = (u + j) % n;
+                edges.push((u, v));
+                present.insert(norm(u, v));
+            }
+        }
+        for slot in 0..edges.len() {
+            if rng.gen::<f64>() >= beta {
+                continue;
+            }
+            let (u, old_v) = edges[slot];
+            // Rewire the far endpoint to a fresh uniform target; skip if
+            // the vertex is already saturated.
+            if present.len() >= n * (n - 1) / 2 {
+                continue;
+            }
+            const MAX_ATTEMPTS: usize = 10_000;
+            let mut rewired = None;
+            for _ in 0..MAX_ATTEMPTS {
+                let w = rng.gen_range(0..n);
+                if w != u && !present.contains(&norm(u, w)) {
+                    rewired = Some(w);
+                    break;
+                }
+            }
+            if let Some(w) = rewired {
+                present.remove(&norm(u, old_v));
+                present.insert(norm(u, w));
+                edges[slot] = (u, w);
+            }
+        }
+        Ok(UndirectedCsr::from_edges(n, edges).expect("endpoints in range"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng_from_seed;
+    use nonsearch_graph::{GraphProperties, NodeId};
+
+    #[test]
+    fn beta_zero_is_ring_lattice() {
+        let mut rng = rng_from_seed(1);
+        let g = WattsStrogatz::sample(20, 4, 0.0, &mut rng).unwrap();
+        assert_eq!(g.edge_count(), 40);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn edge_count_is_preserved_by_rewiring() {
+        let mut rng = rng_from_seed(2);
+        let g = WattsStrogatz::sample(50, 6, 0.5, &mut rng).unwrap();
+        assert_eq!(g.edge_count(), 150);
+        assert_eq!(g.self_loop_count(), 0);
+        assert_eq!(g.parallel_edge_count(), 0);
+    }
+
+    #[test]
+    fn rewiring_changes_structure() {
+        let lattice = WattsStrogatz::sample(40, 4, 0.0, &mut rng_from_seed(3)).unwrap();
+        let rewired = WattsStrogatz::sample(40, 4, 1.0, &mut rng_from_seed(3)).unwrap();
+        assert_ne!(lattice, rewired);
+        // Minimum degree can drop below k but never below k/2 (each vertex
+        // keeps its k/2 outgoing lattice slots).
+        let min = rewired.nodes().map(|v| rewired.degree(v)).min().unwrap();
+        assert!(min >= 2);
+    }
+
+    #[test]
+    fn validation() {
+        let mut rng = rng_from_seed(4);
+        assert!(WattsStrogatz::sample(10, 3, 0.1, &mut rng).is_err());
+        assert!(WattsStrogatz::sample(10, 0, 0.1, &mut rng).is_err());
+        assert!(WattsStrogatz::sample(10, 10, 0.1, &mut rng).is_err());
+        assert!(WattsStrogatz::sample(10, 4, 1.5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let a = WattsStrogatz::sample(30, 4, 0.3, &mut rng_from_seed(5)).unwrap();
+        let b = WattsStrogatz::sample(30, 4, 0.3, &mut rng_from_seed(5)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mean_degree_is_k() {
+        let mut rng = rng_from_seed(6);
+        let g = WattsStrogatz::sample(100, 6, 0.2, &mut rng).unwrap();
+        let total: usize = g.nodes().map(|v| g.degree(v)).sum();
+        assert_eq!(total, 100 * 6);
+        let _ = NodeId::new(0); // silence unused import in some cfgs
+    }
+}

@@ -1,0 +1,181 @@
+//! Incremental builder for static undirected graphs.
+
+use crate::{Result, UndirectedCsr};
+
+/// Builder for [`UndirectedCsr`] graphs.
+///
+/// Useful when the number of vertices is known up front but edges arrive
+/// incrementally (e.g. from a workload generator or a parsed file).
+///
+/// # Example
+///
+/// ```
+/// use nonsearch_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.edge(0, 1).edge(1, 2);
+/// let g = b.build()?;
+/// assert_eq!(g.edge_count(), 2);
+/// # Ok::<(), nonsearch_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    nodes: usize,
+    edges: Vec<(usize, usize)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph on `nodes` vertices.
+    pub fn new(nodes: usize) -> Self {
+        GraphBuilder { nodes, edges: Vec::new() }
+    }
+
+    /// Reserves capacity for `additional` more edges.
+    pub fn reserve(&mut self, additional: usize) -> &mut Self {
+        self.edges.reserve(additional);
+        self
+    }
+
+    /// Adds an undirected edge between zero-based vertices `u` and `v`.
+    ///
+    /// Endpoint validity is checked at [`build`](Self::build) time so that
+    /// edge insertion stays infallible and chainable.
+    pub fn edge(&mut self, u: usize, v: usize) -> &mut Self {
+        self.edges.push((u, v));
+        self
+    }
+
+    /// Adds every edge from an iterator of zero-based pairs.
+    pub fn edges<I: IntoIterator<Item = (usize, usize)>>(&mut self, iter: I) -> &mut Self {
+        self.edges.extend(iter);
+        self
+    }
+
+    /// Number of edges queued so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Grows the vertex set to at least `nodes` vertices.
+    pub fn grow_to(&mut self, nodes: usize) -> &mut Self {
+        self.nodes = self.nodes.max(nodes);
+        self
+    }
+
+    /// Finalizes the CSR graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfBounds`](crate::GraphError) if any
+    /// queued edge references a vertex `≥ nodes`.
+    pub fn build(&self) -> Result<UndirectedCsr> {
+        UndirectedCsr::from_edges(self.nodes, self.edges.iter().copied())
+    }
+}
+
+impl Extend<(usize, usize)> for GraphBuilder {
+    fn extend<I: IntoIterator<Item = (usize, usize)>>(&mut self, iter: I) {
+        self.edges.extend(iter);
+    }
+}
+
+impl FromIterator<(usize, usize)> for GraphBuilder {
+    /// Collects edges, sizing the vertex set to the largest endpoint + 1.
+    fn from_iter<I: IntoIterator<Item = (usize, usize)>>(iter: I) -> Self {
+        let edges: Vec<(usize, usize)> = iter.into_iter().collect();
+        let nodes = edges.iter().map(|&(u, v)| u.max(v) + 1).max().unwrap_or(0);
+        GraphBuilder { nodes, edges }
+    }
+}
+
+/// Convenience: builds the path graph `0 − 1 − … − (n−1)`.
+pub fn path_graph(n: usize) -> UndirectedCsr {
+    UndirectedCsr::from_edges(n, (1..n).map(|i| (i - 1, i)))
+        .expect("path endpoints are in range")
+}
+
+/// Convenience: builds the cycle graph on `n ≥ 3` vertices.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn cycle_graph(n: usize) -> UndirectedCsr {
+    assert!(n >= 3, "cycle needs at least 3 vertices");
+    UndirectedCsr::from_edges(n, (0..n).map(|i| (i, (i + 1) % n)))
+        .expect("cycle endpoints are in range")
+}
+
+/// Convenience: builds the star graph with center `0` and `n − 1` leaves.
+pub fn star_graph(n: usize) -> UndirectedCsr {
+    UndirectedCsr::from_edges(n, (1..n).map(|i| (0, i)))
+        .expect("star endpoints are in range")
+}
+
+/// Convenience: builds the complete graph on `n` vertices.
+pub fn complete_graph(n: usize) -> UndirectedCsr {
+    let edges = (0..n).flat_map(|u| ((u + 1)..n).map(move |v| (u, v)));
+    UndirectedCsr::from_edges(n, edges).expect("complete-graph endpoints are in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{is_connected, GraphProperties};
+
+    #[test]
+    fn builder_chains() {
+        let mut b = GraphBuilder::new(4);
+        b.edge(0, 1).edge(1, 2).edge(2, 3);
+        assert_eq!(b.edge_count(), 3);
+        let g = b.build().unwrap();
+        assert!(g.is_tree());
+    }
+
+    #[test]
+    fn builder_validates_on_build() {
+        let mut b = GraphBuilder::new(2);
+        b.edge(0, 9);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn from_iterator_sizes_vertex_set() {
+        let b: GraphBuilder = [(0usize, 3usize), (1, 2)].into_iter().collect();
+        let g = b.build().unwrap();
+        assert_eq!(g.node_count(), 4);
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut b = GraphBuilder::new(3);
+        b.extend([(0, 1), (1, 2)]);
+        assert_eq!(b.edge_count(), 2);
+    }
+
+    #[test]
+    fn grow_to_never_shrinks() {
+        let mut b = GraphBuilder::new(5);
+        b.grow_to(2);
+        assert_eq!(b.build().unwrap().node_count(), 5);
+        b.grow_to(8);
+        assert_eq!(b.build().unwrap().node_count(), 8);
+    }
+
+    #[test]
+    fn canned_graphs() {
+        assert!(path_graph(6).is_tree());
+        assert!(star_graph(6).is_tree());
+        let c = cycle_graph(5);
+        assert_eq!(c.edge_count(), 5);
+        assert!(is_connected(&c));
+        let k4 = complete_graph(4);
+        assert_eq!(k4.edge_count(), 6);
+        assert!((k4.density() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_cycle_panics() {
+        let _ = cycle_graph(2);
+    }
+}

@@ -1,0 +1,519 @@
+//! Static undirected incidence view in compressed sparse row form.
+
+use crate::{EdgeId, EvolvingDigraph, GraphError, NodeId, Result};
+use serde::{Deserialize, Serialize};
+
+/// A static undirected multigraph stored in compressed sparse row form.
+///
+/// Searching in the paper "always takes place in the corresponding
+/// unoriented graph", so this is the representation consumed by the search
+/// oracles and analysis routines. Each vertex owns a list of *incident
+/// edge slots*; slot `i` of vertex `u` is the pair `(v, e)` meaning edge
+/// `e` connects `u` to `v`. A self-loop contributes two slots to its
+/// vertex, so `degree` follows the standard undirected convention.
+///
+/// Slots are exactly the "list of incident edges" a vertex exposes in the
+/// paper's weak knowledge model: the searcher can name *(vertex, slot)*
+/// without knowing the neighbor behind the slot.
+///
+/// # Example
+///
+/// ```
+/// use nonsearch_graph::UndirectedCsr;
+///
+/// // Triangle 1-2, 2-3, 3-1 (zero-based input).
+/// let g = UndirectedCsr::from_edges(3, [(0, 1), (1, 2), (2, 0)])?;
+/// assert_eq!(g.degree(nonsearch_graph::NodeId::new(0)), 2);
+/// assert_eq!(g.edge_count(), 3);
+/// # Ok::<(), nonsearch_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UndirectedCsr {
+    offsets: Vec<usize>,
+    /// Flattened incidence slots: `(other endpoint, edge id)`.
+    slots: Vec<(NodeId, EdgeId)>,
+    /// Endpoints of each undirected edge, by `EdgeId` index.
+    edge_list: Vec<(NodeId, NodeId)>,
+}
+
+impl UndirectedCsr {
+    /// Builds the undirected view of an evolving digraph.
+    ///
+    /// Edge ids are preserved, so construction-time provenance (who chose
+    /// which father, and when) can be joined back to edges encountered
+    /// during a search.
+    pub fn from_digraph(g: &EvolvingDigraph) -> Self {
+        let n = g.node_count();
+        let mut counts = vec![0usize; n];
+        for (_, ep) in g.edges() {
+            counts[ep.source.index()] += 1;
+            counts[ep.target.index()] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for c in &counts {
+            acc += c;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<usize> = offsets[..n].to_vec();
+        let mut slots = vec![(NodeId::new(0), EdgeId::new(0)); acc];
+        let mut edge_list = Vec::with_capacity(g.edge_count());
+        for (e, ep) in g.edges() {
+            slots[cursor[ep.source.index()]] = (ep.target, e);
+            cursor[ep.source.index()] += 1;
+            slots[cursor[ep.target.index()]] = (ep.source, e);
+            cursor[ep.target.index()] += 1;
+            edge_list.push((ep.source, ep.target));
+        }
+        UndirectedCsr { offsets, slots, edge_list }
+    }
+
+    /// Builds an undirected graph from an explicit edge list over vertices
+    /// `0..n` (zero-based pairs). Duplicate pairs produce parallel edges;
+    /// `(v, v)` produces a self-loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfBounds`] if an endpoint is `≥ n`.
+    pub fn from_edges<I>(n: usize, edges: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = (usize, usize)>,
+    {
+        let mut g = EvolvingDigraph::with_capacity(n, 0);
+        g.add_nodes(n);
+        for (u, v) in edges {
+            let (u, v) = (NodeId::new(u), NodeId::new(v));
+            g.add_edge(u, v)?;
+        }
+        Ok(Self::from_digraph(&g))
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges (self-loops count once).
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_list.len()
+    }
+
+    /// `true` if the graph has no vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.node_count() == 0
+    }
+
+    /// Degree of `v` (self-loops count twice).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.offsets[v.index() + 1] - self.offsets[v.index()]
+    }
+
+    /// The incidence slots of `v`: pairs `(neighbor, edge)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    #[inline]
+    pub fn incident(&self, v: NodeId) -> &[(NodeId, EdgeId)] {
+        &self.slots[self.offsets[v.index()]..self.offsets[v.index() + 1]]
+    }
+
+    /// Resolves incidence slot `slot` of vertex `v`.
+    ///
+    /// This is the primitive behind the weak model's request `(u, e)`:
+    /// the searcher names a slot and learns the neighbor behind it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfBounds`] for an unknown vertex and
+    /// [`GraphError::IncidenceOutOfBounds`] for a slot `≥ degree(v)`.
+    pub fn incident_slot(&self, v: NodeId, slot: usize) -> Result<(NodeId, EdgeId)> {
+        if v.index() >= self.node_count() {
+            return Err(GraphError::NodeOutOfBounds { node: v, node_count: self.node_count() });
+        }
+        self.incident(v).get(slot).copied().ok_or(GraphError::IncidenceOutOfBounds {
+            node: v,
+            slot,
+            degree: self.degree(v),
+        })
+    }
+
+    /// Iterator over the neighbors of `v` (with multiplicity; a self-loop
+    /// yields `v` twice).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn neighbors(&self, v: NodeId) -> Neighbors<'_> {
+        Neighbors { inner: self.incident(v).iter() }
+    }
+
+    /// Iterator over the incident `(neighbor, edge)` slots of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn incident_edges(&self, v: NodeId) -> IncidentEdges<'_> {
+        IncidentEdges { inner: self.incident(v).iter() }
+    }
+
+    /// Endpoints of edge `e` as stored at construction (source, target).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::EdgeOutOfBounds`] if `e` does not exist.
+    pub fn edge_endpoints(&self, e: EdgeId) -> Result<(NodeId, NodeId)> {
+        self.edge_list
+            .get(e.index())
+            .copied()
+            .ok_or(GraphError::EdgeOutOfBounds { edge: e, edge_count: self.edge_count() })
+    }
+
+    /// `true` if some edge joins `u` and `v`.
+    ///
+    /// Runs in O(min(deg(u), deg(v))).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either vertex is out of bounds.
+    pub fn is_adjacent(&self, u: NodeId, v: NodeId) -> bool {
+        let (probe, other) =
+            if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        self.neighbors(probe).any(|w| w == other)
+    }
+
+    /// Iterator over all vertices.
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        (0..self.node_count()).map(NodeId::new)
+    }
+
+    /// Iterator over `(EdgeId, (u, v))` for every undirected edge.
+    pub fn edges(&self) -> impl ExactSizeIterator<Item = (EdgeId, (NodeId, NodeId))> + '_ {
+        self.edge_list.iter().enumerate().map(|(i, &uv)| (EdgeId::new(i), uv))
+    }
+
+    /// The vertex with maximum degree, with its degree.
+    ///
+    /// Ties resolve to the oldest (smallest id) vertex. Returns `None` on
+    /// an empty graph.
+    pub fn max_degree(&self) -> Option<(NodeId, usize)> {
+        (0..self.node_count())
+            .map(|i| (NodeId::new(i), self.degree(NodeId::new(i))))
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+    }
+
+    /// Randomly permutes every vertex's incident-slot order in place.
+    ///
+    /// Construction fills incidence lists in edge-insertion order, which
+    /// in evolving models correlates with *arrival time* — information
+    /// the paper's weak oracle does not give away. Experiments shuffle
+    /// slots so that the presentation order carries no signal.
+    pub fn shuffle_slots<R: rand::Rng + ?Sized>(&mut self, rng: &mut R) {
+        use rand::seq::SliceRandom;
+        for v in 0..self.node_count() {
+            let (lo, hi) = (self.offsets[v], self.offsets[v + 1]);
+            self.slots[lo..hi].shuffle(rng);
+        }
+    }
+
+    /// Extracts the subgraph induced by `keep`, relabelling vertices to
+    /// `0..keep.len()` in the order given. Returns the subgraph and the
+    /// mapping from new index to original [`NodeId`].
+    ///
+    /// Edges with both endpoints in `keep` are retained (with fresh edge
+    /// ids); duplicates in `keep` are ignored after the first occurrence.
+    pub fn induced_subgraph(&self, keep: &[NodeId]) -> (UndirectedCsr, Vec<NodeId>) {
+        let mut old_of_new: Vec<NodeId> = Vec::with_capacity(keep.len());
+        let mut new_of_old: Vec<Option<usize>> = vec![None; self.node_count()];
+        for &v in keep {
+            if new_of_old[v.index()].is_none() {
+                new_of_old[v.index()] = Some(old_of_new.len());
+                old_of_new.push(v);
+            }
+        }
+        let edges = self.edges().filter_map(|(_, (u, v))| {
+            match (new_of_old[u.index()], new_of_old[v.index()]) {
+                (Some(a), Some(b)) => Some((a, b)),
+                _ => None,
+            }
+        });
+        let sub = UndirectedCsr::from_edges(old_of_new.len(), edges)
+            .expect("relabelled endpoints are in range");
+        (sub, old_of_new)
+    }
+
+    /// Extracts the largest connected component (ties to the component
+    /// containing the smallest vertex id), relabelled to `0..size`.
+    ///
+    /// Returns the component and the mapping from new index to original
+    /// [`NodeId`]. Returns an empty graph for an empty input.
+    pub fn giant_component(&self) -> (UndirectedCsr, Vec<NodeId>) {
+        let cc = crate::connected_components(self);
+        let sizes = cc.sizes();
+        let Some((giant_label, _)) = sizes
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+        else {
+            return (UndirectedCsr::from_edges(0, []).expect("empty"), Vec::new());
+        };
+        let keep: Vec<NodeId> = self
+            .nodes()
+            .filter(|&v| cc.component_of(v) == giant_label)
+            .collect();
+        self.induced_subgraph(&keep)
+    }
+}
+
+impl From<&EvolvingDigraph> for UndirectedCsr {
+    fn from(g: &EvolvingDigraph) -> Self {
+        UndirectedCsr::from_digraph(g)
+    }
+}
+
+/// Iterator over the neighbors of a vertex. Created by
+/// [`UndirectedCsr::neighbors`].
+#[derive(Debug, Clone)]
+pub struct Neighbors<'a> {
+    inner: std::slice::Iter<'a, (NodeId, EdgeId)>,
+}
+
+impl Iterator for Neighbors<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        self.inner.next().map(|&(v, _)| v)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl ExactSizeIterator for Neighbors<'_> {}
+
+/// Iterator over `(neighbor, edge)` slots of a vertex. Created by
+/// [`UndirectedCsr::incident_edges`].
+#[derive(Debug, Clone)]
+pub struct IncidentEdges<'a> {
+    inner: std::slice::Iter<'a, (NodeId, EdgeId)>,
+}
+
+impl Iterator for IncidentEdges<'_> {
+    type Item = (NodeId, EdgeId);
+
+    fn next(&mut self) -> Option<(NodeId, EdgeId)> {
+        self.inner.next().copied()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl ExactSizeIterator for IncidentEdges<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> UndirectedCsr {
+        UndirectedCsr::from_edges(3, [(0, 1), (1, 2), (2, 0)]).unwrap()
+    }
+
+    #[test]
+    fn from_edges_counts() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn degree_sum_is_twice_edges() {
+        let g = triangle();
+        let sum: usize = g.nodes().map(|v| g.degree(v)).sum();
+        assert_eq!(sum, 2 * g.edge_count());
+    }
+
+    #[test]
+    fn self_loop_has_degree_two_and_two_slots() {
+        let g = UndirectedCsr::from_edges(1, [(0, 0)]).unwrap();
+        let v = NodeId::new(0);
+        assert_eq!(g.degree(v), 2);
+        assert_eq!(g.edge_count(), 1);
+        let ns: Vec<_> = g.neighbors(v).collect();
+        assert_eq!(ns, vec![v, v]);
+    }
+
+    #[test]
+    fn incident_slot_resolves_neighbors() {
+        let g = triangle();
+        let v = NodeId::new(0);
+        let mut seen: Vec<usize> = (0..g.degree(v))
+            .map(|i| g.incident_slot(v, i).unwrap().0.index())
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![1, 2]);
+    }
+
+    #[test]
+    fn incident_slot_errors() {
+        let g = triangle();
+        assert!(matches!(
+            g.incident_slot(NodeId::new(9), 0),
+            Err(GraphError::NodeOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            g.incident_slot(NodeId::new(0), 2),
+            Err(GraphError::IncidenceOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn from_digraph_preserves_edge_ids() {
+        let mut d = EvolvingDigraph::new();
+        let a = d.add_node();
+        let b = d.add_node();
+        let c = d.add_node();
+        let e0 = d.add_edge(b, a).unwrap();
+        let e1 = d.add_edge(c, b).unwrap();
+        let g = UndirectedCsr::from_digraph(&d);
+        assert_eq!(g.edge_endpoints(e0).unwrap(), (b, a));
+        assert_eq!(g.edge_endpoints(e1).unwrap(), (c, b));
+        // Slot of a mentions edge e0.
+        assert_eq!(g.incident(a), &[(b, e0)]);
+    }
+
+    #[test]
+    fn parallel_edges_both_visible() {
+        let g = UndirectedCsr::from_edges(2, [(0, 1), (0, 1)]).unwrap();
+        assert_eq!(g.degree(NodeId::new(0)), 2);
+        assert_eq!(g.degree(NodeId::new(1)), 2);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.is_adjacent(NodeId::new(0), NodeId::new(1)));
+    }
+
+    #[test]
+    fn adjacency_checks() {
+        let g = UndirectedCsr::from_edges(4, [(0, 1), (1, 2)]).unwrap();
+        assert!(g.is_adjacent(NodeId::new(0), NodeId::new(1)));
+        assert!(g.is_adjacent(NodeId::new(1), NodeId::new(0)));
+        assert!(!g.is_adjacent(NodeId::new(0), NodeId::new(2)));
+        assert!(!g.is_adjacent(NodeId::new(3), NodeId::new(0)));
+    }
+
+    #[test]
+    fn max_degree_ties_to_oldest() {
+        let g = UndirectedCsr::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let (v, d) = g.max_degree().unwrap();
+        assert_eq!(d, 1);
+        assert_eq!(v, NodeId::new(0));
+        assert!(UndirectedCsr::from_edges(0, []).unwrap().max_degree().is_none());
+    }
+
+    #[test]
+    fn from_edges_rejects_out_of_range() {
+        assert!(UndirectedCsr::from_edges(2, [(0, 5)]).is_err());
+    }
+
+    #[test]
+    fn neighbors_exact_size() {
+        let g = triangle();
+        let it = g.neighbors(NodeId::new(1));
+        assert_eq!(it.len(), 2);
+    }
+
+    #[test]
+    fn shuffle_slots_preserves_structure() {
+        use rand::SeedableRng;
+        let mut g =
+            UndirectedCsr::from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4), (1, 2)])
+                .unwrap();
+        let before_degrees: Vec<usize> = g.nodes().map(|v| g.degree(v)).collect();
+        let before_edges: Vec<_> = g.edges().collect();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        g.shuffle_slots(&mut rng);
+        let after_degrees: Vec<usize> = g.nodes().map(|v| g.degree(v)).collect();
+        assert_eq!(before_degrees, after_degrees);
+        assert_eq!(before_edges, g.edges().collect::<Vec<_>>());
+        // The slot multiset of each vertex is unchanged.
+        let mut slots: Vec<_> = g.incident(NodeId::new(0)).to_vec();
+        slots.sort();
+        let expect: Vec<(NodeId, EdgeId)> = vec![
+            (NodeId::new(1), EdgeId::new(0)),
+            (NodeId::new(2), EdgeId::new(1)),
+            (NodeId::new(3), EdgeId::new(2)),
+            (NodeId::new(4), EdgeId::new(3)),
+        ];
+        assert_eq!(slots, expect);
+    }
+
+    #[test]
+    fn shuffle_slots_changes_order_eventually() {
+        use rand::SeedableRng;
+        let base = UndirectedCsr::from_edges(9, (1..9).map(|i| (0, i))).unwrap();
+        let original = base.incident(NodeId::new(0)).to_vec();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2);
+        let mut changed = false;
+        for _ in 0..10 {
+            let mut g = base.clone();
+            g.shuffle_slots(&mut rng);
+            if g.incident(NodeId::new(0)) != original.as_slice() {
+                changed = true;
+                break;
+            }
+        }
+        assert!(changed, "ten shuffles of 8 slots should change the order");
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges() {
+        let g = UndirectedCsr::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+            .unwrap();
+        let keep = [NodeId::new(1), NodeId::new(2), NodeId::new(3)];
+        let (sub, map) = g.induced_subgraph(&keep);
+        assert_eq!(sub.node_count(), 3);
+        assert_eq!(sub.edge_count(), 2); // 1-2 and 2-3
+        assert_eq!(map, vec![NodeId::new(1), NodeId::new(2), NodeId::new(3)]);
+    }
+
+    #[test]
+    fn induced_subgraph_ignores_duplicates() {
+        let g = triangle();
+        let keep = [NodeId::new(0), NodeId::new(0), NodeId::new(1)];
+        let (sub, map) = g.induced_subgraph(&keep);
+        assert_eq!(sub.node_count(), 2);
+        assert_eq!(map.len(), 2);
+        assert_eq!(sub.edge_count(), 1);
+    }
+
+    #[test]
+    fn giant_component_extraction() {
+        // Triangle plus an isolated edge plus an isolated vertex.
+        let g = UndirectedCsr::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4)]).unwrap();
+        let (giant, map) = g.giant_component();
+        assert_eq!(giant.node_count(), 3);
+        assert_eq!(giant.edge_count(), 3);
+        assert!(map.iter().all(|v| v.index() <= 2));
+    }
+
+    #[test]
+    fn giant_component_of_empty_graph() {
+        let g = UndirectedCsr::from_edges(0, []).unwrap();
+        let (giant, map) = g.giant_component();
+        assert_eq!(giant.node_count(), 0);
+        assert!(map.is_empty());
+    }
+}

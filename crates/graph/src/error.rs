@@ -1,0 +1,94 @@
+//! Error type for graph operations.
+
+use crate::{EdgeId, NodeId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by graph construction and access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A vertex id referred to a vertex that does not exist.
+    NodeOutOfBounds {
+        /// The offending vertex.
+        node: NodeId,
+        /// Current number of vertices.
+        node_count: usize,
+    },
+    /// An edge id referred to an edge that does not exist.
+    EdgeOutOfBounds {
+        /// The offending edge.
+        edge: EdgeId,
+        /// Current number of edges.
+        edge_count: usize,
+    },
+    /// An incident-edge slot index was out of range for the vertex.
+    IncidenceOutOfBounds {
+        /// The vertex whose incidence list was indexed.
+        node: NodeId,
+        /// The requested slot.
+        slot: usize,
+        /// The vertex degree.
+        degree: usize,
+    },
+    /// The operation requires a non-empty graph.
+    EmptyGraph,
+    /// A malformed textual edge list was encountered while parsing.
+    ParseEdgeList {
+        /// One-based line number of the malformed record.
+        line: usize,
+        /// Human-readable cause.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfBounds { node, node_count } => {
+                write!(f, "vertex {node:?} out of bounds (graph has {node_count} vertices)")
+            }
+            GraphError::EdgeOutOfBounds { edge, edge_count } => {
+                write!(f, "edge {edge:?} out of bounds (graph has {edge_count} edges)")
+            }
+            GraphError::IncidenceOutOfBounds { node, slot, degree } => {
+                write!(f, "incidence slot {slot} out of bounds for vertex {node:?} of degree {degree}")
+            }
+            GraphError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
+            GraphError::ParseEdgeList { line, reason } => {
+                write!(f, "malformed edge list at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::NodeOutOfBounds { node: NodeId::new(9), node_count: 5 };
+        assert!(e.to_string().contains("v10"));
+        assert!(e.to_string().contains("5 vertices"));
+
+        let e = GraphError::EdgeOutOfBounds { edge: EdgeId::new(3), edge_count: 2 };
+        assert!(e.to_string().contains("e3"));
+
+        let e = GraphError::IncidenceOutOfBounds { node: NodeId::new(0), slot: 7, degree: 3 };
+        assert!(e.to_string().contains("slot 7"));
+
+        assert!(!GraphError::EmptyGraph.to_string().is_empty());
+
+        let e = GraphError::ParseEdgeList { line: 4, reason: "expected two fields".into() };
+        assert!(e.to_string().contains("line 4"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

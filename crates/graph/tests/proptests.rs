@@ -1,0 +1,119 @@
+//! Property-based tests for the graph substrate.
+
+use nonsearch_graph::{
+    bfs_distances, connected_components, degree_histogram, read_edge_list, write_edge_list,
+    EvolvingDigraph, GraphRecord, NodeId, UndirectedCsr,
+};
+use proptest::prelude::*;
+
+/// Strategy: a small random multigraph as (n, edge list).
+fn arb_graph() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (1usize..40).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n), 0..120);
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #[test]
+    fn degree_sum_is_twice_edge_count((n, edges) in arb_graph()) {
+        let g = UndirectedCsr::from_edges(n, edges).unwrap();
+        let sum: usize = g.nodes().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(sum, 2 * g.edge_count());
+    }
+
+    #[test]
+    fn histogram_mass_equals_node_count((n, edges) in arb_graph()) {
+        let g = UndirectedCsr::from_edges(n, edges).unwrap();
+        let hist = degree_histogram(&g);
+        prop_assert_eq!(hist.iter().sum::<usize>(), g.node_count());
+    }
+
+    #[test]
+    fn record_roundtrip_preserves_graph((n, edges) in arb_graph()) {
+        let g = UndirectedCsr::from_edges(n, edges).unwrap();
+        let back = GraphRecord::from_graph(&g).to_graph().unwrap();
+        prop_assert_eq!(g, back);
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_graph((n, edges) in arb_graph()) {
+        let g = UndirectedCsr::from_edges(n, edges).unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let back = read_edge_list(buf.as_slice()).unwrap();
+        prop_assert_eq!(g, back);
+    }
+
+    #[test]
+    fn incident_slots_resolve_consistently((n, edges) in arb_graph()) {
+        let g = UndirectedCsr::from_edges(n, edges).unwrap();
+        for v in g.nodes() {
+            for (slot, expect) in g.incident(v).iter().enumerate() {
+                let got = g.incident_slot(v, slot).unwrap();
+                prop_assert_eq!(got, *expect);
+            }
+            prop_assert!(g.incident_slot(v, g.degree(v)).is_err());
+        }
+    }
+
+    #[test]
+    fn every_edge_appears_in_both_incidence_lists((n, edges) in arb_graph()) {
+        let g = UndirectedCsr::from_edges(n, edges).unwrap();
+        for (e, (u, v)) in g.edges() {
+            prop_assert!(g.incident(u).iter().any(|&(w, ee)| ee == e && w == v));
+            prop_assert!(g.incident(v).iter().any(|&(w, ee)| ee == e && w == u));
+        }
+    }
+
+    #[test]
+    fn bfs_distances_satisfy_triangle_inequality_on_edges((n, edges) in arb_graph()) {
+        let g = UndirectedCsr::from_edges(n, edges.clone()).unwrap();
+        let dist = bfs_distances(&g, NodeId::new(0));
+        // Adjacent vertices differ by at most 1 in BFS distance.
+        for (_, (u, v)) in g.edges() {
+            match (dist[u.index()], dist[v.index()]) {
+                (Some(du), Some(dv)) => {
+                    prop_assert!(du.abs_diff(dv) <= 1);
+                }
+                (None, None) => {}
+                // One endpoint reachable, the other not: impossible.
+                _ => prop_assert!(false, "edge spans reachable/unreachable"),
+            }
+        }
+    }
+
+    #[test]
+    fn components_partition_vertices((n, edges) in arb_graph()) {
+        let g = UndirectedCsr::from_edges(n, edges).unwrap();
+        let cc = connected_components(&g);
+        prop_assert_eq!(cc.sizes().iter().sum::<usize>(), g.node_count());
+        prop_assert!(cc.count() >= 1);
+        // Edge endpoints share a component.
+        for (_, (u, v)) in g.edges() {
+            prop_assert_eq!(cc.component_of(u), cc.component_of(v));
+        }
+    }
+
+    #[test]
+    fn merge_blocks_preserves_edge_count(
+        n_blocks in 1usize..12,
+        m in 1usize..5,
+        seed_edges in proptest::collection::vec((0usize..1000, 0usize..1000), 0..60),
+    ) {
+        let total = n_blocks * m;
+        let mut g = EvolvingDigraph::new();
+        g.add_nodes(total);
+        for (u, v) in seed_edges {
+            let (u, v) = (u % total, v % total);
+            g.add_edge(NodeId::new(u), NodeId::new(v)).unwrap();
+        }
+        let merged = g.merge_blocks(m).unwrap();
+        prop_assert_eq!(merged.node_count(), n_blocks);
+        prop_assert_eq!(merged.edge_count(), g.edge_count());
+        // Total degree is conserved by merging.
+        let before: usize = g.nodes().map(|v| g.total_degree(v)).sum();
+        let after: usize = merged.nodes().map(|v| merged.total_degree(v)).sum();
+        prop_assert_eq!(before, after);
+    }
+}

@@ -1,0 +1,36 @@
+//! The search algorithm suite.
+//!
+//! Weak-model searchers ([`WeakSearcher`](crate::WeakSearcher)):
+//!
+//! * [`RandomWalk`] — the pure random walk of Adamic et al.
+//! * [`AvoidingWalk`] — a walk preferring unexplored edges.
+//! * [`BfsFlood`] / [`DfsWalk`] — exhaustive frontier expansions.
+//! * [`HighDegreeGreedy`] — Adamic et al.'s degree-seeking strategy.
+//! * [`GreedyIdProximity`] — exploit identity labels (ages) greedily.
+//! * [`OldestFirst`] — head for the oldest (core) vertices first.
+//!
+//! Strong-model searchers ([`StrongSearcher`](crate::StrongSearcher)):
+//! [`StrongBfs`], [`StrongHighDegree`], [`StrongGreedyId`].
+//!
+//! Two related-work protocols with *different* knowledge models live
+//! here as standalone functions: [`greedy_route`] (Kleinberg's lattice
+//! greedy routing, which knows coordinates) and [`percolation_search`]
+//! (Sarshar et al.'s replication + bond-percolation broadcast).
+
+mod flood;
+mod greedy_id;
+mod high_degree;
+mod kleinberg_greedy;
+mod lookahead;
+mod percolation;
+mod strong_greedy;
+mod walks;
+
+pub use flood::{BfsFlood, DfsWalk};
+pub use greedy_id::{GreedyIdProximity, OldestFirst};
+pub use high_degree::HighDegreeGreedy;
+pub use kleinberg_greedy::{greedy_route, GreedyRouteOutcome};
+pub use lookahead::{LookaheadWalk, RestartingWalk};
+pub use percolation::{percolation_search, PercolationConfig, PercolationOutcome};
+pub use strong_greedy::{StrongBfs, StrongGreedyId, StrongHighDegree};
+pub use walks::{AvoidingWalk, RandomWalk};

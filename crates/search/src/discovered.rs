@@ -1,0 +1,256 @@
+//! The searcher's partial view of the graph.
+
+use nonsearch_graph::{EdgeId, NodeId};
+use std::collections::HashMap;
+
+/// What the searcher knows about one discovered vertex.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiscoveredVertex {
+    degree: usize,
+    incident: Vec<EdgeId>,
+}
+
+impl DiscoveredVertex {
+    /// The vertex degree (length of its incident edge list).
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// The incident edge handles, as revealed on discovery.
+    pub fn incident(&self) -> &[EdgeId] {
+        &self.incident
+    }
+}
+
+/// What the searcher knows about one edge handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct EdgeKnowledge {
+    /// First endpoint at which the edge was seen.
+    first: NodeId,
+    /// The opposite endpoint, once known.
+    other: Option<NodeId>,
+}
+
+/// The searcher's accumulated knowledge: discovered vertices (with degree
+/// and incident edge lists) and partially resolved edges.
+///
+/// Edges carry global identities, so when both endpoints of a handle have
+/// been discovered the view infers the connection without spending a
+/// request — a conservative choice for lower-bound experiments (the
+/// searcher is never given *less* than the model allows).
+#[derive(Debug, Clone, Default)]
+pub struct DiscoveredView {
+    order: Vec<NodeId>,
+    vertices: HashMap<NodeId, DiscoveredVertex>,
+    edges: HashMap<EdgeId, EdgeKnowledge>,
+}
+
+impl DiscoveredView {
+    /// An empty view (no vertices discovered yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of discovered vertices.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// `true` if nothing has been discovered.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// `true` if `v` has been discovered.
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.vertices.contains_key(&v)
+    }
+
+    /// Discovered vertices in discovery order (start vertex first).
+    pub fn discovered(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// Knowledge about `v`, if discovered.
+    pub fn vertex(&self, v: NodeId) -> Option<&DiscoveredVertex> {
+        self.vertices.get(&v)
+    }
+
+    /// Degree of `v`, if discovered.
+    pub fn degree_of(&self, v: NodeId) -> Option<usize> {
+        self.vertices.get(&v).map(|d| d.degree)
+    }
+
+    /// The opposite endpoint of `e` as seen from `u`, if already known.
+    ///
+    /// Known means: revealed by a request, or inferable because the edge
+    /// handle appeared in two discovered incident lists.
+    pub fn other_endpoint(&self, u: NodeId, e: EdgeId) -> Option<NodeId> {
+        let k = self.edges.get(&e)?;
+        match (k.first, k.other) {
+            (a, Some(b)) if a == u => Some(b),
+            (a, Some(b)) if b == u => Some(a),
+            _ => None,
+        }
+    }
+
+    /// `true` if both endpoints of `e` are known.
+    pub fn is_resolved(&self, e: EdgeId) -> bool {
+        self.edges.get(&e).is_some_and(|k| k.other.is_some())
+    }
+
+    /// Incident edges of `v` whose far endpoint is still unknown.
+    ///
+    /// Returns an empty vector for undiscovered vertices.
+    pub fn unexplored_edges_of(&self, v: NodeId) -> Vec<EdgeId> {
+        match self.vertices.get(&v) {
+            None => Vec::new(),
+            Some(info) => info
+                .incident
+                .iter()
+                .copied()
+                .filter(|e| !self.is_resolved(*e))
+                .collect(),
+        }
+    }
+
+    /// `true` if `v` is discovered and has at least one unresolved edge.
+    pub fn has_unexplored(&self, v: NodeId) -> bool {
+        match self.vertices.get(&v) {
+            None => false,
+            Some(info) => info.incident.iter().any(|e| !self.is_resolved(*e)),
+        }
+    }
+
+    /// Records the discovery of `v` with its incident edge list.
+    ///
+    /// Called by the oracles; idempotent for already-known vertices.
+    pub(crate) fn insert_vertex(&mut self, v: NodeId, incident: Vec<EdgeId>) {
+        if self.vertices.contains_key(&v) {
+            return;
+        }
+        for &e in &incident {
+            match self.edges.get_mut(&e) {
+                None => {
+                    self.edges.insert(e, EdgeKnowledge { first: v, other: None });
+                }
+                Some(k) if k.other.is_none() => {
+                    // Second sighting resolves the edge; a self-loop lists
+                    // the same handle twice in one incident list.
+                    k.other = Some(v);
+                }
+                Some(_) => {}
+            }
+        }
+        self.order.push(v);
+        self.vertices.insert(v, DiscoveredVertex { degree: incident.len(), incident });
+    }
+
+    /// Records the answer to a request on `(u, e)`: the far endpoint is
+    /// `other`.
+    pub(crate) fn resolve_edge(&mut self, u: NodeId, e: EdgeId, other: NodeId) {
+        match self.edges.get_mut(&e) {
+            Some(k) => {
+                if k.other.is_none() {
+                    k.other = Some(other);
+                    // Keep `first` as the vertex it was seen at; if the
+                    // recorded first endpoint is not `u`, the pair is
+                    // still {first, other} = {other, u} consistent.
+                    if k.first != u && k.other != Some(u) {
+                        // Edge was first seen at `other` before this
+                        // request: nothing further to record.
+                    }
+                }
+            }
+            None => {
+                self.edges.insert(e, EdgeKnowledge { first: u, other: Some(other) });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(i: usize) -> EdgeId {
+        EdgeId::new(i)
+    }
+    fn v(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn insert_and_query() {
+        let mut view = DiscoveredView::new();
+        assert!(view.is_empty());
+        view.insert_vertex(v(0), vec![e(0), e(1)]);
+        assert_eq!(view.len(), 1);
+        assert!(view.contains(v(0)));
+        assert_eq!(view.degree_of(v(0)), Some(2));
+        assert_eq!(view.vertex(v(0)).unwrap().incident(), &[e(0), e(1)]);
+        assert_eq!(view.degree_of(v(1)), None);
+    }
+
+    #[test]
+    fn duplicate_insert_is_idempotent() {
+        let mut view = DiscoveredView::new();
+        view.insert_vertex(v(0), vec![e(0)]);
+        view.insert_vertex(v(0), vec![e(0), e(1)]);
+        assert_eq!(view.degree_of(v(0)), Some(1));
+        assert_eq!(view.len(), 1);
+    }
+
+    #[test]
+    fn explicit_resolution() {
+        let mut view = DiscoveredView::new();
+        view.insert_vertex(v(0), vec![e(0)]);
+        assert!(!view.is_resolved(e(0)));
+        assert_eq!(view.unexplored_edges_of(v(0)), vec![e(0)]);
+        view.resolve_edge(v(0), e(0), v(1));
+        assert!(view.is_resolved(e(0)));
+        assert_eq!(view.other_endpoint(v(0), e(0)), Some(v(1)));
+        assert_eq!(view.other_endpoint(v(1), e(0)), Some(v(0)));
+        assert!(view.unexplored_edges_of(v(0)).is_empty());
+    }
+
+    #[test]
+    fn double_sighting_resolves_implicitly() {
+        let mut view = DiscoveredView::new();
+        view.insert_vertex(v(0), vec![e(5)]);
+        view.insert_vertex(v(3), vec![e(5), e(6)]);
+        assert!(view.is_resolved(e(5)));
+        assert_eq!(view.other_endpoint(v(0), e(5)), Some(v(3)));
+        assert!(!view.is_resolved(e(6)));
+        assert!(view.has_unexplored(v(3)));
+        assert!(!view.has_unexplored(v(0)));
+    }
+
+    #[test]
+    fn self_loop_resolves_within_one_list() {
+        let mut view = DiscoveredView::new();
+        // A self-loop contributes two slots with the same handle.
+        view.insert_vertex(v(2), vec![e(0), e(0), e(1)]);
+        assert!(view.is_resolved(e(0)));
+        assert_eq!(view.other_endpoint(v(2), e(0)), Some(v(2)));
+        assert!(!view.is_resolved(e(1)));
+    }
+
+    #[test]
+    fn unknown_edges_are_unknown() {
+        let view = DiscoveredView::new();
+        assert_eq!(view.other_endpoint(v(0), e(0)), None);
+        assert!(!view.is_resolved(e(0)));
+        assert!(view.unexplored_edges_of(v(0)).is_empty());
+        assert!(!view.has_unexplored(v(0)));
+    }
+
+    #[test]
+    fn discovery_order_is_preserved() {
+        let mut view = DiscoveredView::new();
+        view.insert_vertex(v(4), vec![]);
+        view.insert_vertex(v(1), vec![]);
+        view.insert_vertex(v(9), vec![]);
+        assert_eq!(view.discovered(), &[v(4), v(1), v(9)]);
+    }
+}

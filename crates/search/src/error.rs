@@ -1,0 +1,85 @@
+//! Error type for search execution.
+
+use nonsearch_graph::{EdgeId, NodeId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the search oracles and runners.
+///
+/// These indicate *protocol violations* by an algorithm (asking about
+/// vertices or edges it has not legitimately discovered), not search
+/// failure — giving up or exhausting a budget is reported through
+/// [`SearchOutcome`](crate::SearchOutcome) instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SearchError {
+    /// A request referenced a vertex that has not been discovered.
+    UndiscoveredVertex {
+        /// The offending vertex.
+        vertex: NodeId,
+    },
+    /// A request referenced an edge that is not incident to the vertex it
+    /// was paired with (or was never revealed to the searcher).
+    UnknownIncidence {
+        /// The vertex of the request.
+        vertex: NodeId,
+        /// The edge of the request.
+        edge: EdgeId,
+    },
+    /// The task's start or target vertex is outside the graph.
+    TaskOutOfBounds {
+        /// The offending vertex.
+        vertex: NodeId,
+        /// Vertices in the graph.
+        node_count: usize,
+    },
+    /// A protocol parameter was outside its valid range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// The offending value, formatted.
+        value: String,
+    },
+}
+
+impl fmt::Display for SearchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SearchError::UndiscoveredVertex { vertex } => {
+                write!(f, "request names undiscovered vertex {vertex:?}")
+            }
+            SearchError::UnknownIncidence { vertex, edge } => {
+                write!(f, "edge {edge:?} is not a known incidence of vertex {vertex:?}")
+            }
+            SearchError::TaskOutOfBounds { vertex, node_count } => {
+                write!(f, "task vertex {vertex:?} outside graph of {node_count} vertices")
+            }
+            SearchError::InvalidParameter { name, value } => {
+                write!(f, "parameter `{name}` = {value} is invalid")
+            }
+        }
+    }
+}
+
+impl Error for SearchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = SearchError::UndiscoveredVertex { vertex: NodeId::new(3) };
+        assert!(e.to_string().contains("v4"));
+        let e = SearchError::UnknownIncidence { vertex: NodeId::new(0), edge: EdgeId::new(7) };
+        assert!(e.to_string().contains("e7"));
+        let e = SearchError::TaskOutOfBounds { vertex: NodeId::new(9), node_count: 5 };
+        assert!(e.to_string().contains("5 vertices"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SearchError>();
+    }
+}

@@ -1,0 +1,86 @@
+//! Amortized-O(1) frontier bookkeeping shared by the greedy searchers.
+
+use crate::DiscoveredView;
+use nonsearch_graph::{EdgeId, NodeId};
+use std::collections::HashMap;
+
+/// Per-vertex cursors over incident edge lists.
+///
+/// Edge resolution is monotone (a resolved edge never becomes unresolved),
+/// so a forward-only cursor per vertex finds each vertex's next
+/// unexplored edge in O(1) amortized instead of rescanning the whole
+/// incident list on every request. All the O(log n)-per-step searchers
+/// ([`HighDegreeGreedy`](crate::HighDegreeGreedy) and friends) share this.
+#[derive(Debug, Clone, Default)]
+pub struct FrontierCursors {
+    cursor: HashMap<NodeId, usize>,
+}
+
+impl FrontierCursors {
+    /// Creates empty cursors.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The next unresolved incident edge of `v`, advancing the cursor
+    /// past resolved edges. Returns `None` when `v` is exhausted (or not
+    /// discovered).
+    pub fn next_unexplored(&mut self, view: &DiscoveredView, v: NodeId) -> Option<EdgeId> {
+        let info = view.vertex(v)?;
+        let cursor = self.cursor.entry(v).or_insert(0);
+        while *cursor < info.incident().len() {
+            let e = info.incident()[*cursor];
+            if !view.is_resolved(e) {
+                return Some(e);
+            }
+            *cursor += 1;
+        }
+        None
+    }
+
+    /// Clears all cursors (for searcher reuse across runs).
+    pub fn reset(&mut self) {
+        self.cursor.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WeakSearchState;
+    use nonsearch_graph::UndirectedCsr;
+
+    #[test]
+    fn cursor_advances_past_resolved_edges() {
+        let g = UndirectedCsr::from_edges(4, [(0, 1), (0, 2), (0, 3)]).unwrap();
+        let mut state = WeakSearchState::new(&g, NodeId::new(0)).unwrap();
+        let mut cursors = FrontierCursors::new();
+
+        let e0 = cursors.next_unexplored(state.view(), NodeId::new(0)).unwrap();
+        state.request(NodeId::new(0), e0).unwrap();
+        let e1 = cursors.next_unexplored(state.view(), NodeId::new(0)).unwrap();
+        assert_ne!(e0, e1);
+        state.request(NodeId::new(0), e1).unwrap();
+        let e2 = cursors.next_unexplored(state.view(), NodeId::new(0)).unwrap();
+        state.request(NodeId::new(0), e2).unwrap();
+        assert!(cursors.next_unexplored(state.view(), NodeId::new(0)).is_none());
+    }
+
+    #[test]
+    fn undiscovered_vertex_yields_none() {
+        let g = UndirectedCsr::from_edges(2, [(0, 1)]).unwrap();
+        let state = WeakSearchState::new(&g, NodeId::new(0)).unwrap();
+        let mut cursors = FrontierCursors::new();
+        assert!(cursors.next_unexplored(state.view(), NodeId::new(1)).is_none());
+    }
+
+    #[test]
+    fn reset_rewinds() {
+        let g = UndirectedCsr::from_edges(2, [(0, 1)]).unwrap();
+        let state = WeakSearchState::new(&g, NodeId::new(0)).unwrap();
+        let mut cursors = FrontierCursors::new();
+        assert!(cursors.next_unexplored(state.view(), NodeId::new(0)).is_some());
+        cursors.reset();
+        assert!(cursors.next_unexplored(state.view(), NodeId::new(0)).is_some());
+    }
+}

@@ -1,0 +1,216 @@
+//! Search execution loops for both knowledge models.
+
+use crate::{
+    SearchOutcome, SearchError, SearchTask, StrongSearchState, StrongSearcher,
+    SuccessCriterion, WeakSearchState, WeakSearcher,
+};
+use nonsearch_graph::{NodeId, UndirectedCsr};
+use rand::RngCore;
+
+/// Checks whether the objective condition already holds for a newly
+/// discovered vertex. Success is adjudicated by the runner from the true
+/// graph, so algorithms need not notice their own success — the paper's
+/// cost measure is requests *until the target (or a neighbor) is reached*,
+/// regardless of the searcher's bookkeeping.
+fn satisfies(
+    graph: &UndirectedCsr,
+    task: &SearchTask,
+    vertex: NodeId,
+) -> bool {
+    match task.criterion {
+        SuccessCriterion::DiscoverTarget => vertex == task.target,
+        SuccessCriterion::ReachNeighbor => {
+            vertex == task.target || graph.is_adjacent(vertex, task.target)
+        }
+    }
+}
+
+fn validate_task(graph: &UndirectedCsr, task: &SearchTask) -> crate::Result<()> {
+    for v in [task.start, task.target] {
+        if v.index() >= graph.node_count() {
+            return Err(SearchError::TaskOutOfBounds {
+                vertex: v,
+                node_count: graph.node_count(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Runs a weak-model search to completion.
+///
+/// The loop: ask `searcher` for a request, execute it against the oracle,
+/// feed the answer back via [`WeakSearcher::observe`], and stop when the
+/// success criterion first holds, the budget runs out, or the searcher
+/// gives up. The searcher is [`reset`](WeakSearcher::reset) before the
+/// run, so one instance can be reused across trials.
+///
+/// # Errors
+///
+/// Returns [`SearchError`] on task-validation failures or protocol
+/// violations by the algorithm.
+pub fn run_weak<S: WeakSearcher + ?Sized>(
+    graph: &UndirectedCsr,
+    task: &SearchTask,
+    searcher: &mut S,
+    rng: &mut dyn RngCore,
+) -> crate::Result<SearchOutcome> {
+    validate_task(graph, task)?;
+    searcher.reset();
+    let mut state = WeakSearchState::new(graph, task.start)?;
+    if satisfies(graph, task, task.start) {
+        return Ok(SearchOutcome::success(0, state.view().len()));
+    }
+    loop {
+        if let Some(budget) = task.budget {
+            if state.requests() >= budget {
+                return Ok(SearchOutcome {
+                    found: false,
+                    requests: state.requests(),
+                    discovered: state.view().len(),
+                    gave_up: false,
+                    budget_exhausted: true,
+                });
+            }
+        }
+        let Some((u, e)) = searcher.next_request(task, state.view(), rng) else {
+            return Ok(SearchOutcome {
+                found: false,
+                requests: state.requests(),
+                discovered: state.view().len(),
+                gave_up: true,
+                budget_exhausted: false,
+            });
+        };
+        let revealed = state.request(u, e)?;
+        searcher.observe((u, e), revealed);
+        if satisfies(graph, task, revealed) {
+            return Ok(SearchOutcome::success(state.requests(), state.view().len()));
+        }
+    }
+}
+
+/// Runs a strong-model search to completion (same loop shape as
+/// [`run_weak`], counting strong requests).
+///
+/// # Errors
+///
+/// Returns [`SearchError`] on task-validation failures or protocol
+/// violations by the algorithm.
+pub fn run_strong<S: StrongSearcher + ?Sized>(
+    graph: &UndirectedCsr,
+    task: &SearchTask,
+    searcher: &mut S,
+    rng: &mut dyn RngCore,
+) -> crate::Result<SearchOutcome> {
+    validate_task(graph, task)?;
+    searcher.reset();
+    let mut state = StrongSearchState::new(graph, task.start)?;
+    if satisfies(graph, task, task.start) {
+        return Ok(SearchOutcome::success(0, state.view().len()));
+    }
+    loop {
+        if let Some(budget) = task.budget {
+            if state.requests() >= budget {
+                return Ok(SearchOutcome {
+                    found: false,
+                    requests: state.requests(),
+                    discovered: state.view().len(),
+                    gave_up: false,
+                    budget_exhausted: true,
+                });
+            }
+        }
+        let Some(u) = searcher.next_request(task, state.view(), rng) else {
+            return Ok(SearchOutcome {
+                found: false,
+                requests: state.requests(),
+                discovered: state.view().len(),
+                gave_up: true,
+                budget_exhausted: false,
+            });
+        };
+        let revealed = state.request(u)?;
+        searcher.observe(u, &revealed);
+        for v in revealed {
+            if satisfies(graph, task, v) {
+                return Ok(SearchOutcome::success(state.requests(), state.view().len()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BfsFlood, StrongBfs};
+    use nonsearch_graph::UndirectedCsr;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn path(n: usize) -> UndirectedCsr {
+        UndirectedCsr::from_edges(n, (1..n).map(|i| (i - 1, i))).unwrap()
+    }
+
+    #[test]
+    fn trivial_start_is_free() {
+        let g = path(4);
+        let task = SearchTask::new(NodeId::new(2), NodeId::new(2));
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let o = run_weak(&g, &task, &mut BfsFlood::new(), &mut rng).unwrap();
+        assert!(o.found);
+        assert_eq!(o.requests, 0);
+    }
+
+    #[test]
+    fn neighbor_criterion_can_be_free_too() {
+        let g = path(4);
+        let task = SearchTask::new(NodeId::new(1), NodeId::new(2))
+            .with_criterion(SuccessCriterion::ReachNeighbor);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let o = run_weak(&g, &task, &mut BfsFlood::new(), &mut rng).unwrap();
+        assert!(o.found);
+        assert_eq!(o.requests, 0);
+    }
+
+    #[test]
+    fn budget_stops_the_run() {
+        let g = path(50);
+        let task = SearchTask::new(NodeId::new(0), NodeId::new(49)).with_budget(5);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let o = run_weak(&g, &task, &mut BfsFlood::new(), &mut rng).unwrap();
+        assert!(!o.found);
+        assert!(o.budget_exhausted);
+        assert_eq!(o.requests, 5);
+    }
+
+    #[test]
+    fn weak_bfs_walks_the_path() {
+        let g = path(10);
+        let task = SearchTask::new(NodeId::new(0), NodeId::new(9));
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let o = run_weak(&g, &task, &mut BfsFlood::new(), &mut rng).unwrap();
+        assert!(o.found);
+        assert_eq!(o.requests, 9); // one request per path edge
+    }
+
+    #[test]
+    fn strong_bfs_walks_the_path_too() {
+        let g = path(10);
+        let task = SearchTask::new(NodeId::new(0), NodeId::new(9));
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let o = run_strong(&g, &task, &mut StrongBfs::new(), &mut rng).unwrap();
+        assert!(o.found);
+        // Expanding vertices 0..=8 reveals vertex 9.
+        assert_eq!(o.requests, 9);
+    }
+
+    #[test]
+    fn out_of_bounds_task_rejected() {
+        let g = path(3);
+        let task = SearchTask::new(NodeId::new(0), NodeId::new(9));
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert!(run_weak(&g, &task, &mut BfsFlood::new(), &mut rng).is_err());
+        assert!(run_strong(&g, &task, &mut StrongBfs::new(), &mut rng).is_err());
+    }
+}

@@ -1,0 +1,196 @@
+//! Simulation of strong-model algorithms in the weak model.
+//!
+//! Paper, §2: *"Any algorithm operating in the strong model can be
+//! simulated in the weak model by replacing each request about vertex `u`
+//! with requests about all edges incident to `u`, which gives a slowdown
+//! factor of at most the maximum degree."* This adapter implements that
+//! simulation literally, which is how Theorem 1's strong-model bound
+//! `Ω(n^{1/2−p−ε})` follows from the weak-model bound and Móri's
+//! `t^p` maximum degree.
+
+use crate::{DiscoveredView, SearchTask, StrongSearcher, WeakSearcher};
+use nonsearch_graph::{EdgeId, NodeId};
+use rand::RngCore;
+use std::collections::VecDeque;
+
+/// Wraps a [`StrongSearcher`] as a [`WeakSearcher`].
+///
+/// Each strong request on `u` is expanded into weak requests on every
+/// unresolved incident edge of `u`, so the weak request count is at most
+/// `max_degree` times the strong request count — never more, because
+/// already-resolved edges are skipped.
+///
+/// # Example
+///
+/// ```
+/// use nonsearch_generators::{rng_from_seed, MoriTree};
+/// use nonsearch_graph::NodeId;
+/// use nonsearch_search::{run_weak, SimulatedStrong, StrongHighDegree, SearchTask};
+///
+/// let mut rng = rng_from_seed(11);
+/// let tree = MoriTree::sample(128, 0.4, &mut rng)?;
+/// let graph = tree.undirected();
+/// let task = SearchTask::new(NodeId::from_label(1), NodeId::from_label(128));
+/// let mut sim = SimulatedStrong::new(StrongHighDegree::new());
+/// let outcome = run_weak(&graph, &task, &mut sim, &mut rng)?;
+/// assert!(outcome.found);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimulatedStrong<S> {
+    inner: S,
+    /// Weak requests queued for the strong request being simulated.
+    pending: VecDeque<(NodeId, EdgeId)>,
+    /// The vertex currently being expanded, to report back to `inner`.
+    expanding: Option<NodeId>,
+    /// Neighbors revealed while expanding, passed to `inner.observe`.
+    revealed: Vec<NodeId>,
+    /// Strong-model requests issued so far (the simulated cost).
+    strong_requests: usize,
+}
+
+impl<S: StrongSearcher> SimulatedStrong<S> {
+    /// Wraps `inner` for weak-model execution.
+    pub fn new(inner: S) -> Self {
+        SimulatedStrong {
+            inner,
+            pending: VecDeque::new(),
+            expanding: None,
+            revealed: Vec::new(),
+            strong_requests: 0,
+        }
+    }
+
+    /// The wrapped strong searcher.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Number of strong-model requests simulated so far; the weak
+    /// request count divided by this is the realized slowdown factor.
+    pub fn strong_requests(&self) -> usize {
+        self.strong_requests
+    }
+
+    fn finish_expansion(&mut self) {
+        if let Some(u) = self.expanding.take() {
+            let revealed = std::mem::take(&mut self.revealed);
+            self.inner.observe(u, &revealed);
+        }
+    }
+}
+
+impl<S: StrongSearcher> WeakSearcher for SimulatedStrong<S> {
+    fn name(&self) -> &'static str {
+        "simulated-strong"
+    }
+
+    fn next_request(
+        &mut self,
+        task: &SearchTask,
+        view: &DiscoveredView,
+        rng: &mut dyn RngCore,
+    ) -> Option<(NodeId, EdgeId)> {
+        loop {
+            // Drain queued edge requests, skipping any resolved meanwhile.
+            while let Some((u, e)) = self.pending.pop_front() {
+                if !view.is_resolved(e) {
+                    return Some((u, e));
+                }
+            }
+            // The previous strong request is fully expanded: report it.
+            self.finish_expansion();
+            let u = self.inner.next_request(task, view, rng)?;
+            self.strong_requests += 1;
+            self.expanding = Some(u);
+            let edges = view.unexplored_edges_of(u);
+            if edges.is_empty() {
+                // Nothing to ask: the expansion is already complete
+                // (every neighbor known); notify and pick again.
+                self.finish_expansion();
+                continue;
+            }
+            self.pending.extend(edges.into_iter().map(|e| (u, e)));
+        }
+    }
+
+    fn observe(&mut self, _request: (NodeId, EdgeId), revealed: NodeId) {
+        self.revealed.push(revealed);
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+        self.pending.clear();
+        self.expanding = None;
+        self.revealed.clear();
+        self.strong_requests = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_strong, run_weak, StrongBfs, StrongHighDegree};
+    use nonsearch_graph::UndirectedCsr;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(0)
+    }
+
+    fn path(n: usize) -> UndirectedCsr {
+        UndirectedCsr::from_edges(n, (1..n).map(|i| (i - 1, i))).unwrap()
+    }
+
+    #[test]
+    fn simulation_finds_what_strong_finds() {
+        let g = path(12);
+        let task = crate::SearchTask::new(NodeId::new(0), NodeId::new(11));
+        let strong = run_strong(&g, &task, &mut StrongBfs::new(), &mut rng()).unwrap();
+        let weak =
+            run_weak(&g, &task, &mut SimulatedStrong::new(StrongBfs::new()), &mut rng())
+                .unwrap();
+        assert!(strong.found && weak.found);
+    }
+
+    #[test]
+    fn slowdown_bounded_by_max_degree() {
+        // Star with 9 leaves: max degree 9.
+        let g = UndirectedCsr::from_edges(10, (1..10).map(|i| (0, i))).unwrap();
+        let task = crate::SearchTask::new(NodeId::new(1), NodeId::new(9));
+        let mut sim = SimulatedStrong::new(StrongHighDegree::new());
+        let weak = run_weak(&g, &task, &mut sim, &mut rng()).unwrap();
+        assert!(weak.found);
+        let max_degree = 9;
+        assert!(
+            weak.requests <= sim.strong_requests().max(1) * max_degree,
+            "weak {} vs strong {} × Δ {}",
+            weak.requests,
+            sim.strong_requests(),
+            max_degree
+        );
+    }
+
+    #[test]
+    fn skips_edges_resolved_by_symmetry() {
+        // Triangle: after expanding two vertices, the third vertex's
+        // edges are already resolved, so a strong request on it costs 0.
+        let g = UndirectedCsr::from_edges(3, [(0, 1), (1, 2), (2, 0)]).unwrap();
+        let task = crate::SearchTask::new(NodeId::new(0), NodeId::new(2));
+        let mut sim = SimulatedStrong::new(StrongBfs::new());
+        let weak = run_weak(&g, &task, &mut sim, &mut rng()).unwrap();
+        assert!(weak.found);
+        assert!(weak.requests <= 3);
+    }
+
+    #[test]
+    fn reset_clears_simulation_state() {
+        let g = path(6);
+        let task = crate::SearchTask::new(NodeId::new(0), NodeId::new(5));
+        let mut sim = SimulatedStrong::new(StrongBfs::new());
+        let first = run_weak(&g, &task, &mut sim, &mut rng()).unwrap();
+        let second = run_weak(&g, &task, &mut sim, &mut rng()).unwrap();
+        assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,165 @@
+//! The strong local-knowledge oracle and the strong-searcher interface.
+
+use crate::weak::incident_handles;
+use crate::{DiscoveredView, SearchError, SearchTask};
+use nonsearch_graph::{NodeId, UndirectedCsr};
+use rand::RngCore;
+
+/// Oracle state for a strong-model search.
+///
+/// A strong request names a vertex `u` of known identity; the answer is
+/// *"the list of vertices adjacent to `u`, together with their respective
+/// lists of incident edges"* — so one request reveals every neighbor of
+/// `u` with its identity and degree. This is strictly more information
+/// per request than the weak model, and the paper notes Kleinberg's model
+/// assumes even more.
+#[derive(Debug, Clone)]
+pub struct StrongSearchState<'g> {
+    graph: &'g UndirectedCsr,
+    view: DiscoveredView,
+    expanded: Vec<NodeId>,
+    requests: usize,
+}
+
+impl<'g> StrongSearchState<'g> {
+    /// Starts a search at `start` (known for free, as in the weak model).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchError::TaskOutOfBounds`] if `start` is not in the
+    /// graph.
+    pub fn new(graph: &'g UndirectedCsr, start: NodeId) -> crate::Result<Self> {
+        if start.index() >= graph.node_count() {
+            return Err(SearchError::TaskOutOfBounds {
+                vertex: start,
+                node_count: graph.node_count(),
+            });
+        }
+        let mut view = DiscoveredView::new();
+        view.insert_vertex(start, incident_handles(graph, start));
+        Ok(StrongSearchState { graph, view, expanded: Vec::new(), requests: 0 })
+    }
+
+    /// The searcher's current knowledge.
+    pub fn view(&self) -> &DiscoveredView {
+        &self.view
+    }
+
+    /// Requests issued so far.
+    pub fn requests(&self) -> usize {
+        self.requests
+    }
+
+    /// Vertices whose neighborhoods have been expanded, in request order.
+    pub fn expanded(&self) -> &[NodeId] {
+        &self.expanded
+    }
+
+    /// Issues the strong-model request on `u`: reveals all neighbors of
+    /// `u` (identity + incident edge lists). Costs one request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchError::UndiscoveredVertex`] if the identity of `u`
+    /// is not yet known to the searcher.
+    pub fn request(&mut self, u: NodeId) -> crate::Result<Vec<NodeId>> {
+        if !self.view.contains(u) {
+            return Err(SearchError::UndiscoveredVertex { vertex: u });
+        }
+        self.requests += 1;
+        self.expanded.push(u);
+        let mut revealed = Vec::new();
+        for &(v, e) in self.graph.incident(u) {
+            self.view.resolve_edge(u, e, v);
+            if !self.view.contains(v) {
+                self.view.insert_vertex(v, incident_handles(self.graph, v));
+            }
+            revealed.push(v);
+        }
+        Ok(revealed)
+    }
+}
+
+/// A strong-model search algorithm: chooses which known vertex to expand
+/// next.
+pub trait StrongSearcher {
+    /// Short human-readable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Chooses the next vertex to expand, or `None` to give up.
+    fn next_request(
+        &mut self,
+        task: &SearchTask,
+        view: &DiscoveredView,
+        rng: &mut dyn RngCore,
+    ) -> Option<NodeId>;
+
+    /// Observes the answer to the previous request (default: ignore).
+    fn observe(&mut self, _expanded: NodeId, _neighbors: &[NodeId]) {}
+
+    /// Resets internal state so the searcher can be reused for a new run.
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nonsearch_graph::UndirectedCsr;
+
+    fn star() -> UndirectedCsr {
+        UndirectedCsr::from_edges(4, [(0, 1), (0, 2), (0, 3)]).unwrap()
+    }
+
+    #[test]
+    fn one_request_reveals_all_neighbors() {
+        let g = star();
+        let mut s = StrongSearchState::new(&g, NodeId::new(0)).unwrap();
+        let revealed = s.request(NodeId::new(0)).unwrap();
+        assert_eq!(revealed.len(), 3);
+        assert_eq!(s.requests(), 1);
+        for v in [1, 2, 3] {
+            assert!(s.view().contains(NodeId::new(v)));
+            assert_eq!(s.view().degree_of(NodeId::new(v)), Some(1));
+        }
+        assert_eq!(s.expanded(), &[NodeId::new(0)]);
+    }
+
+    #[test]
+    fn revealed_neighbors_can_be_expanded_next() {
+        let g = UndirectedCsr::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        let mut s = StrongSearchState::new(&g, NodeId::new(0)).unwrap();
+        s.request(NodeId::new(0)).unwrap();
+        let revealed = s.request(NodeId::new(1)).unwrap();
+        assert!(revealed.contains(&NodeId::new(2)));
+        assert_eq!(s.requests(), 2);
+    }
+
+    #[test]
+    fn unknown_identity_is_a_violation() {
+        let g = star();
+        let mut s = StrongSearchState::new(&g, NodeId::new(1)).unwrap();
+        // Vertex 2's identity is unknown until some expansion reveals it.
+        assert!(matches!(
+            s.request(NodeId::new(2)),
+            Err(SearchError::UndiscoveredVertex { .. })
+        ));
+        assert_eq!(s.requests(), 0);
+    }
+
+    #[test]
+    fn bad_start_rejected() {
+        let g = star();
+        assert!(StrongSearchState::new(&g, NodeId::new(99)).is_err());
+    }
+
+    #[test]
+    fn edges_resolved_after_expansion() {
+        let g = star();
+        let mut s = StrongSearchState::new(&g, NodeId::new(0)).unwrap();
+        s.request(NodeId::new(0)).unwrap();
+        let incident = s.view().vertex(NodeId::new(0)).unwrap().incident().to_vec();
+        for e in incident {
+            assert!(s.view().is_resolved(e));
+        }
+    }
+}

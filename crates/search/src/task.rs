@@ -1,0 +1,147 @@
+//! Search task description and outcome reporting.
+
+use nonsearch_graph::NodeId;
+use std::fmt;
+
+/// When the runner declares a search successful.
+///
+/// The paper measures "the number of vertices to explore before reaching
+/// the target **or a neighbor of the target**"; both readings are
+/// supported and compared in the ablation experiment (E13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SuccessCriterion {
+    /// The target's identity has been discovered (the default; matches
+    /// "finding a path to vertex n" in the theorems).
+    #[default]
+    DiscoverTarget,
+    /// Some discovered vertex is adjacent to the target (adjudicated by
+    /// the oracle from the true graph, even if the searcher cannot tell).
+    ReachNeighbor,
+}
+
+/// A search assignment: find `target` starting from `start`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchTask {
+    /// The initially discovered vertex.
+    pub start: NodeId,
+    /// The vertex being searched for.
+    pub target: NodeId,
+    /// Success adjudication rule.
+    pub criterion: SuccessCriterion,
+    /// Maximum number of requests before the runner aborts (`None` =
+    /// unlimited).
+    pub budget: Option<usize>,
+}
+
+impl SearchTask {
+    /// Creates a task with the default criterion and no budget.
+    pub fn new(start: NodeId, target: NodeId) -> SearchTask {
+        SearchTask {
+            start,
+            target,
+            criterion: SuccessCriterion::default(),
+            budget: None,
+        }
+    }
+
+    /// Sets the success criterion.
+    pub fn with_criterion(mut self, criterion: SuccessCriterion) -> SearchTask {
+        self.criterion = criterion;
+        self
+    }
+
+    /// Sets a request budget.
+    pub fn with_budget(mut self, budget: usize) -> SearchTask {
+        self.budget = Some(budget);
+        self
+    }
+}
+
+/// The result of one search run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchOutcome {
+    /// `true` if the success criterion was met.
+    pub found: bool,
+    /// Requests issued before stopping — the paper's cost measure.
+    pub requests: usize,
+    /// Number of vertices discovered (including the start).
+    pub discovered: usize,
+    /// `true` if the algorithm returned `None` (no move to make).
+    pub gave_up: bool,
+    /// `true` if the runner stopped on the request budget.
+    pub budget_exhausted: bool,
+}
+
+impl SearchOutcome {
+    pub(crate) fn success(requests: usize, discovered: usize) -> SearchOutcome {
+        SearchOutcome {
+            found: true,
+            requests,
+            discovered,
+            gave_up: false,
+            budget_exhausted: false,
+        }
+    }
+}
+
+impl fmt::Display for SearchOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let status = if self.found {
+            "found"
+        } else if self.budget_exhausted {
+            "budget-exhausted"
+        } else if self.gave_up {
+            "gave-up"
+        } else {
+            "stopped"
+        };
+        write!(
+            f,
+            "{status} after {} requests ({} vertices discovered)",
+            self.requests, self.discovered
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let t = SearchTask::new(NodeId::new(0), NodeId::new(9))
+            .with_criterion(SuccessCriterion::ReachNeighbor)
+            .with_budget(100);
+        assert_eq!(t.criterion, SuccessCriterion::ReachNeighbor);
+        assert_eq!(t.budget, Some(100));
+    }
+
+    #[test]
+    fn default_criterion_is_discover() {
+        let t = SearchTask::new(NodeId::new(0), NodeId::new(1));
+        assert_eq!(t.criterion, SuccessCriterion::DiscoverTarget);
+        assert_eq!(t.budget, None);
+    }
+
+    #[test]
+    fn outcome_display() {
+        let o = SearchOutcome::success(42, 17);
+        assert!(o.to_string().contains("found after 42 requests"));
+        let o = SearchOutcome {
+            found: false,
+            requests: 10,
+            discovered: 5,
+            gave_up: true,
+            budget_exhausted: false,
+        };
+        assert!(o.to_string().contains("gave-up"));
+        let o = SearchOutcome {
+            found: false,
+            requests: 10,
+            discovered: 5,
+            gave_up: false,
+            budget_exhausted: true,
+        };
+        assert!(o.to_string().contains("budget-exhausted"));
+    }
+}

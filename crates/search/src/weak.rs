@@ -1,0 +1,199 @@
+//! The weak local-knowledge oracle and the weak-searcher interface.
+
+use crate::{DiscoveredView, SearchError, SearchTask};
+use nonsearch_graph::{EdgeId, NodeId, UndirectedCsr};
+use rand::RngCore;
+
+/// Oracle state for a weak-model search over one graph.
+///
+/// Wraps the true graph, the searcher's [`DiscoveredView`], and the
+/// request counter. Algorithms cannot touch the graph directly; every bit
+/// of information flows through [`request`](WeakSearchState::request),
+/// which costs one unit.
+///
+/// # Example
+///
+/// ```
+/// use nonsearch_graph::{NodeId, UndirectedCsr};
+/// use nonsearch_search::WeakSearchState;
+///
+/// let g = UndirectedCsr::from_edges(3, [(0, 1), (1, 2)])?;
+/// let mut state = WeakSearchState::new(&g, NodeId::new(0))?;
+/// let edges = state.view().vertex(NodeId::new(0)).unwrap().incident().to_vec();
+/// let v = state.request(NodeId::new(0), edges[0])?;
+/// assert_eq!(v, NodeId::new(1));
+/// assert_eq!(state.requests(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct WeakSearchState<'g> {
+    graph: &'g UndirectedCsr,
+    view: DiscoveredView,
+    requests: usize,
+}
+
+impl<'g> WeakSearchState<'g> {
+    /// Starts a search at `start`: the searcher knows `start`, its degree
+    /// and its incident edge handles, at no request cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchError::TaskOutOfBounds`] if `start` is not in the
+    /// graph.
+    pub fn new(graph: &'g UndirectedCsr, start: NodeId) -> crate::Result<Self> {
+        if start.index() >= graph.node_count() {
+            return Err(SearchError::TaskOutOfBounds {
+                vertex: start,
+                node_count: graph.node_count(),
+            });
+        }
+        let mut view = DiscoveredView::new();
+        view.insert_vertex(start, incident_handles(graph, start));
+        Ok(WeakSearchState { graph, view, requests: 0 })
+    }
+
+    /// The searcher's current knowledge.
+    pub fn view(&self) -> &DiscoveredView {
+        &self.view
+    }
+
+    /// Requests issued so far — the paper's cost measure.
+    pub fn requests(&self) -> usize {
+        self.requests
+    }
+
+    /// Issues the weak-model request `(u, e)`: reveals the identity of
+    /// the far endpoint of `e` and that vertex's incident edge list.
+    /// Costs one request, *including* redundant re-requests.
+    ///
+    /// # Errors
+    ///
+    /// * [`SearchError::UndiscoveredVertex`] if `u` is not discovered.
+    /// * [`SearchError::UnknownIncidence`] if `e` is not incident to `u`.
+    pub fn request(&mut self, u: NodeId, e: EdgeId) -> crate::Result<NodeId> {
+        let Some(info) = self.view.vertex(u) else {
+            return Err(SearchError::UndiscoveredVertex { vertex: u });
+        };
+        if !info.incident().contains(&e) {
+            return Err(SearchError::UnknownIncidence { vertex: u, edge: e });
+        }
+        self.requests += 1;
+        let (a, b) = self
+            .graph
+            .edge_endpoints(e)
+            .expect("edge handle came from the graph");
+        let other = if a == u { b } else { a };
+        self.view.resolve_edge(u, e, other);
+        self.view.insert_vertex(other, incident_handles(self.graph, other));
+        Ok(other)
+    }
+}
+
+/// The incident edge handles of `v` in slot order.
+pub(crate) fn incident_handles(graph: &UndirectedCsr, v: NodeId) -> Vec<EdgeId> {
+    graph.incident(v).iter().map(|&(_, e)| e).collect()
+}
+
+/// A weak-model search algorithm.
+///
+/// Implementations see only the [`DiscoveredView`] (plus the task) and
+/// emit `(vertex, edge)` requests; returning `None` abandons the search.
+/// The runner invokes [`WeakSearcher::observe`] with the oracle's answer
+/// so stateful algorithms (walks) can advance.
+pub trait WeakSearcher {
+    /// Short human-readable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Chooses the next request, or `None` to give up.
+    fn next_request(
+        &mut self,
+        task: &SearchTask,
+        view: &DiscoveredView,
+        rng: &mut dyn RngCore,
+    ) -> Option<(NodeId, EdgeId)>;
+
+    /// Observes the answer to the previous request (default: ignore).
+    fn observe(&mut self, _request: (NodeId, EdgeId), _revealed: NodeId) {}
+
+    /// Resets internal state so the searcher can be reused for a new run.
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nonsearch_graph::UndirectedCsr;
+
+    fn path3() -> UndirectedCsr {
+        UndirectedCsr::from_edges(3, [(0, 1), (1, 2)]).unwrap()
+    }
+
+    #[test]
+    fn start_is_free_and_known() {
+        let g = path3();
+        let s = WeakSearchState::new(&g, NodeId::new(1)).unwrap();
+        assert_eq!(s.requests(), 0);
+        assert_eq!(s.view().len(), 1);
+        assert_eq!(s.view().degree_of(NodeId::new(1)), Some(2));
+    }
+
+    #[test]
+    fn request_reveals_far_endpoint_and_its_edges() {
+        let g = path3();
+        let mut s = WeakSearchState::new(&g, NodeId::new(0)).unwrap();
+        let e0 = s.view().vertex(NodeId::new(0)).unwrap().incident()[0];
+        let v = s.request(NodeId::new(0), e0).unwrap();
+        assert_eq!(v, NodeId::new(1));
+        assert_eq!(s.view().degree_of(NodeId::new(1)), Some(2));
+        assert_eq!(s.requests(), 1);
+        // The edge is resolved in both directions.
+        assert_eq!(s.view().other_endpoint(NodeId::new(0), e0), Some(NodeId::new(1)));
+    }
+
+    #[test]
+    fn redundant_requests_still_cost() {
+        let g = path3();
+        let mut s = WeakSearchState::new(&g, NodeId::new(0)).unwrap();
+        let e0 = s.view().vertex(NodeId::new(0)).unwrap().incident()[0];
+        s.request(NodeId::new(0), e0).unwrap();
+        s.request(NodeId::new(0), e0).unwrap();
+        assert_eq!(s.requests(), 2);
+    }
+
+    #[test]
+    fn protocol_violations_are_errors() {
+        let g = path3();
+        let mut s = WeakSearchState::new(&g, NodeId::new(0)).unwrap();
+        // Vertex 2 not discovered.
+        let any_edge = EdgeId::new(1);
+        assert!(matches!(
+            s.request(NodeId::new(2), any_edge),
+            Err(SearchError::UndiscoveredVertex { .. })
+        ));
+        // Edge 1 is not incident to vertex 0.
+        assert!(matches!(
+            s.request(NodeId::new(0), EdgeId::new(1)),
+            Err(SearchError::UnknownIncidence { .. })
+        ));
+        // Errors cost nothing.
+        assert_eq!(s.requests(), 0);
+    }
+
+    #[test]
+    fn bad_start_rejected() {
+        let g = path3();
+        assert!(matches!(
+            WeakSearchState::new(&g, NodeId::new(9)),
+            Err(SearchError::TaskOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn self_loop_request_returns_self() {
+        let g = UndirectedCsr::from_edges(1, [(0, 0)]).unwrap();
+        let mut s = WeakSearchState::new(&g, NodeId::new(0)).unwrap();
+        let e = s.view().vertex(NodeId::new(0)).unwrap().incident()[0];
+        let v = s.request(NodeId::new(0), e).unwrap();
+        assert_eq!(v, NodeId::new(0));
+    }
+}

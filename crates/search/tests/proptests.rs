@@ -1,0 +1,155 @@
+//! Property-based tests: oracle accounting and searcher invariants on
+//! random connected graphs.
+
+use nonsearch_generators::{rng_from_seed, MergedMori};
+use nonsearch_graph::{NodeId, UndirectedCsr};
+use proptest::prelude::*;
+use nonsearch_search::{
+    run_strong, run_weak, SearchTask, SearcherKind, StrongBfs, StrongSearchState,
+    SuccessCriterion, WeakSearchState,
+};
+
+/// A connected multigraph via the merged Móri generator.
+fn connected_graph(n: usize, m: usize, p: f64, seed: u64) -> UndirectedCsr {
+    MergedMori::sample(n, m, p, &mut rng_from_seed(seed))
+        .unwrap()
+        .undirected()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_searcher_finds_every_target_on_connected_graphs(
+        n in 2usize..80,
+        m in 1usize..3,
+        p in 0.0f64..=1.0,
+        seed in 0u64..500,
+        target_sel in 0usize..1000,
+    ) {
+        let graph = connected_graph(n, m, p, seed);
+        let target = NodeId::new(target_sel % n);
+        let task = SearchTask::new(NodeId::from_label(1), target)
+            .with_budget(200 * n * m);
+        let mut rng = rng_from_seed(seed ^ 0xABCD);
+        for kind in SearcherKind::all() {
+            let mut searcher = kind.build();
+            let outcome = run_weak(&graph, &task, &mut *searcher, &mut rng).unwrap();
+            prop_assert!(
+                outcome.found,
+                "{kind} missed {target:?} on n={n}, m={m}, p={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn request_counts_are_monotone_in_discovery(
+        n in 2usize..60,
+        p in 0.0f64..=1.0,
+        seed in 0u64..500,
+    ) {
+        // Discovered vertices ≤ requests + 1 always (each request reveals
+        // at most one new vertex).
+        let graph = connected_graph(n, 1, p, seed);
+        let task = SearchTask::new(NodeId::from_label(1), NodeId::from_label(n))
+            .with_budget(100 * n);
+        let mut rng = rng_from_seed(seed ^ 0xBEEF);
+        for kind in SearcherKind::all() {
+            let mut searcher = kind.build();
+            let o = run_weak(&graph, &task, &mut *searcher, &mut rng).unwrap();
+            prop_assert!(o.discovered <= o.requests + 1, "{kind}");
+        }
+    }
+
+    #[test]
+    fn neighbor_criterion_never_costs_more(
+        n in 3usize..60,
+        p in 0.0f64..=1.0,
+        seed in 0u64..500,
+    ) {
+        let graph = connected_graph(n, 1, p, seed);
+        // Deterministic searcher ⇒ comparable runs.
+        let strict_task = SearchTask::new(NodeId::from_label(1), NodeId::from_label(n))
+            .with_budget(100 * n);
+        let relaxed_task = strict_task.with_criterion(SuccessCriterion::ReachNeighbor);
+        for kind in [SearcherKind::BfsFlood, SearcherKind::HighDegree, SearcherKind::Dfs] {
+            let mut a = kind.build();
+            let strict =
+                run_weak(&graph, &strict_task, &mut *a, &mut rng_from_seed(1)).unwrap();
+            let mut b = kind.build();
+            let relaxed =
+                run_weak(&graph, &relaxed_task, &mut *b, &mut rng_from_seed(1)).unwrap();
+            prop_assert!(relaxed.requests <= strict.requests, "{kind}");
+        }
+    }
+
+    #[test]
+    fn weak_oracle_counts_every_request(
+        n in 2usize..40,
+        p in 0.0f64..=1.0,
+        seed in 0u64..500,
+        steps in 1usize..50,
+    ) {
+        let graph = connected_graph(n, 1, p, seed);
+        let mut state = WeakSearchState::new(&graph, NodeId::from_label(1)).unwrap();
+        let mut issued = 0usize;
+        let mut rng = rng_from_seed(seed);
+        use rand::Rng;
+        for _ in 0..steps {
+            // Pick any discovered vertex with positive degree.
+            let order = state.view().discovered().to_vec();
+            let v = order[rng.gen_range(0..order.len())];
+            let info = state.view().vertex(v).unwrap();
+            if info.degree() == 0 {
+                continue;
+            }
+            let e = info.incident()[rng.gen_range(0..info.degree())];
+            state.request(v, e).unwrap();
+            issued += 1;
+            prop_assert_eq!(state.requests(), issued);
+        }
+    }
+
+    #[test]
+    fn strong_oracle_reveals_whole_neighborhoods(
+        n in 2usize..40,
+        m in 1usize..3,
+        p in 0.0f64..=1.0,
+        seed in 0u64..500,
+    ) {
+        let graph = connected_graph(n, m, p, seed);
+        let mut state = StrongSearchState::new(&graph, NodeId::from_label(1)).unwrap();
+        let revealed = state.request(NodeId::from_label(1)).unwrap();
+        prop_assert_eq!(revealed.len(), graph.degree(NodeId::from_label(1)));
+        for v in revealed {
+            prop_assert!(state.view().contains(v));
+            prop_assert_eq!(state.view().degree_of(v), Some(graph.degree(v)));
+        }
+    }
+
+    #[test]
+    fn strong_and_weak_bfs_agree_on_reachability(
+        n in 2usize..60,
+        p in 0.0f64..=1.0,
+        seed in 0u64..500,
+        target_sel in 0usize..1000,
+    ) {
+        let graph = connected_graph(n, 1, p, seed);
+        let target = NodeId::new(target_sel % n);
+        let task = SearchTask::new(NodeId::from_label(1), target)
+            .with_budget(100 * n);
+        let weak = run_weak(
+            &graph,
+            &task,
+            &mut *SearcherKind::BfsFlood.build(),
+            &mut rng_from_seed(0),
+        )
+        .unwrap();
+        let strong =
+            run_strong(&graph, &task, &mut StrongBfs::new(), &mut rng_from_seed(0))
+                .unwrap();
+        prop_assert_eq!(weak.found, strong.found);
+        // The strong oracle is at least as informative per request.
+        prop_assert!(strong.requests <= weak.requests.max(1));
+    }
+}

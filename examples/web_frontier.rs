@@ -1,0 +1,86 @@
+//! A Cooper–Frieze "web graph": growth, scale-freeness, and the futile
+//! hunt for the newest page.
+//!
+//! Theorem 2 territory: the general web-graph model with mixed
+//! preferential/uniform attachment produces power-law indegrees and a
+//! small diameter, yet finding a freshly published page by local
+//! crawling costs Ω(√n).
+//!
+//! Run with: `cargo run --release --example web_frontier`
+
+use nonsearch::analysis::{
+    average_distance, diameter_lower_bound_double_sweep, fit_power_law_mle, SampleStats,
+};
+use nonsearch::core::EquivalenceWindow;
+use nonsearch::core::{cooper_frieze_window_event_holds, theorem2_weak_bound};
+use nonsearch::generators::{CooperFrieze, CooperFriezeConfig, SeedSequence};
+use nonsearch::graph::{degree_sequence, NodeId};
+use nonsearch::search::{run_weak, SearchTask, SearcherKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 10_000;
+    let alpha = 0.7;
+    let config = CooperFriezeConfig::balanced(alpha)?;
+    let seeds = SeedSequence::new(7);
+
+    println!("growing a Cooper–Frieze web graph: n = {n}, α = {alpha}");
+    let mut rng = seeds.child_rng(0);
+    let web = CooperFrieze::sample(n, &config, &mut rng)?;
+    let graph = web.undirected();
+    println!(
+        "  {} pages, {} links, {} New steps / {} Old steps",
+        graph.node_count(),
+        graph.edge_count(),
+        web.new_step_count(),
+        web.steps().len() - web.new_step_count()
+    );
+
+    let degrees = degree_sequence(&graph);
+    if let Some(fit) = fit_power_law_mle(&degrees, 2) {
+        println!("  degree distribution: {fit}");
+    }
+    let avg = average_distance(&graph, 16, &mut rng)?;
+    let diam = diameter_lower_bound_double_sweep(&graph, NodeId::from_label(1))?;
+    println!("  avg distance ≈ {avg:.2}, diameter ≥ {diam} (log₂ n ≈ {:.1})", (n as f64).log2());
+
+    // The freshest page: can a crawler find it?
+    println!("\ncrawling for the newest page (vertex {n}) in the weak model:");
+    let task = SearchTask::new(NodeId::from_label(1), NodeId::from_label(n))
+        .with_budget(50 * n);
+    for kind in [
+        SearcherKind::HighDegree,
+        SearcherKind::GreedyId,
+        SearcherKind::BfsFlood,
+    ] {
+        let mut costs = Vec::new();
+        for t in 0..10 {
+            let mut trial_rng = seeds.subsequence(1).child_rng(t);
+            let web = CooperFrieze::sample(n, &config, &mut trial_rng)?;
+            let g = web.undirected();
+            let mut searcher = kind.build();
+            let outcome = run_weak(&g, &task, &mut *searcher, &mut trial_rng)?;
+            costs.push(outcome.requests as f64);
+        }
+        let stats = SampleStats::from_slice(&costs).expect("non-empty");
+        println!("  {:>12}: {}", kind.name(), stats);
+    }
+
+    // Estimate the equivalence-event probability for Theorem 2's window
+    // and print the induced Lemma 1 bound.
+    let window = EquivalenceWindow::for_target(n);
+    let trials = 400;
+    let mut holds = 0usize;
+    for t in 0..trials {
+        let mut trial_rng = seeds.subsequence(2).child_rng(t);
+        let web = CooperFrieze::sample(window.minimum_tree_size(), &config, &mut trial_rng)?;
+        holds += cooper_frieze_window_event_holds(&web, &window) as usize;
+    }
+    let p_event = holds as f64 / trials as f64;
+    let bound = theorem2_weak_bound(n, p_event)?;
+    println!(
+        "\nTheorem 2: window of {} equivalent pages, P(E) ≈ {p_event:.3} → bound {bound:.1} requests",
+        window.len()
+    );
+    println!("a crawler must inspect Ω(√n) pages to find fresh content.");
+    Ok(())
+}

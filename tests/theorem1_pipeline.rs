@@ -1,0 +1,112 @@
+//! End-to-end integration: the full Theorem 1 pipeline — generate,
+//! search, bound, certify — across crate boundaries.
+
+use nonsearch::core::{
+    certify, lemma1_lower_bound, mori_event_probability_exact, theorem1_weak_bound,
+    BoundComparison, CertifyConfig, EquivalenceWindow, MergedMoriModel,
+};
+use nonsearch::generators::{rng_from_seed, MergedMori, MoriTree};
+use nonsearch::graph::NodeId;
+use nonsearch::search::{run_weak, SearchTask, SearcherKind, SuccessCriterion};
+
+#[test]
+fn lower_bound_never_exceeds_any_measured_searcher() {
+    // A correct lower bound must sit below every algorithm's measured
+    // expectation. Average over trials for stability.
+    let n = 2048;
+    let p = 0.5;
+    let bound = theorem1_weak_bound(n, p).unwrap();
+    let trials = 8;
+    for kind in SearcherKind::all() {
+        let mut total = 0usize;
+        for t in 0..trials {
+            let mut rng = rng_from_seed(1000 + t);
+            let tree = MoriTree::sample(n, p, &mut rng).unwrap();
+            let graph = tree.undirected();
+            let task = SearchTask::new(NodeId::from_label(1), NodeId::from_label(n))
+                .with_budget(100 * n);
+            let mut searcher = kind.build();
+            let outcome = run_weak(&graph, &task, &mut *searcher, &mut rng).unwrap();
+            assert!(outcome.found, "{kind} failed on a tree with huge budget");
+            total += outcome.requests;
+        }
+        let mean = total as f64 / trials as f64;
+        let cmp = BoundComparison { n, bound, measured: mean };
+        assert!(cmp.holds(), "{kind}: {cmp}");
+    }
+}
+
+#[test]
+fn theorem1_holds_for_merged_graphs_too() {
+    let n = 1024;
+    let (p, m) = (0.4, 3);
+    let bound = theorem1_weak_bound(n, p).unwrap();
+    let mut rng = rng_from_seed(5);
+    let mut total = 0usize;
+    let trials = 6;
+    for _ in 0..trials {
+        let mori = MergedMori::sample(n, m, p, &mut rng).unwrap();
+        let graph = mori.undirected();
+        let task = SearchTask::new(NodeId::from_label(1), NodeId::from_label(n))
+            .with_budget(100 * n * m);
+        let mut searcher = SearcherKind::HighDegree.build();
+        let outcome = run_weak(&graph, &task, &mut *searcher, &mut rng).unwrap();
+        assert!(outcome.found);
+        total += outcome.requests;
+    }
+    let mean = total as f64 / trials as f64;
+    assert!(
+        mean >= bound,
+        "merged Móri m={m}: mean {mean} below bound {bound}"
+    );
+}
+
+#[test]
+fn certification_exponent_respects_the_theory() {
+    // Small sweep; the best exponent should not sit meaningfully below
+    // the theoretical 1/2 (sampling noise tolerance 0.12).
+    let model = MergedMoriModel { p: 0.5, m: 1 };
+    let config = CertifyConfig {
+        sizes: vec![256, 512, 1024, 2048],
+        trials: 10,
+        seed: 99,
+        searchers: SearcherKind::informed().to_vec(),
+        criterion: SuccessCriterion::DiscoverTarget,
+        budget_multiplier: 100,
+    };
+    let report = certify(&model, &config);
+    let best = report.best_exponent().expect("fit exists");
+    assert!(
+        best > 0.5 - 0.12,
+        "best exponent {best} violates the Ω(n^0.5) claim"
+    );
+}
+
+#[test]
+fn window_probability_and_lemma1_compose() {
+    let n = 4096;
+    let p = 0.7;
+    let window = EquivalenceWindow::for_target(n);
+    let prob = mori_event_probability_exact(window.a(), window.b(), p).unwrap();
+    let via_lemma = lemma1_lower_bound(window.len(), prob);
+    let packaged = theorem1_weak_bound(n, p).unwrap();
+    assert!((via_lemma - packaged).abs() < 1e-12);
+}
+
+#[test]
+fn neighbor_criterion_is_never_harder() {
+    let n = 1024;
+    let mut rng = rng_from_seed(17);
+    let tree = MoriTree::sample(n, 0.5, &mut rng).unwrap();
+    let graph = tree.undirected();
+    for kind in [SearcherKind::BfsFlood, SearcherKind::HighDegree] {
+        let base = SearchTask::new(NodeId::from_label(1), NodeId::from_label(n))
+            .with_budget(100 * n);
+        let mut a = kind.build();
+        let strict = run_weak(&graph, &base, &mut *a, &mut rng).unwrap();
+        let relaxed_task = base.with_criterion(SuccessCriterion::ReachNeighbor);
+        let mut b = kind.build();
+        let relaxed = run_weak(&graph, &relaxed_task, &mut *b, &mut rng).unwrap();
+        assert!(relaxed.requests <= strict.requests, "{kind}");
+    }
+}
