@@ -69,8 +69,9 @@ pub fn degree_assortativity(graph: &UndirectedCsr) -> Option<f64> {
 /// degrees.
 pub fn age_degree_correlation(graph: &UndirectedCsr) -> Option<f64> {
     let ages: Vec<f64> = (0..graph.node_count()).map(|i| i as f64).collect();
-    let degrees: Vec<f64> =
-        (0..graph.node_count()).map(|i| graph.degree(NodeId::new(i)) as f64).collect();
+    let degrees: Vec<f64> = (0..graph.node_count())
+        .map(|i| graph.degree(NodeId::new(i)) as f64)
+        .collect();
     pearson(&ages, &degrees)
 }
 
@@ -86,7 +87,10 @@ pub fn mean_neighbor_degree_curve(graph: &UndirectedCsr) -> Vec<Option<f64>> {
     if n == 0 {
         return Vec::new();
     }
-    let max_degree = (0..n).map(|i| graph.degree(NodeId::new(i))).max().unwrap_or(0);
+    let max_degree = (0..n)
+        .map(|i| graph.degree(NodeId::new(i)))
+        .max()
+        .unwrap_or(0);
     let mut sums = vec![0.0f64; max_degree + 1];
     let mut counts = vec![0usize; max_degree + 1];
     for i in 0..n {

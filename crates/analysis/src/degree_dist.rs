@@ -43,7 +43,10 @@ impl DegreeDistribution {
         for &d in degrees {
             counts[d] += 1;
         }
-        DegreeDistribution { counts, total: degrees.len() }
+        DegreeDistribution {
+            counts,
+            total: degrees.len(),
+        }
     }
 
     /// Number of vertices with degree exactly `d`.
@@ -96,7 +99,7 @@ impl DegreeDistribution {
     pub fn to_degrees(&self) -> Vec<usize> {
         let mut out = Vec::with_capacity(self.total);
         for (d, &c) in self.counts.iter().enumerate() {
-            out.extend(std::iter::repeat(d).take(c));
+            out.extend(std::iter::repeat_n(d, c));
         }
         out
     }

@@ -130,7 +130,9 @@ pub fn average_distance<R: Rng + ?Sized>(
     let roots: Vec<NodeId> = if sources >= n {
         graph.nodes().collect()
     } else {
-        (0..sources).map(|_| NodeId::new(rng.gen_range(0..n))).collect()
+        (0..sources)
+            .map(|_| NodeId::new(rng.gen_range(0..n)))
+            .collect()
     };
     let mut total = 0u64;
     let mut pairs = 0u64;
@@ -216,7 +218,10 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let exact = average_distance(&g, 1000, &mut rng).unwrap();
         let sampled = average_distance(&g, 10, &mut rng).unwrap();
-        assert!((sampled - exact).abs() / exact < 0.35, "{sampled} vs {exact}");
+        assert!(
+            (sampled - exact).abs() / exact < 0.35,
+            "{sampled} vs {exact}"
+        );
     }
 
     #[test]

@@ -46,7 +46,10 @@ impl LogBin {
 /// assert_eq!(total, 9);
 /// ```
 pub fn log_binned_histogram(data: &[usize], growth: f64) -> Vec<LogBin> {
-    assert!(growth.is_finite() && growth > 1.0, "growth factor must exceed 1");
+    assert!(
+        growth.is_finite() && growth > 1.0,
+        "growth factor must exceed 1"
+    );
     let max = match data.iter().copied().filter(|&x| x > 0).max() {
         Some(m) => m,
         None => return Vec::new(),
@@ -61,7 +64,12 @@ pub fn log_binned_histogram(data: &[usize], growth: f64) -> Vec<LogBin> {
     }
     let mut bins: Vec<LogBin> = edges
         .windows(2)
-        .map(|w| LogBin { lo: w[0], hi: w[1], count: 0, density: 0.0 })
+        .map(|w| LogBin {
+            lo: w[0],
+            hi: w[1],
+            count: 0,
+            density: 0.0,
+        })
         .collect();
     for &x in data {
         if x == 0 {

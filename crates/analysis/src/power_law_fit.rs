@@ -55,8 +55,7 @@ fn zeta_log(k: f64, a: usize) -> f64 {
     let n = a + ZETA_DIRECT_TERMS;
     let direct: f64 = (a..n).map(|d| (d as f64).ln() * (d as f64).powf(-k)).sum();
     let nf = n as f64;
-    let tail_integral =
-        nf.powf(1.0 - k) * (nf.ln() / (k - 1.0) + 1.0 / ((k - 1.0) * (k - 1.0)));
+    let tail_integral = nf.powf(1.0 - k) * (nf.ln() / (k - 1.0) + 1.0 / ((k - 1.0) * (k - 1.0)));
     direct + tail_integral + 0.5 * nf.ln() * nf.powf(-k)
 }
 
@@ -107,7 +106,12 @@ pub fn fit_power_law_mle(degrees: &[usize], x_min: usize) -> Option<PowerLawFit>
         // Even the steepest allowed law has a heavier log-mean: clamp.
         let exponent = K_HI;
         let ks = ks_distance(&tail, x_min, exponent);
-        return Some(PowerLawFit { exponent, x_min, tail_size: tail.len(), ks_distance: ks });
+        return Some(PowerLawFit {
+            exponent,
+            x_min,
+            tail_size: tail.len(),
+            ks_distance: ks,
+        });
     }
     for _ in 0..80 {
         let mid = 0.5 * (lo + hi);
@@ -119,7 +123,12 @@ pub fn fit_power_law_mle(degrees: &[usize], x_min: usize) -> Option<PowerLawFit>
     }
     let exponent = 0.5 * (lo + hi);
     let ks = ks_distance(&tail, x_min, exponent);
-    Some(PowerLawFit { exponent, x_min, tail_size: tail.len(), ks_distance: ks })
+    Some(PowerLawFit {
+        exponent,
+        x_min,
+        tail_size: tail.len(),
+        ks_distance: ks,
+    })
 }
 
 /// KS distance between the empirical tail CDF and the fitted discrete
@@ -153,7 +162,7 @@ mod tests {
         let mut sample = Vec::new();
         for d in 1..=d_max {
             let copies = (scale / (d as f64).powf(k)).round() as usize;
-            sample.extend(std::iter::repeat(d).take(copies));
+            sample.extend(std::iter::repeat_n(d, copies));
         }
         sample
     }
@@ -190,7 +199,11 @@ mod tests {
     fn recovers_exponent_with_larger_xmin() {
         let sample = zipf_sample(2.4, 500, 5e6);
         let fit = fit_power_law_mle(&sample, 3).unwrap();
-        assert!((fit.exponent - 2.4).abs() < 0.1, "fitted = {}", fit.exponent);
+        assert!(
+            (fit.exponent - 2.4).abs() < 0.1,
+            "fitted = {}",
+            fit.exponent
+        );
         assert_eq!(fit.x_min, 3);
     }
 
@@ -213,7 +226,7 @@ mod tests {
     fn xmin_filters_the_head() {
         let mut sample = zipf_sample(2.0, 100, 1e6);
         // Contaminate the head with a spike at degree 1.
-        sample.extend(std::iter::repeat(1).take(3_000_000));
+        sample.extend(std::iter::repeat_n(1, 3_000_000));
         let fit_all = fit_power_law_mle(&sample, 1).unwrap();
         let fit_tail = fit_power_law_mle(&sample, 5).unwrap();
         // Cutting the contaminated head should move the estimate toward 2.
@@ -232,7 +245,7 @@ mod tests {
     fn near_constant_sample_clamps_to_k_max() {
         // 99% at x_min, 1% slightly above: extremely steep but fittable.
         let mut sample = vec![1usize; 9900];
-        sample.extend(std::iter::repeat(2).take(10));
+        sample.extend(std::iter::repeat_n(2, 10));
         let fit = fit_power_law_mle(&sample, 1).unwrap();
         assert!(fit.exponent > 5.0);
     }

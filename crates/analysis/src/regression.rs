@@ -67,8 +67,16 @@ pub fn fit_linear(x: &[f64], y: &[f64]) -> Option<LinearFit> {
         .zip(y.iter())
         .map(|(xi, yi)| (yi - (slope * xi + intercept)).powi(2))
         .sum();
-    let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
-    Some(LinearFit { slope, intercept, r_squared })
+    let r_squared = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    Some(LinearFit {
+        slope,
+        intercept,
+        r_squared,
+    })
 }
 
 /// Fits `y ≈ C · x^slope` by regressing `ln y` on `ln x`.

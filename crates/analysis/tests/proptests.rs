@@ -1,12 +1,15 @@
 //! Property-based tests for the analysis toolkit.
 
 use nonsearch_analysis::{
-    fit_linear, fit_log_log, log_binned_histogram, pearson, DegreeDistribution,
-    SampleStats,
+    fit_linear, fit_log_log, log_binned_histogram, pearson, DegreeDistribution, SampleStats,
 };
 use proptest::prelude::*;
 
 proptest! {
+    // Fixed case count: keeps CI time bounded and independent of the
+    // proptest default.
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
     #[test]
     fn stats_bounds_hold(data in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
         let s = SampleStats::from_slice(&data).unwrap();

@@ -1,9 +1,7 @@
 //! Analysis kernels: power-law MLE, BFS distances, regression.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use nonsearch_analysis::{
-    average_distance, fit_log_log, fit_power_law_mle, DegreeDistribution,
-};
+use nonsearch_analysis::{average_distance, fit_log_log, fit_power_law_mle, DegreeDistribution};
 use nonsearch_generators::{rng_from_seed, MoriTree};
 use nonsearch_graph::degree_sequence;
 

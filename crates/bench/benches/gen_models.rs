@@ -3,8 +3,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nonsearch_generators::{
     power_law_degree_sequence, rng_from_seed, BarabasiAlbert, ConfigModel, CooperFrieze,
-    CooperFriezeConfig, KleinbergGrid, MergedMori, MoriTree, PowerLawConfig,
-    SimplificationPolicy, UniformAttachment,
+    CooperFriezeConfig, KleinbergGrid, MergedMori, MoriTree, PowerLawConfig, SimplificationPolicy,
+    UniformAttachment,
 };
 
 fn bench_generators(c: &mut Criterion) {
@@ -38,8 +38,7 @@ fn bench_generators(c: &mut Criterion) {
             let mut rng = rng_from_seed(6);
             b.iter(|| {
                 let degrees = power_law_degree_sequence(n, &cfg, &mut rng).unwrap();
-                ConfigModel::sample(&degrees, SimplificationPolicy::Multigraph, &mut rng)
-                    .unwrap()
+                ConfigModel::sample(&degrees, SimplificationPolicy::Multigraph, &mut rng).unwrap()
             });
         });
     }

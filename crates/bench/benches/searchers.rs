@@ -10,8 +10,7 @@ fn bench_searchers(c: &mut Criterion) {
     let n = 4096;
     let tree = MoriTree::sample(n, 0.5, &mut rng_from_seed(1)).unwrap();
     let graph = tree.undirected();
-    let task =
-        SearchTask::new(NodeId::from_label(1), NodeId::from_label(n)).with_budget(50 * n);
+    let task = SearchTask::new(NodeId::from_label(1), NodeId::from_label(n)).with_budget(50 * n);
 
     let mut group = c.benchmark_group("searchers_mori_4096");
     group.sample_size(10);

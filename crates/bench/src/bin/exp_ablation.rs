@@ -1,10 +1,10 @@
 //! E13 — ablations over the search-model knobs DESIGN.md calls out:
 //! oracle strength, success criterion, and start-vertex policy.
 
+use nonsearch_analysis::Table;
 use nonsearch_bench::{
     banner, strong_cell, sweep, trials, weak_cell_with_policy, StartPolicy, StrongKind,
 };
-use nonsearch_analysis::Table;
 use nonsearch_core::MergedMoriModel;
 use nonsearch_generators::SeedSequence;
 use nonsearch_search::{SearcherKind, SuccessCriterion};
@@ -105,7 +105,11 @@ fn main() {
     println!("start vertex policy (high-degree strategy, weak oracle):");
     let mut t3 = Table::with_columns(&["start", "n", "mean requests", "success"]);
     for (si, &n) in sizes.iter().enumerate() {
-        for policy in [StartPolicy::OldestHub, StartPolicy::Uniform, StartPolicy::NearTarget] {
+        for policy in [
+            StartPolicy::OldestHub,
+            StartPolicy::Uniform,
+            StartPolicy::NearTarget,
+        ] {
             let cell = weak_cell_with_policy(
                 &model,
                 n,

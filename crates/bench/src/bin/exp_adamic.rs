@@ -5,11 +5,10 @@
 //! exponents `k ∈ (2, 3)` and compares fitted scaling exponents with the
 //! mean-field predictions.
 
-use nonsearch_bench::{banner, quick, sweep, trials};
 use nonsearch_analysis::{fit_log_log, SampleStats, Table};
+use nonsearch_bench::{banner, quick, sweep, trials};
 use nonsearch_core::{
-    adamic_high_degree_exponent, adamic_random_walk_exponent, GraphModel,
-    PowerLawGiantModel,
+    adamic_high_degree_exponent, adamic_random_walk_exponent, GraphModel, PowerLawGiantModel,
 };
 use nonsearch_generators::SeedSequence;
 use nonsearch_graph::NodeId;
@@ -26,23 +25,25 @@ fn main() {
 
     let sizes = sweep(&[2_000, 4_000, 8_000, 16_000, 32_000]);
     let trial_count = trials(12);
-    let k_values = if quick() { vec![2.3] } else { vec![2.1, 2.3, 2.5, 2.7] };
+    let k_values = if quick() {
+        vec![2.3]
+    } else {
+        vec![2.1, 2.3, 2.5, 2.7]
+    };
     let seeds = SeedSequence::new(0xE10);
 
     for &k in &k_values {
-        let model = PowerLawGiantModel { exponent: k, d_min: 1 };
+        let model = PowerLawGiantModel {
+            exponent: k,
+            d_min: 1,
+        };
         println!(
             "k = {k}: theory exponents — high-degree {:.2}, random walk {:.2}",
             adamic_high_degree_exponent(k),
             adamic_random_walk_exponent(k)
         );
-        let mut table = Table::with_columns(&[
-            "searcher",
-            "n (giant)",
-            "mean requests",
-            "ci95",
-            "success",
-        ]);
+        let mut table =
+            Table::with_columns(&["searcher", "n (giant)", "mean requests", "ci95", "success"]);
         for kind in [SearcherKind::HighDegree, SearcherKind::RandomWalk] {
             let mut xs = Vec::new();
             let mut ys = Vec::new();
@@ -70,8 +71,9 @@ fn main() {
                     found += outcome.found as usize;
                 }
                 let stats = SampleStats::from_slice(&requests).expect("trials ≥ 1");
-                let giant =
-                    SampleStats::from_slice(&giant_sizes).expect("trials ≥ 1").mean();
+                let giant = SampleStats::from_slice(&giant_sizes)
+                    .expect("trials ≥ 1")
+                    .mean();
                 table.row(vec![
                     kind.name().to_string(),
                     format!("{giant:.0}"),
@@ -121,8 +123,9 @@ fn main() {
                     requests.push(outcome.requests.max(1) as f64);
                 }
                 let stats = SampleStats::from_slice(&requests).expect("trials ≥ 1");
-                let giant =
-                    SampleStats::from_slice(&giant_sizes).expect("trials ≥ 1").mean();
+                let giant = SampleStats::from_slice(&giant_sizes)
+                    .expect("trials ≥ 1")
+                    .mean();
                 table.row(vec![
                     "strong-high-degree".into(),
                     format!("{giant:.0}"),

@@ -7,14 +7,13 @@
 //! experiment measures age–degree correlation, degree assortativity and
 //! the `k_nn(d)` curve across both families.
 
-use nonsearch_bench::{banner, quick, trials};
 use nonsearch_analysis::{
-    age_degree_correlation, degree_assortativity, mean_neighbor_degree_curve,
-    SampleStats, Table,
+    age_degree_correlation, degree_assortativity, mean_neighbor_degree_curve, SampleStats, Table,
 };
+use nonsearch_bench::{banner, quick, trials};
 use nonsearch_core::{
-    BarabasiAlbertModel, CooperFriezeModel, GraphModel, MergedMoriModel,
-    PowerLawGiantModel, UniformAttachmentModel,
+    BarabasiAlbertModel, CooperFriezeModel, GraphModel, MergedMoriModel, PowerLawGiantModel,
+    UniformAttachmentModel,
 };
 use nonsearch_generators::SeedSequence;
 
@@ -30,19 +29,33 @@ fn main() {
     let seeds = SeedSequence::new(0xE14);
 
     let models: Vec<(&str, Box<dyn GraphModel>)> = vec![
-        ("mori(p=0.6,m=2)", Box::new(MergedMoriModel { p: 0.6, m: 2 })),
-        ("cooper-frieze(α=0.7)", Box::new(CooperFriezeModel::balanced(0.7))),
-        ("barabasi-albert(m=2)", Box::new(BarabasiAlbertModel { m: 2 })),
-        ("uniform-attach(m=2)", Box::new(UniformAttachmentModel { m: 2 })),
-        ("config-model(k=2.5)", Box::new(PowerLawGiantModel { exponent: 2.5, d_min: 1 })),
+        (
+            "mori(p=0.6,m=2)",
+            Box::new(MergedMoriModel { p: 0.6, m: 2 }),
+        ),
+        (
+            "cooper-frieze(α=0.7)",
+            Box::new(CooperFriezeModel::balanced(0.7)),
+        ),
+        (
+            "barabasi-albert(m=2)",
+            Box::new(BarabasiAlbertModel { m: 2 }),
+        ),
+        (
+            "uniform-attach(m=2)",
+            Box::new(UniformAttachmentModel { m: 2 }),
+        ),
+        (
+            "config-model(k=2.5)",
+            Box::new(PowerLawGiantModel {
+                exponent: 2.5,
+                d_min: 1,
+            }),
+        ),
     ];
 
-    let mut table = Table::with_columns(&[
-        "model",
-        "age-degree r",
-        "assortativity",
-        "k_nn(1)/k_nn(8)",
-    ]);
+    let mut table =
+        Table::with_columns(&["model", "age-degree r", "assortativity", "k_nn(1)/k_nn(8)"]);
     for (mi, (name, model)) in models.iter().enumerate() {
         let mut age_r = Vec::new();
         let mut assort = Vec::new();

@@ -4,11 +4,10 @@
 //! scale-free; this experiment fits the discrete MLE exponent and prints
 //! log-binned CCDF rows for visual inspection.
 
-use nonsearch_bench::{banner, quick, trials};
 use nonsearch_analysis::{fit_power_law_mle, log_binned_histogram, SampleStats, Table};
+use nonsearch_bench::{banner, quick, trials};
 use nonsearch_generators::{
-    BarabasiAlbert, CooperFrieze, CooperFriezeConfig, MoriTree, SeedSequence,
-    UniformAttachment,
+    BarabasiAlbert, CooperFrieze, CooperFriezeConfig, MoriTree, SeedSequence, UniformAttachment,
 };
 use nonsearch_graph::degree_sequence;
 

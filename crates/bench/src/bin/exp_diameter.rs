@@ -1,11 +1,11 @@
 //! E9 — the contrast: diameters and average distances stay logarithmic
 //! while search cost is polynomial (paper §conclusion).
 
-use nonsearch_bench::{banner, sweep, trials};
-use nonsearch_analysis::{average_distance, diameter_lower_bound_double_sweep, fit_linear, SampleStats, Table};
-use nonsearch_core::{
-    BarabasiAlbertModel, CooperFriezeModel, GraphModel, MergedMoriModel,
+use nonsearch_analysis::{
+    average_distance, diameter_lower_bound_double_sweep, fit_linear, SampleStats, Table,
 };
+use nonsearch_bench::{banner, sweep, trials};
+use nonsearch_core::{BarabasiAlbertModel, CooperFriezeModel, GraphModel, MergedMoriModel};
 use nonsearch_generators::SeedSequence;
 use nonsearch_graph::NodeId;
 
@@ -21,18 +21,21 @@ fn main() {
     let seeds = SeedSequence::new(0xE9);
 
     let models: Vec<(&str, Box<dyn GraphModel>)> = vec![
-        ("mori(p=0.6,m=2)", Box::new(MergedMoriModel { p: 0.6, m: 2 })),
-        ("cooper-frieze(α=0.7)", Box::new(CooperFriezeModel::balanced(0.7))),
-        ("barabasi-albert(m=2)", Box::new(BarabasiAlbertModel { m: 2 })),
+        (
+            "mori(p=0.6,m=2)",
+            Box::new(MergedMoriModel { p: 0.6, m: 2 }),
+        ),
+        (
+            "cooper-frieze(α=0.7)",
+            Box::new(CooperFriezeModel::balanced(0.7)),
+        ),
+        (
+            "barabasi-albert(m=2)",
+            Box::new(BarabasiAlbertModel { m: 2 }),
+        ),
     ];
 
-    let mut table = Table::with_columns(&[
-        "model",
-        "n",
-        "avg distance",
-        "diam ≥",
-        "avg / log2(n)",
-    ]);
+    let mut table = Table::with_columns(&["model", "n", "avg distance", "diam ≥", "avg / log2(n)"]);
     for (mi, (name, model)) in models.iter().enumerate() {
         let mut xs = Vec::new();
         let mut ys = Vec::new();

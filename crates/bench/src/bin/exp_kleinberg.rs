@@ -1,8 +1,8 @@
 //! E11 — Kleinberg's navigability dichotomy: greedy routing is polylog
 //! only at the critical exponent `r = 2` (2-D lattice).
 
-use nonsearch_bench::{banner, quick, trials};
 use nonsearch_analysis::{fit_log_log, SampleStats, Table};
+use nonsearch_bench::{banner, quick, trials};
 use nonsearch_generators::{KleinbergGrid, SeedSequence};
 use nonsearch_graph::NodeId;
 use nonsearch_search::greedy_route;
@@ -15,19 +15,16 @@ fn main() {
          r = 2 and polynomially slower at other exponents",
     );
 
-    let sides: Vec<usize> =
-        if quick() { vec![16, 32, 64] } else { vec![16, 32, 64, 128, 256] };
+    let sides: Vec<usize> = if quick() {
+        vec![16, 32, 64]
+    } else {
+        vec![16, 32, 64, 128, 256]
+    };
     let r_values = [0.0, 1.0, 2.0, 3.0];
     let routes = trials(300);
     let seeds = SeedSequence::new(0xE11);
 
-    let mut table = Table::with_columns(&[
-        "r",
-        "side",
-        "n",
-        "mean hops",
-        "hops / log2²(n)",
-    ]);
+    let mut table = Table::with_columns(&["r", "side", "n", "mean hops", "hops / log2²(n)"]);
     for (ri, &r) in r_values.iter().enumerate() {
         let mut xs = Vec::new();
         let mut ys = Vec::new();

@@ -4,11 +4,11 @@
 //! measured mean must sit at or above the bound, and the bound itself
 //! must grow like √n.
 
-use nonsearch_bench::{banner, sweep, trials};
 use nonsearch_analysis::{fit_log_log, Table};
+use nonsearch_bench::{banner, sweep, trials};
 use nonsearch_core::{
-    certify, mori_event_probability_exact, theorem1_weak_bound, BoundComparison,
-    CertifyConfig, EquivalenceWindow, MergedMoriModel,
+    certify, mori_event_probability_exact, theorem1_weak_bound, BoundComparison, CertifyConfig,
+    EquivalenceWindow, MergedMoriModel,
 };
 use nonsearch_search::{SearcherKind, SuccessCriterion};
 
@@ -31,28 +31,30 @@ fn main() {
     };
     let report = certify(&model, &config);
 
-    let mut table = Table::with_columns(&[
-        "n",
-        "|V|",
-        "P(E) exact",
-        "bound",
-        "best measured",
-        "holds",
-    ]);
+    let mut table =
+        Table::with_columns(&["n", "|V|", "P(E) exact", "bound", "best measured", "holds"]);
     let best = report.best_algorithm().expect("suite is non-empty");
     let mut bound_series = Vec::new();
     for pt in &best.points {
         let w = EquivalenceWindow::for_target(pt.n);
         let prob = mori_event_probability_exact(w.a(), w.b(), p).expect("valid window");
         let bound = theorem1_weak_bound(pt.n, p).expect("valid n, p");
-        let cmp = BoundComparison { n: pt.n, bound, measured: pt.mean_requests };
+        let cmp = BoundComparison {
+            n: pt.n,
+            bound,
+            measured: pt.mean_requests,
+        };
         table.row(vec![
             pt.n.to_string(),
             w.len().to_string(),
             format!("{prob:.4}"),
             format!("{bound:.1}"),
             format!("{:.1}", pt.mean_requests),
-            if cmp.holds() { "yes".into() } else { "NO".into() },
+            if cmp.holds() {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
         ]);
         bound_series.push((pt.n as f64, bound));
     }
@@ -62,6 +64,9 @@ fn main() {
     let xs: Vec<f64> = bound_series.iter().map(|&(n, _)| n).collect();
     let ys: Vec<f64> = bound_series.iter().map(|&(_, b)| b).collect();
     if let Some(fit) = fit_log_log(&xs, &ys) {
-        println!("bound growth exponent: {:.3} (theory: 0.5 exactly, up to ⌊√⌋ jitter)", fit.slope);
+        println!(
+            "bound growth exponent: {:.3} (theory: 0.5 exactly, up to ⌊√⌋ jitter)",
+            fit.slope
+        );
     }
 }

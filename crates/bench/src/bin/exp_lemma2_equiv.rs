@@ -5,11 +5,9 @@
 //! literally invariant under window transpositions), plus a statistical
 //! symmetry test on sampled larger trees.
 
-use nonsearch_bench::{banner, trials};
 use nonsearch_analysis::Table;
-use nonsearch_core::{
-    exact_window_exchangeability, sampled_window_symmetry, EquivalenceWindow,
-};
+use nonsearch_bench::{banner, trials};
+use nonsearch_core::{exact_window_exchangeability, sampled_window_symmetry, EquivalenceWindow};
 
 fn main() {
     banner(
@@ -19,24 +17,22 @@ fn main() {
     );
 
     println!("exact enumeration check (trees of size b ≤ 9):");
-    let mut exact_table = Table::with_columns(&[
-        "p",
-        "window",
-        "event mass",
-        "max discrepancy",
-        "verdict",
-    ]);
+    let mut exact_table =
+        Table::with_columns(&["p", "window", "event mass", "max discrepancy", "verdict"]);
     for &p in &[0.0, 0.25, 0.5, 0.75, 1.0] {
         for (a, b) in [(4usize, 7usize), (5, 8), (6, 9)] {
             let w = EquivalenceWindow::with_bounds(a, b);
-            let check =
-                exact_window_exchangeability(&w, p).expect("small trees enumerate");
+            let check = exact_window_exchangeability(&w, p).expect("small trees enumerate");
             exact_table.row(vec![
                 format!("{p:.2}"),
                 format!("[[{}..{}]]", a + 1, b),
                 format!("{:.5}", check.event_mass),
                 format!("{:.2e}", check.max_discrepancy),
-                if check.is_exchangeable(1e-12) { "exchangeable".into() } else { "BROKEN".into() },
+                if check.is_exchangeable(1e-12) {
+                    "exchangeable".into()
+                } else {
+                    "BROKEN".into()
+                },
             ]);
         }
     }
@@ -63,7 +59,11 @@ fn main() {
                 w.len().to_string(),
                 format!("{}/{}", report.accepted, report.attempted),
                 format!("{:.2}", report.max_z),
-                if report.max_z < 4.0 { "consistent".into() } else { "suspicious".into() },
+                if report.max_z < 4.0 {
+                    "consistent".into()
+                } else {
+                    "suspicious".into()
+                },
             ]);
         }
     }

@@ -3,11 +3,10 @@
 //! Prints, for each `(p, a)`, the exact conditional-product probability,
 //! a Monte-Carlo estimate from real Móri trees, and the paper's bound.
 
-use nonsearch_bench::{banner, quick, trials};
 use nonsearch_analysis::Table;
+use nonsearch_bench::{banner, quick, trials};
 use nonsearch_core::{
-    estimate_mori_event_probability, lemma3_bound, mori_event_probability_exact,
-    EquivalenceWindow,
+    estimate_mori_event_probability, lemma3_bound, mori_event_probability_exact, EquivalenceWindow,
 };
 
 fn main() {
@@ -18,8 +17,11 @@ fn main() {
     );
 
     let p_values = [0.1, 0.25, 0.5, 0.75, 0.9, 1.0];
-    let anchors: Vec<usize> =
-        if quick() { vec![100, 1_000] } else { vec![100, 1_000, 10_000, 100_000] };
+    let anchors: Vec<usize> = if quick() {
+        vec![100, 1_000]
+    } else {
+        vec![100, 1_000, 10_000, 100_000]
+    };
     let mc_trials = trials(2_000);
 
     let mut table = Table::with_columns(&[
@@ -34,8 +36,8 @@ fn main() {
     for &p in &p_values {
         for &a in &anchors {
             let w = EquivalenceWindow::from_anchor(a);
-            let exact = mori_event_probability_exact(w.a(), w.b(), p)
-                .expect("valid window parameters");
+            let exact =
+                mori_event_probability_exact(w.a(), w.b(), p).expect("valid window parameters");
             // Monte Carlo on the big anchors is costly; sample the small ones.
             let mc = if a <= 1_000 {
                 let est = estimate_mori_event_probability(&w, p, mc_trials, 0xE4)
@@ -52,7 +54,11 @@ fn main() {
                 format!("{exact:.4}"),
                 mc,
                 format!("{bound:.4}"),
-                if exact >= bound - 1e-12 { "yes".into() } else { "NO".into() },
+                if exact >= bound - 1e-12 {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
             ]);
         }
     }

@@ -1,8 +1,8 @@
 //! E7 — Móri's maximum degree: the max degree of `G_t` grows like `t^p`
 //! (Móri 2005), the ingredient of Theorem 1's strong-model transfer.
 
-use nonsearch_bench::{banner, sweep, trials};
 use nonsearch_analysis::{fit_log_log, SampleStats, Table};
+use nonsearch_bench::{banner, sweep, trials};
 use nonsearch_core::mori_max_degree_exponent;
 use nonsearch_generators::{MoriTree, SeedSequence};
 
@@ -16,8 +16,7 @@ fn main() {
     let trial_count = trials(8);
     let seeds = SeedSequence::new(0xE7);
 
-    let mut table =
-        Table::with_columns(&["p", "t", "mean max degree", "ci95", "fitted slope"]);
+    let mut table = Table::with_columns(&["p", "t", "mean max degree", "ci95", "fitted slope"]);
     for (pi, &p) in [0.2f64, 0.5, 0.8].iter().enumerate() {
         let mut xs = Vec::new();
         let mut ys = Vec::new();

@@ -2,8 +2,8 @@
 //! walks plus bond-percolation broadcast makes lookups sublinear on
 //! power-law overlays.
 
-use nonsearch_bench::{banner, quick, trials};
 use nonsearch_analysis::{SampleStats, Table};
+use nonsearch_bench::{banner, quick, trials};
 use nonsearch_core::{GraphModel, PowerLawGiantModel};
 use nonsearch_generators::SeedSequence;
 use nonsearch_graph::NodeId;
@@ -19,7 +19,10 @@ fn main() {
 
     let n = if quick() { 8_000 } else { 30_000 };
     let trial_count = trials(60);
-    let model = PowerLawGiantModel { exponent: 2.3, d_min: 1 };
+    let model = PowerLawGiantModel {
+        exponent: 2.3,
+        d_min: 1,
+    };
     let seeds = SeedSequence::new(0xE12);
 
     let mut rng = seeds.child_rng(0);
@@ -50,9 +53,8 @@ fn main() {
                 let mut rng = cell_seeds.child_rng(t as u64);
                 let owner = NodeId::new(rng.gen_range(0..peers));
                 let requester = NodeId::new(rng.gen_range(0..peers));
-                let out =
-                    percolation_search(&overlay, owner, requester, &config, &mut rng)
-                        .expect("valid parameters");
+                let out = percolation_search(&overlay, owner, requester, &config, &mut rng)
+                    .expect("valid parameters");
                 found += out.found as usize;
                 messages.push(out.messages as f64);
             }

@@ -2,8 +2,8 @@
 //! needs `Ω(n^{1/2−p−ε})` requests; the slowdown argument runs strong
 //! algorithms natively and through the weak-model simulation.
 
-use nonsearch_bench::{banner, quick, strong_cell, sweep, trials, StrongKind};
 use nonsearch_analysis::{fit_log_log, Table};
+use nonsearch_bench::{banner, quick, strong_cell, sweep, trials, StrongKind};
 use nonsearch_core::{strong_model_exponent, MergedMoriModel};
 use nonsearch_generators::SeedSequence;
 
@@ -22,8 +22,7 @@ fn main() {
     for &p in &p_values {
         let model = MergedMoriModel { p, m: 1 };
         println!("model: mori(p={p}, m=1), strong oracle");
-        let mut table =
-            Table::with_columns(&["searcher", "n", "mean requests", "ci95", "success"]);
+        let mut table = Table::with_columns(&["searcher", "n", "mean requests", "ci95", "success"]);
         let mut best_series: Vec<(usize, f64)> = Vec::new();
         for kind in StrongKind::all() {
             let mut series = Vec::new();
@@ -44,8 +43,7 @@ fn main() {
             }
             // Track the cheapest searcher at the largest size.
             if best_series.is_empty()
-                || series.last().expect("non-empty").1
-                    < best_series.last().expect("non-empty").1
+                || series.last().expect("non-empty").1 < best_series.last().expect("non-empty").1
             {
                 best_series = series;
             }

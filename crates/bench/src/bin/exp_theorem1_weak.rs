@@ -5,11 +5,9 @@
 //! scaling exponent and prints the per-size Lemma 1 lower bound next to
 //! the best measured mean.
 
-use nonsearch_bench::{banner, quick, sweep, trials};
-use nonsearch_core::{
-    certify, theorem1_weak_bound, CertifyConfig, MergedMoriModel,
-};
 use nonsearch_analysis::Table;
+use nonsearch_bench::{banner, quick, sweep, trials};
+use nonsearch_core::{certify, theorem1_weak_bound, CertifyConfig, MergedMoriModel};
 use nonsearch_search::{SearcherKind, SuccessCriterion};
 
 fn main() {
@@ -21,7 +19,11 @@ fn main() {
 
     let sizes = sweep(&[512, 1024, 2048, 4096, 8192, 16384]);
     let trial_count = trials(12);
-    let p_values = if quick() { vec![0.6] } else { vec![0.3, 0.6, 1.0] };
+    let p_values = if quick() {
+        vec![0.6]
+    } else {
+        vec![0.3, 0.6, 1.0]
+    };
     let m_values = if quick() { vec![1] } else { vec![1, 3] };
 
     for &p in &p_values {
@@ -38,12 +40,8 @@ fn main() {
             let report = certify(&model, &config);
             println!("{report}");
 
-            let mut bound_table = Table::with_columns(&[
-                "n",
-                "lemma1 bound",
-                "best measured",
-                "slack",
-            ]);
+            let mut bound_table =
+                Table::with_columns(&["n", "lemma1 bound", "best measured", "slack"]);
             let best = report.best_algorithm().expect("suite is non-empty");
             for pt in &best.points {
                 let bound = theorem1_weak_bound(pt.n, p).expect("valid n, p");
@@ -57,9 +55,7 @@ fn main() {
             println!("lower bound vs best ({}):", best.kind.name());
             println!("{bound_table}");
             if let Some(expo) = report.best_exponent() {
-                println!(
-                    "fitted exponent of best algorithm: {expo:.3} (theory: ≥ 0.5)\n"
-                );
+                println!("fitted exponent of best algorithm: {expo:.3} (theory: ≥ 0.5)\n");
             }
         }
     }

@@ -8,14 +8,11 @@ use nonsearch_analysis::SampleStats;
 use nonsearch_core::GraphModel;
 use nonsearch_generators::SeedSequence;
 use nonsearch_graph::NodeId;
-use nonsearch_search::{
-    run_strong, run_weak, SearchTask, StrongSearcher, SuccessCriterion,
-};
+use nonsearch_search::{run_strong, run_weak, SearchTask, StrongSearcher, SuccessCriterion};
 
 /// `true` when the caller asked for a reduced sweep.
 pub fn quick() -> bool {
-    std::env::args().any(|a| a == "--quick")
-        || std::env::var_os("NONSEARCH_QUICK").is_some()
+    std::env::args().any(|a| a == "--quick") || std::env::var_os("NONSEARCH_QUICK").is_some()
 }
 
 /// Truncates a size sweep in quick mode.
@@ -71,7 +68,11 @@ pub enum StrongKind {
 impl StrongKind {
     /// All strong searchers.
     pub fn all() -> &'static [StrongKind] {
-        &[StrongKind::Bfs, StrongKind::HighDegree, StrongKind::GreedyId]
+        &[
+            StrongKind::Bfs,
+            StrongKind::HighDegree,
+            StrongKind::GreedyId,
+        ]
     }
 
     /// Report name.
@@ -215,7 +216,11 @@ mod tests {
     fn weak_cell_policies_work() {
         let model = MergedMoriModel { p: 0.5, m: 1 };
         let seeds = SeedSequence::new(2);
-        for policy in [StartPolicy::OldestHub, StartPolicy::Uniform, StartPolicy::NearTarget] {
+        for policy in [
+            StartPolicy::OldestHub,
+            StartPolicy::Uniform,
+            StartPolicy::NearTarget,
+        ] {
             let cell = weak_cell_with_policy(
                 &model,
                 256,

@@ -156,10 +156,7 @@ impl fmt::Display for SearchabilityReport {
 /// Trials are parallelized with scoped threads; every cell's RNG stream
 /// is derived from `(seed, size index, trial)`, so results do not depend
 /// on scheduling.
-pub fn certify<M: GraphModel + Sync>(
-    model: &M,
-    config: &CertifyConfig,
-) -> SearchabilityReport {
+pub fn certify<M: GraphModel + Sync>(model: &M, config: &CertifyConfig) -> SearchabilityReport {
     let seeds = SeedSequence::new(config.seed);
     let n_searchers = config.searchers.len();
     // results[size][searcher] = per-trial (requests, found)
@@ -209,16 +206,18 @@ fn run_size_trials<M: GraphModel + Sync>(
     n: usize,
     size_seeds: &SeedSequence,
 ) -> Vec<Vec<(usize, bool)>> {
+    /// Per-trial `(requests, found)` cells, one entry per searcher.
+    type TrialCells = Vec<(usize, bool)>;
     let trials = config.trials;
     let threads = std::thread::available_parallelism()
         .map(|x| x.get())
         .unwrap_or(1)
         .min(trials)
         .max(1);
-    let mut per_trial: Vec<Vec<(usize, bool)>> = vec![Vec::new(); trials];
+    let mut per_trial: Vec<TrialCells> = vec![Vec::new(); trials];
 
-    crossbeam::thread::scope(|scope| {
-        let chunks: Vec<(usize, &mut [Vec<(usize, bool)>])> = {
+    std::thread::scope(|scope| {
+        let chunks: Vec<(usize, &mut [TrialCells])> = {
             let mut chunks = Vec::new();
             let mut rest = per_trial.as_mut_slice();
             let chunk_size = trials.div_ceil(threads);
@@ -233,20 +232,18 @@ fn run_size_trials<M: GraphModel + Sync>(
             chunks
         };
         for (offset, chunk) in chunks {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (local, out) in chunk.iter_mut().enumerate() {
                     let trial = offset + local;
                     *out = run_one_trial(model, config, n, size_seeds, trial);
                 }
             });
         }
-    })
-    .expect("trial workers do not panic");
+    });
 
     // Transpose to per-searcher layout.
     let n_searchers = config.searchers.len();
-    let mut per_searcher: Vec<Vec<(usize, bool)>> =
-        vec![Vec::with_capacity(trials); n_searchers];
+    let mut per_searcher: Vec<Vec<(usize, bool)>> = vec![Vec::with_capacity(trials); n_searchers];
     for trial_cells in per_trial {
         for (s_idx, cell) in trial_cells.into_iter().enumerate() {
             per_searcher[s_idx].push(cell);

@@ -18,8 +18,8 @@ use crate::event::mori_window_event_holds;
 use crate::theory::{check_probability, CoreError};
 use crate::window::EquivalenceWindow;
 use crate::Permutation;
-use nonsearch_graph::NodeId;
 use nonsearch_generators::{MoriTree, SeedSequence};
+use nonsearch_graph::NodeId;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -92,7 +92,11 @@ pub fn exact_window_exchangeability(
             }
         }
     }
-    Ok(ExchangeabilityCheck { event_mass, max_discrepancy, comparisons })
+    Ok(ExchangeabilityCheck {
+        event_mass,
+        max_discrepancy,
+        comparisons,
+    })
 }
 
 /// Result of the sampled symmetry check.
@@ -149,8 +153,7 @@ pub fn sampled_window_symmetry(
     let mut indeg_sum = vec![0.0f64; w];
     for t in 0..trials {
         let mut rng = seeds.child_rng(t as u64);
-        let tree = MoriTree::sample(size, p, &mut rng)
-            .expect("window sizes are valid tree sizes");
+        let tree = MoriTree::sample(size, p, &mut rng).expect("window sizes are valid tree sizes");
         if !mori_window_event_holds(tree.trace(), window) {
             continue;
         }
@@ -159,8 +162,7 @@ pub fn sampled_window_symmetry(
             let father = tree.father_of_label(label).expect("covered").label() as f64;
             father_sum[slot] += father;
             father_sq[slot] += father * father;
-            indeg_sum[slot] +=
-                tree.digraph().in_degree(NodeId::from_label(label)) as f64;
+            indeg_sum[slot] += tree.digraph().in_degree(NodeId::from_label(label)) as f64;
         }
     }
     if accepted == 0 {
@@ -201,10 +203,7 @@ mod tests {
         for &p in &[0.0, 0.3, 0.5, 0.8, 1.0] {
             let window = EquivalenceWindow::with_bounds(4, 7);
             let check = exact_window_exchangeability(&window, p).unwrap();
-            assert!(
-                check.is_exchangeable(1e-12),
-                "p = {p}: {check}"
-            );
+            assert!(check.is_exchangeable(1e-12), "p = {p}: {check}");
             assert!(check.event_mass > 0.0);
             assert!(check.comparisons > 0);
         }

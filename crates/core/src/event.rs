@@ -33,10 +33,7 @@ pub fn mori_window_event_holds(trace: &AttachmentTrace, window: &EquivalenceWind
 ///
 /// Together these make the window vertices interchangeable: each is a
 /// fresh leaf whose only connection points into the old core.
-pub fn cooper_frieze_window_event_holds(
-    cf: &CooperFrieze,
-    window: &EquivalenceWindow,
-) -> bool {
+pub fn cooper_frieze_window_event_holds(cf: &CooperFrieze, window: &EquivalenceWindow) -> bool {
     let trace = cf.trace();
     let mut out_count = vec![0usize; window.len()];
     for rec in trace.iter() {
@@ -101,15 +98,20 @@ pub fn estimate_mori_event_probability(
     let mut successes = 0usize;
     for t in 0..trials {
         let mut rng = seeds.child_rng(t as u64);
-        let tree = MoriTree::sample(tree_size, p, &mut rng)
-            .expect("window sizes are valid tree sizes");
+        let tree =
+            MoriTree::sample(tree_size, p, &mut rng).expect("window sizes are valid tree sizes");
         if mori_window_event_holds(tree.trace(), window) {
             successes += 1;
         }
     }
     let estimate = successes as f64 / trials as f64;
     let std_error = (estimate * (1.0 - estimate) / trials as f64).sqrt();
-    Ok(EventEstimate { estimate, std_error, trials, successes })
+    Ok(EventEstimate {
+        estimate,
+        std_error,
+        trials,
+        successes,
+    })
 }
 
 #[cfg(test)]
@@ -127,9 +129,7 @@ mod tests {
         for _ in 0..200 {
             let tree = MoriTree::sample(8, 0.3, &mut rng).unwrap();
             let holds = mori_window_event_holds(tree.trace(), &window);
-            let manual = (6..=8).all(|k| {
-                tree.father_of_label(k).unwrap().label() <= 5
-            });
+            let manual = (6..=8).all(|k| tree.father_of_label(k).unwrap().label() <= 5);
             assert_eq!(holds, manual);
             seen_true |= holds;
             seen_false |= !holds;
@@ -187,8 +187,7 @@ mod tests {
             let manual = trace.iter().all(|r| {
                 let (c, f) = (r.child.label(), r.father.label());
                 !(27..=30).contains(&f) && (!(27..=30).contains(&c) || f <= 26)
-            }) && (27..=30)
-                .all(|w| trace.fathers_of_label(w).len() <= 1);
+            }) && (27..=30).all(|w| trace.fathers_of_label(w).len() <= 1);
             assert_eq!(holds, manual);
             seen_true |= holds;
             seen_false |= !holds;

@@ -46,30 +46,27 @@ mod permutation;
 mod theory;
 mod window;
 
-pub use certify::{
-    certify, AlgorithmScaling, CertifyConfig, ScalingPoint, SearchabilityReport,
-};
+pub use certify::{certify, AlgorithmScaling, CertifyConfig, ScalingPoint, SearchabilityReport};
 pub use enumerate::{enumerate_mori_trees, FatherVector, TreeDistribution};
 pub use equivalence::{
-    exact_window_exchangeability, sampled_window_symmetry, ExchangeabilityCheck,
-    SymmetryReport,
+    exact_window_exchangeability, sampled_window_symmetry, ExchangeabilityCheck, SymmetryReport,
 };
 pub use event::{
-    cooper_frieze_window_event_holds, estimate_mori_event_probability,
-    mori_window_event_holds, EventEstimate,
+    cooper_frieze_window_event_holds, estimate_mori_event_probability, mori_window_event_holds,
+    EventEstimate,
 };
 pub use lower_bound::{
     lemma1_lower_bound, theorem1_weak_bound, theorem2_weak_bound, BoundComparison,
 };
 pub use model::{
-    sample_with_seed, BarabasiAlbertModel, CooperFriezeModel, GraphModel,
-    MergedMoriModel, PowerLawGiantModel, UniformAttachmentModel,
+    sample_with_seed, BarabasiAlbertModel, CooperFriezeModel, GraphModel, MergedMoriModel,
+    PowerLawGiantModel, UniformAttachmentModel,
 };
 pub use permutation::Permutation;
 pub use theory::{
-    adamic_high_degree_exponent, adamic_random_walk_exponent, lemma3_bound,
-    lemma3_window_end, mori_conditional_factor, mori_event_probability_exact,
-    mori_max_degree_exponent, strong_model_exponent, CoreError,
+    adamic_high_degree_exponent, adamic_random_walk_exponent, lemma3_bound, lemma3_window_end,
+    mori_conditional_factor, mori_event_probability_exact, mori_max_degree_exponent,
+    strong_model_exponent, CoreError,
 };
 pub use window::EquivalenceWindow;
 

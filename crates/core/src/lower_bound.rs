@@ -141,11 +141,19 @@ mod tests {
 
     #[test]
     fn comparison_reporting() {
-        let c = BoundComparison { n: 1000, bound: 10.0, measured: 25.0 };
+        let c = BoundComparison {
+            n: 1000,
+            bound: 10.0,
+            measured: 25.0,
+        };
         assert!(c.holds());
         assert!((c.slack() - 2.5).abs() < 1e-12);
         assert!(c.to_string().contains("ok"));
-        let bad = BoundComparison { n: 1000, bound: 30.0, measured: 25.0 };
+        let bad = BoundComparison {
+            n: 1000,
+            bound: 30.0,
+            measured: 25.0,
+        };
         assert!(!bad.holds());
         assert!(bad.to_string().contains("VIOLATED"));
     }

@@ -2,8 +2,7 @@
 
 use nonsearch_generators::{
     power_law_degree_sequence, rng_from_seed, BarabasiAlbert, ConfigModel, CooperFrieze,
-    CooperFriezeConfig, MergedMori, PowerLawConfig, SimplificationPolicy,
-    UniformAttachment,
+    CooperFriezeConfig, MergedMori, PowerLawConfig, SimplificationPolicy, UniformAttachment,
 };
 use nonsearch_graph::UndirectedCsr;
 use rand_chacha::ChaCha8Rng;
@@ -151,8 +150,7 @@ impl GraphModel for PowerLawGiantModel {
     fn sample_graph(&self, n: usize, rng: &mut ChaCha8Rng) -> UndirectedCsr {
         let cfg = PowerLawConfig::new(self.exponent, self.d_min)
             .expect("exponent is validated by construction");
-        let degrees =
-            power_law_degree_sequence(n, &cfg, rng).expect("valid power-law config");
+        let degrees = power_law_degree_sequence(n, &cfg, rng).expect("valid power-law config");
         let graph = ConfigModel::sample(&degrees, SimplificationPolicy::Multigraph, rng)
             .expect("even stub sum by construction");
         let (mut giant, _) = graph.graph().giant_component();
@@ -180,7 +178,10 @@ mod tests {
             Box::new(CooperFriezeModel::balanced(0.7)),
             Box::new(BarabasiAlbertModel { m: 2 }),
             Box::new(UniformAttachmentModel { m: 2 }),
-            Box::new(PowerLawGiantModel { exponent: 2.5, d_min: 1 }),
+            Box::new(PowerLawGiantModel {
+                exponent: 2.5,
+                d_min: 1,
+            }),
         ];
         for model in &models {
             let g = sample_with_seed(model.as_ref(), 200, 1);
@@ -193,9 +194,12 @@ mod tests {
     fn names_include_parameters() {
         assert_eq!(MergedMoriModel { p: 0.5, m: 2 }.name(), "mori(p=0.5,m=2)");
         assert!(CooperFriezeModel::balanced(0.8).name().contains("a=0.8"));
-        assert!(PowerLawGiantModel { exponent: 2.3, d_min: 1 }
-            .name()
-            .contains("k=2.3"));
+        assert!(PowerLawGiantModel {
+            exponent: 2.3,
+            d_min: 1
+        }
+        .name()
+        .contains("k=2.3"));
     }
 
     #[test]
@@ -208,7 +212,10 @@ mod tests {
 
     #[test]
     fn giant_component_is_most_of_the_graph_for_small_k() {
-        let model = PowerLawGiantModel { exponent: 2.2, d_min: 1 };
+        let model = PowerLawGiantModel {
+            exponent: 2.2,
+            d_min: 1,
+        };
         let g = sample_with_seed(&model, 2000, 3);
         assert!(g.node_count() > 1000, "giant = {}", g.node_count());
     }

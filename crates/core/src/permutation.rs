@@ -31,7 +31,9 @@ pub struct Permutation {
 impl Permutation {
     /// The identity permutation on `n` vertices.
     pub fn identity(n: usize) -> Permutation {
-        Permutation { map: (0..n as u32).collect() }
+        Permutation {
+            map: (0..n as u32).collect(),
+        }
     }
 
     /// The transposition swapping `u` and `v` on `n` vertices.
@@ -59,7 +61,9 @@ impl Permutation {
             }
             seen[img] = true;
         }
-        Some(Permutation { map: map.into_iter().map(|x| x as u32).collect() })
+        Some(Permutation {
+            map: map.into_iter().map(|x| x as u32).collect(),
+        })
     }
 
     /// A permutation fixing everything outside `window` and applying a
@@ -124,7 +128,11 @@ impl Permutation {
     pub fn compose(&self, other: &Permutation) -> Permutation {
         assert_eq!(self.len(), other.len(), "composition size mismatch");
         Permutation {
-            map: other.map.iter().map(|&mid| self.map[mid as usize]).collect(),
+            map: other
+                .map
+                .iter()
+                .map(|&mid| self.map[mid as usize])
+                .collect(),
         }
     }
 

@@ -26,11 +26,21 @@ pub enum CoreError {
 impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CoreError::InvalidParameter { name, value, expected } => {
-                write!(f, "parameter `{name}` = {value} is invalid (expected {expected})")
+            CoreError::InvalidParameter {
+                name,
+                value,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "parameter `{name}` = {value} is invalid (expected {expected})"
+                )
             }
             CoreError::NoAcceptedSamples { trials } => {
-                write!(f, "no samples satisfied the conditioning event in {trials} trials")
+                write!(
+                    f,
+                    "no samples satisfied the conditioning event in {trials} trials"
+                )
             }
         }
     }
@@ -44,7 +54,11 @@ impl CoreError {
         value: V,
         expected: &'static str,
     ) -> Self {
-        CoreError::InvalidParameter { name, value: value.to_string(), expected }
+        CoreError::InvalidParameter {
+            name,
+            value: value.to_string(),
+            expected,
+        }
     }
 }
 
@@ -116,7 +130,11 @@ pub fn mori_conditional_factor(k: usize, a: usize, p: f64) -> crate::Result<f64>
 pub fn mori_event_probability_exact(a: usize, b: usize, p: f64) -> crate::Result<f64> {
     check_probability("p", p)?;
     if a < 2 || b < a {
-        return Err(CoreError::invalid("(a, b)", format!("({a}, {b})"), "2 ≤ a ≤ b"));
+        return Err(CoreError::invalid(
+            "(a, b)",
+            format!("({a}, {b})"),
+            "2 ≤ a ≤ b",
+        ));
     }
     let mut prob = 1.0;
     for k in (a + 1)..=b {

@@ -34,7 +34,10 @@ impl EquivalenceWindow {
     ///
     /// Panics if `a < 2`.
     pub fn from_anchor(a: usize) -> EquivalenceWindow {
-        EquivalenceWindow { a, b: lemma3_window_end(a) }
+        EquivalenceWindow {
+            a,
+            b: lemma3_window_end(a),
+        }
     }
 
     /// Window containing the target vertex `n` as its first element

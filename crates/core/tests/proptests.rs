@@ -2,8 +2,8 @@
 //! probability bounds.
 
 use nonsearch_core::{
-    lemma1_lower_bound, lemma3_bound, mori_conditional_factor,
-    mori_event_probability_exact, EquivalenceWindow, Permutation,
+    lemma1_lower_bound, lemma3_bound, mori_conditional_factor, mori_event_probability_exact,
+    EquivalenceWindow, Permutation,
 };
 use nonsearch_graph::{NodeId, UndirectedCsr};
 use proptest::prelude::*;
@@ -65,7 +65,7 @@ proptest! {
     fn window_size_is_floor_sqrt(a in 2usize..100_000) {
         let w = EquivalenceWindow::from_anchor(a);
         let width = w.len();
-        prop_assert!(width * width <= a - 1);
+        prop_assert!(width * width < a);
         prop_assert!((width + 1) * (width + 1) > a - 1);
         prop_assert!(w.contains_label(a + 1) || w.is_empty());
         prop_assert!(!w.contains_label(a));

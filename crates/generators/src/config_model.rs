@@ -107,9 +107,7 @@ impl ConfigModel {
                 let mut seen = HashSet::new();
                 pair_once(&mut stubs, rng)
                     .into_iter()
-                    .filter(|&(u, v)| {
-                        u != v && seen.insert((u.min(v), u.max(v)))
-                    })
+                    .filter(|&(u, v)| u != v && seen.insert((u.min(v), u.max(v))))
                     .collect()
             }
             SimplificationPolicy::Reject { max_attempts } => {
@@ -133,7 +131,11 @@ impl ConfigModel {
 
         let graph = UndirectedCsr::from_edges(n, edges)
             .expect("stub endpoints are in range by construction");
-        Ok(ConfigModel { graph, requested: degrees.to_vec(), policy })
+        Ok(ConfigModel {
+            graph,
+            requested: degrees.to_vec(),
+            policy,
+        })
     }
 
     /// The sampled undirected graph.
@@ -169,8 +171,7 @@ mod tests {
     fn multigraph_preserves_degrees_exactly() {
         let degrees = vec![5, 4, 3, 2, 1, 1, 1, 1];
         let mut rng = rng_from_seed(1);
-        let g = ConfigModel::sample(&degrees, SimplificationPolicy::Multigraph, &mut rng)
-            .unwrap();
+        let g = ConfigModel::sample(&degrees, SimplificationPolicy::Multigraph, &mut rng).unwrap();
         for (i, &d) in degrees.iter().enumerate() {
             assert_eq!(g.graph().degree(NodeId::new(i)), d);
         }
@@ -181,8 +182,7 @@ mod tests {
     fn erased_graph_is_simple() {
         let degrees = vec![4; 20];
         let mut rng = rng_from_seed(2);
-        let g =
-            ConfigModel::sample(&degrees, SimplificationPolicy::Erased, &mut rng).unwrap();
+        let g = ConfigModel::sample(&degrees, SimplificationPolicy::Erased, &mut rng).unwrap();
         assert_eq!(g.graph().self_loop_count(), 0);
         assert_eq!(g.graph().parallel_edge_count(), 0);
         // Degrees never exceed the request.
@@ -197,7 +197,9 @@ mod tests {
         let mut rng = rng_from_seed(3);
         let g = ConfigModel::sample(
             &degrees,
-            SimplificationPolicy::Reject { max_attempts: 10_000 },
+            SimplificationPolicy::Reject {
+                max_attempts: 10_000,
+            },
             &mut rng,
         )
         .unwrap();
@@ -220,23 +222,24 @@ mod tests {
             &mut rng,
         )
         .unwrap_err();
-        assert!(matches!(err, GeneratorError::RejectionBudgetExhausted { .. }));
+        assert!(matches!(
+            err,
+            GeneratorError::RejectionBudgetExhausted { .. }
+        ));
     }
 
     #[test]
     fn odd_sum_rejected() {
         let mut rng = rng_from_seed(5);
-        let err =
-            ConfigModel::sample(&[1, 1, 1], SimplificationPolicy::Multigraph, &mut rng)
-                .unwrap_err();
+        let err = ConfigModel::sample(&[1, 1, 1], SimplificationPolicy::Multigraph, &mut rng)
+            .unwrap_err();
         assert!(matches!(err, GeneratorError::InvalidDegreeSequence { .. }));
     }
 
     #[test]
     fn degree_at_least_n_rejected_for_simple() {
         let mut rng = rng_from_seed(6);
-        assert!(ConfigModel::sample(&[3, 1, 1, 1], SimplificationPolicy::Erased, &mut rng)
-            .is_ok());
+        assert!(ConfigModel::sample(&[3, 1, 1, 1], SimplificationPolicy::Erased, &mut rng).is_ok());
         assert!(ConfigModel::sample(
             &[4, 2, 1, 1],
             SimplificationPolicy::Reject { max_attempts: 10 },
@@ -248,9 +251,7 @@ mod tests {
     #[test]
     fn empty_sequence_rejected() {
         let mut rng = rng_from_seed(7);
-        assert!(
-            ConfigModel::sample(&[], SimplificationPolicy::Multigraph, &mut rng).is_err()
-        );
+        assert!(ConfigModel::sample(&[], SimplificationPolicy::Multigraph, &mut rng).is_err());
     }
 
     #[test]
@@ -275,8 +276,7 @@ mod tests {
     fn zero_degree_vertices_allowed() {
         let degrees = vec![0, 2, 1, 1];
         let mut rng = rng_from_seed(9);
-        let g = ConfigModel::sample(&degrees, SimplificationPolicy::Multigraph, &mut rng)
-            .unwrap();
+        let g = ConfigModel::sample(&degrees, SimplificationPolicy::Multigraph, &mut rng).unwrap();
         assert_eq!(g.graph().degree(NodeId::new(0)), 0);
     }
 }

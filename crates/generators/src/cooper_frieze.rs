@@ -74,9 +74,20 @@ impl CooperFriezeConfig {
         check_probability("gamma", gamma)?;
         check_probability("delta", delta)?;
         if alpha == 0.0 {
-            return Err(GeneratorError::invalid("alpha", 0.0, "a probability in (0, 1]"));
+            return Err(GeneratorError::invalid(
+                "alpha",
+                0.0,
+                "a probability in (0, 1]",
+            ));
         }
-        Ok(CooperFriezeConfig { alpha, beta, gamma, delta, new_edges, old_edges })
+        Ok(CooperFriezeConfig {
+            alpha,
+            beta,
+            gamma,
+            delta,
+            new_edges,
+            old_edges,
+        })
     }
 
     /// A balanced configuration commonly used in experiments: terminals
@@ -154,7 +165,10 @@ impl CooperFrieze {
         rng: &mut R,
     ) -> Result<CooperFrieze> {
         if n < 2 {
-            return Err(GeneratorError::TooSmall { requested: n, minimum: 2 });
+            return Err(GeneratorError::TooSmall {
+                requested: n,
+                minimum: 2,
+            });
         }
         let mut digraph = EvolvingDigraph::with_capacity(n, 2 * n);
         let mut trace = AttachmentTrace::with_capacity(2 * n);
@@ -165,7 +179,11 @@ impl CooperFrieze {
         let v1 = digraph.add_node();
         let v2 = digraph.add_node();
         digraph.add_edge(v2, v1).expect("seed endpoints exist");
-        trace.push(AttachmentRecord { child: v2, father: v1, kind: AttachmentKind::Seed });
+        trace.push(AttachmentRecord {
+            child: v2,
+            father: v1,
+            kind: AttachmentKind::Seed,
+        });
         in_urn.push(v1);
         out_urn.push(v2);
 
@@ -184,7 +202,11 @@ impl CooperFrieze {
                         rng,
                     );
                     digraph.add_edge(child, father).expect("endpoints exist");
-                    trace.push(AttachmentRecord { child, father, kind });
+                    trace.push(AttachmentRecord {
+                        child,
+                        father,
+                        kind,
+                    });
                     in_urn.push(father);
                     out_urn.push(child);
                 }
@@ -215,14 +237,23 @@ impl CooperFrieze {
                         rng,
                     );
                     digraph.add_edge(source, father).expect("endpoints exist");
-                    trace.push(AttachmentRecord { child: source, father, kind });
+                    trace.push(AttachmentRecord {
+                        child: source,
+                        father,
+                        kind,
+                    });
                     in_urn.push(father);
                     out_urn.push(source);
                 }
             }
         }
 
-        Ok(CooperFrieze { digraph, trace, steps, config: config.clone() })
+        Ok(CooperFrieze {
+            digraph,
+            trace,
+            steps,
+            config: config.clone(),
+        })
     }
 
     /// Terminal choice: indegree-preferential w.p. `pref_prob`, uniform
@@ -243,7 +274,10 @@ impl CooperFrieze {
             let v = in_urn.sample(rng).expect("in-urn non-empty after seed");
             (v, AttachmentKind::Preferential)
         } else {
-            (NodeId::new(rng.gen_range(0..candidates)), AttachmentKind::Uniform)
+            (
+                NodeId::new(rng.gen_range(0..candidates)),
+                AttachmentKind::Uniform,
+            )
         }
     }
 
@@ -381,12 +415,9 @@ mod tests {
     #[test]
     fn config_validation() {
         let one = DiscreteDistribution::constant(1).unwrap();
-        assert!(CooperFriezeConfig::new(0.0, 0.5, 0.5, 0.5, one.clone(), one.clone())
-            .is_err());
-        assert!(CooperFriezeConfig::new(0.5, 1.5, 0.5, 0.5, one.clone(), one.clone())
-            .is_err());
-        assert!(CooperFriezeConfig::new(0.5, 0.5, -0.1, 0.5, one.clone(), one.clone())
-            .is_err());
+        assert!(CooperFriezeConfig::new(0.0, 0.5, 0.5, 0.5, one.clone(), one.clone()).is_err());
+        assert!(CooperFriezeConfig::new(0.5, 1.5, 0.5, 0.5, one.clone(), one.clone()).is_err());
+        assert!(CooperFriezeConfig::new(0.5, 0.5, -0.1, 0.5, one.clone(), one.clone()).is_err());
         assert!(CooperFriezeConfig::new(0.5, 0.5, 0.5, 2.0, one.clone(), one).is_err());
         assert!(CooperFriezeConfig::balanced(0.5).is_ok());
     }

@@ -38,11 +38,21 @@ pub enum GeneratorError {
 impl fmt::Display for GeneratorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GeneratorError::InvalidParameter { name, value, expected } => {
-                write!(f, "parameter `{name}` = {value} is invalid (expected {expected})")
+            GeneratorError::InvalidParameter {
+                name,
+                value,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "parameter `{name}` = {value} is invalid (expected {expected})"
+                )
             }
             GeneratorError::TooSmall { requested, minimum } => {
-                write!(f, "requested {requested} vertices but the model needs at least {minimum}")
+                write!(
+                    f,
+                    "requested {requested} vertices but the model needs at least {minimum}"
+                )
             }
             GeneratorError::InvalidDegreeSequence { reason } => {
                 write!(f, "degree sequence cannot be realized: {reason}")
@@ -58,12 +68,12 @@ impl Error for GeneratorError {}
 
 impl GeneratorError {
     /// Convenience constructor for [`GeneratorError::InvalidParameter`].
-    pub fn invalid<V: fmt::Display>(
-        name: &'static str,
-        value: V,
-        expected: &'static str,
-    ) -> Self {
-        GeneratorError::InvalidParameter { name, value: value.to_string(), expected }
+    pub fn invalid<V: fmt::Display>(name: &'static str, value: V, expected: &'static str) -> Self {
+        GeneratorError::InvalidParameter {
+            name,
+            value: value.to_string(),
+            expected,
+        }
     }
 }
 
@@ -72,7 +82,11 @@ pub(crate) fn check_probability(name: &'static str, value: f64) -> crate::Result
     if value.is_finite() && (0.0..=1.0).contains(&value) {
         Ok(())
     } else {
-        Err(GeneratorError::invalid(name, value, "a probability in [0, 1]"))
+        Err(GeneratorError::invalid(
+            name,
+            value,
+            "a probability in [0, 1]",
+        ))
     }
 }
 
@@ -86,10 +100,15 @@ mod tests {
         assert!(e.to_string().contains("`p`"));
         assert!(e.to_string().contains("1.5"));
 
-        let e = GeneratorError::TooSmall { requested: 1, minimum: 2 };
+        let e = GeneratorError::TooSmall {
+            requested: 1,
+            minimum: 2,
+        };
         assert!(e.to_string().contains("at least 2"));
 
-        let e = GeneratorError::InvalidDegreeSequence { reason: "odd sum".into() };
+        let e = GeneratorError::InvalidDegreeSequence {
+            reason: "odd sum".into(),
+        };
         assert!(e.to_string().contains("odd sum"));
 
         let e = GeneratorError::RejectionBudgetExhausted { attempts: 9 };

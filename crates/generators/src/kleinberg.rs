@@ -71,7 +71,10 @@ impl KleinbergGrid {
         rng: &mut R,
     ) -> Result<KleinbergGrid> {
         if side < 2 {
-            return Err(GeneratorError::TooSmall { requested: side, minimum: 2 });
+            return Err(GeneratorError::TooSmall {
+                requested: side,
+                minimum: 2,
+            });
         }
         if !r.is_finite() || r < 0.0 {
             return Err(GeneratorError::invalid("r", r, "a finite value ≥ 0"));
@@ -146,7 +149,9 @@ impl KleinbergGrid {
                 return Ok(NodeId::new(nr as usize * side + nc as usize));
             }
         }
-        Err(GeneratorError::RejectionBudgetExhausted { attempts: MAX_ATTEMPTS })
+        Err(GeneratorError::RejectionBudgetExhausted {
+            attempts: MAX_ATTEMPTS,
+        })
     }
 
     /// The undirected graph (lattice plus long-range edges).
@@ -176,7 +181,10 @@ impl KleinbergGrid {
     /// Panics if `v` is out of bounds.
     pub fn coord(&self, v: NodeId) -> GridCoord {
         assert!(v.index() < self.side * self.side, "vertex out of bounds");
-        GridCoord { row: v.index() / self.side, col: v.index() % self.side }
+        GridCoord {
+            row: v.index() / self.side,
+            col: v.index() % self.side,
+        }
     }
 
     /// The vertex at position `c`.
@@ -185,7 +193,10 @@ impl KleinbergGrid {
     ///
     /// Panics if `c` is outside the grid.
     pub fn node_at(&self, c: GridCoord) -> NodeId {
-        assert!(c.row < self.side && c.col < self.side, "coordinate out of bounds");
+        assert!(
+            c.row < self.side && c.col < self.side,
+            "coordinate out of bounds"
+        );
         NodeId::new(c.row * self.side + c.col)
     }
 

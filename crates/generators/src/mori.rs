@@ -66,7 +66,10 @@ impl MoriTree {
     pub fn sample<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Result<MoriTree> {
         check_probability("p", p)?;
         if n < 2 {
-            return Err(GeneratorError::TooSmall { requested: n, minimum: 2 });
+            return Err(GeneratorError::TooSmall {
+                requested: n,
+                minimum: 2,
+            });
         }
         let mut digraph = EvolvingDigraph::with_capacity(n, n - 1);
         let mut trace = AttachmentTrace::with_capacity(n - 1);
@@ -76,15 +79,19 @@ impl MoriTree {
         let v1 = digraph.add_node();
         let v2 = digraph.add_node();
         digraph.add_edge(v2, v1).expect("seed endpoints exist");
-        trace.push(AttachmentRecord { child: v2, father: v1, kind: AttachmentKind::Seed });
+        trace.push(AttachmentRecord {
+            child: v2,
+            father: v1,
+            kind: AttachmentKind::Seed,
+        });
         urn.push(v1);
 
         for t in 3..=n {
             let candidates = t - 1; // existing vertices
             let total_indegree = t - 2; // edges so far
-            // P(preferential component) = pD / (pD + (1−p)N): drawing from
-            // the urn within that component is ∝ indegree, so the overall
-            // law is ∝ p·d(u) + (1−p), exactly the paper's weight.
+                                        // P(preferential component) = pD / (pD + (1−p)N): drawing from
+                                        // the urn within that component is ∝ indegree, so the overall
+                                        // law is ∝ p·d(u) + (1−p), exactly the paper's weight.
             let pref_mass = p * total_indegree as f64;
             let unif_mass = (1.0 - p) * candidates as f64;
             let threshold = pref_mass / (pref_mass + unif_mass);
@@ -92,11 +99,18 @@ impl MoriTree {
                 let f = urn.sample(rng).expect("urn non-empty after seed");
                 (f, AttachmentKind::Preferential)
             } else {
-                (NodeId::new(rng.gen_range(0..candidates)), AttachmentKind::Uniform)
+                (
+                    NodeId::new(rng.gen_range(0..candidates)),
+                    AttachmentKind::Uniform,
+                )
             };
             let child = digraph.add_node();
             digraph.add_edge(child, father).expect("endpoints exist");
-            trace.push(AttachmentRecord { child, father, kind });
+            trace.push(AttachmentRecord {
+                child,
+                father,
+                kind,
+            });
             urn.push(father);
         }
 
@@ -148,7 +162,7 @@ impl MoriTree {
         if m == 0 {
             return Err(GeneratorError::invalid("m", 0usize, "a positive integer"));
         }
-        if self.len() % m != 0 {
+        if !self.len().is_multiple_of(m) {
             return Err(GeneratorError::invalid(
                 "m",
                 m,
@@ -159,7 +173,12 @@ impl MoriTree {
             .digraph
             .merge_blocks(m)
             .expect("tree is non-empty and m divides its size");
-        Ok(MergedMori { merged, tree_trace: self.trace, m, p: self.p })
+        Ok(MergedMori {
+            merged,
+            tree_trace: self.trace,
+            m,
+            p: self.p,
+        })
     }
 }
 
@@ -185,17 +204,15 @@ impl MergedMori {
     ///
     /// Propagates validation errors from [`MoriTree::sample`] and
     /// [`MoriTree::into_merged`].
-    pub fn sample<R: Rng + ?Sized>(
-        n: usize,
-        m: usize,
-        p: f64,
-        rng: &mut R,
-    ) -> Result<MergedMori> {
+    pub fn sample<R: Rng + ?Sized>(n: usize, m: usize, p: f64, rng: &mut R) -> Result<MergedMori> {
         if m == 0 {
             return Err(GeneratorError::invalid("m", 0usize, "a positive integer"));
         }
         if n < 2 {
-            return Err(GeneratorError::TooSmall { requested: n, minimum: 2 });
+            return Err(GeneratorError::TooSmall {
+                requested: n,
+                minimum: 2,
+            });
         }
         MoriTree::sample(n * m, p, rng)?.into_merged(m)
     }
@@ -297,7 +314,10 @@ mod tests {
             })
             .count();
         let frac = hits as f64 / trials as f64;
-        assert!((frac - expect).abs() < 0.02, "frac = {frac}, expect = {expect}");
+        assert!(
+            (frac - expect).abs() < 0.02,
+            "frac = {frac}, expect = {expect}"
+        );
     }
 
     #[test]
@@ -380,7 +400,10 @@ mod tests {
                 break;
             }
         }
-        assert!(saw_loop, "expected at least one self-loop across 50 samples");
+        assert!(
+            saw_loop,
+            "expected at least one self-loop across 50 samples"
+        );
     }
 
     #[test]

@@ -34,9 +34,17 @@ impl PowerLawConfig {
             ));
         }
         if d_min == 0 {
-            return Err(GeneratorError::invalid("d_min", 0usize, "a positive degree"));
+            return Err(GeneratorError::invalid(
+                "d_min",
+                0usize,
+                "a positive degree",
+            ));
         }
-        Ok(PowerLawConfig { exponent, d_min, d_max: None })
+        Ok(PowerLawConfig {
+            exponent,
+            d_min,
+            d_max: None,
+        })
     }
 
     /// Overrides the maximum degree cutoff.
@@ -105,7 +113,11 @@ pub fn power_law_degree_sequence<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<Vec<usize>> {
     if n == 0 {
-        return Err(GeneratorError::invalid("n", 0usize, "a positive vertex count"));
+        return Err(GeneratorError::invalid(
+            "n",
+            0usize,
+            "a positive vertex count",
+        ));
     }
     let d_min = config.d_min;
     let d_max = config.cutoff_for(n);
@@ -113,8 +125,7 @@ pub fn power_law_degree_sequence<R: Rng + ?Sized>(
         .map(|d| (d as f64).powf(-config.exponent))
         .collect();
     let sampler = CumulativeSampler::new(&weights).expect("positive weights");
-    let mut degrees: Vec<usize> =
-        (0..n).map(|_| sampler.sample(rng) + d_min).collect();
+    let mut degrees: Vec<usize> = (0..n).map(|_| sampler.sample(rng) + d_min).collect();
     if degrees.iter().sum::<usize>() % 2 == 1 {
         // Find an adjustable entry; every sequence has one unless
         // d_min == d_max, where parity can only be fixed when n is even
@@ -126,9 +137,7 @@ pub fn power_law_degree_sequence<R: Rng + ?Sized>(
             degrees[i] -= 1;
         } else {
             return Err(GeneratorError::InvalidDegreeSequence {
-                reason: format!(
-                    "cannot fix odd stub sum with constant degree {d_min} and odd n"
-                ),
+                reason: format!("cannot fix odd stub sum with constant degree {d_min} and odd n"),
             });
         }
     }
@@ -160,7 +169,10 @@ mod tests {
 
     #[test]
     fn sequence_respects_bounds_and_parity() {
-        let cfg = PowerLawConfig::new(2.3, 2).unwrap().with_cutoff(50).unwrap();
+        let cfg = PowerLawConfig::new(2.3, 2)
+            .unwrap()
+            .with_cutoff(50)
+            .unwrap();
         let mut rng = rng_from_seed(1);
         let seq = power_law_degree_sequence(501, &cfg, &mut rng).unwrap();
         assert_eq!(seq.len(), 501);
@@ -171,8 +183,14 @@ mod tests {
     #[test]
     fn heavier_tail_for_smaller_exponent() {
         let mut rng = rng_from_seed(2);
-        let shallow = PowerLawConfig::new(2.1, 1).unwrap().with_cutoff(1000).unwrap();
-        let steep = PowerLawConfig::new(3.5, 1).unwrap().with_cutoff(1000).unwrap();
+        let shallow = PowerLawConfig::new(2.1, 1)
+            .unwrap()
+            .with_cutoff(1000)
+            .unwrap();
+        let steep = PowerLawConfig::new(3.5, 1)
+            .unwrap()
+            .with_cutoff(1000)
+            .unwrap();
         let mean = |cfg: &PowerLawConfig, rng: &mut rand_chacha::ChaCha8Rng| {
             let seq = power_law_degree_sequence(20_000, cfg, rng).unwrap();
             seq.iter().sum::<usize>() as f64 / seq.len() as f64

@@ -50,7 +50,9 @@ impl AttachmentTrace {
 
     /// Creates an empty trace with reserved capacity.
     pub fn with_capacity(capacity: usize) -> Self {
-        AttachmentTrace { records: Vec::with_capacity(capacity) }
+        AttachmentTrace {
+            records: Vec::with_capacity(capacity),
+        }
     }
 
     /// Appends a record (construction-time use).
@@ -84,7 +86,10 @@ impl AttachmentTrace {
     /// For multi-edge traces this returns the *first* father.
     pub fn father_of_label(&self, k: usize) -> Option<NodeId> {
         let child = NodeId::from_label(k);
-        self.records.iter().find(|r| r.child == child).map(|r| r.father)
+        self.records
+            .iter()
+            .find(|r| r.child == child)
+            .map(|r| r.father)
     }
 
     /// All fathers of the vertex with one-based label `k`, in time order.
@@ -101,13 +106,18 @@ impl AttachmentTrace {
     ///
     /// Returns `None` if there are no non-seed records.
     pub fn preferential_fraction(&self) -> Option<f64> {
-        let non_seed: Vec<_> =
-            self.records.iter().filter(|r| r.kind != AttachmentKind::Seed).collect();
+        let non_seed: Vec<_> = self
+            .records
+            .iter()
+            .filter(|r| r.kind != AttachmentKind::Seed)
+            .collect();
         if non_seed.is_empty() {
             return None;
         }
-        let pref =
-            non_seed.iter().filter(|r| r.kind == AttachmentKind::Preferential).count();
+        let pref = non_seed
+            .iter()
+            .filter(|r| r.kind == AttachmentKind::Preferential)
+            .count();
         Some(pref as f64 / non_seed.len() as f64)
     }
 }
@@ -123,7 +133,9 @@ impl<'a> IntoIterator for &'a AttachmentTrace {
 
 impl FromIterator<AttachmentRecord> for AttachmentTrace {
     fn from_iter<I: IntoIterator<Item = AttachmentRecord>>(iter: I) -> Self {
-        AttachmentTrace { records: iter.into_iter().collect() }
+        AttachmentTrace {
+            records: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -187,8 +199,7 @@ mod tests {
         let f = t.preferential_fraction().unwrap();
         assert!((f - 2.0 / 3.0).abs() < 1e-12);
 
-        let seed_only: AttachmentTrace =
-            [rec(2, 1, AttachmentKind::Seed)].into_iter().collect();
+        let seed_only: AttachmentTrace = [rec(2, 1, AttachmentKind::Seed)].into_iter().collect();
         assert!(seed_only.preferential_fraction().is_none());
     }
 

@@ -74,7 +74,9 @@ impl SeedSequence {
 
     /// Derives a nested sequence (e.g. per-model, then per-trial).
     pub fn subsequence(&self, index: u64) -> SeedSequence {
-        SeedSequence { root: self.child(index) }
+        SeedSequence {
+            root: self.child(index),
+        }
     }
 }
 

@@ -5,9 +5,7 @@
 //! vertex picks its target(s) uniformly among existing vertices. With
 //! `m = 1` this is the classic random recursive tree.
 
-use crate::{
-    AttachmentKind, AttachmentRecord, AttachmentTrace, GeneratorError, Result,
-};
+use crate::{AttachmentKind, AttachmentRecord, AttachmentTrace, GeneratorError, Result};
 use nonsearch_graph::{EvolvingDigraph, NodeId, UndirectedCsr};
 use rand::Rng;
 
@@ -42,16 +40,15 @@ impl UniformAttachment {
     ///
     /// Returns [`GeneratorError::InvalidParameter`] if `m == 0` and
     /// [`GeneratorError::TooSmall`] if `n < 2`.
-    pub fn sample<R: Rng + ?Sized>(
-        n: usize,
-        m: usize,
-        rng: &mut R,
-    ) -> Result<UniformAttachment> {
+    pub fn sample<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Result<UniformAttachment> {
         if m == 0 {
             return Err(GeneratorError::invalid("m", 0usize, "a positive integer"));
         }
         if n < 2 {
-            return Err(GeneratorError::TooSmall { requested: n, minimum: 2 });
+            return Err(GeneratorError::TooSmall {
+                requested: n,
+                minimum: 2,
+            });
         }
         let mut digraph = EvolvingDigraph::with_capacity(n, m * n);
         let mut trace = AttachmentTrace::with_capacity(m * n);

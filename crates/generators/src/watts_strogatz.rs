@@ -47,11 +47,11 @@ impl WattsStrogatz {
                 present.insert(norm(u, v));
             }
         }
-        for slot in 0..edges.len() {
+        for edge in edges.iter_mut() {
             if rng.gen::<f64>() >= beta {
                 continue;
             }
-            let (u, old_v) = edges[slot];
+            let (u, old_v) = *edge;
             // Rewire the far endpoint to a fresh uniform target; skip if
             // the vertex is already saturated.
             if present.len() >= n * (n - 1) / 2 {
@@ -69,7 +69,7 @@ impl WattsStrogatz {
             if let Some(w) = rewired {
                 present.remove(&norm(u, old_v));
                 present.insert(norm(u, w));
-                edges[slot] = (u, w);
+                *edge = (u, w);
             }
         }
         Ok(UndirectedCsr::from_edges(n, edges).expect("endpoints in range"))

@@ -37,7 +37,9 @@ impl UrnSampler {
 
     /// Creates an empty urn with reserved capacity.
     pub fn with_capacity(capacity: usize) -> Self {
-        UrnSampler { tickets: Vec::with_capacity(capacity) }
+        UrnSampler {
+            tickets: Vec::with_capacity(capacity),
+        }
     }
 
     /// Adds one ticket for `v`.
@@ -86,7 +88,11 @@ impl CumulativeSampler {
     /// contains a negative or non-finite value, or sums to zero.
     pub fn new(weights: &[f64]) -> Result<Self> {
         if weights.is_empty() {
-            return Err(GeneratorError::invalid("weights", "[]", "a non-empty slice"));
+            return Err(GeneratorError::invalid(
+                "weights",
+                "[]",
+                "a non-empty slice",
+            ));
         }
         let mut cumulative = Vec::with_capacity(weights.len());
         let mut acc = 0.0f64;
@@ -132,7 +138,11 @@ impl CumulativeSampler {
     /// Panics if `index` is out of bounds.
     pub fn probability(&self, index: usize) -> f64 {
         let total = *self.cumulative.last().expect("sampler is non-empty");
-        let prev = if index == 0 { 0.0 } else { self.cumulative[index - 1] };
+        let prev = if index == 0 {
+            0.0
+        } else {
+            self.cumulative[index - 1]
+        };
         (self.cumulative[index] - prev) / total
     }
 }
@@ -176,7 +186,11 @@ impl DiscreteDistribution {
     /// Returns [`GeneratorError::InvalidParameter`] if `value == 0`.
     pub fn constant(value: usize) -> Result<Self> {
         if value == 0 {
-            return Err(GeneratorError::invalid("value", 0usize, "a positive integer"));
+            return Err(GeneratorError::invalid(
+                "value",
+                0usize,
+                "a positive integer",
+            ));
         }
         let mut weights = vec![0.0; value];
         weights[value - 1] = 1.0;

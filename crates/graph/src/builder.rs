@@ -27,7 +27,10 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Creates a builder for a graph on `nodes` vertices.
     pub fn new(nodes: usize) -> Self {
-        GraphBuilder { nodes, edges: Vec::new() }
+        GraphBuilder {
+            nodes,
+            edges: Vec::new(),
+        }
     }
 
     /// Reserves capacity for `additional` more edges.
@@ -90,8 +93,7 @@ impl FromIterator<(usize, usize)> for GraphBuilder {
 
 /// Convenience: builds the path graph `0 − 1 − … − (n−1)`.
 pub fn path_graph(n: usize) -> UndirectedCsr {
-    UndirectedCsr::from_edges(n, (1..n).map(|i| (i - 1, i)))
-        .expect("path endpoints are in range")
+    UndirectedCsr::from_edges(n, (1..n).map(|i| (i - 1, i))).expect("path endpoints are in range")
 }
 
 /// Convenience: builds the cycle graph on `n ≥ 3` vertices.
@@ -107,8 +109,7 @@ pub fn cycle_graph(n: usize) -> UndirectedCsr {
 
 /// Convenience: builds the star graph with center `0` and `n − 1` leaves.
 pub fn star_graph(n: usize) -> UndirectedCsr {
-    UndirectedCsr::from_edges(n, (1..n).map(|i| (0, i)))
-        .expect("star endpoints are in range")
+    UndirectedCsr::from_edges(n, (1..n).map(|i| (0, i))).expect("star endpoints are in range")
 }
 
 /// Convenience: builds the complete graph on `n` vertices.

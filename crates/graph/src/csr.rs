@@ -66,7 +66,11 @@ impl UndirectedCsr {
             cursor[ep.target.index()] += 1;
             edge_list.push((ep.source, ep.target));
         }
-        UndirectedCsr { offsets, slots, edge_list }
+        UndirectedCsr {
+            offsets,
+            slots,
+            edge_list,
+        }
     }
 
     /// Builds an undirected graph from an explicit edge list over vertices
@@ -138,13 +142,19 @@ impl UndirectedCsr {
     /// [`GraphError::IncidenceOutOfBounds`] for a slot `≥ degree(v)`.
     pub fn incident_slot(&self, v: NodeId, slot: usize) -> Result<(NodeId, EdgeId)> {
         if v.index() >= self.node_count() {
-            return Err(GraphError::NodeOutOfBounds { node: v, node_count: self.node_count() });
+            return Err(GraphError::NodeOutOfBounds {
+                node: v,
+                node_count: self.node_count(),
+            });
         }
-        self.incident(v).get(slot).copied().ok_or(GraphError::IncidenceOutOfBounds {
-            node: v,
-            slot,
-            degree: self.degree(v),
-        })
+        self.incident(v)
+            .get(slot)
+            .copied()
+            .ok_or(GraphError::IncidenceOutOfBounds {
+                node: v,
+                slot,
+                degree: self.degree(v),
+            })
     }
 
     /// Iterator over the neighbors of `v` (with multiplicity; a self-loop
@@ -154,7 +164,9 @@ impl UndirectedCsr {
     ///
     /// Panics if `v` is out of bounds.
     pub fn neighbors(&self, v: NodeId) -> Neighbors<'_> {
-        Neighbors { inner: self.incident(v).iter() }
+        Neighbors {
+            inner: self.incident(v).iter(),
+        }
     }
 
     /// Iterator over the incident `(neighbor, edge)` slots of `v`.
@@ -163,7 +175,9 @@ impl UndirectedCsr {
     ///
     /// Panics if `v` is out of bounds.
     pub fn incident_edges(&self, v: NodeId) -> IncidentEdges<'_> {
-        IncidentEdges { inner: self.incident(v).iter() }
+        IncidentEdges {
+            inner: self.incident(v).iter(),
+        }
     }
 
     /// Endpoints of edge `e` as stored at construction (source, target).
@@ -175,7 +189,10 @@ impl UndirectedCsr {
         self.edge_list
             .get(e.index())
             .copied()
-            .ok_or(GraphError::EdgeOutOfBounds { edge: e, edge_count: self.edge_count() })
+            .ok_or(GraphError::EdgeOutOfBounds {
+                edge: e,
+                edge_count: self.edge_count(),
+            })
     }
 
     /// `true` if some edge joins `u` and `v`.
@@ -186,8 +203,11 @@ impl UndirectedCsr {
     ///
     /// Panics if either vertex is out of bounds.
     pub fn is_adjacent(&self, u: NodeId, v: NodeId) -> bool {
-        let (probe, other) =
-            if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        let (probe, other) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
         self.neighbors(probe).any(|w| w == other)
     }
 
@@ -198,7 +218,10 @@ impl UndirectedCsr {
 
     /// Iterator over `(EdgeId, (u, v))` for every undirected edge.
     pub fn edges(&self) -> impl ExactSizeIterator<Item = (EdgeId, (NodeId, NodeId))> + '_ {
-        self.edge_list.iter().enumerate().map(|(i, &uv)| (EdgeId::new(i), uv))
+        self.edge_list
+            .iter()
+            .enumerate()
+            .map(|(i, &uv)| (EdgeId::new(i), uv))
     }
 
     /// The vertex with maximum degree, with its degree.
@@ -420,7 +443,10 @@ mod tests {
         let (v, d) = g.max_degree().unwrap();
         assert_eq!(d, 1);
         assert_eq!(v, NodeId::new(0));
-        assert!(UndirectedCsr::from_edges(0, []).unwrap().max_degree().is_none());
+        assert!(UndirectedCsr::from_edges(0, [])
+            .unwrap()
+            .max_degree()
+            .is_none());
     }
 
     #[test]
@@ -438,9 +464,7 @@ mod tests {
     #[test]
     fn shuffle_slots_preserves_structure() {
         use rand::SeedableRng;
-        let mut g =
-            UndirectedCsr::from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4), (1, 2)])
-                .unwrap();
+        let mut g = UndirectedCsr::from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4), (1, 2)]).unwrap();
         let before_degrees: Vec<usize> = g.nodes().map(|v| g.degree(v)).collect();
         let before_edges: Vec<_> = g.edges().collect();
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
@@ -480,8 +504,7 @@ mod tests {
 
     #[test]
     fn induced_subgraph_keeps_internal_edges() {
-        let g = UndirectedCsr::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
-            .unwrap();
+        let g = UndirectedCsr::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
         let keep = [NodeId::new(1), NodeId::new(2), NodeId::new(3)];
         let (sub, map) = g.induced_subgraph(&keep);
         assert_eq!(sub.node_count(), 3);

@@ -4,7 +4,9 @@ use crate::{NodeId, UndirectedCsr};
 
 /// Undirected degree sequence, indexed by vertex.
 pub fn degree_sequence(graph: &UndirectedCsr) -> Vec<usize> {
-    (0..graph.node_count()).map(|i| graph.degree(NodeId::new(i))).collect()
+    (0..graph.node_count())
+        .map(|i| graph.degree(NodeId::new(i)))
+        .collect()
 }
 
 /// Histogram of undirected degrees: entry `d` holds the number of vertices
@@ -51,9 +53,13 @@ impl DegreeStats {
         let min = *seq.iter().min().expect("non-empty");
         let max = *seq.iter().max().expect("non-empty");
         let mean = seq.iter().map(|&d| d as f64).sum::<f64>() / n;
-        let variance =
-            seq.iter().map(|&d| (d as f64 - mean).powi(2)).sum::<f64>() / n;
-        Some(DegreeStats { min, max, mean, variance })
+        let variance = seq.iter().map(|&d| (d as f64 - mean).powi(2)).sum::<f64>() / n;
+        Some(DegreeStats {
+            min,
+            max,
+            mean,
+            variance,
+        })
     }
 }
 
@@ -97,8 +103,8 @@ mod tests {
 
     #[test]
     fn mean_is_2m_over_n() {
-        let g = UndirectedCsr::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)])
-            .unwrap();
+        let g =
+            UndirectedCsr::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)]).unwrap();
         let s = DegreeStats::of(&g).unwrap();
         assert!((s.mean - 2.0 * 6.0 / 5.0).abs() < 1e-12);
     }

@@ -129,7 +129,10 @@ impl EvolvingDigraph {
         self.edges
             .get(e.index())
             .copied()
-            .ok_or(GraphError::EdgeOutOfBounds { edge: e, edge_count: self.edges.len() })
+            .ok_or(GraphError::EdgeOutOfBounds {
+                edge: e,
+                edge_count: self.edges.len(),
+            })
     }
 
     /// In-degree of `v` (number of edges pointing *to* `v`).
@@ -183,7 +186,10 @@ impl EvolvingDigraph {
 
     /// Iterator over `(EdgeId, EdgeEndpoints)` in insertion order.
     pub fn edges(&self) -> impl ExactSizeIterator<Item = (EdgeId, EdgeEndpoints)> + '_ {
-        self.edges.iter().enumerate().map(|(i, ep)| (EdgeId::new(i), *ep))
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, ep)| (EdgeId::new(i), *ep))
     }
 
     /// Sum of all in-degrees, i.e. the number of edges. Exposed because the
@@ -195,14 +201,20 @@ impl EvolvingDigraph {
 
     /// Number of self-loops.
     pub fn self_loop_count(&self) -> usize {
-        self.edges.iter().filter(|ep| ep.source == ep.target).count()
+        self.edges
+            .iter()
+            .filter(|ep| ep.source == ep.target)
+            .count()
     }
 
     fn check_node(&self, v: NodeId) -> Result<()> {
         if v.index() < self.node_count() {
             Ok(())
         } else {
-            Err(GraphError::NodeOutOfBounds { node: v, node_count: self.node_count() })
+            Err(GraphError::NodeOutOfBounds {
+                node: v,
+                node_count: self.node_count(),
+            })
         }
     }
 
@@ -331,15 +343,20 @@ mod tests {
         let b = g.add_node();
         let e = g.add_edge(b, a).unwrap();
         let ep = g.endpoints(e).unwrap();
-        assert_eq!(ep, EdgeEndpoints { source: b, target: a });
+        assert_eq!(
+            ep,
+            EdgeEndpoints {
+                source: b,
+                target: a
+            }
+        );
         assert!(g.endpoints(EdgeId::new(5)).is_err());
     }
 
     #[test]
     fn edge_iteration_in_insertion_order() {
         let g = path(4);
-        let targets: Vec<usize> =
-            g.edges().map(|(_, ep)| ep.target.index()).collect();
+        let targets: Vec<usize> = g.edges().map(|(_, ep)| ep.target.index()).collect();
         assert_eq!(targets, vec![0, 1, 2]);
     }
 

@@ -46,13 +46,22 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfBounds { node, node_count } => {
-                write!(f, "vertex {node:?} out of bounds (graph has {node_count} vertices)")
+                write!(
+                    f,
+                    "vertex {node:?} out of bounds (graph has {node_count} vertices)"
+                )
             }
             GraphError::EdgeOutOfBounds { edge, edge_count } => {
-                write!(f, "edge {edge:?} out of bounds (graph has {edge_count} edges)")
+                write!(
+                    f,
+                    "edge {edge:?} out of bounds (graph has {edge_count} edges)"
+                )
             }
             GraphError::IncidenceOutOfBounds { node, slot, degree } => {
-                write!(f, "incidence slot {slot} out of bounds for vertex {node:?} of degree {degree}")
+                write!(
+                    f,
+                    "incidence slot {slot} out of bounds for vertex {node:?} of degree {degree}"
+                )
             }
             GraphError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
             GraphError::ParseEdgeList { line, reason } => {
@@ -70,19 +79,32 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = GraphError::NodeOutOfBounds { node: NodeId::new(9), node_count: 5 };
+        let e = GraphError::NodeOutOfBounds {
+            node: NodeId::new(9),
+            node_count: 5,
+        };
         assert!(e.to_string().contains("v10"));
         assert!(e.to_string().contains("5 vertices"));
 
-        let e = GraphError::EdgeOutOfBounds { edge: EdgeId::new(3), edge_count: 2 };
+        let e = GraphError::EdgeOutOfBounds {
+            edge: EdgeId::new(3),
+            edge_count: 2,
+        };
         assert!(e.to_string().contains("e3"));
 
-        let e = GraphError::IncidenceOutOfBounds { node: NodeId::new(0), slot: 7, degree: 3 };
+        let e = GraphError::IncidenceOutOfBounds {
+            node: NodeId::new(0),
+            slot: 7,
+            degree: 3,
+        };
         assert!(e.to_string().contains("slot 7"));
 
         assert!(!GraphError::EmptyGraph.to_string().is_empty());
 
-        let e = GraphError::ParseEdgeList { line: 4, reason: "expected two fields".into() };
+        let e = GraphError::ParseEdgeList {
+            line: 4,
+            reason: "expected two fields".into(),
+        };
         assert!(e.to_string().contains("line 4"));
     }
 

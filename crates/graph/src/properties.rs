@@ -23,10 +23,7 @@ pub trait GraphProperties {
 impl GraphProperties for UndirectedCsr {
     fn is_tree(&self) -> bool {
         let n = self.node_count();
-        n > 0
-            && self.edge_count() == n - 1
-            && self.self_loop_count() == 0
-            && is_connected(self)
+        n > 0 && self.edge_count() == n - 1 && self.self_loop_count() == 0 && is_connected(self)
     }
 
     fn self_loop_count(&self) -> usize {
@@ -98,8 +95,7 @@ impl fmt::Display for StructuralSummary {
         write!(
             f,
             "n={} m={} components={} giant={} loops={} parallels={}",
-            self.nodes, self.edges, self.components, self.giant, self.self_loops,
-            self.parallels
+            self.nodes, self.edges, self.components, self.giant, self.self_loops, self.parallels
         )?;
         if let Some(d) = &self.degrees {
             write!(f, " deg[min={} max={} mean={:.3}]", d.min, d.max, d.mean)?;
@@ -140,8 +136,7 @@ mod tests {
 
     #[test]
     fn parallel_edges_counted() {
-        let g = UndirectedCsr::from_edges(3, [(0, 1), (1, 0), (1, 2), (2, 1), (2, 1)])
-            .unwrap();
+        let g = UndirectedCsr::from_edges(3, [(0, 1), (1, 0), (1, 2), (2, 1), (2, 1)]).unwrap();
         assert_eq!(g.parallel_edge_count(), 3);
     }
 

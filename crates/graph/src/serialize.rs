@@ -152,7 +152,10 @@ mod tests {
 
     #[test]
     fn record_rejects_bad_edges() {
-        let rec = GraphRecord { nodes: 2, edges: vec![(0, 5)] };
+        let rec = GraphRecord {
+            nodes: 2,
+            edges: vec![(0, 5)],
+        };
         assert!(rec.to_graph().is_err());
     }
 

@@ -37,7 +37,11 @@ impl<'a> Bfs<'a> {
         visited[source.index()] = true;
         let mut queue = VecDeque::new();
         queue.push_back((source, 0));
-        Bfs { graph, queue, visited }
+        Bfs {
+            graph,
+            queue,
+            visited,
+        }
     }
 }
 
@@ -196,8 +200,14 @@ mod tests {
         sizes.sort_unstable();
         assert_eq!(sizes, vec![1, 2, 3]);
         assert_eq!(cc.giant_size(), 3);
-        assert_eq!(cc.component_of(NodeId::new(0)), cc.component_of(NodeId::new(2)));
-        assert_ne!(cc.component_of(NodeId::new(0)), cc.component_of(NodeId::new(5)));
+        assert_eq!(
+            cc.component_of(NodeId::new(0)),
+            cc.component_of(NodeId::new(2))
+        );
+        assert_ne!(
+            cc.component_of(NodeId::new(0)),
+            cc.component_of(NodeId::new(5))
+        );
     }
 
     #[test]

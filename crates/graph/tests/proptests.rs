@@ -15,6 +15,10 @@ fn arb_graph() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
 }
 
 proptest! {
+    // Fixed case count: keeps CI time bounded and independent of the
+    // proptest default.
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
     #[test]
     fn degree_sum_is_twice_edge_count((n, edges) in arb_graph()) {
         let g = UndirectedCsr::from_edges(n, edges).unwrap();

@@ -126,7 +126,16 @@ mod tests {
     fn bfs_never_exceeds_edge_slots() {
         let g = UndirectedCsr::from_edges(
             7,
-            [(0, 1), (0, 2), (1, 3), (2, 4), (3, 5), (4, 6), (5, 6), (1, 2)],
+            [
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (2, 4),
+                (3, 5),
+                (4, 6),
+                (5, 6),
+                (1, 2),
+            ],
         )
         .unwrap();
         let task = SearchTask::new(NodeId::new(0), NodeId::new(6));
@@ -149,11 +158,8 @@ mod tests {
     fn bfs_visits_in_breadth_order_on_binary_tree() {
         // Perfect binary tree: BFS must find the deepest node after
         // exploring every edge above it, i.e. in exactly n−1 requests.
-        let g = UndirectedCsr::from_edges(
-            7,
-            [(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6)],
-        )
-        .unwrap();
+        let g =
+            UndirectedCsr::from_edges(7, [(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6)]).unwrap();
         let task = SearchTask::new(NodeId::new(0), NodeId::new(6));
         let o = run_weak(&g, &task, &mut BfsFlood::new(), &mut rng()).unwrap();
         assert!(o.found);
@@ -188,8 +194,7 @@ mod tests {
 
     #[test]
     fn reuse_after_reset_is_deterministic() {
-        let g = UndirectedCsr::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)])
-            .unwrap();
+        let g = UndirectedCsr::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]).unwrap();
         let task = SearchTask::new(NodeId::new(0), NodeId::new(5));
         let mut bfs = BfsFlood::new();
         let a = run_weak(&g, &task, &mut bfs, &mut rng()).unwrap();

@@ -168,9 +168,11 @@ mod tests {
                 .unwrap()
                 .gave_up
         );
-        assert!(run_weak(&g, &task, &mut OldestFirst::new(), &mut rng())
-            .unwrap()
-            .gave_up);
+        assert!(
+            run_weak(&g, &task, &mut OldestFirst::new(), &mut rng())
+                .unwrap()
+                .gave_up
+        );
     }
 
     #[test]

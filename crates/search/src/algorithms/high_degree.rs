@@ -99,15 +99,11 @@ mod tests {
 
     #[test]
     fn finds_target_on_tree() {
-        let g = UndirectedCsr::from_edges(
-            7,
-            [(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6)],
-        )
-        .unwrap();
+        let g =
+            UndirectedCsr::from_edges(7, [(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6)]).unwrap();
         for target in 1..7 {
             let task = SearchTask::new(NodeId::new(0), NodeId::new(target));
-            let o =
-                run_weak(&g, &task, &mut HighDegreeGreedy::new(), &mut rng()).unwrap();
+            let o = run_weak(&g, &task, &mut HighDegreeGreedy::new(), &mut rng()).unwrap();
             assert!(o.found, "target {target}");
         }
     }
@@ -125,8 +121,7 @@ mod tests {
     fn on_star_graph_beats_or_ties_bfs() {
         let g = UndirectedCsr::from_edges(8, (1..8).map(|i| (0, i))).unwrap();
         let task = SearchTask::new(NodeId::new(1), NodeId::new(7));
-        let greedy =
-            run_weak(&g, &task, &mut HighDegreeGreedy::new(), &mut rng()).unwrap();
+        let greedy = run_weak(&g, &task, &mut HighDegreeGreedy::new(), &mut rng()).unwrap();
         let bfs = run_weak(&g, &task, &mut BfsFlood::new(), &mut rng()).unwrap();
         assert!(greedy.found && bfs.found);
         assert!(greedy.requests <= bfs.requests);
@@ -142,8 +137,7 @@ mod tests {
 
     #[test]
     fn reusable_across_runs() {
-        let g = UndirectedCsr::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)])
-            .unwrap();
+        let g = UndirectedCsr::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]).unwrap();
         let mut s = HighDegreeGreedy::new();
         for target in [3, 5, 1] {
             let task = SearchTask::new(NodeId::new(0), NodeId::new(target));

@@ -41,7 +41,11 @@ pub fn greedy_route(
     let mut steps = 0;
     while current != target {
         if steps >= max_steps {
-            return GreedyRouteOutcome { reached: false, steps, stuck: false };
+            return GreedyRouteOutcome {
+                reached: false,
+                steps,
+                stuck: false,
+            };
         }
         let here = grid.manhattan(current, target);
         let best = graph
@@ -49,12 +53,20 @@ pub fn greedy_route(
             .min_by_key(|&v| grid.manhattan(v, target))
             .expect("lattice vertices have neighbors");
         if grid.manhattan(best, target) >= here {
-            return GreedyRouteOutcome { reached: false, steps, stuck: true };
+            return GreedyRouteOutcome {
+                reached: false,
+                steps,
+                stuck: true,
+            };
         }
         current = best;
         steps += 1;
     }
-    GreedyRouteOutcome { reached: true, steps, stuck: false }
+    GreedyRouteOutcome {
+        reached: true,
+        steps,
+        stuck: false,
+    }
 }
 
 #[cfg(test)]

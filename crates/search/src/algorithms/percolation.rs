@@ -80,8 +80,7 @@ pub fn percolation_search(
     let replica_set: HashSet<NodeId> = replicas.iter().copied().collect();
 
     // Phase 2: implant the query along a random walk from the requester.
-    let implanted =
-        random_walk_set(graph, requester, config.query_walk, rng, &mut messages);
+    let implanted = random_walk_set(graph, requester, config.query_walk, rng, &mut messages);
 
     // Phase 3: bond-percolation broadcast from every implanted vertex.
     // First-visit order keeps the RNG consumption deterministic.
@@ -160,9 +159,7 @@ mod tests {
             query_walk: 0,
             edge_probability: 1.0,
         };
-        let o =
-            percolation_search(&g, NodeId::new(3), NodeId::new(7), &cfg, &mut rng())
-                .unwrap();
+        let o = percolation_search(&g, NodeId::new(3), NodeId::new(7), &cfg, &mut rng()).unwrap();
         assert!(o.found);
         assert_eq!(o.reached, 10);
     }
@@ -175,15 +172,11 @@ mod tests {
             query_walk: 0,
             edge_probability: 0.0,
         };
-        let o =
-            percolation_search(&g, NodeId::new(3), NodeId::new(7), &cfg, &mut rng())
-                .unwrap();
+        let o = percolation_search(&g, NodeId::new(3), NodeId::new(7), &cfg, &mut rng()).unwrap();
         assert!(!o.found);
         assert_eq!(o.messages, 0);
         // Same vertex: the implanted query already sits on the replica.
-        let o =
-            percolation_search(&g, NodeId::new(3), NodeId::new(3), &cfg, &mut rng())
-                .unwrap();
+        let o = percolation_search(&g, NodeId::new(3), NodeId::new(3), &cfg, &mut rng()).unwrap();
         assert!(o.found);
     }
 
@@ -209,7 +202,10 @@ mod tests {
         };
         let without = run(0, &mut r);
         let with = run(40, &mut r);
-        assert!(with > without, "with replication {with} vs without {without}");
+        assert!(
+            with > without,
+            "with replication {with} vs without {without}"
+        );
     }
 
     #[test]
@@ -220,9 +216,7 @@ mod tests {
             query_walk: 5,
             edge_probability: 1.0,
         };
-        let o =
-            percolation_search(&g, NodeId::new(0), NodeId::new(1), &cfg, &mut rng())
-                .unwrap();
+        let o = percolation_search(&g, NodeId::new(0), NodeId::new(1), &cfg, &mut rng()).unwrap();
         // 10 walk messages plus one per activated edge endpoint scan.
         assert!(o.messages >= 10);
     }
@@ -235,18 +229,12 @@ mod tests {
             query_walk: 0,
             edge_probability: 1.5,
         };
-        assert!(
-            percolation_search(&g, NodeId::new(0), NodeId::new(1), &bad, &mut rng())
-                .is_err()
-        );
+        assert!(percolation_search(&g, NodeId::new(0), NodeId::new(1), &bad, &mut rng()).is_err());
         let cfg = PercolationConfig {
             replication_walk: 0,
             query_walk: 0,
             edge_probability: 0.5,
         };
-        assert!(
-            percolation_search(&g, NodeId::new(9), NodeId::new(1), &cfg, &mut rng())
-                .is_err()
-        );
+        assert!(percolation_search(&g, NodeId::new(9), NodeId::new(1), &cfg, &mut rng()).is_err());
     }
 }

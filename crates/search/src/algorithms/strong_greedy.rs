@@ -173,8 +173,7 @@ mod tests {
 
     #[test]
     fn strong_bfs_discovers_within_node_budget() {
-        let g = UndirectedCsr::from_edges(6, [(0, 1), (0, 2), (1, 3), (2, 4), (4, 5)])
-            .unwrap();
+        let g = UndirectedCsr::from_edges(6, [(0, 1), (0, 2), (1, 3), (2, 4), (4, 5)]).unwrap();
         let task = SearchTask::new(NodeId::new(0), NodeId::new(5));
         let o = run_strong(&g, &task, &mut StrongBfs::new(), &mut rng()).unwrap();
         assert!(o.found);
@@ -185,14 +184,20 @@ mod tests {
     fn strong_searchers_give_up_cleanly() {
         let g = UndirectedCsr::from_edges(3, [(0, 1)]).unwrap();
         let task = SearchTask::new(NodeId::new(0), NodeId::new(2));
-        assert!(run_strong(&g, &task, &mut StrongBfs::new(), &mut rng())
-            .unwrap()
-            .gave_up);
-        assert!(run_strong(&g, &task, &mut StrongHighDegree::new(), &mut rng())
-            .unwrap()
-            .gave_up);
-        assert!(run_strong(&g, &task, &mut StrongGreedyId::new(), &mut rng())
-            .unwrap()
-            .gave_up);
+        assert!(
+            run_strong(&g, &task, &mut StrongBfs::new(), &mut rng())
+                .unwrap()
+                .gave_up
+        );
+        assert!(
+            run_strong(&g, &task, &mut StrongHighDegree::new(), &mut rng())
+                .unwrap()
+                .gave_up
+        );
+        assert!(
+            run_strong(&g, &task, &mut StrongGreedyId::new(), &mut rng())
+                .unwrap()
+                .gave_up
+        );
     }
 }

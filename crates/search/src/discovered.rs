@@ -132,7 +132,13 @@ impl DiscoveredView {
         for &e in &incident {
             match self.edges.get_mut(&e) {
                 None => {
-                    self.edges.insert(e, EdgeKnowledge { first: v, other: None });
+                    self.edges.insert(
+                        e,
+                        EdgeKnowledge {
+                            first: v,
+                            other: None,
+                        },
+                    );
                 }
                 Some(k) if k.other.is_none() => {
                     // Second sighting resolves the edge; a self-loop lists
@@ -143,7 +149,13 @@ impl DiscoveredView {
             }
         }
         self.order.push(v);
-        self.vertices.insert(v, DiscoveredVertex { degree: incident.len(), incident });
+        self.vertices.insert(
+            v,
+            DiscoveredVertex {
+                degree: incident.len(),
+                incident,
+            },
+        );
     }
 
     /// Records the answer to a request on `(u, e)`: the far endpoint is
@@ -163,7 +175,13 @@ impl DiscoveredView {
                 }
             }
             None => {
-                self.edges.insert(e, EdgeKnowledge { first: u, other: Some(other) });
+                self.edges.insert(
+                    e,
+                    EdgeKnowledge {
+                        first: u,
+                        other: Some(other),
+                    },
+                );
             }
         }
     }

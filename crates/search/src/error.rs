@@ -49,10 +49,16 @@ impl fmt::Display for SearchError {
                 write!(f, "request names undiscovered vertex {vertex:?}")
             }
             SearchError::UnknownIncidence { vertex, edge } => {
-                write!(f, "edge {edge:?} is not a known incidence of vertex {vertex:?}")
+                write!(
+                    f,
+                    "edge {edge:?} is not a known incidence of vertex {vertex:?}"
+                )
             }
             SearchError::TaskOutOfBounds { vertex, node_count } => {
-                write!(f, "task vertex {vertex:?} outside graph of {node_count} vertices")
+                write!(
+                    f,
+                    "task vertex {vertex:?} outside graph of {node_count} vertices"
+                )
             }
             SearchError::InvalidParameter { name, value } => {
                 write!(f, "parameter `{name}` = {value} is invalid")
@@ -69,11 +75,19 @@ mod tests {
 
     #[test]
     fn messages_are_informative() {
-        let e = SearchError::UndiscoveredVertex { vertex: NodeId::new(3) };
+        let e = SearchError::UndiscoveredVertex {
+            vertex: NodeId::new(3),
+        };
         assert!(e.to_string().contains("v4"));
-        let e = SearchError::UnknownIncidence { vertex: NodeId::new(0), edge: EdgeId::new(7) };
+        let e = SearchError::UnknownIncidence {
+            vertex: NodeId::new(0),
+            edge: EdgeId::new(7),
+        };
         assert!(e.to_string().contains("e7"));
-        let e = SearchError::TaskOutOfBounds { vertex: NodeId::new(9), node_count: 5 };
+        let e = SearchError::TaskOutOfBounds {
+            vertex: NodeId::new(9),
+            node_count: 5,
+        };
         assert!(e.to_string().contains("5 vertices"));
     }
 

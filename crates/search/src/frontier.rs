@@ -56,14 +56,22 @@ mod tests {
         let mut state = WeakSearchState::new(&g, NodeId::new(0)).unwrap();
         let mut cursors = FrontierCursors::new();
 
-        let e0 = cursors.next_unexplored(state.view(), NodeId::new(0)).unwrap();
+        let e0 = cursors
+            .next_unexplored(state.view(), NodeId::new(0))
+            .unwrap();
         state.request(NodeId::new(0), e0).unwrap();
-        let e1 = cursors.next_unexplored(state.view(), NodeId::new(0)).unwrap();
+        let e1 = cursors
+            .next_unexplored(state.view(), NodeId::new(0))
+            .unwrap();
         assert_ne!(e0, e1);
         state.request(NodeId::new(0), e1).unwrap();
-        let e2 = cursors.next_unexplored(state.view(), NodeId::new(0)).unwrap();
+        let e2 = cursors
+            .next_unexplored(state.view(), NodeId::new(0))
+            .unwrap();
         state.request(NodeId::new(0), e2).unwrap();
-        assert!(cursors.next_unexplored(state.view(), NodeId::new(0)).is_none());
+        assert!(cursors
+            .next_unexplored(state.view(), NodeId::new(0))
+            .is_none());
     }
 
     #[test]
@@ -71,7 +79,9 @@ mod tests {
         let g = UndirectedCsr::from_edges(2, [(0, 1)]).unwrap();
         let state = WeakSearchState::new(&g, NodeId::new(0)).unwrap();
         let mut cursors = FrontierCursors::new();
-        assert!(cursors.next_unexplored(state.view(), NodeId::new(1)).is_none());
+        assert!(cursors
+            .next_unexplored(state.view(), NodeId::new(1))
+            .is_none());
     }
 
     #[test]
@@ -79,8 +89,12 @@ mod tests {
         let g = UndirectedCsr::from_edges(2, [(0, 1)]).unwrap();
         let state = WeakSearchState::new(&g, NodeId::new(0)).unwrap();
         let mut cursors = FrontierCursors::new();
-        assert!(cursors.next_unexplored(state.view(), NodeId::new(0)).is_some());
+        assert!(cursors
+            .next_unexplored(state.view(), NodeId::new(0))
+            .is_some());
         cursors.reset();
-        assert!(cursors.next_unexplored(state.view(), NodeId::new(0)).is_some());
+        assert!(cursors
+            .next_unexplored(state.view(), NodeId::new(0))
+            .is_some());
     }
 }

@@ -60,16 +60,15 @@ mod weak;
 pub use algorithms::{
     greedy_route, percolation_search, AvoidingWalk, BfsFlood, DfsWalk, GreedyIdProximity,
     GreedyRouteOutcome, HighDegreeGreedy, LookaheadWalk, OldestFirst, PercolationConfig,
-    PercolationOutcome, RandomWalk, RestartingWalk, StrongBfs, StrongGreedyId,
-    StrongHighDegree,
+    PercolationOutcome, RandomWalk, RestartingWalk, StrongBfs, StrongGreedyId, StrongHighDegree,
 };
 pub use discovered::{DiscoveredVertex, DiscoveredView};
 pub use error::SearchError;
 pub use frontier::FrontierCursors;
-pub use suite::SearcherKind;
 pub use runner::{run_strong, run_weak};
 pub use simulate::SimulatedStrong;
 pub use strong::{StrongSearchState, StrongSearcher};
+pub use suite::SearcherKind;
 pub use task::{SearchOutcome, SearchTask, SuccessCriterion};
 pub use weak::{WeakSearchState, WeakSearcher};
 

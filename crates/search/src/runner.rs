@@ -1,8 +1,8 @@
 //! Search execution loops for both knowledge models.
 
 use crate::{
-    SearchOutcome, SearchError, SearchTask, StrongSearchState, StrongSearcher,
-    SuccessCriterion, WeakSearchState, WeakSearcher,
+    SearchError, SearchOutcome, SearchTask, StrongSearchState, StrongSearcher, SuccessCriterion,
+    WeakSearchState, WeakSearcher,
 };
 use nonsearch_graph::{NodeId, UndirectedCsr};
 use rand::RngCore;
@@ -12,11 +12,7 @@ use rand::RngCore;
 /// graph, so algorithms need not notice their own success — the paper's
 /// cost measure is requests *until the target (or a neighbor) is reached*,
 /// regardless of the searcher's bookkeeping.
-fn satisfies(
-    graph: &UndirectedCsr,
-    task: &SearchTask,
-    vertex: NodeId,
-) -> bool {
+fn satisfies(graph: &UndirectedCsr, task: &SearchTask, vertex: NodeId) -> bool {
     match task.criterion {
         SuccessCriterion::DiscoverTarget => vertex == task.target,
         SuccessCriterion::ReachNeighbor => {

@@ -148,9 +148,13 @@ mod tests {
         let g = path(12);
         let task = crate::SearchTask::new(NodeId::new(0), NodeId::new(11));
         let strong = run_strong(&g, &task, &mut StrongBfs::new(), &mut rng()).unwrap();
-        let weak =
-            run_weak(&g, &task, &mut SimulatedStrong::new(StrongBfs::new()), &mut rng())
-                .unwrap();
+        let weak = run_weak(
+            &g,
+            &task,
+            &mut SimulatedStrong::new(StrongBfs::new()),
+            &mut rng(),
+        )
+        .unwrap();
         assert!(strong.found && weak.found);
     }
 

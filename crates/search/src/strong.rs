@@ -37,7 +37,12 @@ impl<'g> StrongSearchState<'g> {
         }
         let mut view = DiscoveredView::new();
         view.insert_vertex(start, incident_handles(graph, start));
-        Ok(StrongSearchState { graph, view, expanded: Vec::new(), requests: 0 })
+        Ok(StrongSearchState {
+            graph,
+            view,
+            expanded: Vec::new(),
+            requests: 0,
+        })
     }
 
     /// The searcher's current knowledge.

@@ -2,8 +2,8 @@
 
 use crate::{
     AvoidingWalk, BfsFlood, DfsWalk, GreedyIdProximity, HighDegreeGreedy, LookaheadWalk,
-    OldestFirst, RandomWalk, RestartingWalk, SimulatedStrong, StrongGreedyId,
-    StrongHighDegree, WeakSearcher,
+    OldestFirst, RandomWalk, RestartingWalk, SimulatedStrong, StrongGreedyId, StrongHighDegree,
+    WeakSearcher,
 };
 
 /// Enumerates the weak-model searchers the experiments compare.
@@ -137,8 +137,7 @@ mod tests {
 
     #[test]
     fn every_kind_builds_and_runs() {
-        let g = UndirectedCsr::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)])
-            .unwrap();
+        let g = UndirectedCsr::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]).unwrap();
         let task = SearchTask::new(NodeId::new(0), NodeId::new(5)).with_budget(10_000);
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         for kind in SearcherKind::all() {

@@ -49,7 +49,11 @@ impl<'g> WeakSearchState<'g> {
         }
         let mut view = DiscoveredView::new();
         view.insert_vertex(start, incident_handles(graph, start));
-        Ok(WeakSearchState { graph, view, requests: 0 })
+        Ok(WeakSearchState {
+            graph,
+            view,
+            requests: 0,
+        })
     }
 
     /// The searcher's current knowledge.
@@ -84,7 +88,8 @@ impl<'g> WeakSearchState<'g> {
             .expect("edge handle came from the graph");
         let other = if a == u { b } else { a };
         self.view.resolve_edge(u, e, other);
-        self.view.insert_vertex(other, incident_handles(self.graph, other));
+        self.view
+            .insert_vertex(other, incident_handles(self.graph, other));
         Ok(other)
     }
 }
@@ -147,7 +152,10 @@ mod tests {
         assert_eq!(s.view().degree_of(NodeId::new(1)), Some(2));
         assert_eq!(s.requests(), 1);
         // The edge is resolved in both directions.
-        assert_eq!(s.view().other_endpoint(NodeId::new(0), e0), Some(NodeId::new(1)));
+        assert_eq!(
+            s.view().other_endpoint(NodeId::new(0), e0),
+            Some(NodeId::new(1))
+        );
     }
 
     #[test]

@@ -3,11 +3,11 @@
 
 use nonsearch_generators::{rng_from_seed, MergedMori};
 use nonsearch_graph::{NodeId, UndirectedCsr};
-use proptest::prelude::*;
 use nonsearch_search::{
-    run_strong, run_weak, SearchTask, SearcherKind, StrongBfs, StrongSearchState,
-    SuccessCriterion, WeakSearchState,
+    run_strong, run_weak, SearchTask, SearcherKind, StrongBfs, StrongSearchState, SuccessCriterion,
+    WeakSearchState,
 };
+use proptest::prelude::*;
 
 /// A connected multigraph via the merged Móri generator.
 fn connected_graph(n: usize, m: usize, p: f64, seed: u64) -> UndirectedCsr {

@@ -51,8 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = seeds.child_rng(1000);
     let mori = MergedMori::sample(n, 2, 0.5, &mut rng)?;
     let graph = mori.undirected();
-    let task = SearchTask::new(NodeId::from_label(1), NodeId::from_label(n))
-        .with_budget(50 * n);
+    let task = SearchTask::new(NodeId::from_label(1), NodeId::from_label(n)).with_budget(50 * n);
     for kind in [
         SearcherKind::GreedyId,
         SearcherKind::HighDegree,

@@ -22,8 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The searcher starts at the oldest vertex (the best-connected hub)
     // and must find the newest vertex n, knowing only what the weak
     // oracle reveals.
-    let task = SearchTask::new(NodeId::from_label(1), NodeId::from_label(n))
-        .with_budget(50 * n);
+    let task = SearchTask::new(NodeId::from_label(1), NodeId::from_label(n)).with_budget(50 * n);
 
     println!("\nsearching for vertex {n} in the weak model:");
     let mut best: Option<(&str, usize)> = None;
@@ -55,7 +54,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  best observed: {requests} requests by {name}");
         println!(
             "  → even the best local searcher pays ≥ the Ω(√n) bound ({})",
-            if (requests as f64) >= bound { "consistent" } else { "VIOLATION?" }
+            if (requests as f64) >= bound {
+                "consistent"
+            } else {
+                "VIOLATION?"
+            }
         );
     }
     Ok(())

@@ -41,12 +41,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let avg = average_distance(&graph, 16, &mut rng)?;
     let diam = diameter_lower_bound_double_sweep(&graph, NodeId::from_label(1))?;
-    println!("  avg distance ≈ {avg:.2}, diameter ≥ {diam} (log₂ n ≈ {:.1})", (n as f64).log2());
+    println!(
+        "  avg distance ≈ {avg:.2}, diameter ≥ {diam} (log₂ n ≈ {:.1})",
+        (n as f64).log2()
+    );
 
     // The freshest page: can a crawler find it?
     println!("\ncrawling for the newest page (vertex {n}) in the weak model:");
-    let task = SearchTask::new(NodeId::from_label(1), NodeId::from_label(n))
-        .with_budget(50 * n);
+    let task = SearchTask::new(NodeId::from_label(1), NodeId::from_label(n)).with_budget(50 * n);
     for kind in [
         SearcherKind::HighDegree,
         SearcherKind::GreedyId,

@@ -30,8 +30,7 @@ fn generators_reproduce_from_seeds() {
 fn searches_reproduce_from_seeds() {
     let mori = MergedMori::sample(500, 1, 0.5, &mut rng_from_seed(4)).unwrap();
     let graph = mori.undirected();
-    let task = SearchTask::new(NodeId::from_label(1), NodeId::from_label(500))
-        .with_budget(50_000);
+    let task = SearchTask::new(NodeId::from_label(1), NodeId::from_label(500)).with_budget(50_000);
     for kind in SearcherKind::all() {
         let mut s1 = kind.build();
         let o1 = run_weak(&graph, &task, &mut *s1, &mut rng_from_seed(9)).unwrap();
@@ -99,8 +98,7 @@ fn graph_serialization_roundtrips_across_crates() {
     let back = record.to_graph().unwrap();
     assert_eq!(graph, back);
     // And the rebuilt graph supports searching identically.
-    let task = SearchTask::new(NodeId::from_label(1), NodeId::from_label(200))
-        .with_budget(50_000);
+    let task = SearchTask::new(NodeId::from_label(1), NodeId::from_label(200)).with_budget(50_000);
     let mut s1 = SearcherKind::BfsFlood.build();
     let mut s2 = SearcherKind::BfsFlood.build();
     let o1 = run_weak(&graph, &task, &mut *s1, &mut rng_from_seed(10)).unwrap();

@@ -1,0 +1,39 @@
+//! Smoke test: the `quickstart` example must keep building and running.
+//!
+//! Examples are the workspace's front door and are not otherwise
+//! exercised by `cargo test`; this guard keeps them from silently
+//! rotting. It shells back out to the same `cargo` that is driving the
+//! test run (the `CARGO` environment variable cargo sets for its
+//! children), so profiles and the build cache are shared.
+
+use std::process::Command;
+
+#[test]
+fn quickstart_example_runs() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let manifest = concat!(env!("CARGO_MANIFEST_DIR"), "/Cargo.toml");
+    let output = Command::new(cargo)
+        .args([
+            "run",
+            "--quiet",
+            "--example",
+            "quickstart",
+            "--manifest-path",
+            manifest,
+        ])
+        .output()
+        .expect("spawning `cargo run --example quickstart`");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "quickstart exited with {:?}\nstdout:\n{stdout}\nstderr:\n{stderr}",
+        output.status.code(),
+    );
+    // The example ends on the paper's headline comparison; check for a
+    // stable phrase so a truncated or panicking run cannot pass.
+    assert!(
+        stdout.contains("lower bound"),
+        "quickstart output missing expected content:\n{stdout}"
+    );
+}

@@ -3,8 +3,8 @@
 
 use nonsearch::core::{
     enumerate_mori_trees, estimate_mori_event_probability, exact_window_exchangeability,
-    lemma3_bound, mori_event_probability_exact, mori_window_event_holds,
-    sampled_window_symmetry, EquivalenceWindow,
+    lemma3_bound, mori_event_probability_exact, mori_window_event_holds, sampled_window_symmetry,
+    EquivalenceWindow,
 };
 use nonsearch::generators::{rng_from_seed, MoriTree};
 

@@ -1,16 +1,13 @@
 //! Cross-crate integration: model structure feeds search and analysis
 //! coherently.
 
-use nonsearch::analysis::{
-    average_distance, fit_log_log, fit_power_law_mle, DegreeDistribution,
-};
+use nonsearch::analysis::{average_distance, fit_log_log, fit_power_law_mle, DegreeDistribution};
 use nonsearch::core::{
-    adamic_high_degree_exponent, adamic_random_walk_exponent, GraphModel,
-    PowerLawGiantModel,
+    adamic_high_degree_exponent, adamic_random_walk_exponent, GraphModel, PowerLawGiantModel,
 };
 use nonsearch::generators::{
-    rng_from_seed, BarabasiAlbert, CooperFrieze, CooperFriezeConfig, KleinbergGrid,
-    MoriTree, SeedSequence,
+    rng_from_seed, BarabasiAlbert, CooperFrieze, CooperFriezeConfig, KleinbergGrid, MoriTree,
+    SeedSequence,
 };
 use nonsearch::graph::{degree_sequence, is_connected, NodeId};
 use nonsearch::search::{greedy_route, run_weak, SearchTask, SearcherKind};
@@ -48,8 +45,8 @@ fn diameters_grow_slowly_while_search_grows_fast() {
         let tree = MoriTree::sample(n, 0.5, &mut rng).unwrap();
         let graph = tree.undirected();
         avg_dists.push(average_distance(&graph, 8, &mut rng).unwrap());
-        let task = SearchTask::new(NodeId::from_label(1), NodeId::from_label(n))
-            .with_budget(100 * n);
+        let task =
+            SearchTask::new(NodeId::from_label(1), NodeId::from_label(n)).with_budget(100 * n);
         let mut best = usize::MAX;
         for kind in SearcherKind::informed() {
             let mut searcher = kind.build();
@@ -65,7 +62,10 @@ fn diameters_grow_slowly_while_search_grows_fast() {
     assert!(dist_growth < 3.0, "distances grew too fast: {avg_dists:?}");
     // Search grows at least ~√(16) / slack.
     let cost_growth = search_costs[2] / search_costs[0];
-    assert!(cost_growth > 2.0, "search cost barely grew: {search_costs:?}");
+    assert!(
+        cost_growth > 2.0,
+        "search cost barely grew: {search_costs:?}"
+    );
 }
 
 #[test]
@@ -74,7 +74,10 @@ fn adamic_ordering_on_power_law_overlays() {
     // exponents predict that ordering.
     let k = 2.5;
     assert!(adamic_high_degree_exponent(k) < adamic_random_walk_exponent(k));
-    let model = PowerLawGiantModel { exponent: k, d_min: 1 };
+    let model = PowerLawGiantModel {
+        exponent: k,
+        d_min: 1,
+    };
     let seeds = SeedSequence::new(77);
     let trials = 12;
     let mut walk_total = 0usize;
@@ -88,9 +91,12 @@ fn adamic_ordering_on_power_law_overlays() {
         let task = SearchTask::new(s, target).with_budget(60 * peers);
         let mut walk = SearcherKind::RandomWalk.build();
         let mut greedy = SearcherKind::HighDegree.build();
-        walk_total += run_weak(&overlay, &task, &mut *walk, &mut rng).unwrap().requests;
-        greedy_total +=
-            run_weak(&overlay, &task, &mut *greedy, &mut rng).unwrap().requests;
+        walk_total += run_weak(&overlay, &task, &mut *walk, &mut rng)
+            .unwrap()
+            .requests;
+        greedy_total += run_weak(&overlay, &task, &mut *greedy, &mut rng)
+            .unwrap()
+            .requests;
     }
     assert!(
         greedy_total < walk_total,
@@ -156,8 +162,8 @@ fn search_cost_scaling_fits_a_power_law() {
             let mut rng = rng_from_seed((i * 100 + t) as u64);
             let tree = MoriTree::sample(n, 0.5, &mut rng).unwrap();
             let graph = tree.undirected();
-            let task = SearchTask::new(NodeId::from_label(1), NodeId::from_label(n))
-                .with_budget(100 * n);
+            let task =
+                SearchTask::new(NodeId::from_label(1), NodeId::from_label(n)).with_budget(100 * n);
             let mut s = SearcherKind::HighDegree.build();
             total += run_weak(&graph, &task, &mut *s, &mut rng).unwrap().requests;
         }

@@ -23,15 +23,19 @@ fn lower_bound_never_exceeds_any_measured_searcher() {
             let mut rng = rng_from_seed(1000 + t);
             let tree = MoriTree::sample(n, p, &mut rng).unwrap();
             let graph = tree.undirected();
-            let task = SearchTask::new(NodeId::from_label(1), NodeId::from_label(n))
-                .with_budget(100 * n);
+            let task =
+                SearchTask::new(NodeId::from_label(1), NodeId::from_label(n)).with_budget(100 * n);
             let mut searcher = kind.build();
             let outcome = run_weak(&graph, &task, &mut *searcher, &mut rng).unwrap();
             assert!(outcome.found, "{kind} failed on a tree with huge budget");
             total += outcome.requests;
         }
         let mean = total as f64 / trials as f64;
-        let cmp = BoundComparison { n, bound, measured: mean };
+        let cmp = BoundComparison {
+            n,
+            bound,
+            measured: mean,
+        };
         assert!(cmp.holds(), "{kind}: {cmp}");
     }
 }
@@ -47,8 +51,8 @@ fn theorem1_holds_for_merged_graphs_too() {
     for _ in 0..trials {
         let mori = MergedMori::sample(n, m, p, &mut rng).unwrap();
         let graph = mori.undirected();
-        let task = SearchTask::new(NodeId::from_label(1), NodeId::from_label(n))
-            .with_budget(100 * n * m);
+        let task =
+            SearchTask::new(NodeId::from_label(1), NodeId::from_label(n)).with_budget(100 * n * m);
         let mut searcher = SearcherKind::HighDegree.build();
         let outcome = run_weak(&graph, &task, &mut *searcher, &mut rng).unwrap();
         assert!(outcome.found);
@@ -100,8 +104,8 @@ fn neighbor_criterion_is_never_harder() {
     let tree = MoriTree::sample(n, 0.5, &mut rng).unwrap();
     let graph = tree.undirected();
     for kind in [SearcherKind::BfsFlood, SearcherKind::HighDegree] {
-        let base = SearchTask::new(NodeId::from_label(1), NodeId::from_label(n))
-            .with_budget(100 * n);
+        let base =
+            SearchTask::new(NodeId::from_label(1), NodeId::from_label(n)).with_budget(100 * n);
         let mut a = kind.build();
         let strict = run_weak(&graph, &base, &mut *a, &mut rng).unwrap();
         let relaxed_task = base.with_criterion(SuccessCriterion::ReachNeighbor);

@@ -1,0 +1,195 @@
+//! Vendored ChaCha random number generators.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the [`ChaCha8Rng`] / [`ChaCha12Rng`] / [`ChaCha20Rng`] types the
+//! workspace uses, backed by a genuine ChaCha block function (RFC 8439
+//! quarter-round schedule). Output is platform-independent and stable:
+//! the word stream is the ChaCha keystream interpreted little-endian, so
+//! every seed reproduces bit-for-bit everywhere.
+
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, SeedableRng};
+
+const BLOCK_WORDS: usize = 16;
+
+/// A ChaCha keystream generator with `R` double-rounds, exposed as an RNG.
+#[derive(Debug, Clone)]
+pub struct ChaChaCore<const ROUNDS: usize> {
+    /// Key words 0..8, as set by the seed.
+    key: [u32; 8],
+    /// 64-bit block counter (words 12–13 of the state).
+    counter: u64,
+    /// Stream id (words 14–15 of the state); fixed to zero.
+    stream: u64,
+    /// Current keystream block.
+    buffer: [u32; BLOCK_WORDS],
+    /// Next unread word in `buffer`; `BLOCK_WORDS` means "refill".
+    index: usize,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; BLOCK_WORDS], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl<const ROUNDS: usize> ChaChaCore<ROUNDS> {
+    fn from_key(key: [u32; 8]) -> Self {
+        ChaChaCore {
+            key,
+            counter: 0,
+            stream: 0,
+            buffer: [0; BLOCK_WORDS],
+            index: BLOCK_WORDS,
+        }
+    }
+
+    /// Runs the block function for the current counter into `buffer`.
+    fn refill(&mut self) {
+        let mut state: [u32; BLOCK_WORDS] = [
+            0x6170_7865,
+            0x3320_646e,
+            0x7962_2d32,
+            0x6b20_6574,
+            self.key[0],
+            self.key[1],
+            self.key[2],
+            self.key[3],
+            self.key[4],
+            self.key[5],
+            self.key[6],
+            self.key[7],
+            self.counter as u32,
+            (self.counter >> 32) as u32,
+            self.stream as u32,
+            (self.stream >> 32) as u32,
+        ];
+        let initial = state;
+        for _ in 0..ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (out, (s, i)) in self.buffer.iter_mut().zip(state.iter().zip(initial.iter())) {
+            *out = s.wrapping_add(*i);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.index = 0;
+    }
+
+    #[inline]
+    fn next_word(&mut self) -> u32 {
+        if self.index >= BLOCK_WORDS {
+            self.refill();
+        }
+        let w = self.buffer[self.index];
+        self.index += 1;
+        w
+    }
+}
+
+impl<const ROUNDS: usize> RngCore for ChaChaCore<ROUNDS> {
+    fn next_u32(&mut self) -> u32 {
+        self.next_word()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_word() as u64;
+        let hi = self.next_word() as u64;
+        lo | (hi << 32)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let bytes = self.next_word().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<const ROUNDS: usize> SeedableRng for ChaChaCore<ROUNDS> {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        ChaChaCore::from_key(key)
+    }
+}
+
+impl<const ROUNDS: usize> PartialEq for ChaChaCore<ROUNDS> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+            && self.counter == other.counter
+            && self.stream == other.stream
+            && self.index == other.index
+    }
+}
+
+/// ChaCha with 8 rounds: the workspace's deterministic workhorse RNG.
+pub type ChaCha8Rng = ChaChaCore<8>;
+/// ChaCha with 12 rounds.
+pub type ChaCha12Rng = ChaChaCore<12>;
+/// ChaCha with 20 rounds (RFC 8439 strength).
+pub type ChaCha20Rng = ChaChaCore<20>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chacha20_rfc8439_block_one() {
+        // RFC 8439 §2.3.2 test vector: key 00..1f, counter 1,
+        // nonce 00:00:00:09:00:00:00:4a:00:00:00:00.
+        // Our stream layout packs nonce words into `stream`, which this
+        // stub fixes at zero, so instead check the all-zero-key vector
+        // from the original ChaCha spec (counter 0, nonce 0):
+        let mut rng = ChaCha20Rng::from_seed([0u8; 32]);
+        let mut block = [0u8; 64];
+        rng.fill_bytes(&mut block);
+        let expected: [u8; 8] = [0x76, 0xb8, 0xe0, 0xad, 0xa0, 0xf1, 0x3d, 0x90];
+        assert_eq!(&block[..8], &expected);
+    }
+
+    #[test]
+    fn streams_reproduce() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let av: Vec<u64> = (0..4).map(|_| a.next_u64()).collect();
+        let bv: Vec<u64> = (0..4).map(|_| b.next_u64()).collect();
+        assert_ne!(av, bv);
+    }
+
+    #[test]
+    fn clone_preserves_position() {
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        a.next_u64();
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

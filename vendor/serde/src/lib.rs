@@ -1,0 +1,22 @@
+//! Vendored marker-trait subset of `serde`.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` (for
+//! interchange-readiness of `GraphRecord`-style types); nothing bounds
+//! on the traits or drives a serializer yet. This stub keeps the seed
+//! sources' `use serde::{Deserialize, Serialize};` lines and derive
+//! attributes compiling without crates.io access: the names resolve to
+//! marker traits plus no-op derive macros re-exported from
+//! [`serde_derive`]. Swapping in real serde later is a manifest-only
+//! change.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+// Like real serde with the `derive` feature: the derive macros share the
+// traits' names (macros and traits live in different namespaces).
+pub use serde_derive::{Deserialize, Serialize};

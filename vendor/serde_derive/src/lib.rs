@@ -1,0 +1,22 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The workspace derives serde traits on its data types so graphs and
+//! provenance records stay interchange-ready, but nothing in-tree bounds
+//! on the traits or serializes through them yet. Offline, the cheapest
+//! faithful stand-in is a derive that parses nothing and emits nothing:
+//! the attribute still resolves (so seed sources compile unchanged) and
+//! no impl is generated (so no trait machinery is required).
+
+use proc_macro::TokenStream;
+
+/// Accepts any item, emits no code.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts any item, emits no code.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
