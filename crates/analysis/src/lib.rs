@@ -4,6 +4,8 @@
 //! numbers the paper's claims are about:
 //!
 //! * [`SampleStats`] — summary statistics with confidence intervals.
+//! * [`StreamingStats`] — the same moments in O(1) memory (Welford), for
+//!   the trial engine's large sweeps; shard accumulators merge.
 //! * [`LinearFit`] / [`fit_log_log`] — OLS regression, including the
 //!   log–log fits used to estimate *scaling exponents* (the `0.5` in
 //!   `Ω(n^{1/2})` is recovered as a log–log slope).
@@ -26,6 +28,7 @@ mod histogram;
 mod power_law_fit;
 mod regression;
 mod stats;
+mod streaming;
 mod table;
 
 pub use correlation::{
@@ -40,4 +43,5 @@ pub use histogram::{log_binned_histogram, LogBin};
 pub use power_law_fit::{fit_power_law_mle, PowerLawFit};
 pub use regression::{fit_linear, fit_log_log, LinearFit};
 pub use stats::SampleStats;
+pub use streaming::StreamingStats;
 pub use table::Table;

@@ -105,6 +105,20 @@ impl SampleStats {
         self.quantile(0.5)
     }
 
+    /// The accumulated samples in ascending order.
+    ///
+    /// This is what [`StreamingStats`](crate::StreamingStats) replays to
+    /// convert a two-pass summary into a streaming accumulator.
+    pub fn samples_sorted(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Converts into a single-pass accumulator with the same moments
+    /// (to floating-point accuracy).
+    pub fn to_streaming(&self) -> crate::StreamingStats {
+        crate::StreamingStats::from(self)
+    }
+
     /// Linear-interpolated quantile, `q ∈ [0, 1]`.
     ///
     /// # Panics

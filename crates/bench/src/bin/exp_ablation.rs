@@ -1,136 +1,9 @@
-//! E13 — ablations over the search-model knobs DESIGN.md calls out:
-//! oracle strength, success criterion, and start-vertex policy.
-
-use nonsearch_analysis::Table;
-use nonsearch_bench::{
-    banner, strong_cell, sweep, trials, weak_cell_with_policy, StartPolicy, StrongKind,
-};
-use nonsearch_core::MergedMoriModel;
-use nonsearch_generators::SeedSequence;
-use nonsearch_search::{SearcherKind, SuccessCriterion};
+//! E13 — ablations over the search-model knobs: oracle strength,
+//! success criterion, and start-vertex policy.
+//!
+//! Thin wrapper over the registered `xp ablation` experiment; the
+//! implementation lives in `nonsearch_bench::experiments`.
 
 fn main() {
-    banner(
-        "E13 / ablations",
-        "none of the model knobs (oracle strength, success criterion, \
-         start policy) changes the Ω(√n)-shaped cost of finding vertex n",
-    );
-
-    let model = MergedMoriModel { p: 0.6, m: 1 };
-    let sizes = sweep(&[1024, 4096, 16384]);
-    let trial_count = trials(10);
-    let seeds = SeedSequence::new(0xE13);
-
-    // Knob 1: weak vs strong vs simulated-strong oracle.
-    println!("oracle strength (high-degree strategy):");
-    let mut t1 = Table::with_columns(&["oracle", "n", "mean requests", "success"]);
-    for (si, &n) in sizes.iter().enumerate() {
-        let weak = weak_cell_with_policy(
-            &model,
-            n,
-            SearcherKind::HighDegree,
-            SuccessCriterion::DiscoverTarget,
-            StartPolicy::OldestHub,
-            trial_count,
-            30,
-            &seeds.subsequence(si as u64),
-        );
-        t1.row(vec![
-            "weak".into(),
-            n.to_string(),
-            format!("{:.1}", weak.mean),
-            format!("{:.2}", weak.success),
-        ]);
-        let sim = weak_cell_with_policy(
-            &model,
-            n,
-            SearcherKind::SimStrongHighDegree,
-            SuccessCriterion::DiscoverTarget,
-            StartPolicy::OldestHub,
-            trial_count,
-            30,
-            &seeds.subsequence(100 + si as u64),
-        );
-        t1.row(vec![
-            "simulated-strong".into(),
-            n.to_string(),
-            format!("{:.1}", sim.mean),
-            format!("{:.2}", sim.success),
-        ]);
-        let strong = strong_cell(
-            &model,
-            n,
-            StrongKind::HighDegree,
-            trial_count,
-            &seeds.subsequence(200 + si as u64),
-        );
-        t1.row(vec![
-            "strong (native)".into(),
-            n.to_string(),
-            format!("{:.1}", strong.mean),
-            format!("{:.2}", strong.success),
-        ]);
-    }
-    println!("{t1}");
-
-    // Knob 2: success criterion.
-    println!("success criterion (high-degree strategy, weak oracle):");
-    let mut t2 = Table::with_columns(&["criterion", "n", "mean requests", "success"]);
-    for (si, &n) in sizes.iter().enumerate() {
-        for (criterion, name) in [
-            (SuccessCriterion::DiscoverTarget, "discover target"),
-            (SuccessCriterion::ReachNeighbor, "reach neighbor"),
-        ] {
-            let cell = weak_cell_with_policy(
-                &model,
-                n,
-                SearcherKind::HighDegree,
-                criterion,
-                StartPolicy::OldestHub,
-                trial_count,
-                30,
-                &seeds.subsequence(300 + si as u64),
-            );
-            t2.row(vec![
-                name.into(),
-                n.to_string(),
-                format!("{:.1}", cell.mean),
-                format!("{:.2}", cell.success),
-            ]);
-        }
-    }
-    println!("{t2}");
-
-    // Knob 3: start policy.
-    println!("start vertex policy (high-degree strategy, weak oracle):");
-    let mut t3 = Table::with_columns(&["start", "n", "mean requests", "success"]);
-    for (si, &n) in sizes.iter().enumerate() {
-        for policy in [
-            StartPolicy::OldestHub,
-            StartPolicy::Uniform,
-            StartPolicy::NearTarget,
-        ] {
-            let cell = weak_cell_with_policy(
-                &model,
-                n,
-                SearcherKind::HighDegree,
-                SuccessCriterion::DiscoverTarget,
-                policy,
-                trial_count,
-                30,
-                &seeds.subsequence(400 + si as u64),
-            );
-            t3.row(vec![
-                policy.name().into(),
-                n.to_string(),
-                format!("{:.1}", cell.mean),
-                format!("{:.2}", cell.success),
-            ]);
-        }
-    }
-    println!("{t3}");
-    println!("expected shape: every row grows with n at the same √n-like rate;");
-    println!("neighbor criterion and strong oracle shave constants, not the");
-    println!("exponent — and starting next to the target barely helps, because");
-    println!("label adjacency is not graph adjacency in these models.");
+    nonsearch_bench::experiments::run_legacy("ablation");
 }

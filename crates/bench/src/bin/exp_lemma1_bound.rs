@@ -1,72 +1,8 @@
 //! E6 — Lemma 1 composition: `|V|·P(E)/2` against measured search cost.
 //!
-//! The sanity contract of a lower bound: for every size, every algorithm's
-//! measured mean must sit at or above the bound, and the bound itself
-//! must grow like √n.
-
-use nonsearch_analysis::{fit_log_log, Table};
-use nonsearch_bench::{banner, sweep, trials};
-use nonsearch_core::{
-    certify, mori_event_probability_exact, theorem1_weak_bound, BoundComparison, CertifyConfig,
-    EquivalenceWindow, MergedMoriModel,
-};
-use nonsearch_search::{SearcherKind, SuccessCriterion};
+//! Thin wrapper over the registered `xp lemma1-bound` experiment; the
+//! implementation lives in `nonsearch_bench::experiments`.
 
 fn main() {
-    banner(
-        "E6 / Lemma 1 (bound arithmetic)",
-        "|V|·P(E)/2 must lower-bound every measured searcher and grow as √n",
-    );
-
-    let p = 0.5;
-    let sizes = sweep(&[512, 1024, 2048, 4096, 8192]);
-    let model = MergedMoriModel { p, m: 1 };
-    let config = CertifyConfig {
-        sizes: sizes.clone(),
-        trials: trials(10),
-        seed: 0xE6,
-        searchers: SearcherKind::informed().to_vec(),
-        criterion: SuccessCriterion::DiscoverTarget,
-        budget_multiplier: 30,
-    };
-    let report = certify(&model, &config);
-
-    let mut table =
-        Table::with_columns(&["n", "|V|", "P(E) exact", "bound", "best measured", "holds"]);
-    let best = report.best_algorithm().expect("suite is non-empty");
-    let mut bound_series = Vec::new();
-    for pt in &best.points {
-        let w = EquivalenceWindow::for_target(pt.n);
-        let prob = mori_event_probability_exact(w.a(), w.b(), p).expect("valid window");
-        let bound = theorem1_weak_bound(pt.n, p).expect("valid n, p");
-        let cmp = BoundComparison {
-            n: pt.n,
-            bound,
-            measured: pt.mean_requests,
-        };
-        table.row(vec![
-            pt.n.to_string(),
-            w.len().to_string(),
-            format!("{prob:.4}"),
-            format!("{bound:.1}"),
-            format!("{:.1}", pt.mean_requests),
-            if cmp.holds() {
-                "yes".into()
-            } else {
-                "NO".into()
-            },
-        ]);
-        bound_series.push((pt.n as f64, bound));
-    }
-    println!("best algorithm: {}", best.kind.name());
-    println!("{table}");
-
-    let xs: Vec<f64> = bound_series.iter().map(|&(n, _)| n).collect();
-    let ys: Vec<f64> = bound_series.iter().map(|&(_, b)| b).collect();
-    if let Some(fit) = fit_log_log(&xs, &ys) {
-        println!(
-            "bound growth exponent: {:.3} (theory: 0.5 exactly, up to ⌊√⌋ jitter)",
-            fit.slope
-        );
-    }
+    nonsearch_bench::experiments::run_legacy("lemma1-bound");
 }

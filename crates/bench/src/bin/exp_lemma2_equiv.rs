@@ -1,73 +1,9 @@
 //! E5 — Lemma 2: the window `[[a+1, b]]` is equivalent conditional on
 //! `E_{a,b}`.
 //!
-//! Exact verification by enumeration for small trees (distribution
-//! literally invariant under window transpositions), plus a statistical
-//! symmetry test on sampled larger trees.
-
-use nonsearch_analysis::Table;
-use nonsearch_bench::{banner, trials};
-use nonsearch_core::{exact_window_exchangeability, sampled_window_symmetry, EquivalenceWindow};
+//! Thin wrapper over the registered `xp lemma2-equiv` experiment; the
+//! implementation lives in `nonsearch_bench::experiments`.
 
 fn main() {
-    banner(
-        "E5 / Lemma 2 (vertex equivalence)",
-        "conditional on E_{a,b}, window vertices are interchangeable: \
-         exact check on small trees, z-test on sampled trees",
-    );
-
-    println!("exact enumeration check (trees of size b ≤ 9):");
-    let mut exact_table =
-        Table::with_columns(&["p", "window", "event mass", "max discrepancy", "verdict"]);
-    for &p in &[0.0, 0.25, 0.5, 0.75, 1.0] {
-        for (a, b) in [(4usize, 7usize), (5, 8), (6, 9)] {
-            let w = EquivalenceWindow::with_bounds(a, b);
-            let check = exact_window_exchangeability(&w, p).expect("small trees enumerate");
-            exact_table.row(vec![
-                format!("{p:.2}"),
-                format!("[[{}..{}]]", a + 1, b),
-                format!("{:.5}", check.event_mass),
-                format!("{:.2e}", check.max_discrepancy),
-                if check.is_exchangeable(1e-12) {
-                    "exchangeable".into()
-                } else {
-                    "BROKEN".into()
-                },
-            ]);
-        }
-    }
-    println!("{exact_table}");
-
-    println!("sampled symmetry check (father-label means must match across positions):");
-    let mut sampled_table = Table::with_columns(&[
-        "p",
-        "anchor a",
-        "window |V|",
-        "accepted",
-        "max |z|",
-        "verdict",
-    ]);
-    let sample_trials = trials(5_000);
-    for &p in &[0.3, 0.6, 0.9] {
-        for &a in &[50usize, 200] {
-            let w = EquivalenceWindow::from_anchor(a);
-            let report = sampled_window_symmetry(&w, p, sample_trials, 0xE5)
-                .expect("event has constant probability, some trials accept");
-            sampled_table.row(vec![
-                format!("{p:.2}"),
-                a.to_string(),
-                w.len().to_string(),
-                format!("{}/{}", report.accepted, report.attempted),
-                format!("{:.2}", report.max_z),
-                if report.max_z < 4.0 {
-                    "consistent".into()
-                } else {
-                    "suspicious".into()
-                },
-            ]);
-        }
-    }
-    println!("{sampled_table}");
-    println!("(|z| is a max over O(|V|²) comparisons; values under ~4 are");
-    println!("what exchangeability predicts at these sample sizes.)");
+    nonsearch_bench::experiments::run_legacy("lemma2-equiv");
 }

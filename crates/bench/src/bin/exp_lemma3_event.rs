@@ -1,68 +1,8 @@
 //! E4 — Lemma 3: with `b = a + ⌊√(a−1)⌋`, `P(E_{a,b}) ≥ e^{−(1−p)}`.
 //!
-//! Prints, for each `(p, a)`, the exact conditional-product probability,
-//! a Monte-Carlo estimate from real Móri trees, and the paper's bound.
-
-use nonsearch_analysis::Table;
-use nonsearch_bench::{banner, quick, trials};
-use nonsearch_core::{
-    estimate_mori_event_probability, lemma3_bound, mori_event_probability_exact, EquivalenceWindow,
-};
+//! Thin wrapper over the registered `xp lemma3-event` experiment; the
+//! implementation lives in `nonsearch_bench::experiments`.
 
 fn main() {
-    banner(
-        "E4 / Lemma 3 (event probability)",
-        "P(E_{a,b}) ≥ e^{−(1−p)} at the √a window — exact product vs \
-         Monte-Carlo vs bound",
-    );
-
-    let p_values = [0.1, 0.25, 0.5, 0.75, 0.9, 1.0];
-    let anchors: Vec<usize> = if quick() {
-        vec![100, 1_000]
-    } else {
-        vec![100, 1_000, 10_000, 100_000]
-    };
-    let mc_trials = trials(2_000);
-
-    let mut table = Table::with_columns(&[
-        "p",
-        "a",
-        "window |V|",
-        "exact P(E)",
-        "monte carlo",
-        "bound e^-(1-p)",
-        "holds",
-    ]);
-    for &p in &p_values {
-        for &a in &anchors {
-            let w = EquivalenceWindow::from_anchor(a);
-            let exact =
-                mori_event_probability_exact(w.a(), w.b(), p).expect("valid window parameters");
-            // Monte Carlo on the big anchors is costly; sample the small ones.
-            let mc = if a <= 1_000 {
-                let est = estimate_mori_event_probability(&w, p, mc_trials, 0xE4)
-                    .expect("valid estimation parameters");
-                format!("{:.4} ± {:.4}", est.estimate, est.std_error)
-            } else {
-                "-".to_string()
-            };
-            let bound = lemma3_bound(p);
-            table.row(vec![
-                format!("{p:.2}"),
-                a.to_string(),
-                w.len().to_string(),
-                format!("{exact:.4}"),
-                mc,
-                format!("{bound:.4}"),
-                if exact >= bound - 1e-12 {
-                    "yes".into()
-                } else {
-                    "NO".into()
-                },
-            ]);
-        }
-    }
-    println!("{table}");
-    println!("note: the bound is tight-ish for small p and slack for p → 1,");
-    println!("where preferential attachment never reaches the fresh window.");
+    nonsearch_bench::experiments::run_legacy("lemma3-event");
 }

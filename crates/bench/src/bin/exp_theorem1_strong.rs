@@ -1,62 +1,9 @@
 //! E2 — Theorem 1, strong model: for `p < 1/2`, strong-model search
-//! needs `Ω(n^{1/2−p−ε})` requests; the slowdown argument runs strong
-//! algorithms natively and through the weak-model simulation.
-
-use nonsearch_analysis::{fit_log_log, Table};
-use nonsearch_bench::{banner, quick, strong_cell, sweep, trials, StrongKind};
-use nonsearch_core::{strong_model_exponent, MergedMoriModel};
-use nonsearch_generators::SeedSequence;
+//! needs `Ω(n^{1/2−p−ε})` requests.
+//!
+//! Thin wrapper over the registered `xp theorem1-strong` experiment; the
+//! implementation lives in `nonsearch_bench::experiments`.
 
 fn main() {
-    banner(
-        "E2 / Theorem 1 (strong model)",
-        "for p < 1/2, strong-model search needs Ω(n^(1/2−p−ε)) requests; \
-         max degree t^p bounds the weak→strong slowdown",
-    );
-
-    let sizes = sweep(&[512, 1024, 2048, 4096, 8192, 16384]);
-    let trial_count = trials(10);
-    let p_values = if quick() { vec![0.2] } else { vec![0.2, 0.4] };
-    let seeds = SeedSequence::new(0xE2);
-
-    for &p in &p_values {
-        let model = MergedMoriModel { p, m: 1 };
-        println!("model: mori(p={p}, m=1), strong oracle");
-        let mut table = Table::with_columns(&["searcher", "n", "mean requests", "ci95", "success"]);
-        let mut best_series: Vec<(usize, f64)> = Vec::new();
-        for kind in StrongKind::all() {
-            let mut series = Vec::new();
-            for (i, &n) in sizes.iter().enumerate() {
-                let cell_seeds = seeds
-                    .subsequence((p * 100.0) as u64)
-                    .subsequence(i as u64)
-                    .subsequence(kind.name().len() as u64);
-                let cell = strong_cell(&model, n, *kind, trial_count, &cell_seeds);
-                table.row(vec![
-                    kind.name().to_string(),
-                    n.to_string(),
-                    format!("{:.1}", cell.mean),
-                    format!("{:.1}", cell.ci95),
-                    format!("{:.2}", cell.success),
-                ]);
-                series.push((n, cell.mean));
-            }
-            // Track the cheapest searcher at the largest size.
-            if best_series.is_empty()
-                || series.last().expect("non-empty").1 < best_series.last().expect("non-empty").1
-            {
-                best_series = series;
-            }
-        }
-        println!("{table}");
-        let xs: Vec<f64> = best_series.iter().map(|&(n, _)| n as f64).collect();
-        let ys: Vec<f64> = best_series.iter().map(|&(_, c)| c.max(1.0)).collect();
-        if let Some(fit) = fit_log_log(&xs, &ys) {
-            let floor = strong_model_exponent(p, 0.0);
-            println!(
-                "best strong searcher exponent: {:.3} (theoretical floor 1/2−p = {:.2})\n",
-                fit.slope, floor
-            );
-        }
-    }
+    nonsearch_bench::experiments::run_legacy("theorem1-strong");
 }

@@ -1,62 +1,9 @@
 //! E1 — Theorem 1, weak model: any local search for vertex `n` in the
 //! (merged) Móri model needs `Ω(n^{1/2})` expected requests.
 //!
-//! Sweeps `p × m × n`, races the searcher suite, fits each algorithm's
-//! scaling exponent and prints the per-size Lemma 1 lower bound next to
-//! the best measured mean.
-
-use nonsearch_analysis::Table;
-use nonsearch_bench::{banner, quick, sweep, trials};
-use nonsearch_core::{certify, theorem1_weak_bound, CertifyConfig, MergedMoriModel};
-use nonsearch_search::{SearcherKind, SuccessCriterion};
+//! Thin wrapper over the registered `xp theorem1-weak` experiment; the
+//! implementation lives in `nonsearch_bench::experiments`.
 
 fn main() {
-    banner(
-        "E1 / Theorem 1 (weak model)",
-        "expected requests to find vertex n in Móri(p, m) is Ω(n^0.5); \
-         measured best-algorithm exponent should be ≥ ~0.5",
-    );
-
-    let sizes = sweep(&[512, 1024, 2048, 4096, 8192, 16384]);
-    let trial_count = trials(12);
-    let p_values = if quick() {
-        vec![0.6]
-    } else {
-        vec![0.3, 0.6, 1.0]
-    };
-    let m_values = if quick() { vec![1] } else { vec![1, 3] };
-
-    for &p in &p_values {
-        for &m in &m_values {
-            let model = MergedMoriModel { p, m };
-            let config = CertifyConfig {
-                sizes: sizes.clone(),
-                trials: trial_count,
-                seed: 0xE1,
-                searchers: SearcherKind::informed().to_vec(),
-                criterion: SuccessCriterion::DiscoverTarget,
-                budget_multiplier: 30,
-            };
-            let report = certify(&model, &config);
-            println!("{report}");
-
-            let mut bound_table =
-                Table::with_columns(&["n", "lemma1 bound", "best measured", "slack"]);
-            let best = report.best_algorithm().expect("suite is non-empty");
-            for pt in &best.points {
-                let bound = theorem1_weak_bound(pt.n, p).expect("valid n, p");
-                bound_table.row(vec![
-                    pt.n.to_string(),
-                    format!("{bound:.1}"),
-                    format!("{:.1}", pt.mean_requests),
-                    format!("{:.1}x", pt.mean_requests / bound),
-                ]);
-            }
-            println!("lower bound vs best ({}):", best.kind.name());
-            println!("{bound_table}");
-            if let Some(expo) = report.best_exponent() {
-                println!("fitted exponent of best algorithm: {expo:.3} (theory: ≥ 0.5)\n");
-            }
-        }
-    }
+    nonsearch_bench::experiments::run_legacy("theorem1-weak");
 }

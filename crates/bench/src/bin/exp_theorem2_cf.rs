@@ -3,6 +3,7 @@
 
 use nonsearch_bench::{banner, quick, sweep, trials};
 use nonsearch_core::{certify, CertifyConfig, CooperFriezeModel};
+use nonsearch_engine::CliOptions;
 use nonsearch_search::{SearcherKind, SuccessCriterion};
 
 fn main() {
@@ -25,6 +26,7 @@ fn main() {
             searchers: SearcherKind::informed().to_vec(),
             criterion: SuccessCriterion::DiscoverTarget,
             budget_multiplier: 30,
+            threads: CliOptions::global().threads,
         };
         let report = certify(&model, &config);
         println!("{report}");

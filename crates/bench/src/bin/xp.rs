@@ -1,0 +1,16 @@
+//! `xp` — the unified experiment CLI.
+//!
+//! ```text
+//! xp list                                    # enumerate experiments
+//! xp theorem1-weak --quick --threads 4 --out runs.jsonl
+//! xp validate runs.jsonl                     # check emitted records
+//! ```
+//!
+//! Subcommands share the engine flag set (`--quick`, `--threads`,
+//! `--seed`, `--out`, `--format`, `--trials`, `--sizes`); run records
+//! are bit-identical for any `--threads` value with the same seed.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(nonsearch_bench::experiments::registry().main(&args));
+}

@@ -1,0 +1,79 @@
+//! The registered experiment suite behind `xp` and the legacy binaries.
+//!
+//! Each submodule ports one `exp_*` binary onto the engine: same claim,
+//! same pretty tables, same seed derivations — plus structured JSONL/CSV
+//! cell records via [`ExpContext::writer`] and the shared flag set
+//! (`--quick`, `--threads`, `--seed`, `--out`, `--format`, `--trials`,
+//! `--sizes`). The remaining experiments still run as standalone
+//! binaries; see `EXPERIMENTS.md` for the full map.
+
+mod ablation;
+mod lemma1_bound;
+mod lemma2_equiv;
+mod lemma3_event;
+mod theorem1_strong;
+mod theorem1_weak;
+
+use nonsearch_engine::{ExpContext, Registry};
+
+/// Builds the registry of all ported experiments.
+pub fn registry() -> Registry {
+    let mut r = Registry::new();
+    r.register(theorem1_weak::SPEC)
+        .register(theorem1_strong::SPEC)
+        .register(lemma1_bound::SPEC)
+        .register(lemma2_equiv::SPEC)
+        .register(lemma3_event::SPEC)
+        .register(ablation::SPEC);
+    r
+}
+
+/// Entry point for a legacy `exp_*` binary: dispatches `name` through
+/// the registry with leniently-parsed process arguments.
+pub fn run_legacy(name: &str) {
+    nonsearch_engine::run_legacy(&registry(), name);
+}
+
+/// The standard experiment banner, driven by the run's own options
+/// (not the process-global ones, so `xp` subcommands report correctly).
+fn print_banner(ctx: &ExpContext, id: &str, claim: &str) {
+    println!("=== {id} ===");
+    println!("claim: {claim}");
+    if ctx.options.quick {
+        println!("mode: QUICK (reduced sweep; run without --quick for the full table)");
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_at_least_six_experiments() {
+        let r = registry();
+        assert!(r.specs().len() >= 6, "only {} registered", r.specs().len());
+        for name in [
+            "theorem1-weak",
+            "theorem1-strong",
+            "lemma1-bound",
+            "lemma2-equiv",
+            "lemma3-event",
+            "ablation",
+        ] {
+            assert!(r.find(name).is_some(), "{name} missing");
+        }
+    }
+
+    #[test]
+    fn ids_and_claims_are_nonempty_and_unique() {
+        let r = registry();
+        let mut ids: Vec<&str> = r.specs().iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), r.specs().len());
+        for spec in r.specs() {
+            assert!(!spec.claim.is_empty(), "{} has no claim", spec.name);
+        }
+    }
+}

@@ -1,36 +1,42 @@
 //! Shared helpers for the experiment binaries and Criterion benches.
 //!
-//! Every `exp_*` binary regenerates one evaluation artifact from
-//! EXPERIMENTS.md. Pass `--quick` (or set `NONSEARCH_QUICK=1`) to run a
-//! reduced sweep; defaults reproduce the recorded tables.
+//! Every experiment regenerates one evaluation artifact from
+//! EXPERIMENTS.md; the unified `xp` binary fronts them all (`xp list`),
+//! and the legacy `exp_*` binaries dispatch to the same registered
+//! implementations. All entry points share the engine's flag set —
+//! `--quick`, `--threads`, `--seed`, `--out`, `--format`, `--trials`,
+//! `--sizes` — parsed once into [`CliOptions`].
+//!
+//! The cell helpers here ([`strong_cell`], [`weak_cell_with_policy`])
+//! execute on the `nonsearch_engine` trial runner: sharded across worker
+//! threads, per-trial RNG streams derived from the trial index, streamed
+//! aggregation in strict trial order — so their numbers are bit-identical
+//! for any thread count (and match the historical sequential loops'
+//! trial seeding).
 
-use nonsearch_analysis::SampleStats;
+pub mod experiments;
+
 use nonsearch_core::GraphModel;
+use nonsearch_engine::{run_cell, CliOptions, TrialMeasure};
 use nonsearch_generators::SeedSequence;
 use nonsearch_graph::NodeId;
 use nonsearch_search::{run_strong, run_weak, SearchTask, StrongSearcher, SuccessCriterion};
 
-/// `true` when the caller asked for a reduced sweep.
+/// `true` when the caller asked for a reduced sweep (`--quick` or
+/// `NONSEARCH_QUICK=1`); read from the process-wide options, which are
+/// parsed exactly once.
 pub fn quick() -> bool {
-    std::env::args().any(|a| a == "--quick") || std::env::var_os("NONSEARCH_QUICK").is_some()
+    CliOptions::global().quick
 }
 
-/// Truncates a size sweep in quick mode.
+/// Truncates a size sweep in quick mode (and honours `--sizes`).
 pub fn sweep(full: &[usize]) -> Vec<usize> {
-    if quick() {
-        full.iter().copied().take(3.min(full.len())).collect()
-    } else {
-        full.to_vec()
-    }
+    CliOptions::global().sweep(full)
 }
 
-/// Scales a trial count down in quick mode.
+/// Scales a trial count down in quick mode (and honours `--trials`).
 pub fn trials(full: usize) -> usize {
-    if quick() {
-        (full / 3).max(3)
-    } else {
-        full
-    }
+    CliOptions::global().trial_count(full)
 }
 
 /// Prints the standard experiment banner.
@@ -94,19 +100,18 @@ impl StrongKind {
     }
 }
 
-/// Measures a strong-model searcher on `model` at size `n`: mean
-/// requests to find the newest vertex from vertex 1.
-pub fn strong_cell<M: GraphModel>(
+/// Measures a strong-model searcher on `model` at size `n` — mean
+/// requests to find the newest vertex from vertex 1 — on `threads`
+/// engine workers (0 = all cores).
+pub fn strong_cell<M: GraphModel + Sync>(
     model: &M,
     n: usize,
     kind: StrongKind,
     trial_count: usize,
+    threads: usize,
     seeds: &SeedSequence,
 ) -> CellStats {
-    let mut requests = Vec::with_capacity(trial_count);
-    let mut found = 0usize;
-    for t in 0..trial_count {
-        let cell_seeds = seeds.subsequence(t as u64);
+    let lane = run_cell(trial_count, threads, seeds, |_trial, cell_seeds| {
         let mut rng = cell_seeds.child_rng(0);
         let graph = model.sample_graph(n, &mut rng);
         let actual = graph.node_count();
@@ -116,14 +121,12 @@ pub fn strong_cell<M: GraphModel>(
         let mut search_rng = cell_seeds.child_rng(1);
         let outcome = run_strong(&graph, &task, &mut *searcher, &mut search_rng)
             .expect("suite searchers never violate the protocol");
-        requests.push(outcome.requests as f64);
-        found += outcome.found as usize;
-    }
-    let stats = SampleStats::from_slice(&requests).expect("trials ≥ 1");
+        TrialMeasure::new(outcome.requests as f64, outcome.found)
+    });
     CellStats {
-        mean: stats.mean(),
-        ci95: stats.ci95_half_width(),
-        success: found as f64 / trial_count as f64,
+        mean: lane.mean(),
+        ci95: lane.ci95(),
+        success: lane.success_rate(),
     }
 }
 
@@ -159,9 +162,10 @@ impl StartPolicy {
 }
 
 /// Measures a weak-model searcher on `model` at size `n` with explicit
-/// start/criterion policy (used by the ablation experiment).
+/// start/criterion policy (used by the ablation experiment), on
+/// `threads` engine workers (0 = all cores).
 #[allow(clippy::too_many_arguments)]
-pub fn weak_cell_with_policy<M: GraphModel>(
+pub fn weak_cell_with_policy<M: GraphModel + Sync>(
     model: &M,
     n: usize,
     kind: nonsearch_search::SearcherKind,
@@ -169,12 +173,10 @@ pub fn weak_cell_with_policy<M: GraphModel>(
     start_policy: StartPolicy,
     trial_count: usize,
     budget_multiplier: usize,
+    threads: usize,
     seeds: &SeedSequence,
 ) -> CellStats {
-    let mut requests = Vec::with_capacity(trial_count);
-    let mut found = 0usize;
-    for t in 0..trial_count {
-        let cell_seeds = seeds.subsequence(t as u64);
+    let lane = run_cell(trial_count, threads, seeds, |_trial, cell_seeds| {
         let mut rng = cell_seeds.child_rng(0);
         let graph = model.sample_graph(n, &mut rng);
         let actual = graph.node_count();
@@ -186,14 +188,12 @@ pub fn weak_cell_with_policy<M: GraphModel>(
         let mut search_rng = cell_seeds.child_rng(1);
         let outcome = run_weak(&graph, &task, &mut *searcher, &mut search_rng)
             .expect("suite searchers never violate the protocol");
-        requests.push(outcome.requests as f64);
-        found += outcome.found as usize;
-    }
-    let stats = SampleStats::from_slice(&requests).expect("trials ≥ 1");
+        TrialMeasure::new(outcome.requests as f64, outcome.found)
+    });
     CellStats {
-        mean: stats.mean(),
-        ci95: stats.ci95_half_width(),
-        success: found as f64 / trial_count as f64,
+        mean: lane.mean(),
+        ci95: lane.ci95(),
+        success: lane.success_rate(),
     }
 }
 
@@ -207,7 +207,7 @@ mod tests {
     fn strong_cell_measures_something() {
         let model = MergedMoriModel { p: 0.5, m: 1 };
         let seeds = SeedSequence::new(1);
-        let cell = strong_cell(&model, 256, StrongKind::HighDegree, 4, &seeds);
+        let cell = strong_cell(&model, 256, StrongKind::HighDegree, 4, 0, &seeds);
         assert!(cell.mean > 0.0);
         assert!(cell.success > 0.9);
     }
@@ -229,10 +229,22 @@ mod tests {
                 policy,
                 4,
                 100,
+                0,
                 &seeds,
             );
             assert!(cell.success > 0.9, "{}", policy.name());
         }
+    }
+
+    #[test]
+    fn cells_are_bit_identical_across_thread_counts() {
+        let model = MergedMoriModel { p: 0.5, m: 1 };
+        let seeds = SeedSequence::new(3);
+        let a = strong_cell(&model, 128, StrongKind::Bfs, 6, 1, &seeds);
+        let b = strong_cell(&model, 128, StrongKind::Bfs, 6, 4, &seeds);
+        assert_eq!(a.mean, b.mean);
+        assert_eq!(a.ci95, b.ci95);
+        assert_eq!(a.success, b.success);
     }
 
     #[test]

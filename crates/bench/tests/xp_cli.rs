@@ -1,0 +1,190 @@
+//! End-to-end tests of the `xp` binary: subcommand listing, JSONL
+//! emission, and the headline engine guarantee — byte-identical cell
+//! records for `--threads 1` vs `--threads 4` with the same seed.
+
+use nonsearch_engine::{parse_json, validate_jsonl, CELL_TYPE, RUN_TYPE};
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn xp(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_xp"))
+        .args(args)
+        .output()
+        .expect("xp binary runs")
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("xp_cli_{}_{tag}", std::process::id()))
+}
+
+/// The deterministic part of a run file: every `"type":"cell"` line, in
+/// order. The `"type":"run"` footer carries wall time and thread count
+/// and is legitimately volatile.
+fn cell_lines(text: &str) -> Vec<&str> {
+    text.lines()
+        .filter(|l| {
+            parse_json(l)
+                .expect("every emitted line parses")
+                .get("type")
+                .and_then(|t| t.as_str())
+                .map(|t| t == CELL_TYPE)
+                .unwrap_or(false)
+        })
+        .collect()
+}
+
+#[test]
+fn list_enumerates_the_registered_experiments() {
+    let out = xp(&["list"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for name in [
+        "theorem1-weak",
+        "theorem1-strong",
+        "lemma1-bound",
+        "lemma2-equiv",
+        "lemma3-event",
+        "ablation",
+    ] {
+        assert!(stdout.contains(name), "xp list misses {name}:\n{stdout}");
+    }
+}
+
+#[test]
+fn unknown_subcommand_and_bad_flags_fail_cleanly() {
+    let out = xp(&["no-such-experiment"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("theorem1-weak"), "should list experiments");
+
+    let out = xp(&["theorem1-weak", "--threads", "abc"]);
+    assert_eq!(out.status.code(), Some(2));
+
+    let out = xp(&["theorem1-weak", "--wat"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn jsonl_cell_records_are_byte_identical_across_thread_counts() {
+    let single = temp_path("t1.jsonl");
+    let quad = temp_path("t4.jsonl");
+    let common = [
+        "theorem1-weak",
+        "--quick",
+        "--trials",
+        "4",
+        "--sizes",
+        "128,256",
+        "--seed",
+        "7",
+        "--out",
+    ];
+
+    let mut args: Vec<&str> = common.to_vec();
+    let single_str = single.to_str().unwrap();
+    args.push(single_str);
+    args.extend(["--threads", "1"]);
+    let out = xp(&args);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let mut args: Vec<&str> = common.to_vec();
+    let quad_str = quad.to_str().unwrap();
+    args.push(quad_str);
+    args.extend(["--threads", "4"]);
+    let out = xp(&args);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let a = std::fs::read_to_string(&single).unwrap();
+    let b = std::fs::read_to_string(&quad).unwrap();
+
+    // Both record streams validate.
+    let va = validate_jsonl(&a).unwrap();
+    let vb = validate_jsonl(&b).unwrap();
+    assert!(va.cells > 0 && va.runs == 1, "{va:?}");
+    assert_eq!(va, vb);
+
+    // The deterministic cell lines are byte-identical.
+    assert_eq!(cell_lines(&a), cell_lines(&b));
+
+    // Only the volatile run footer differs — and it records the thread
+    // count that actually ran.
+    let footer = |text: &str| {
+        text.lines()
+            .find(|l| {
+                parse_json(l)
+                    .unwrap()
+                    .get("type")
+                    .and_then(|t| t.as_str())
+                    .map(|t| t == RUN_TYPE)
+                    .unwrap_or(false)
+            })
+            .map(|l| parse_json(l).unwrap())
+            .expect("run footer present")
+    };
+    assert_eq!(
+        footer(&a).get("threads").and_then(|v| v.as_f64()),
+        Some(1.0)
+    );
+    assert_eq!(
+        footer(&b).get("threads").and_then(|v| v.as_f64()),
+        Some(4.0)
+    );
+    assert_eq!(footer(&a).get("seed").and_then(|v| v.as_f64()), Some(7.0));
+
+    // `xp validate` agrees from the command line.
+    let out = xp(&["validate", single_str, quad_str]);
+    assert!(out.status.success());
+
+    std::fs::remove_file(&single).ok();
+    std::fs::remove_file(&quad).ok();
+}
+
+#[test]
+fn csv_format_writes_aligned_rows() {
+    let path = temp_path("run.csv");
+    let path_str = path.to_str().unwrap();
+    let out = xp(&[
+        "lemma3-event",
+        "--quick",
+        "--trials",
+        "8",
+        "--format",
+        "csv",
+        "--out",
+        path_str,
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let csv = std::fs::read_to_string(&path).unwrap();
+    let mut lines = csv.lines();
+    let header = lines.next().unwrap();
+    assert!(header.starts_with("type,experiment,"));
+    let columns = header.split(',').count();
+    let mut rows = 0;
+    for line in lines {
+        assert_eq!(line.split(',').count(), columns, "ragged row: {line}");
+        rows += 1;
+    }
+    assert!(rows > 0);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn validate_flags_corrupt_files() {
+    let path = temp_path("bad.jsonl");
+    std::fs::write(&path, "{\"type\":\"cell\"}\nnot json at all\n").unwrap();
+    let out = xp(&["validate", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    std::fs::remove_file(&path).ok();
+}

@@ -9,7 +9,8 @@
 //! exponent near zero.
 
 use crate::model::GraphModel;
-use nonsearch_analysis::{fit_log_log, LinearFit, SampleStats, Table};
+use nonsearch_analysis::{fit_log_log, LinearFit, Table};
+use nonsearch_engine::{run_lanes, TrialMeasure};
 use nonsearch_generators::SeedSequence;
 use nonsearch_graph::NodeId;
 use nonsearch_search::{run_weak, SearchTask, SearcherKind, SuccessCriterion};
@@ -31,6 +32,9 @@ pub struct CertifyConfig {
     pub criterion: SuccessCriterion,
     /// Request budget per run, as a multiple of the graph size.
     pub budget_multiplier: usize,
+    /// Worker threads for the trial engine (`0` = all cores). Results
+    /// are bit-identical for any value.
+    pub threads: usize,
 }
 
 impl Default for CertifyConfig {
@@ -42,6 +46,7 @@ impl Default for CertifyConfig {
             searchers: SearcherKind::informed().to_vec(),
             criterion: SuccessCriterion::DiscoverTarget,
             budget_multiplier: 50,
+            threads: 0,
         }
     }
 }
@@ -153,28 +158,31 @@ impl fmt::Display for SearchabilityReport {
 
 /// Runs the certification sweep for `model`.
 ///
-/// Trials are parallelized with scoped threads; every cell's RNG stream
-/// is derived from `(seed, size index, trial)`, so results do not depend
-/// on scheduling.
+/// Trials execute on the `nonsearch_engine` runner: sharded across
+/// scoped worker threads, with every cell's RNG stream derived from
+/// `(seed, size index, trial)` and aggregation folded in strict trial
+/// order — so reports are bit-identical for any `threads` setting.
 pub fn certify<M: GraphModel + Sync>(model: &M, config: &CertifyConfig) -> SearchabilityReport {
     let seeds = SeedSequence::new(config.seed);
     let n_searchers = config.searchers.len();
-    // results[size][searcher] = per-trial (requests, found)
+    // all_points[searcher][size index] = that searcher's scaling point.
     let mut all_points: Vec<Vec<ScalingPoint>> = vec![Vec::new(); n_searchers];
 
     for (size_idx, &n) in config.sizes.iter().enumerate() {
         let size_seeds = seeds.subsequence(size_idx as u64);
-        let trial_results = run_size_trials(model, config, n, &size_seeds);
-        for (s_idx, cells) in trial_results.iter().enumerate() {
-            let requests: Vec<f64> = cells.iter().map(|&(r, _)| r as f64).collect();
-            let stats = SampleStats::from_slice(&requests)
-                .expect("trials ≥ 1 produce finite request counts");
-            let successes = cells.iter().filter(|&&(_, f)| f).count();
+        let lanes = run_lanes(
+            config.trials,
+            n_searchers,
+            config.threads,
+            &size_seeds,
+            |_trial, trial_seeds| run_one_trial(model, config, n, &trial_seeds),
+        );
+        for (s_idx, lane) in lanes.iter().enumerate() {
             all_points[s_idx].push(ScalingPoint {
                 n,
-                mean_requests: stats.mean(),
-                ci95: stats.ci95_half_width(),
-                success_rate: successes as f64 / cells.len() as f64,
+                mean_requests: lane.mean(),
+                ci95: lane.ci95(),
+                success_rate: lane.success_rate(),
             });
         }
     }
@@ -198,69 +206,14 @@ pub fn certify<M: GraphModel + Sync>(model: &M, config: &CertifyConfig) -> Searc
     }
 }
 
-/// Runs all trials for one size, in parallel, returning per-searcher
-/// per-trial `(requests, found)` cells in trial order.
-fn run_size_trials<M: GraphModel + Sync>(
-    model: &M,
-    config: &CertifyConfig,
-    n: usize,
-    size_seeds: &SeedSequence,
-) -> Vec<Vec<(usize, bool)>> {
-    /// Per-trial `(requests, found)` cells, one entry per searcher.
-    type TrialCells = Vec<(usize, bool)>;
-    let trials = config.trials;
-    let threads = std::thread::available_parallelism()
-        .map(|x| x.get())
-        .unwrap_or(1)
-        .min(trials)
-        .max(1);
-    let mut per_trial: Vec<TrialCells> = vec![Vec::new(); trials];
-
-    std::thread::scope(|scope| {
-        let chunks: Vec<(usize, &mut [TrialCells])> = {
-            let mut chunks = Vec::new();
-            let mut rest = per_trial.as_mut_slice();
-            let chunk_size = trials.div_ceil(threads);
-            let mut offset = 0;
-            while !rest.is_empty() {
-                let take = chunk_size.min(rest.len());
-                let (head, tail) = rest.split_at_mut(take);
-                chunks.push((offset, head));
-                offset += take;
-                rest = tail;
-            }
-            chunks
-        };
-        for (offset, chunk) in chunks {
-            scope.spawn(move || {
-                for (local, out) in chunk.iter_mut().enumerate() {
-                    let trial = offset + local;
-                    *out = run_one_trial(model, config, n, size_seeds, trial);
-                }
-            });
-        }
-    });
-
-    // Transpose to per-searcher layout.
-    let n_searchers = config.searchers.len();
-    let mut per_searcher: Vec<Vec<(usize, bool)>> = vec![Vec::with_capacity(trials); n_searchers];
-    for trial_cells in per_trial {
-        for (s_idx, cell) in trial_cells.into_iter().enumerate() {
-            per_searcher[s_idx].push(cell);
-        }
-    }
-    per_searcher
-}
-
-/// One graph sample, all searchers raced on it.
+/// One graph sample, all searchers raced on it — one engine lane per
+/// searcher.
 fn run_one_trial<M: GraphModel>(
     model: &M,
     config: &CertifyConfig,
     n: usize,
-    size_seeds: &SeedSequence,
-    trial: usize,
-) -> Vec<(usize, bool)> {
-    let trial_seeds = size_seeds.subsequence(trial as u64);
+    trial_seeds: &SeedSequence,
+) -> Vec<TrialMeasure> {
     let mut graph_rng = trial_seeds.child_rng(0);
     let graph = model.sample_graph(n, &mut graph_rng);
     let actual = graph.node_count();
@@ -276,7 +229,7 @@ fn run_one_trial<M: GraphModel>(
             let mut searcher = kind.build();
             let outcome = run_weak(&graph, &task, &mut *searcher, &mut rng)
                 .expect("suite searchers never violate the protocol");
-            (outcome.requests, outcome.found)
+            TrialMeasure::new(outcome.requests as f64, outcome.found)
         })
         .collect()
 }
@@ -298,6 +251,7 @@ mod tests {
             ],
             criterion: SuccessCriterion::DiscoverTarget,
             budget_multiplier: 50,
+            threads: 0,
         }
     }
 
@@ -327,6 +281,26 @@ mod tests {
         for (x, y) in a.algorithms.iter().zip(&b.algorithms) {
             for (px, py) in x.points.iter().zip(&y.points) {
                 assert_eq!(px.mean_requests, py.mean_requests);
+            }
+        }
+    }
+
+    #[test]
+    fn certification_is_bit_identical_across_thread_counts() {
+        let model = MergedMoriModel { p: 0.4, m: 1 };
+        let single = CertifyConfig {
+            threads: 1,
+            ..small_config()
+        };
+        let quad = CertifyConfig {
+            threads: 4,
+            ..small_config()
+        };
+        let a = certify(&model, &single);
+        let b = certify(&model, &quad);
+        for (x, y) in a.algorithms.iter().zip(&b.algorithms) {
+            for (px, py) in x.points.iter().zip(&y.points) {
+                assert_eq!(px, py);
             }
         }
     }

@@ -1,0 +1,516 @@
+//! A minimal, dependency-free JSON value: serializer and parser.
+//!
+//! The workspace's `serde` is an offline no-op stub, so the structured
+//! results subsystem carries its own JSON. The surface is deliberately
+//! small: [`JsonValue`], its `Display` serialization (deterministic —
+//! object keys keep insertion order, floats use Rust's shortest
+//! round-trip formatting), and a strict recursive-descent [`parse`] used
+//! by `xp validate` and the determinism tests.
+
+use std::fmt;
+
+/// A JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null` (also what non-finite floats serialize to).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (serialized without a decimal point).
+    Int(i64),
+    /// A finite float.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object; insertion order is preserved on both ends.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn object<K: Into<String>>(pairs: Vec<(K, JsonValue)>) -> JsonValue {
+        JsonValue::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Looks a key up in an object (first match).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` if it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Int(i) => Some(*i as f64),
+            JsonValue::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str` if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(b: bool) -> JsonValue {
+        JsonValue::Bool(b)
+    }
+}
+impl From<i64> for JsonValue {
+    fn from(i: i64) -> JsonValue {
+        JsonValue::Int(i)
+    }
+}
+impl From<usize> for JsonValue {
+    fn from(u: usize) -> JsonValue {
+        JsonValue::Int(u as i64)
+    }
+}
+impl From<u64> for JsonValue {
+    fn from(u: u64) -> JsonValue {
+        if u <= i64::MAX as u64 {
+            JsonValue::Int(u as i64)
+        } else {
+            JsonValue::Float(u as f64)
+        }
+    }
+}
+impl From<f64> for JsonValue {
+    fn from(x: f64) -> JsonValue {
+        JsonValue::Float(x)
+    }
+}
+impl From<&str> for JsonValue {
+    fn from(s: &str) -> JsonValue {
+        JsonValue::Str(s.to_string())
+    }
+}
+impl From<String> for JsonValue {
+    fn from(s: String) -> JsonValue {
+        JsonValue::Str(s)
+    }
+}
+impl<T: Into<JsonValue>> From<Option<T>> for JsonValue {
+    fn from(o: Option<T>) -> JsonValue {
+        o.map_or(JsonValue::Null, Into::into)
+    }
+}
+impl<T: Into<JsonValue>> From<Vec<T>> for JsonValue {
+    fn from(v: Vec<T>) -> JsonValue {
+        JsonValue::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonValue::Null => f.write_str("null"),
+            JsonValue::Bool(b) => write!(f, "{b}"),
+            JsonValue::Int(i) => write!(f, "{i}"),
+            JsonValue::Float(x) if !x.is_finite() => f.write_str("null"),
+            JsonValue::Float(x) => {
+                // Rust's shortest round-trip form; add `.0` so integral
+                // floats stay recognizably floats.
+                let s = format!("{x}");
+                if s.contains('.') || s.contains('e') || s.contains("inf") {
+                    f.write_str(&s)
+                } else {
+                    write!(f, "{s}.0")
+                }
+            }
+            JsonValue::Str(s) => write_escaped(f, s),
+            JsonValue::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            JsonValue::Object(pairs) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Where and why parsing failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the error.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses one JSON document, rejecting trailing garbage.
+pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after document"));
+    }
+    Ok(value)
+}
+
+const MAX_DEPTH: usize = 64;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected {text:?}")))
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number bytes are ASCII by construction");
+        let parsed = if is_float {
+            text.parse::<f64>()
+                .ok()
+                .filter(|x| x.is_finite())
+                .map(JsonValue::Float)
+        } else {
+            text.parse::<i64>().map(JsonValue::Int).ok().or_else(|| {
+                // Integer overflowing i64: keep it as a float.
+                text.parse::<f64>()
+                    .ok()
+                    .filter(|x| x.is_finite())
+                    .map(JsonValue::Float)
+            })
+        };
+        parsed.ok_or_else(|| self.err(&format!("invalid number {text:?}")))
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            // Surrogates are rejected rather than paired;
+                            // the writer never emits them.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| self.err("\\u escape is not a scalar value"))?;
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => return Err(self.err("raw control character in string")),
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("non-empty by peek");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value(depth + 1)?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serializes_deterministically() {
+        let v = JsonValue::object(vec![
+            ("type", JsonValue::from("cell")),
+            ("n", JsonValue::from(1024usize)),
+            ("mean", JsonValue::from(12.5)),
+            ("whole", JsonValue::from(3.0)),
+            ("ok", JsonValue::from(true)),
+            ("note", JsonValue::Null),
+            ("tags", JsonValue::from(vec!["a", "b"])),
+        ]);
+        assert_eq!(
+            v.to_string(),
+            r#"{"type":"cell","n":1024,"mean":12.5,"whole":3.0,"ok":true,"note":null,"tags":["a","b"]}"#
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let v = JsonValue::from("a\"b\\c\nd\te\u{1}");
+        assert_eq!(v.to_string(), r#""a\"b\\c\nd\te\u0001""#);
+        assert_eq!(parse(&v.to_string()).unwrap(), v);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(JsonValue::Float(f64::NAN).to_string(), "null");
+        assert_eq!(JsonValue::Float(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn round_trips() {
+        let v = JsonValue::object(vec![
+            ("i", JsonValue::Int(-42)),
+            ("x", JsonValue::Float(0.1)),
+            ("big", JsonValue::Float(1e300)),
+            ("s", JsonValue::from("héllo ✓")),
+            (
+                "nested",
+                JsonValue::object(vec![("empty", JsonValue::Array(vec![]))]),
+            ),
+        ]);
+        let text = v.to_string();
+        assert_eq!(parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn parses_whitespace_and_literals() {
+        let v = parse(" { \"a\" : [ 1 , 2.5 , true , false , null ] } ").unwrap();
+        assert_eq!(
+            v,
+            JsonValue::object(vec![(
+                "a",
+                JsonValue::Array(vec![
+                    JsonValue::Int(1),
+                    JsonValue::Float(2.5),
+                    JsonValue::Bool(true),
+                    JsonValue::Bool(false),
+                    JsonValue::Null,
+                ])
+            )])
+        );
+        assert_eq!(v.get("a").and_then(|a| a.as_f64()), None);
+        assert_eq!(parse("-17").unwrap().as_f64(), Some(-17.0));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "[1,]",
+            "{\"a\"}",
+            "{\"a\":}",
+            "nul",
+            "1 2",
+            "\"\\x\"",
+            "\"",
+            "[1",
+            "{\"a\":1,}",
+            "01a",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded() {
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        assert!(parse(&deep).is_err());
+        let ok = "[".repeat(30) + &"]".repeat(30);
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn object_get_and_accessors() {
+        let v = parse(r#"{"name":"xp","n":3}"#).unwrap();
+        assert_eq!(v.get("name").and_then(|x| x.as_str()), Some("xp"));
+        assert_eq!(v.get("n").and_then(|x| x.as_f64()), Some(3.0));
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn u64_conversion_saturates_to_float() {
+        assert_eq!(JsonValue::from(3u64), JsonValue::Int(3));
+        assert!(matches!(JsonValue::from(u64::MAX), JsonValue::Float(_)));
+    }
+}

@@ -1,0 +1,54 @@
+//! `nonsearch_engine` — the deterministic parallel Monte-Carlo trial
+//! engine, structured run records, and the `xp` experiment-CLI plumbing.
+//!
+//! Every quantitative claim in the paper is reproduced by Monte-Carlo
+//! sweeps over cells (model × size × searcher × policy). This crate is
+//! the shared substrate those sweeps run on:
+//!
+//! * [`run_cell`] / [`run_lanes`] — shard a cell's trials across scoped
+//!   worker threads with per-trial RNG streams derived from
+//!   [`SeedSequence`](nonsearch_generators::SeedSequence), aggregating
+//!   via streaming (Welford) statistics in strict trial order, so the
+//!   result is **bit-identical for 1 or N threads**.
+//! * [`CliOptions`] — the experiment flag set (`--quick`, `--threads`,
+//!   `--seed`, `--out`, `--format`, `--trials`, `--sizes`), parsed once.
+//! * [`RunWriter`] — JSON Lines + CSV run records (params, seed, git
+//!   describe, wall time, mean/CI/success) alongside the pretty tables.
+//! * [`Registry`] — the `xp` subcommand registry: `xp list`,
+//!   `xp <experiment> [flags]`, `xp validate <file>`.
+//! * [`json`] — a dependency-free JSON value/serializer/parser (the
+//!   workspace's vendored `serde` is a no-op stub).
+//!
+//! # Example: a deterministic parallel cell
+//!
+//! ```
+//! use nonsearch_engine::{run_cell, TrialMeasure};
+//! use nonsearch_generators::SeedSequence;
+//!
+//! let seeds = SeedSequence::new(7);
+//! let measure = |_trial: usize, seeds: SeedSequence| {
+//!     let draw = seeds.child(0) % 100;
+//!     TrialMeasure::new(draw as f64, draw < 90)
+//! };
+//! let one = run_cell(64, 1, &seeds, measure);
+//! let four = run_cell(64, 4, &seeds, measure);
+//! assert_eq!(one, four); // bit-identical aggregates
+//! assert_eq!(one.count(), 64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+mod options;
+mod record;
+mod registry;
+mod runner;
+
+pub use json::{parse as parse_json, JsonError, JsonValue};
+pub use options::{CliOptions, OptionsError, OutputFormat};
+pub use record::{git_describe, RunSummary, RunWriter, CELL_TYPE, RUN_TYPE};
+pub use registry::{
+    run_legacy, validate_jsonl, ExpContext, ExperimentSpec, Registry, ValidateSummary,
+};
+pub use runner::{run_cell, run_lanes, trial_seeds, LaneAggregate, TrialMeasure};

@@ -1,0 +1,364 @@
+//! Structured run records: JSON Lines and CSV alongside pretty tables.
+//!
+//! A run produces a stream of **cell records** — one JSON object per
+//! measured cell, with deterministic content (params, seed, aggregates)
+//! — followed by a single **run record** carrying the volatile envelope:
+//! wall time, worker threads, git describe. Keeping the volatile fields
+//! out of the cell records is what makes "same seed ⇒ byte-identical
+//! cell lines, regardless of `--threads`" testable; the determinism
+//! suite compares everything but the `"type":"run"` footer.
+
+use crate::json::JsonValue;
+use crate::options::{CliOptions, OutputFormat};
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// The JSONL `type` tag of per-cell records.
+pub const CELL_TYPE: &str = "cell";
+/// The JSONL `type` tag of the run footer.
+pub const RUN_TYPE: &str = "run";
+
+/// Sink for one experiment run's structured records.
+///
+/// Created inert (no files) when the options carry no `--out`; every
+/// method is then a cheap no-op, so experiments emit records
+/// unconditionally.
+pub struct RunWriter {
+    experiment: String,
+    quick: bool,
+    /// Resolved worker ceiling recorded in the footer (`--threads`, with
+    /// `0` resolved to the core count). Individual cells may use fewer
+    /// workers — the engine also caps at each cell's trial count.
+    threads: usize,
+    jsonl: Option<(PathBuf, BufWriter<File>)>,
+    csv: Option<CsvSink>,
+    cells: usize,
+    start: Instant,
+}
+
+struct CsvSink {
+    path: PathBuf,
+    writer: BufWriter<File>,
+    header: Option<Vec<String>>,
+}
+
+/// What a finished run wrote, for the CLI's closing status line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Cell records written.
+    pub cells: usize,
+    /// Wall-clock duration of the run in milliseconds.
+    pub wall_ms: u128,
+    /// Files written (empty when the writer was inert).
+    pub paths: Vec<PathBuf>,
+}
+
+impl RunWriter {
+    /// Opens the sinks requested by `options` for `experiment`.
+    pub fn create(experiment: &str, options: &CliOptions) -> io::Result<RunWriter> {
+        let mut jsonl = None;
+        let mut csv = None;
+        if let Some(out) = &options.out {
+            match options.format {
+                OutputFormat::Jsonl => jsonl = Some(open(out)?),
+                OutputFormat::Csv => csv = Some(CsvSink::open(out)?),
+                OutputFormat::Both => {
+                    // If --out already ends in .csv, with_extension is a
+                    // no-op and both sinks would clobber one file; move
+                    // the JSONL stream to a .jsonl sibling instead.
+                    let csv_path = out.with_extension("csv");
+                    let jsonl_path = if csv_path == *out {
+                        out.with_extension("jsonl")
+                    } else {
+                        out.clone()
+                    };
+                    jsonl = Some(open(&jsonl_path)?);
+                    csv = Some(CsvSink::open(&csv_path)?);
+                }
+            }
+        }
+        Ok(RunWriter {
+            experiment: experiment.to_string(),
+            quick: options.quick,
+            threads: options.resolved_threads(),
+            jsonl,
+            csv,
+            cells: 0,
+            start: Instant::now(),
+        })
+    }
+
+    /// An inert writer (no `--out`); useful in tests and library callers.
+    pub fn sink(experiment: &str) -> RunWriter {
+        RunWriter::create(experiment, &CliOptions::default()).expect("inert writer cannot fail")
+    }
+
+    /// `true` when at least one structured sink is open.
+    pub fn is_active(&self) -> bool {
+        self.jsonl.is_some() || self.csv.is_some()
+    }
+
+    /// Writes one cell record. `fields` keep their order; `type` and
+    /// `experiment` are prepended. Within one run every cell should use
+    /// the same key set, so the CSV rows line up under one header.
+    pub fn record_cell(&mut self, fields: Vec<(&str, JsonValue)>) -> io::Result<()> {
+        self.cells += 1;
+        if !self.is_active() {
+            return Ok(());
+        }
+        let mut pairs: Vec<(String, JsonValue)> = Vec::with_capacity(fields.len() + 2);
+        pairs.push(("type".into(), JsonValue::from(CELL_TYPE)));
+        pairs.push(("experiment".into(), JsonValue::Str(self.experiment.clone())));
+        pairs.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
+        if let Some((_, w)) = &mut self.jsonl {
+            writeln!(w, "{}", JsonValue::Object(pairs.clone()))?;
+        }
+        if let Some(csv) = &mut self.csv {
+            csv.row(&pairs)?;
+        }
+        Ok(())
+    }
+
+    /// Writes the run footer (seed, quick, threads, git describe, wall
+    /// time, cell count), flushes, and reports what was written.
+    pub fn finish(mut self, seed: u64) -> io::Result<RunSummary> {
+        let wall_ms = self.start.elapsed().as_millis();
+        let mut paths = Vec::new();
+        if let Some((path, mut w)) = self.jsonl.take() {
+            let footer = JsonValue::object(vec![
+                ("type", JsonValue::from(RUN_TYPE)),
+                ("experiment", JsonValue::Str(self.experiment.clone())),
+                ("seed", JsonValue::from(seed)),
+                ("quick", JsonValue::from(self.quick)),
+                ("threads", JsonValue::from(self.threads)),
+                ("git", JsonValue::from(git_describe())),
+                ("wall_ms", JsonValue::from(wall_ms as u64)),
+                ("cells", JsonValue::from(self.cells)),
+            ]);
+            writeln!(w, "{footer}")?;
+            w.flush()?;
+            paths.push(path);
+        }
+        if let Some(mut csv) = self.csv.take() {
+            csv.writer.flush()?;
+            paths.push(csv.path);
+        }
+        Ok(RunSummary {
+            cells: self.cells,
+            wall_ms,
+            paths,
+        })
+    }
+}
+
+fn open(path: &Path) -> io::Result<(PathBuf, BufWriter<File>)> {
+    Ok((path.to_path_buf(), BufWriter::new(File::create(path)?)))
+}
+
+impl CsvSink {
+    fn open(path: &Path) -> io::Result<CsvSink> {
+        let (path, writer) = open(path)?;
+        Ok(CsvSink {
+            path,
+            writer,
+            header: None,
+        })
+    }
+
+    fn row(&mut self, pairs: &[(String, JsonValue)]) -> io::Result<()> {
+        if self.header.is_none() {
+            let keys: Vec<String> = pairs.iter().map(|(k, _)| k.clone()).collect();
+            let line: Vec<String> = keys.iter().map(|k| csv_escape(k)).collect();
+            writeln!(self.writer, "{}", line.join(","))?;
+            self.header = Some(keys);
+        }
+        let header = self.header.as_ref().expect("header just ensured");
+        let line: Vec<String> = header
+            .iter()
+            .map(|key| {
+                pairs
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .map_or(String::new(), |(_, v)| csv_cell(v))
+            })
+            .collect();
+        writeln!(self.writer, "{}", line.join(","))
+    }
+}
+
+fn csv_cell(value: &JsonValue) -> String {
+    match value {
+        JsonValue::Null => String::new(),
+        JsonValue::Str(s) => csv_escape(s),
+        other => csv_escape(&other.to_string()),
+    }
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// `git describe --always --dirty`, or `"unknown"` outside a work tree.
+pub fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let unique = NEXT.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "nonsearch_engine_{}_{}_{tag}",
+            std::process::id(),
+            unique
+        ))
+    }
+
+    fn demo_fields(n: usize) -> Vec<(&'static str, JsonValue)> {
+        vec![
+            ("n", JsonValue::from(n)),
+            ("mean", JsonValue::from(1.5 * n as f64)),
+            ("label, quoted", JsonValue::from("a \"b\",c")),
+        ]
+    }
+
+    #[test]
+    fn inert_writer_counts_but_writes_nothing() {
+        let mut w = RunWriter::sink("demo");
+        assert!(!w.is_active());
+        w.record_cell(demo_fields(1)).unwrap();
+        let summary = w.finish(7).unwrap();
+        assert_eq!(summary.cells, 1);
+        assert!(summary.paths.is_empty());
+    }
+
+    #[test]
+    fn jsonl_records_parse_and_footer_carries_meta() {
+        let path = temp_path("run.jsonl");
+        let options = CliOptions {
+            out: Some(path.clone()),
+            threads: 3,
+            quick: true,
+            ..CliOptions::default()
+        };
+        let mut w = RunWriter::create("demo", &options).unwrap();
+        w.record_cell(demo_fields(128)).unwrap();
+        w.record_cell(demo_fields(256)).unwrap();
+        let summary = w.finish(0xE1).unwrap();
+        assert_eq!(summary.cells, 2);
+        assert_eq!(summary.paths, vec![path.clone()]);
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            json::parse(line).unwrap();
+        }
+        let first = json::parse(lines[0]).unwrap();
+        assert_eq!(first.get("type").and_then(|v| v.as_str()), Some(CELL_TYPE));
+        assert_eq!(
+            first.get("experiment").and_then(|v| v.as_str()),
+            Some("demo")
+        );
+        assert_eq!(first.get("n").and_then(|v| v.as_f64()), Some(128.0));
+        let footer = json::parse(lines[2]).unwrap();
+        assert_eq!(footer.get("type").and_then(|v| v.as_str()), Some(RUN_TYPE));
+        assert_eq!(footer.get("seed").and_then(|v| v.as_f64()), Some(225.0));
+        assert_eq!(footer.get("cells").and_then(|v| v.as_f64()), Some(2.0));
+        assert_eq!(footer.get("threads").and_then(|v| v.as_f64()), Some(3.0));
+        assert!(footer.get("git").is_some());
+        assert!(footer.get("wall_ms").is_some());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn both_formats_write_csv_sibling() {
+        let path = temp_path("run.jsonl");
+        let options = CliOptions {
+            out: Some(path.clone()),
+            format: OutputFormat::Both,
+            ..CliOptions::default()
+        };
+        let mut w = RunWriter::create("demo", &options).unwrap();
+        w.record_cell(demo_fields(64)).unwrap();
+        let summary = w.finish(1).unwrap();
+        let csv_path = path.with_extension("csv");
+        assert_eq!(summary.paths, vec![path.clone(), csv_path.clone()]);
+
+        let csv = std::fs::read_to_string(&csv_path).unwrap();
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "type,experiment,n,mean,\"label, quoted\""
+        );
+        assert_eq!(lines.next().unwrap(), "cell,demo,64,96.0,\"a \"\"b\"\",c\"");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&csv_path).ok();
+    }
+
+    #[test]
+    fn both_with_csv_out_path_does_not_clobber() {
+        let path = temp_path("run.csv");
+        let options = CliOptions {
+            out: Some(path.clone()),
+            format: OutputFormat::Both,
+            ..CliOptions::default()
+        };
+        let mut w = RunWriter::create("demo", &options).unwrap();
+        w.record_cell(vec![("n", JsonValue::from(1usize))]).unwrap();
+        let summary = w.finish(0).unwrap();
+        let jsonl_path = path.with_extension("jsonl");
+        assert_eq!(summary.paths, vec![jsonl_path.clone(), path.clone()]);
+        // Both files exist with their own, intact contents.
+        let jsonl = std::fs::read_to_string(&jsonl_path).unwrap();
+        assert_eq!(jsonl.lines().count(), 2);
+        for line in jsonl.lines() {
+            json::parse(line).unwrap();
+        }
+        let csv = std::fs::read_to_string(&path).unwrap();
+        assert!(csv.starts_with("type,experiment,n"));
+        assert_eq!(csv.lines().count(), 2);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&jsonl_path).ok();
+    }
+
+    #[test]
+    fn csv_only_uses_out_path_directly() {
+        let path = temp_path("run.csv");
+        let options = CliOptions {
+            out: Some(path.clone()),
+            format: OutputFormat::Csv,
+            ..CliOptions::default()
+        };
+        let mut w = RunWriter::create("demo", &options).unwrap();
+        w.record_cell(vec![("n", JsonValue::from(1usize))]).unwrap();
+        let summary = w.finish(0).unwrap();
+        assert_eq!(summary.paths, vec![path.clone()]);
+        let csv = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(csv.lines().count(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn git_describe_is_nonempty() {
+        assert!(!git_describe().is_empty());
+    }
+}

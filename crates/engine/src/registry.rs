@@ -1,0 +1,376 @@
+//! The experiment registry behind the unified `xp` CLI.
+//!
+//! Experiments register a [`spec`](ExperimentSpec) — subcommand name,
+//! paper id, one-line claim, default seed, run function — and
+//! [`Registry::main`] provides the whole command line: `xp list`,
+//! `xp validate`, `xp <experiment> [flags]`, with the shared flag set of
+//! [`CliOptions`]. Legacy `exp_*` binaries reuse the same dispatch via
+//! [`Registry::run_named`], so one experiment implementation serves both
+//! entry points.
+
+use crate::json;
+use crate::options::CliOptions;
+use crate::record::{RunSummary, RunWriter, CELL_TYPE, RUN_TYPE};
+use nonsearch_analysis::Table;
+use std::io;
+
+/// One registered experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentSpec {
+    /// Subcommand name (kebab-case, e.g. `theorem1-weak`).
+    pub name: &'static str,
+    /// Paper-facing experiment id (e.g. `E1`).
+    pub id: &'static str,
+    /// One-line statement of the claim the experiment reproduces.
+    pub claim: &'static str,
+    /// Root seed used when `--seed` is not given.
+    pub default_seed: u64,
+    /// The experiment body.
+    pub run: fn(&mut ExpContext),
+}
+
+/// Everything an experiment body needs: parsed options, the resolved
+/// root seed, and the structured-record sink.
+pub struct ExpContext<'a> {
+    /// The run's options (quick, threads, sweep overrides, …).
+    pub options: &'a CliOptions,
+    /// The resolved root seed (`--seed` override or the spec default).
+    pub seed: u64,
+    /// Structured-record sink; inert without `--out`.
+    pub writer: &'a mut RunWriter,
+}
+
+/// An ordered collection of experiments with CLI dispatch.
+#[derive(Default)]
+pub struct Registry {
+    specs: Vec<ExperimentSpec>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Adds an experiment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec.name` is already registered.
+    pub fn register(&mut self, spec: ExperimentSpec) -> &mut Registry {
+        assert!(
+            self.find(spec.name).is_none(),
+            "duplicate experiment name {:?}",
+            spec.name
+        );
+        self.specs.push(spec);
+        self
+    }
+
+    /// The registered experiments, in registration order.
+    pub fn specs(&self) -> &[ExperimentSpec] {
+        &self.specs
+    }
+
+    /// Looks an experiment up by subcommand name.
+    pub fn find(&self, name: &str) -> Option<&ExperimentSpec> {
+        self.specs.iter().find(|s| s.name == name)
+    }
+
+    /// Runs one experiment under `options`, returning what was written.
+    pub fn run_named(&self, name: &str, options: &CliOptions) -> io::Result<RunSummary> {
+        let spec = self.find(name).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no experiment named {name:?}; see `xp list`"),
+            )
+        })?;
+        let mut writer = RunWriter::create(spec.name, options)?;
+        let mut ctx = ExpContext {
+            options,
+            seed: options.seed_or(spec.default_seed),
+            writer: &mut writer,
+        };
+        (spec.run)(&mut ctx);
+        let seed = ctx.seed;
+        writer.finish(seed)
+    }
+
+    /// The full `xp` command line. Returns the process exit code.
+    pub fn main(&self, args: &[String]) -> i32 {
+        match args.first().map(String::as_str) {
+            None | Some("help" | "--help" | "-h") => {
+                print!("{}", self.usage());
+                0
+            }
+            Some("list") => {
+                print!("{}", self.list_table());
+                0
+            }
+            Some("validate") => {
+                if args.len() < 2 {
+                    eprintln!("usage: xp validate <runs.jsonl>...");
+                    return 2;
+                }
+                let mut ok = true;
+                for path in &args[1..] {
+                    match std::fs::read_to_string(path) {
+                        Ok(text) => match validate_jsonl(&text) {
+                            Ok(v) => println!("{path}: {v}"),
+                            Err(e) => {
+                                eprintln!("{path}: INVALID — {e}");
+                                ok = false;
+                            }
+                        },
+                        Err(e) => {
+                            eprintln!("{path}: cannot read — {e}");
+                            ok = false;
+                        }
+                    }
+                }
+                i32::from(!ok)
+            }
+            Some(name) => {
+                let options = match CliOptions::from_args(args[1..].iter().cloned()) {
+                    Ok(options) => options,
+                    Err(e) => {
+                        eprintln!("xp {name}: {e}");
+                        return 2;
+                    }
+                };
+                if self.find(name).is_none() {
+                    eprintln!("xp: no experiment named {name:?}; registered experiments:");
+                    for spec in &self.specs {
+                        eprintln!("  {}", spec.name);
+                    }
+                    return 2;
+                }
+                match self.run_named(name, &options) {
+                    Ok(summary) => {
+                        if summary.paths.is_empty() {
+                            println!(
+                                "[{name}] {} cells in {} ms (no --out; records discarded)",
+                                summary.cells, summary.wall_ms
+                            );
+                        } else {
+                            let paths: Vec<String> = summary
+                                .paths
+                                .iter()
+                                .map(|p| p.display().to_string())
+                                .collect();
+                            println!(
+                                "[{name}] wrote {} cells to {} in {} ms",
+                                summary.cells,
+                                paths.join(" + "),
+                                summary.wall_ms
+                            );
+                        }
+                        0
+                    }
+                    Err(e) => {
+                        eprintln!("xp {name}: {e}");
+                        1
+                    }
+                }
+            }
+        }
+    }
+
+    /// The `xp list` table.
+    pub fn list_table(&self) -> Table {
+        let mut t = Table::with_columns(&["subcommand", "id", "seed", "claim"]);
+        for spec in &self.specs {
+            t.row(vec![
+                spec.name.to_string(),
+                spec.id.to_string(),
+                format!("{:#x}", spec.default_seed),
+                spec.claim.to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// The `xp help` text.
+    pub fn usage(&self) -> String {
+        let mut out = String::from(
+            "xp — unified Monte-Carlo experiment runner\n\
+             \n\
+             usage:\n\
+             \x20 xp list                      enumerate registered experiments\n\
+             \x20 xp <experiment> [flags]      run one experiment\n\
+             \x20 xp validate <file>...        check emitted JSONL run records\n\
+             \n\
+             shared flags:\n\
+             \x20 --quick            reduced sweep (also NONSEARCH_QUICK=1)\n\
+             \x20 --threads N        trial-engine workers (0 = all cores)\n\
+             \x20 --seed S           override the experiment's root seed\n\
+             \x20 --out PATH         write structured run records to PATH\n\
+             \x20 --format F         jsonl (default) | csv | both\n\
+             \x20 --trials N         override the per-cell trial count\n\
+             \x20 --sizes A,B,C      override the size sweep\n\
+             \n\
+             experiments:\n",
+        );
+        for spec in &self.specs {
+            out.push_str(&format!(
+                "  {:<18} {:<4} {}\n",
+                spec.name, spec.id, spec.claim
+            ));
+        }
+        out
+    }
+}
+
+/// What [`validate_jsonl`] found in a well-formed record stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ValidateSummary {
+    /// `"type":"cell"` records.
+    pub cells: usize,
+    /// `"type":"run"` footers.
+    pub runs: usize,
+}
+
+impl std::fmt::Display for ValidateSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} cell records, {} run footers — OK",
+            self.cells, self.runs
+        )
+    }
+}
+
+/// Checks that every non-empty line is a JSON object tagged `cell` or
+/// `run`, and that at least one record is present.
+pub fn validate_jsonl(text: &str) -> Result<ValidateSummary, String> {
+    let mut summary = ValidateSummary { cells: 0, runs: 0 };
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        match value.get("type").and_then(|t| t.as_str()) {
+            Some(t) if t == CELL_TYPE => summary.cells += 1,
+            Some(t) if t == RUN_TYPE => summary.runs += 1,
+            Some(t) => return Err(format!("line {}: unknown record type {t:?}", lineno + 1)),
+            None => {
+                return Err(format!(
+                    "line {}: record is not an object with a \"type\" tag",
+                    lineno + 1
+                ))
+            }
+        }
+    }
+    if summary.cells + summary.runs == 0 {
+        return Err("no records found".to_string());
+    }
+    Ok(summary)
+}
+
+/// Entry point for a legacy single-experiment binary: lenient flags from
+/// the process environment, same implementation as the `xp` subcommand.
+pub fn run_legacy(registry: &Registry, name: &str) {
+    let options = CliOptions::global();
+    let summary = registry
+        .run_named(name, options)
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+    if !summary.paths.is_empty() {
+        let paths: Vec<String> = summary
+            .paths
+            .iter()
+            .map(|p| p.display().to_string())
+            .collect();
+        println!("wrote {} cells to {}", summary.cells, paths.join(" + "));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::JsonValue;
+
+    fn demo_run(ctx: &mut ExpContext) {
+        for n in ctx.options.sweep(&[8, 16, 32]) {
+            ctx.writer
+                .record_cell(vec![
+                    ("n", JsonValue::from(n)),
+                    ("seed", JsonValue::from(ctx.seed)),
+                ])
+                .expect("write cell record");
+        }
+    }
+
+    fn demo_registry() -> Registry {
+        let mut r = Registry::new();
+        r.register(ExperimentSpec {
+            name: "demo",
+            id: "E0",
+            claim: "a demonstration",
+            default_seed: 0xD0,
+            run: demo_run,
+        });
+        r
+    }
+
+    #[test]
+    fn register_find_and_list() {
+        let r = demo_registry();
+        assert_eq!(r.specs().len(), 1);
+        assert!(r.find("demo").is_some());
+        assert!(r.find("nope").is_none());
+        let listing = r.list_table().to_string();
+        assert!(listing.contains("demo"));
+        assert!(listing.contains("E0"));
+        assert!(r.usage().contains("demo"));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_names_panic() {
+        let mut r = demo_registry();
+        r.register(ExperimentSpec {
+            name: "demo",
+            id: "E0",
+            claim: "again",
+            default_seed: 0,
+            run: demo_run,
+        });
+    }
+
+    #[test]
+    fn run_named_writes_records_and_honours_seed_override() {
+        let path = std::env::temp_dir().join(format!("xp_registry_{}.jsonl", std::process::id()));
+        let options = CliOptions {
+            out: Some(path.clone()),
+            seed: Some(99),
+            sizes: Some(vec![4, 8]),
+            ..CliOptions::default()
+        };
+        let summary = demo_registry().run_named("demo", &options).unwrap();
+        assert_eq!(summary.cells, 2);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let v = validate_jsonl(&text).unwrap();
+        assert_eq!(v, ValidateSummary { cells: 2, runs: 1 });
+        let first = json::parse(text.lines().next().unwrap()).unwrap();
+        assert_eq!(first.get("seed").and_then(|x| x.as_f64()), Some(99.0));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn run_named_unknown_is_not_found() {
+        let err = demo_registry()
+            .run_named("missing", &CliOptions::default())
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn validate_rejects_garbage() {
+        assert!(validate_jsonl("").is_err());
+        assert!(validate_jsonl("{not json}").is_err());
+        assert!(validate_jsonl("{\"type\":\"alien\"}").is_err());
+        assert!(validate_jsonl("[1,2]").is_err());
+        let ok = validate_jsonl("{\"type\":\"cell\"}\n\n{\"type\":\"run\"}\n").unwrap();
+        assert_eq!(ok, ValidateSummary { cells: 1, runs: 1 });
+    }
+}

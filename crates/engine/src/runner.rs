@@ -1,0 +1,394 @@
+//! The deterministic parallel Monte-Carlo trial runner.
+//!
+//! A *cell* is one experimental condition (model × size × searcher ×
+//! policy); measuring it means running `trials` independent repetitions
+//! and aggregating. The runner shards trials across scoped worker
+//! threads while keeping the result **bit-identical for any worker
+//! count**, because both sources of nondeterminism are pinned down:
+//!
+//! * **Randomness** — trial `t` always draws from
+//!   [`trial_seeds`]`(seeds, t)`, a [`SeedSequence`] derived from the
+//!   trial index alone. Which worker runs the trial is irrelevant.
+//! * **Aggregation order** — workers stream `(trial, measurement)` pairs
+//!   through a channel to a consumer that holds a small reorder buffer
+//!   and folds measurements into [`StreamingStats`] in strict trial
+//!   order. No per-trial `Vec` of samples is ever materialized, and a
+//!   backpressure window stops workers from racing more than
+//!   O(workers) trials past the fold frontier — so even a pathological
+//!   straggler trial keeps memory at O(window), not O(trials).
+
+use nonsearch_analysis::StreamingStats;
+use nonsearch_generators::SeedSequence;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Condvar, Mutex};
+
+/// One trial's contribution to a lane: a scalar measurement plus a
+/// success flag.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrialMeasure {
+    /// The measured quantity (for searches: the request count).
+    pub value: f64,
+    /// Whether the trial counts as a success (for searches: target found
+    /// within budget).
+    pub success: bool,
+}
+
+impl TrialMeasure {
+    /// Convenience constructor from a request count and a found flag.
+    pub fn new(value: f64, success: bool) -> TrialMeasure {
+        TrialMeasure { value, success }
+    }
+}
+
+/// The streaming aggregate of one lane of a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LaneAggregate {
+    /// Moments of the measured values.
+    pub stats: StreamingStats,
+    /// How many trials succeeded.
+    pub successes: u64,
+}
+
+impl LaneAggregate {
+    /// Number of trials aggregated.
+    pub fn count(&self) -> u64 {
+        self.stats.count()
+    }
+
+    /// Mean measurement.
+    pub fn mean(&self) -> f64 {
+        self.stats.mean()
+    }
+
+    /// 95% CI half-width of the mean.
+    pub fn ci95(&self) -> f64 {
+        self.stats.ci95_half_width()
+    }
+
+    /// Fraction of successful trials (`0.0` when empty).
+    pub fn success_rate(&self) -> f64 {
+        if self.stats.is_empty() {
+            0.0
+        } else {
+            self.successes as f64 / self.stats.count() as f64
+        }
+    }
+
+    fn push(&mut self, m: TrialMeasure) {
+        self.stats.push(m.value);
+        self.successes += m.success as u64;
+    }
+}
+
+/// The canonical per-trial seed derivation: trial `t` of a cell rooted
+/// at `seeds` draws from `seeds.subsequence(t)`.
+///
+/// This matches what the pre-engine sequential loops did, so ported
+/// experiments reproduce their historical numbers; and because it
+/// depends only on the trial index, work-stealing cannot perturb any
+/// stream (the engine's proptest suite asserts the derived roots never
+/// collide across a sweep's trials).
+pub fn trial_seeds(seeds: &SeedSequence, trial: usize) -> SeedSequence {
+    seeds.subsequence(trial as u64)
+}
+
+/// Runs `trials` repetitions of a multi-lane cell on `threads` workers
+/// (0 = all cores) and returns one aggregate per lane.
+///
+/// `trial_fn(trial, seeds)` must return exactly `lanes` measurements —
+/// one per lane, e.g. one per searcher raced on the trial's sampled
+/// graph. Aggregates are bit-identical for any thread count.
+///
+/// # Panics
+///
+/// Panics if `trial_fn` returns a lane count other than `lanes`, or if a
+/// worker panics (the panic is propagated).
+pub fn run_lanes<F>(
+    trials: usize,
+    lanes: usize,
+    threads: usize,
+    seeds: &SeedSequence,
+    trial_fn: F,
+) -> Vec<LaneAggregate>
+where
+    F: Fn(usize, SeedSequence) -> Vec<TrialMeasure> + Sync,
+{
+    let mut aggregates = vec![LaneAggregate::default(); lanes];
+    if trials == 0 || lanes == 0 {
+        return aggregates;
+    }
+    let workers = resolve_workers(threads, trials);
+
+    // Backpressure: workers may run at most `window` trials past the
+    // fold frontier, bounding the reorder buffer + channel queue at
+    // O(window) measurements even when one trial straggles. The mutex
+    // holds (trials folded, consumer exited); both are only written
+    // under the lock, so gate checks can never miss a wakeup.
+    let window = (workers * 4).max(16);
+    let frontier = Mutex::new((0usize, false));
+    let frontier_moved = Condvar::new();
+
+    // Raising the abort flag wakes every gated thread; it fires when the
+    // consumer exits (normally or by panic) and when a worker's trial_fn
+    // panics — otherwise the panicked trial would never reach the
+    // consumer, the frontier would stall, and gated workers holding live
+    // `tx` clones would deadlock the whole scope.
+    struct OpenGateOnDrop<'a> {
+        frontier: &'a Mutex<(usize, bool)>,
+        frontier_moved: &'a Condvar,
+        armed: bool,
+    }
+    impl Drop for OpenGateOnDrop<'_> {
+        fn drop(&mut self) {
+            if !self.armed {
+                return;
+            }
+            if let Ok(mut gate) = self.frontier.lock() {
+                gate.1 = true;
+            }
+            self.frontier_moved.notify_all();
+        }
+    }
+
+    let next_trial = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, Vec<TrialMeasure>)>();
+    let folded = std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next_trial = &next_trial;
+            let trial_fn = &trial_fn;
+            let (frontier, frontier_moved) = (&frontier, &frontier_moved);
+            scope.spawn(move || {
+                // Disarmed on clean exit; fires only if trial_fn panics.
+                let mut on_panic = OpenGateOnDrop {
+                    frontier,
+                    frontier_moved,
+                    armed: true,
+                };
+                loop {
+                    let trial = next_trial.fetch_add(1, Ordering::Relaxed);
+                    if trial >= trials {
+                        break;
+                    }
+                    {
+                        let mut gate = frontier.lock().expect("frontier lock");
+                        while trial >= gate.0 + window && !gate.1 {
+                            gate = frontier_moved.wait(gate).expect("frontier lock");
+                        }
+                        // An aborted run (consumer or sibling worker died)
+                        // never advances the frontier; bail, don't wait.
+                        if gate.1 {
+                            break;
+                        }
+                    }
+                    let measures = trial_fn(trial, trial_seeds(seeds, trial));
+                    // The consumer only disconnects on panic; stop quietly.
+                    if tx.send((trial, measures)).is_err() {
+                        break;
+                    }
+                }
+                on_panic.armed = false;
+            });
+        }
+        drop(tx);
+
+        // Consumer: fold measurements in strict trial order via a
+        // reorder buffer, so the Welford stream is schedule-independent.
+        // On any exit (including a panic below) this guard releases
+        // workers blocked on the backpressure gate.
+        let _release = OpenGateOnDrop {
+            frontier: &frontier,
+            frontier_moved: &frontier_moved,
+            armed: true,
+        };
+
+        let mut pending: BTreeMap<usize, Vec<TrialMeasure>> = BTreeMap::new();
+        let mut next_expected = 0usize;
+        for (trial, measures) in rx {
+            // Validated here (not in the worker) so the panic reaches the
+            // caller with its message instead of scope's generic payload.
+            assert_eq!(
+                measures.len(),
+                lanes,
+                "trial_fn returned {} measurements for a {lanes}-lane cell",
+                measures.len()
+            );
+            pending.insert(trial, measures);
+            debug_assert!(pending.len() <= window, "reorder buffer exceeded window");
+            let before = next_expected;
+            while let Some(measures) = pending.remove(&next_expected) {
+                for (aggregate, measure) in aggregates.iter_mut().zip(measures) {
+                    aggregate.push(measure);
+                }
+                next_expected += 1;
+            }
+            if next_expected != before {
+                frontier.lock().expect("frontier lock").0 = next_expected;
+                frontier_moved.notify_all();
+            }
+        }
+        // Completeness is asserted after the scope joins the workers, so
+        // a worker panic propagates as itself, not as a count mismatch.
+        next_expected
+    });
+    assert_eq!(folded, trials, "trial stream incomplete");
+    aggregates
+}
+
+/// Single-lane convenience wrapper around [`run_lanes`].
+pub fn run_cell<F>(
+    trials: usize,
+    threads: usize,
+    seeds: &SeedSequence,
+    trial_fn: F,
+) -> LaneAggregate
+where
+    F: Fn(usize, SeedSequence) -> TrialMeasure + Sync,
+{
+    run_lanes(trials, 1, threads, seeds, |trial, seeds| {
+        vec![trial_fn(trial, seeds)]
+    })
+    .pop()
+    .expect("one lane requested")
+}
+
+/// Resolves a `--threads`-style setting: `0` means one per available
+/// core. Shared by the runner and [`CliOptions::resolved_threads`]
+/// (`crate::CliOptions`) so the fallback cannot drift.
+pub(crate) fn resolve_thread_setting(threads: usize) -> usize {
+    if threads > 0 {
+        threads
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+fn resolve_workers(threads: usize, trials: usize) -> usize {
+    resolve_thread_setting(threads).min(trials).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn synthetic(trial: usize, seeds: SeedSequence) -> TrialMeasure {
+        // Deterministic pseudo-measurement derived from the trial seed.
+        let raw = seeds.child(0);
+        TrialMeasure::new(
+            (raw % 1000) as f64 + trial as f64 * 0.5,
+            !raw.is_multiple_of(3),
+        )
+    }
+
+    #[test]
+    fn aggregates_are_bit_identical_across_thread_counts() {
+        let seeds = SeedSequence::new(42);
+        let baseline = run_cell(97, 1, &seeds, synthetic);
+        for threads in [2, 3, 4, 8] {
+            let parallel = run_cell(97, threads, &seeds, synthetic);
+            assert_eq!(parallel, baseline, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn aggregate_matches_sequential_welford() {
+        let seeds = SeedSequence::new(7);
+        let agg = run_cell(50, 4, &seeds, synthetic);
+        let mut expected = StreamingStats::new();
+        let mut successes = 0u64;
+        for t in 0..50 {
+            let m = synthetic(t, trial_seeds(&seeds, t));
+            expected.push(m.value);
+            successes += m.success as u64;
+        }
+        assert_eq!(agg.stats, expected);
+        assert_eq!(agg.successes, successes);
+        assert!((agg.success_rate() - successes as f64 / 50.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn lanes_aggregate_independently() {
+        let seeds = SeedSequence::new(3);
+        let aggs = run_lanes(40, 2, 4, &seeds, |trial, seeds| {
+            let base = synthetic(trial, seeds);
+            vec![base, TrialMeasure::new(base.value * 2.0, !base.success)]
+        });
+        assert_eq!(aggs.len(), 2);
+        assert_eq!(aggs[0].count(), 40);
+        assert_eq!(aggs[1].count(), 40);
+        assert!((aggs[1].mean() - 2.0 * aggs[0].mean()).abs() < 1e-9 * aggs[1].mean().abs());
+        assert_eq!(aggs[0].successes + aggs[1].successes, 40);
+    }
+
+    #[test]
+    fn every_trial_runs_exactly_once() {
+        let seeds = SeedSequence::new(11);
+        let calls = AtomicU64::new(0);
+        let agg = run_cell(64, 8, &seeds, |trial, seeds| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            synthetic(trial, seeds)
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 64);
+        assert_eq!(agg.count(), 64);
+    }
+
+    #[test]
+    fn zero_trials_and_zero_lanes_are_empty() {
+        let seeds = SeedSequence::new(1);
+        let agg = run_cell(0, 4, &seeds, synthetic);
+        assert_eq!(agg.count(), 0);
+        assert_eq!(agg.success_rate(), 0.0);
+        assert!(run_lanes(10, 0, 4, &seeds, |_, _| vec![]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "lane")]
+    fn wrong_lane_count_panics() {
+        let seeds = SeedSequence::new(1);
+        let _ = run_lanes(4, 2, 1, &seeds, |trial, seeds| {
+            vec![synthetic(trial, seeds)]
+        });
+    }
+
+    #[test]
+    #[should_panic]
+    fn trial_panic_propagates_instead_of_deadlocking() {
+        // Trial 10 dies, so the frontier can never pass 10; workers
+        // gated beyond the backpressure window must be released (not
+        // left blocking the channel) and the panic must reach us.
+        let seeds = SeedSequence::new(17);
+        let _ = run_cell(100, 4, &seeds, |trial, s| {
+            if trial == 10 {
+                panic!("trial 10 exploded");
+            }
+            synthetic(trial, s)
+        });
+    }
+
+    #[test]
+    fn straggler_trial_neither_deadlocks_nor_reorders() {
+        // Trial 0 is pathologically slow; the backpressure gate must
+        // hold the fast workers near the frontier without deadlock, and
+        // the aggregate must still equal the single-threaded one.
+        let seeds = SeedSequence::new(23);
+        let slow = |trial: usize, s: SeedSequence| {
+            if trial == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            synthetic(trial, s)
+        };
+        let parallel = run_cell(120, 8, &seeds, slow);
+        let sequential = run_cell(120, 1, &seeds, synthetic);
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn trial_seed_derivation_matches_subsequence() {
+        let seeds = SeedSequence::new(5);
+        assert_eq!(trial_seeds(&seeds, 3), seeds.subsequence(3));
+    }
+}

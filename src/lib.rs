@@ -12,6 +12,8 @@
 //! * [`analysis`] — statistics, power-law fitting, distances, regression.
 //! * [`core`] — the paper's contribution: vertex equivalence, the event
 //!   `E_{a,b}`, Lemma 1/3 machinery and searchability certification.
+//! * [`engine`] — the deterministic parallel Monte-Carlo trial engine,
+//!   structured run records (JSONL/CSV), and the `xp` CLI plumbing.
 //!
 //! # Quickstart
 //!
@@ -41,6 +43,7 @@
 
 pub use nonsearch_analysis as analysis;
 pub use nonsearch_core as core;
+pub use nonsearch_engine as engine;
 pub use nonsearch_generators as generators;
 pub use nonsearch_graph as graph;
 pub use nonsearch_search as search;

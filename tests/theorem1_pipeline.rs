@@ -77,6 +77,7 @@ fn certification_exponent_respects_the_theory() {
         searchers: SearcherKind::informed().to_vec(),
         criterion: SuccessCriterion::DiscoverTarget,
         budget_multiplier: 100,
+        threads: 0,
     };
     let report = certify(&model, &config);
     let best = report.best_exponent().expect("fit exists");
