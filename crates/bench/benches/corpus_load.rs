@@ -1,0 +1,151 @@
+//! Corpus-backed trial setup vs regenerate-per-trial.
+//!
+//! The corpus's reason to exist is amortizing generation: a trial's
+//! setup cost drops from "run the generator" to "load (once) and share
+//! an `Arc`". This bench measures both paths for BA(m=2) at
+//! n ∈ {1 000, 10 000} and — beyond criterion's console output — writes
+//! a `BENCH_corpus_load.json` record so the repo's perf trajectory
+//! captures the win over time (CI uploads `BENCH_*` artifacts).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nonsearch_core::{BarabasiAlbertModel, ModelSource};
+use nonsearch_corpus::{build, nsg, BuildSpec, Corpus};
+use nonsearch_engine::{git_describe, json::JsonValue, GraphSource};
+use nonsearch_generators::SeedSequence;
+use std::path::PathBuf;
+use std::time::Instant;
+
+const SIZES: [usize; 2] = [1_000, 10_000];
+const TRIALS: usize = 3;
+
+fn corpus_dir() -> PathBuf {
+    std::env::temp_dir().join(format!("bench_corpus_load_{}", std::process::id()))
+}
+
+fn build_bench_corpus() -> Corpus {
+    let dir = corpus_dir();
+    std::fs::remove_dir_all(&dir).ok();
+    let spec = BuildSpec {
+        model_spec: "ba:m=2".into(),
+        seed: 0xBEAC,
+        sizes: SIZES.to_vec(),
+        trials: TRIALS,
+        variants: 0,
+        swaps_per_edge: 0,
+        threads: 0,
+    };
+    build(&dir, &spec).expect("bench corpus builds");
+    Corpus::open(&dir).expect("bench corpus opens")
+}
+
+fn bench_corpus_load(c: &mut Criterion) {
+    let corpus = build_bench_corpus();
+    let model = BarabasiAlbertModel { m: 2 };
+    let generate = ModelSource::new(&model);
+    let seeds = SeedSequence::new(0xBEAC);
+
+    let mut group = c.benchmark_group("corpus_load");
+    group.sample_size(10);
+    for &n in &SIZES {
+        group.bench_with_input(BenchmarkId::new("regenerate", n), &n, |b, &n| {
+            let mut trial = 0usize;
+            b.iter(|| {
+                trial += 1;
+                generate.trial_graph(n, trial, &seeds.subsequence(trial as u64))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("corpus_cold", n), &n, |b, &n| {
+            // Cold: decode the .nsg file from disk every time.
+            let entry = corpus
+                .manifest()
+                .graphs
+                .iter()
+                .find(|g| g.n == n)
+                .expect("size stored");
+            let path = corpus.dir().join(&entry.file);
+            b.iter(|| nsg::read_graph_file(&path).expect("stored graph reads"));
+        });
+        group.bench_with_input(BenchmarkId::new("corpus_warm", n), &n, |b, &n| {
+            let source = corpus.source();
+            let mut trial = 0usize;
+            b.iter(|| {
+                trial += 1;
+                source.trial_graph(n, trial, &seeds)
+            });
+        });
+    }
+    group.finish();
+
+    write_bench_record(&corpus, &generate, &seeds);
+    std::fs::remove_dir_all(corpus_dir()).ok();
+}
+
+/// Times each setup path directly and records nanoseconds/graph in
+/// `BENCH_corpus_load.json` (one JSON document, `"type":"bench"`).
+fn write_bench_record(
+    corpus: &Corpus,
+    generate: &ModelSource<'_, BarabasiAlbertModel>,
+    seeds: &SeedSequence,
+) {
+    let reps = 10u32;
+    let time_per_rep = |f: &mut dyn FnMut()| -> u64 {
+        f(); // warm-up
+        let start = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        (start.elapsed().as_nanos() / reps as u128) as u64
+    };
+
+    let mut cells: Vec<JsonValue> = Vec::new();
+    for &n in &SIZES {
+        let mut trial = 0usize;
+        let regenerate_ns = time_per_rep(&mut || {
+            trial += 1;
+            let _ = generate.trial_graph(n, trial, &seeds.subsequence(trial as u64));
+        });
+        let entry = corpus
+            .manifest()
+            .graphs
+            .iter()
+            .find(|g| g.n == n)
+            .expect("size stored");
+        let path = corpus.dir().join(&entry.file);
+        let cold_ns = time_per_rep(&mut || {
+            let _ = nsg::read_graph_file(&path).expect("stored graph reads");
+        });
+        let source = corpus.source();
+        let mut trial = 0usize;
+        let warm_ns = time_per_rep(&mut || {
+            trial += 1;
+            let _ = source.trial_graph(n, trial, seeds);
+        });
+        cells.push(JsonValue::object(vec![
+            ("n", JsonValue::from(n)),
+            ("regenerate_ns", JsonValue::from(regenerate_ns)),
+            ("corpus_cold_ns", JsonValue::from(cold_ns)),
+            ("corpus_warm_ns", JsonValue::from(warm_ns)),
+            (
+                "speedup_cold",
+                JsonValue::from(regenerate_ns as f64 / cold_ns.max(1) as f64),
+            ),
+            (
+                "speedup_warm",
+                JsonValue::from(regenerate_ns as f64 / warm_ns.max(1) as f64),
+            ),
+        ]));
+    }
+    let record = JsonValue::object(vec![
+        ("type", JsonValue::from("bench")),
+        ("bench", JsonValue::from("corpus_load")),
+        ("model", JsonValue::from("barabasi-albert(m=2)")),
+        ("git", JsonValue::from(git_describe())),
+        ("cells", JsonValue::Array(cells)),
+    ]);
+    let out = "BENCH_corpus_load.json";
+    std::fs::write(out, format!("{record}\n")).expect("bench record writes");
+    println!("wrote {out}");
+}
+
+criterion_group!(benches, bench_corpus_load);
+criterion_main!(benches);

@@ -4,13 +4,20 @@
 //! xp list                                    # enumerate experiments
 //! xp theorem1-weak --quick --threads 4 --out runs.jsonl
 //! xp validate runs.jsonl                     # check emitted records
+//! xp corpus build corpus-dir --quick         # persist a graph ensemble
+//! xp theorem1-weak --quick --corpus corpus-dir
 //! ```
 //!
 //! Subcommands share the engine flag set (`--quick`, `--threads`,
-//! `--seed`, `--out`, `--format`, `--trials`, `--sizes`); run records
-//! are bit-identical for any `--threads` value with the same seed.
+//! `--seed`, `--out`, `--format`, `--trials`, `--sizes`, `--corpus`);
+//! run records are bit-identical for any `--threads` value with the
+//! same seed. The `corpus` tool subcommands manage the persistent
+//! graph-ensemble store (`nonsearch_corpus`).
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("corpus") {
+        std::process::exit(nonsearch_corpus::cli::main(&args[1..]));
+    }
     std::process::exit(nonsearch_bench::experiments::registry().main(&args));
 }

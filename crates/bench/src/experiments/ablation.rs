@@ -1,8 +1,8 @@
 //! E13 — ablations over the search-model knobs DESIGN.md calls out:
 //! oracle strength, success criterion, and start-vertex policy.
 
-use super::print_banner;
-use crate::{strong_cell, weak_cell_with_policy, CellStats, StartPolicy, StrongKind};
+use super::{open_corpus, print_banner, resolve_source};
+use crate::{strong_cell_from, weak_cell_with_policy_from, CellStats, StartPolicy, StrongKind};
 use nonsearch_analysis::Table;
 use nonsearch_core::MergedMoriModel;
 use nonsearch_engine::{ExpContext, ExperimentSpec, JsonValue};
@@ -46,13 +46,15 @@ fn run(ctx: &mut ExpContext) {
     let trial_count = ctx.options.trial_count(10);
     let threads = ctx.options.threads;
     let seeds = SeedSequence::new(ctx.seed);
+    let corpus = open_corpus(ctx);
+    let source = resolve_source(corpus.as_ref(), &model, &sizes);
 
     // Knob 1: weak vs strong vs simulated-strong oracle.
     println!("oracle strength (high-degree strategy):");
     let mut t1 = Table::with_columns(&["oracle", "n", "mean requests", "success"]);
     for (si, &n) in sizes.iter().enumerate() {
-        let weak = weak_cell_with_policy(
-            &model,
+        let weak = weak_cell_with_policy_from(
+            &*source,
             n,
             SearcherKind::HighDegree,
             SuccessCriterion::DiscoverTarget,
@@ -69,8 +71,8 @@ fn run(ctx: &mut ExpContext) {
             format!("{:.2}", weak.success),
         ]);
         record(ctx, "oracle", "weak", n, trial_count, weak);
-        let sim = weak_cell_with_policy(
-            &model,
+        let sim = weak_cell_with_policy_from(
+            &*source,
             n,
             SearcherKind::SimStrongHighDegree,
             SuccessCriterion::DiscoverTarget,
@@ -87,8 +89,8 @@ fn run(ctx: &mut ExpContext) {
             format!("{:.2}", sim.success),
         ]);
         record(ctx, "oracle", "simulated-strong", n, trial_count, sim);
-        let strong = strong_cell(
-            &model,
+        let strong = strong_cell_from(
+            &*source,
             n,
             StrongKind::HighDegree,
             trial_count,
@@ -113,8 +115,8 @@ fn run(ctx: &mut ExpContext) {
             (SuccessCriterion::DiscoverTarget, "discover target"),
             (SuccessCriterion::ReachNeighbor, "reach neighbor"),
         ] {
-            let cell = weak_cell_with_policy(
-                &model,
+            let cell = weak_cell_with_policy_from(
+                &*source,
                 n,
                 SearcherKind::HighDegree,
                 criterion,
@@ -144,8 +146,8 @@ fn run(ctx: &mut ExpContext) {
             StartPolicy::Uniform,
             StartPolicy::NearTarget,
         ] {
-            let cell = weak_cell_with_policy(
-                &model,
+            let cell = weak_cell_with_policy_from(
+                &*source,
                 n,
                 SearcherKind::HighDegree,
                 SuccessCriterion::DiscoverTarget,

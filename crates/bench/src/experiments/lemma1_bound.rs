@@ -4,11 +4,11 @@
 //! measured mean must sit at or above the bound, and the bound itself
 //! must grow like √n.
 
-use super::print_banner;
+use super::{open_corpus, print_banner, resolve_source};
 use nonsearch_analysis::{fit_log_log, Table};
 use nonsearch_core::{
-    certify, mori_event_probability_exact, theorem1_weak_bound, BoundComparison, CertifyConfig,
-    EquivalenceWindow, MergedMoriModel,
+    certify_with_source, mori_event_probability_exact, theorem1_weak_bound, BoundComparison,
+    CertifyConfig, EquivalenceWindow, GraphModel, MergedMoriModel,
 };
 use nonsearch_engine::{ExpContext, ExperimentSpec, JsonValue};
 use nonsearch_search::{SearcherKind, SuccessCriterion};
@@ -41,7 +41,9 @@ fn run(ctx: &mut ExpContext) {
         budget_multiplier: 30,
         threads: ctx.options.threads,
     };
-    let report = certify(&model, &config);
+    let corpus = open_corpus(ctx);
+    let source = resolve_source(corpus.as_ref(), &model, &sizes);
+    let report = certify_with_source(model.name(), &*source, &config);
 
     let mut table =
         Table::with_columns(&["n", "|V|", "P(E) exact", "bound", "best measured", "holds"]);

@@ -25,6 +25,11 @@ fn run(ctx: &mut ExpContext) {
         "conditional on E_{a,b}, window vertices are interchangeable: \
          exact check on small trees, z-test on sampled trees",
     );
+    if ctx.options.corpus.is_some() {
+        println!("note: --corpus has no effect here — this experiment inspects");
+        println!("attachment traces (construction provenance), which stored CSR");
+        println!("graphs do not carry; trees are enumerated/sampled in place.\n");
+    }
 
     println!("exact enumeration check (trees of size b ≤ 9):");
     let mut exact_table =

@@ -25,6 +25,11 @@ fn run(ctx: &mut ExpContext) {
         "P(E_{a,b}) ≥ e^{−(1−p)} at the √a window — exact product vs \
          Monte-Carlo vs bound",
     );
+    if ctx.options.corpus.is_some() {
+        println!("note: --corpus has no effect here — the Monte-Carlo term checks");
+        println!("the window event on attachment traces (construction provenance),");
+        println!("which stored CSR graphs do not carry.\n");
+    }
 
     let p_values = [0.1, 0.25, 0.5, 0.75, 0.9, 1.0];
     let anchors: Vec<usize> = if ctx.options.quick {

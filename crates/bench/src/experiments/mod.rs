@@ -11,10 +11,13 @@ mod ablation;
 mod lemma1_bound;
 mod lemma2_equiv;
 mod lemma3_event;
+mod null_model;
 mod theorem1_strong;
 mod theorem1_weak;
 
-use nonsearch_engine::{ExpContext, Registry};
+use nonsearch_core::{GraphModel, ModelSource};
+use nonsearch_corpus::Corpus;
+use nonsearch_engine::{ExpContext, GraphSource, Registry};
 
 /// Builds the registry of all ported experiments.
 pub fn registry() -> Registry {
@@ -24,8 +27,48 @@ pub fn registry() -> Registry {
         .register(lemma1_bound::SPEC)
         .register(lemma2_equiv::SPEC)
         .register(lemma3_event::SPEC)
-        .register(ablation::SPEC);
+        .register(ablation::SPEC)
+        .register(null_model::SPEC)
+        .add_usage_note(
+            "corpus build|info|verify — persistent graph-ensemble store (xp corpus help)",
+        );
     r
+}
+
+/// Opens the corpus named by `--corpus`, if any.
+///
+/// # Panics
+///
+/// Panics (aborting the run) when the flag names a missing or corrupt
+/// corpus — running generate-per-trial instead would silently ignore an
+/// explicit request.
+pub(super) fn open_corpus(ctx: &ExpContext) -> Option<Corpus> {
+    ctx.options
+        .corpus
+        .as_ref()
+        .map(|dir| Corpus::open(dir).unwrap_or_else(|e| panic!("--corpus {}: {e}", dir.display())))
+}
+
+/// The trial-graph source for `model` over `sizes`: the corpus when one
+/// was given *and* it stores this model at these sizes, else
+/// generate-per-trial (with a printed note explaining the fallback, so
+/// a sweep mixing corpus-backed and generated models is visible).
+pub(super) fn resolve_source<'a, M: GraphModel + Sync>(
+    corpus: Option<&'a Corpus>,
+    model: &'a M,
+    sizes: &[usize],
+) -> Box<dyn GraphSource + 'a> {
+    if let Some(corpus) = corpus {
+        match corpus.check_compatible(&model.name(), sizes) {
+            Ok(()) => {
+                let source = corpus.source();
+                println!("graphs: {}", source.describe());
+                return Box::new(source);
+            }
+            Err(e) => println!("note: generating {} instead — {e}", model.name()),
+        }
+    }
+    Box::new(ModelSource::new(model))
 }
 
 /// Entry point for a legacy `exp_*` binary: dispatches `name` through
@@ -50,9 +93,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_at_least_six_experiments() {
+    fn registry_has_at_least_seven_experiments() {
         let r = registry();
-        assert!(r.specs().len() >= 6, "only {} registered", r.specs().len());
+        assert!(r.specs().len() >= 7, "only {} registered", r.specs().len());
         for name in [
             "theorem1-weak",
             "theorem1-strong",
@@ -60,9 +103,11 @@ mod tests {
             "lemma2-equiv",
             "lemma3-event",
             "ablation",
+            "null-model",
         ] {
             assert!(r.find(name).is_some(), "{name} missing");
         }
+        assert!(r.usage().contains("corpus build|info|verify"));
     }
 
     #[test]

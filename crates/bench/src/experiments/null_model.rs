@@ -1,0 +1,165 @@
+//! E15 — degree-preserving null models: does wiring history matter, or
+//! only the degree sequence?
+//!
+//! Adamic et al. analyse high-degree search on *pure* power-law random
+//! graphs; the paper's evolving models grow their wiring through
+//! preferential attachment. Rewiring each sampled Barabási–Albert graph
+//! with degree-preserving edge swaps (Maslov–Sneppen) keeps every
+//! degree and randomizes everything else, so comparing weak-model
+//! search on original vs rewired ensembles isolates the contribution of
+//! structure beyond the degree sequence. Expected shape: both ensembles
+//! show the same Ω(√n)-like growth — consistent with the paper's
+//! message that scale-free degree statistics alone already defeat local
+//! search.
+//!
+//! With `--corpus`, originals come from the stored ensemble and the
+//! rewired lane from its stored variant 0; without it, both are derived
+//! on the fly from the same per-trial streams the corpus builder uses
+//! (`child 0` graph, `subsequence(1).child 0` rewiring), so a corpus
+//! built with this experiment's model, seed, and sizes reproduces the
+//! generate path bit for bit.
+
+use super::{open_corpus, print_banner, resolve_source};
+use nonsearch_analysis::{fit_log_log, Table};
+use nonsearch_core::{BarabasiAlbertModel, GraphModel};
+use nonsearch_engine::{run_lanes, ExpContext, ExperimentSpec, GraphSource, JsonValue};
+use nonsearch_generators::{degree_preserving_rewire, SeedSequence};
+use nonsearch_graph::NodeId;
+use nonsearch_search::{run_weak, SearchTask, SearcherKind, SuccessCriterion};
+use std::sync::Arc;
+
+pub(super) const SPEC: ExperimentSpec = ExperimentSpec {
+    name: "null-model",
+    id: "E15",
+    claim: "degree-preserving rewiring keeps BA search cost Ω(√n)-shaped",
+    default_seed: 0xE15,
+    run,
+};
+
+const SWAPS_PER_EDGE: usize = 10;
+const SEARCHERS: [SearcherKind; 2] = [SearcherKind::HighDegree, SearcherKind::BfsFlood];
+const VARIANTS: [&str; 2] = ["original", "rewired"];
+
+fn run(ctx: &mut ExpContext) {
+    print_banner(
+        ctx,
+        "E15 / degree-preserving null model",
+        "rewiring a BA ensemble to a degree-matched null model leaves \
+         weak-model search cost Ω(√n)-shaped: the degree sequence, not \
+         the attachment history, defeats local search",
+    );
+
+    let model = BarabasiAlbertModel { m: 2 };
+    let sizes = ctx.options.sweep(&[512, 1024, 2048, 4096]);
+    let trial_count = ctx.options.trial_count(10);
+    let budget_multiplier = 30;
+    let corpus = open_corpus(ctx);
+    let original_source = resolve_source(corpus.as_ref(), &model, &sizes);
+    // The rewired lane prefers the corpus's stored variant 0; otherwise
+    // each trial rewires its own original on the fly.
+    let variant_source: Option<Box<dyn GraphSource>> = corpus.as_ref().and_then(|c| {
+        if c.check_compatible(&model.name(), &sizes).is_ok() {
+            match c.variant_source(0) {
+                Ok(source) => {
+                    println!("null graphs: {}", source.describe());
+                    return Some(Box::new(source) as Box<dyn GraphSource>);
+                }
+                Err(e) => println!("note: rewiring on the fly — {e}"),
+            }
+        }
+        None
+    });
+
+    let seeds = SeedSequence::new(ctx.seed);
+    let mut table = Table::with_columns(&["variant", "searcher", "n", "mean", "ci95", "success"]);
+    // series[variant][searcher] = (n, mean) points for the exponent fit.
+    let mut series = vec![vec![Vec::new(); SEARCHERS.len()]; VARIANTS.len()];
+
+    for (size_idx, &n) in sizes.iter().enumerate() {
+        let size_seeds = seeds.subsequence(size_idx as u64);
+        let lanes = run_lanes(
+            trial_count,
+            VARIANTS.len() * SEARCHERS.len(),
+            ctx.options.threads,
+            &size_seeds,
+            |trial, trial_seeds| {
+                let original = original_source.trial_graph(n, trial, &trial_seeds);
+                let rewired = match &variant_source {
+                    Some(source) => source.trial_graph(n, trial, &trial_seeds),
+                    None => {
+                        // Same derivation as the corpus builder's variant 0.
+                        let mut rng = trial_seeds.subsequence(1).child_rng(0);
+                        let (null, _) =
+                            degree_preserving_rewire(&original, SWAPS_PER_EDGE, &mut rng)
+                                .expect("BA samples are simple graphs");
+                        Arc::new(null)
+                    }
+                };
+                let mut measures = Vec::with_capacity(VARIANTS.len() * SEARCHERS.len());
+                for (v_idx, graph) in [&original, &rewired].into_iter().enumerate() {
+                    let actual = graph.node_count();
+                    let task = SearchTask::new(NodeId::from_label(1), NodeId::from_label(actual))
+                        .with_criterion(SuccessCriterion::DiscoverTarget)
+                        .with_budget(budget_multiplier * actual);
+                    for (s_idx, kind) in SEARCHERS.iter().enumerate() {
+                        let mut rng =
+                            trial_seeds.child_rng(1 + (v_idx * SEARCHERS.len() + s_idx) as u64);
+                        let mut searcher = kind.build();
+                        let outcome = run_weak(graph, &task, &mut *searcher, &mut rng)
+                            .expect("suite searchers never violate the protocol");
+                        measures.push(nonsearch_engine::TrialMeasure::new(
+                            outcome.requests as f64,
+                            outcome.found,
+                        ));
+                    }
+                }
+                measures
+            },
+        );
+
+        for (lane_idx, lane) in lanes.iter().enumerate() {
+            let v_idx = lane_idx / SEARCHERS.len();
+            let s_idx = lane_idx % SEARCHERS.len();
+            table.row(vec![
+                VARIANTS[v_idx].into(),
+                SEARCHERS[s_idx].name().to_string(),
+                n.to_string(),
+                format!("{:.1}", lane.mean()),
+                format!("{:.1}", lane.ci95()),
+                format!("{:.2}", lane.success_rate()),
+            ]);
+            series[v_idx][s_idx].push((n as f64, lane.mean().max(1.0)));
+            ctx.writer
+                .record_cell(vec![
+                    ("model", JsonValue::from("barabasi-albert")),
+                    ("m", JsonValue::from(2usize)),
+                    ("variant", JsonValue::from(VARIANTS[v_idx])),
+                    ("swaps_per_edge", JsonValue::from(SWAPS_PER_EDGE)),
+                    ("searcher", JsonValue::from(SEARCHERS[s_idx].name())),
+                    ("n", JsonValue::from(n)),
+                    ("trials", JsonValue::from(trial_count)),
+                    ("seed", JsonValue::from(ctx.seed)),
+                    ("mean", JsonValue::from(lane.mean())),
+                    ("ci95", JsonValue::from(lane.ci95())),
+                    ("success", JsonValue::from(lane.success_rate())),
+                ])
+                .expect("write cell record");
+        }
+    }
+    println!("{table}");
+
+    let mut fits = Table::with_columns(&["searcher", "original exponent", "rewired exponent"]);
+    for (s_idx, kind) in SEARCHERS.iter().enumerate() {
+        let exponent = |v_idx: usize| -> String {
+            let pts: &Vec<(f64, f64)> = &series[v_idx][s_idx];
+            let xs: Vec<f64> = pts.iter().map(|&(n, _)| n).collect();
+            let ys: Vec<f64> = pts.iter().map(|&(_, c)| c).collect();
+            fit_log_log(&xs, &ys).map_or("-".into(), |f| format!("{:.3}", f.slope))
+        };
+        fits.row(vec![kind.name().to_string(), exponent(0), exponent(1)]);
+    }
+    println!("{fits}");
+    println!("expected: matching growth exponents across the two columns —");
+    println!("randomizing the wiring (degrees fixed) neither helps nor hurts");
+    println!("local search, so non-searchability is a degree-sequence effect.");
+}

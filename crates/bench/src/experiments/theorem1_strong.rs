@@ -2,8 +2,8 @@
 //! needs `Ω(n^{1/2−p−ε})` requests; the slowdown argument runs strong
 //! algorithms natively and through the weak-model simulation.
 
-use super::print_banner;
-use crate::{strong_cell, StrongKind};
+use super::{open_corpus, print_banner, resolve_source};
+use crate::{strong_cell_from, StrongKind};
 use nonsearch_analysis::{fit_log_log, Table};
 use nonsearch_core::{strong_model_exponent, MergedMoriModel};
 use nonsearch_engine::{ExpContext, ExperimentSpec, JsonValue};
@@ -33,9 +33,11 @@ fn run(ctx: &mut ExpContext) {
         vec![0.2, 0.4]
     };
     let seeds = SeedSequence::new(ctx.seed);
+    let corpus = open_corpus(ctx);
 
     for &p in &p_values {
         let model = MergedMoriModel { p, m: 1 };
+        let source = resolve_source(corpus.as_ref(), &model, &sizes);
         println!("model: mori(p={p}, m=1), strong oracle");
         let mut table = Table::with_columns(&["searcher", "n", "mean requests", "ci95", "success"]);
         let mut best_series: Vec<(usize, f64)> = Vec::new();
@@ -46,8 +48,8 @@ fn run(ctx: &mut ExpContext) {
                     .subsequence((p * 100.0) as u64)
                     .subsequence(i as u64)
                     .subsequence(kind.name().len() as u64);
-                let cell = strong_cell(
-                    &model,
+                let cell = strong_cell_from(
+                    &*source,
                     n,
                     *kind,
                     trial_count,

@@ -5,9 +5,11 @@
 //! each algorithm's scaling exponent and prints the per-size Lemma 1
 //! lower bound next to the best measured mean.
 
-use super::print_banner;
+use super::{open_corpus, print_banner, resolve_source};
 use nonsearch_analysis::Table;
-use nonsearch_core::{certify, theorem1_weak_bound, CertifyConfig, MergedMoriModel};
+use nonsearch_core::{
+    certify_with_source, theorem1_weak_bound, CertifyConfig, GraphModel, MergedMoriModel,
+};
 use nonsearch_engine::{ExpContext, ExperimentSpec, JsonValue};
 use nonsearch_search::{SearcherKind, SuccessCriterion};
 
@@ -39,6 +41,7 @@ fn run(ctx: &mut ExpContext) {
     } else {
         vec![1, 3]
     };
+    let corpus = open_corpus(ctx);
 
     for &p in &p_values {
         for &m in &m_values {
@@ -52,7 +55,11 @@ fn run(ctx: &mut ExpContext) {
                 budget_multiplier: 30,
                 threads: ctx.options.threads,
             };
-            let report = certify(&model, &config);
+            // A corpus built with this experiment's seed and sizes
+            // serves the exact per-trial graphs, so the report (and the
+            // emitted cell records) are bit-identical to generating.
+            let source = resolve_source(corpus.as_ref(), &model, &sizes);
+            let report = certify_with_source(model.name(), &*source, &config);
             println!("{report}");
 
             for algorithm in &report.algorithms {

@@ -16,8 +16,8 @@
 
 pub mod experiments;
 
-use nonsearch_core::GraphModel;
-use nonsearch_engine::{run_cell, CliOptions, TrialMeasure};
+use nonsearch_core::{GraphModel, ModelSource};
+use nonsearch_engine::{run_cell, CliOptions, GraphSource, TrialMeasure};
 use nonsearch_generators::SeedSequence;
 use nonsearch_graph::NodeId;
 use nonsearch_search::{run_strong, run_weak, SearchTask, StrongSearcher, SuccessCriterion};
@@ -111,9 +111,28 @@ pub fn strong_cell<M: GraphModel + Sync>(
     threads: usize,
     seeds: &SeedSequence,
 ) -> CellStats {
-    let lane = run_cell(trial_count, threads, seeds, |_trial, cell_seeds| {
-        let mut rng = cell_seeds.child_rng(0);
-        let graph = model.sample_graph(n, &mut rng);
+    strong_cell_from(
+        &ModelSource::new(model),
+        n,
+        kind,
+        trial_count,
+        threads,
+        seeds,
+    )
+}
+
+/// [`strong_cell`] with the trial graphs supplied by an arbitrary
+/// [`GraphSource`] (generate-per-trial or corpus-backed).
+pub fn strong_cell_from(
+    source: &(impl GraphSource + ?Sized),
+    n: usize,
+    kind: StrongKind,
+    trial_count: usize,
+    threads: usize,
+    seeds: &SeedSequence,
+) -> CellStats {
+    let lane = run_cell(trial_count, threads, seeds, |trial, cell_seeds| {
+        let graph = source.trial_graph(n, trial, &cell_seeds);
         let actual = graph.node_count();
         let task = SearchTask::new(NodeId::from_label(1), NodeId::from_label(actual))
             .with_budget(50 * actual);
@@ -176,11 +195,42 @@ pub fn weak_cell_with_policy<M: GraphModel + Sync>(
     threads: usize,
     seeds: &SeedSequence,
 ) -> CellStats {
-    let lane = run_cell(trial_count, threads, seeds, |_trial, cell_seeds| {
-        let mut rng = cell_seeds.child_rng(0);
-        let graph = model.sample_graph(n, &mut rng);
+    weak_cell_with_policy_from(
+        &ModelSource::new(model),
+        n,
+        kind,
+        criterion,
+        start_policy,
+        trial_count,
+        budget_multiplier,
+        threads,
+        seeds,
+    )
+}
+
+/// [`weak_cell_with_policy`] with the trial graphs supplied by an
+/// arbitrary [`GraphSource`].
+///
+/// Per-trial child streams: `0` the graph (inside generate-backed
+/// sources), `1` the searcher, `2` the start-policy pick — each on its
+/// own stream, so generate-backed and corpus-backed runs pick the same
+/// start vertices from the same trial seeds.
+#[allow(clippy::too_many_arguments)]
+pub fn weak_cell_with_policy_from(
+    source: &(impl GraphSource + ?Sized),
+    n: usize,
+    kind: nonsearch_search::SearcherKind,
+    criterion: SuccessCriterion,
+    start_policy: StartPolicy,
+    trial_count: usize,
+    budget_multiplier: usize,
+    threads: usize,
+    seeds: &SeedSequence,
+) -> CellStats {
+    let lane = run_cell(trial_count, threads, seeds, |trial, cell_seeds| {
+        let graph = source.trial_graph(n, trial, &cell_seeds);
         let actual = graph.node_count();
-        let start = start_policy.pick(actual, &mut rng);
+        let start = start_policy.pick(actual, &mut cell_seeds.child_rng(2));
         let task = SearchTask::new(start, NodeId::from_label(actual))
             .with_criterion(criterion)
             .with_budget(budget_multiplier * actual);

@@ -10,7 +10,7 @@
 
 use crate::model::GraphModel;
 use nonsearch_analysis::{fit_log_log, LinearFit, Table};
-use nonsearch_engine::{run_lanes, TrialMeasure};
+use nonsearch_engine::{run_lanes, GraphSource, TrialMeasure};
 use nonsearch_generators::SeedSequence;
 use nonsearch_graph::NodeId;
 use nonsearch_search::{run_weak, SearchTask, SearcherKind, SuccessCriterion};
@@ -156,13 +156,32 @@ impl fmt::Display for SearchabilityReport {
     }
 }
 
-/// Runs the certification sweep for `model`.
+/// Runs the certification sweep for `model`, generating one fresh graph
+/// per trial.
+///
+/// Equivalent to [`certify_with_source`] over a
+/// [`ModelSource`](crate::ModelSource); see there for the execution and
+/// determinism contract.
+pub fn certify<M: GraphModel + Sync>(model: &M, config: &CertifyConfig) -> SearchabilityReport {
+    certify_with_source(model.name(), &crate::ModelSource::new(model), config)
+}
+
+/// Runs the certification sweep with trial graphs supplied by `source` —
+/// generated per trial ([`certify`]) or served from a persistent corpus
+/// (`nonsearch_corpus`).
 ///
 /// Trials execute on the `nonsearch_engine` runner: sharded across
 /// scoped worker threads, with every cell's RNG stream derived from
 /// `(seed, size index, trial)` and aggregation folded in strict trial
-/// order — so reports are bit-identical for any `threads` setting.
-pub fn certify<M: GraphModel + Sync>(model: &M, config: &CertifyConfig) -> SearchabilityReport {
+/// order — so reports are bit-identical for any `threads` setting. A
+/// corpus built with the same model, root seed, and sizes list yields
+/// reports bit-identical to the generate-per-trial path, because the
+/// stored graphs reproduce the exact per-trial samples.
+pub fn certify_with_source(
+    model_name: String,
+    source: &(impl GraphSource + ?Sized),
+    config: &CertifyConfig,
+) -> SearchabilityReport {
     let seeds = SeedSequence::new(config.seed);
     let n_searchers = config.searchers.len();
     // all_points[searcher][size index] = that searcher's scaling point.
@@ -175,7 +194,7 @@ pub fn certify<M: GraphModel + Sync>(model: &M, config: &CertifyConfig) -> Searc
             n_searchers,
             config.threads,
             &size_seeds,
-            |_trial, trial_seeds| run_one_trial(model, config, n, &trial_seeds),
+            |trial, trial_seeds| run_one_trial(source, config, n, trial, &trial_seeds),
         );
         for (s_idx, lane) in lanes.iter().enumerate() {
             all_points[s_idx].push(ScalingPoint {
@@ -200,7 +219,7 @@ pub fn certify<M: GraphModel + Sync>(model: &M, config: &CertifyConfig) -> Searc
         .collect();
 
     SearchabilityReport {
-        model: model.name(),
+        model: model_name,
         algorithms,
         theoretical_exponent: 0.5,
     }
@@ -208,14 +227,14 @@ pub fn certify<M: GraphModel + Sync>(model: &M, config: &CertifyConfig) -> Searc
 
 /// One graph sample, all searchers raced on it — one engine lane per
 /// searcher.
-fn run_one_trial<M: GraphModel>(
-    model: &M,
+fn run_one_trial(
+    source: &(impl GraphSource + ?Sized),
     config: &CertifyConfig,
     n: usize,
+    trial: usize,
     trial_seeds: &SeedSequence,
 ) -> Vec<TrialMeasure> {
-    let mut graph_rng = trial_seeds.child_rng(0);
-    let graph = model.sample_graph(n, &mut graph_rng);
+    let graph = source.trial_graph(n, trial, trial_seeds);
     let actual = graph.node_count();
     let task = SearchTask::new(NodeId::from_label(1), NodeId::from_label(actual))
         .with_criterion(config.criterion)
@@ -313,6 +332,26 @@ mod tests {
         let first = best.points.first().unwrap().mean_requests;
         let last = best.points.last().unwrap().mean_requests;
         assert!(last > first, "cost should grow: {first} → {last}");
+    }
+
+    #[test]
+    fn custom_source_matches_generate_per_trial() {
+        // A source that replays the generate-per-trial derivation must
+        // reproduce certify() bit for bit — the contract the corpus
+        // builder relies on.
+        let model = MergedMoriModel { p: 0.5, m: 1 };
+        let cfg = small_config();
+        let replay = nonsearch_engine::FnSource::new(model.name(), |n, seeds: &SeedSequence| {
+            model.sample_graph(n, &mut seeds.child_rng(0))
+        });
+        let a = certify(&model, &cfg);
+        let b = certify_with_source(model.name(), &replay, &cfg);
+        assert_eq!(b.model, model.name());
+        for (x, y) in a.algorithms.iter().zip(&b.algorithms) {
+            for (px, py) in x.points.iter().zip(&y.points) {
+                assert_eq!(px, py);
+            }
+        }
     }
 
     #[test]

@@ -46,7 +46,10 @@ mod permutation;
 mod theory;
 mod window;
 
-pub use certify::{certify, AlgorithmScaling, CertifyConfig, ScalingPoint, SearchabilityReport};
+pub use certify::{
+    certify, certify_with_source, AlgorithmScaling, CertifyConfig, ScalingPoint,
+    SearchabilityReport,
+};
 pub use enumerate::{enumerate_mori_trees, FatherVector, TreeDistribution};
 pub use equivalence::{
     exact_window_exchangeability, sampled_window_symmetry, ExchangeabilityCheck, SymmetryReport,
@@ -60,7 +63,7 @@ pub use lower_bound::{
 };
 pub use model::{
     sample_with_seed, BarabasiAlbertModel, CooperFriezeModel, GraphModel, MergedMoriModel,
-    PowerLawGiantModel, UniformAttachmentModel,
+    ModelSource, PowerLawGiantModel, UniformAttachmentModel,
 };
 pub use permutation::Permutation;
 pub use theory::{

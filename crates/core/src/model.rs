@@ -1,8 +1,10 @@
 //! A uniform interface over the graph models used in experiments.
 
+use nonsearch_engine::GraphSource;
 use nonsearch_generators::{
     power_law_degree_sequence, rng_from_seed, BarabasiAlbert, ConfigModel, CooperFrieze,
-    CooperFriezeConfig, MergedMori, PowerLawConfig, SimplificationPolicy, UniformAttachment,
+    CooperFriezeConfig, MergedMori, PowerLawConfig, SeedSequence, SimplificationPolicy,
+    UniformAttachment,
 };
 use nonsearch_graph::UndirectedCsr;
 use rand_chacha::ChaCha8Rng;
@@ -163,6 +165,43 @@ impl GraphModel for PowerLawGiantModel {
 pub fn sample_with_seed(model: &dyn GraphModel, n: usize, seed: u64) -> UndirectedCsr {
     let mut rng = rng_from_seed(seed);
     model.sample_graph(n, &mut rng)
+}
+
+/// The generate-per-trial [`GraphSource`]: wraps a [`GraphModel`] and
+/// samples a fresh graph for every trial from the trial's own RNG
+/// stream (`trial_seeds.child_rng(0)` — the workspace convention, which
+/// leaves child indices `1..` for searcher streams).
+///
+/// This is the default supply for every experiment; the corpus-backed
+/// alternative lives in `nonsearch_corpus`. A corpus built with the
+/// same model, seed, and sizes serves **bit-identical** graphs, which
+/// is what lets `xp <experiment> --corpus DIR` reproduce the
+/// generate-per-trial numbers exactly.
+pub struct ModelSource<'a, M: ?Sized> {
+    model: &'a M,
+}
+
+impl<'a, M: GraphModel + Sync + ?Sized> ModelSource<'a, M> {
+    /// Wraps `model` as a trial-graph source.
+    pub fn new(model: &'a M) -> ModelSource<'a, M> {
+        ModelSource { model }
+    }
+}
+
+impl<M: GraphModel + Sync + ?Sized> GraphSource for ModelSource<'_, M> {
+    fn trial_graph(
+        &self,
+        n: usize,
+        _trial: usize,
+        seeds: &SeedSequence,
+    ) -> std::sync::Arc<UndirectedCsr> {
+        let mut rng = seeds.child_rng(0);
+        std::sync::Arc::new(self.model.sample_graph(n, &mut rng))
+    }
+
+    fn describe(&self) -> String {
+        format!("generate:{}", self.model.name())
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,161 @@
+//! Error type for corpus construction, persistence, and access.
+
+use std::error::Error;
+use std::fmt;
+use std::path::PathBuf;
+
+/// Errors produced by the corpus store.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CorpusError {
+    /// An underlying filesystem operation failed.
+    Io {
+        /// The file or directory involved.
+        path: PathBuf,
+        /// The operating-system error.
+        source: std::io::Error,
+    },
+    /// A `.nsg` file (or byte buffer) violated the binary format.
+    Format {
+        /// Human-readable cause.
+        reason: String,
+    },
+    /// A stored checksum did not match the bytes on disk.
+    Checksum {
+        /// The offending file.
+        path: PathBuf,
+        /// Checksum recorded in the manifest or header.
+        expected: u64,
+        /// Checksum of the actual bytes.
+        actual: u64,
+    },
+    /// `manifest.json` was missing a field or carried the wrong shape.
+    Manifest {
+        /// Human-readable cause.
+        reason: String,
+    },
+    /// A model specification string could not be parsed.
+    ModelSpec {
+        /// The spec as given.
+        spec: String,
+        /// Human-readable cause.
+        reason: String,
+    },
+    /// The corpus cannot serve a request (missing size, unknown variant).
+    Unsupported {
+        /// Human-readable cause.
+        reason: String,
+    },
+    /// Building a null-model variant failed (e.g. the model samples
+    /// non-simple graphs, which the edge-swap chain rejects).
+    Rewire {
+        /// The generator's error.
+        source: nonsearch_generators::GeneratorError,
+    },
+}
+
+impl CorpusError {
+    pub(crate) fn io(path: impl Into<PathBuf>, source: std::io::Error) -> CorpusError {
+        CorpusError::Io {
+            path: path.into(),
+            source,
+        }
+    }
+
+    pub(crate) fn format(reason: impl Into<String>) -> CorpusError {
+        CorpusError::Format {
+            reason: reason.into(),
+        }
+    }
+
+    pub(crate) fn manifest(reason: impl Into<String>) -> CorpusError {
+        CorpusError::Manifest {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorpusError::Io { path, source } => {
+                write!(f, "I/O error on {}: {source}", path.display())
+            }
+            CorpusError::Format { reason } => write!(f, "malformed .nsg data: {reason}"),
+            CorpusError::Checksum {
+                path,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "checksum mismatch for {}: manifest says {expected:016x}, file is {actual:016x}",
+                path.display()
+            ),
+            CorpusError::Manifest { reason } => write!(f, "malformed manifest: {reason}"),
+            CorpusError::ModelSpec { spec, reason } => {
+                write!(f, "cannot parse model spec {spec:?}: {reason}")
+            }
+            CorpusError::Unsupported { reason } => write!(f, "corpus cannot serve: {reason}"),
+            CorpusError::Rewire { source } => {
+                write!(f, "cannot build null-model variant: {source}")
+            }
+        }
+    }
+}
+
+impl Error for CorpusError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CorpusError::Io { source, .. } => Some(source),
+            CorpusError::Rewire { source } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<nonsearch_generators::GeneratorError> for CorpusError {
+    fn from(source: nonsearch_generators::GeneratorError) -> CorpusError {
+        CorpusError::Rewire { source }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = CorpusError::format("magic mismatch");
+        assert!(e.to_string().contains("magic mismatch"));
+
+        let e = CorpusError::Checksum {
+            path: PathBuf::from("g.nsg"),
+            expected: 0xAB,
+            actual: 0xCD,
+        };
+        assert!(e.to_string().contains("g.nsg"));
+        assert!(e.to_string().contains("00000000000000ab"));
+
+        let e = CorpusError::ModelSpec {
+            spec: "wat:1".into(),
+            reason: "unknown model".into(),
+        };
+        assert!(e.to_string().contains("wat:1"));
+    }
+
+    #[test]
+    fn io_errors_chain_their_source() {
+        let e = CorpusError::io(
+            "missing.nsg",
+            std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        );
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("missing.nsg"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CorpusError>();
+    }
+}

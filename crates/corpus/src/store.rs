@@ -1,0 +1,371 @@
+//! Opening a corpus and serving its graphs as engine [`GraphSource`]s.
+//!
+//! [`Corpus::open`] parses the manifest and indexes graphs by requested
+//! size; [`Corpus::source`] (originals) and [`Corpus::variant_source`]
+//! (rewired null models) hand out [`CorpusSource`]s that assign trials
+//! to stored graphs **round-robin** (`trial % stored_trials`). Loaded
+//! graphs are cached behind an `Arc`, so concurrent trials on any
+//! number of engine workers share one in-memory copy per file.
+
+use crate::error::CorpusError;
+use crate::manifest::Manifest;
+use crate::nsg;
+use nonsearch_engine::GraphSource;
+use nonsearch_generators::SeedSequence;
+use nonsearch_graph::UndirectedCsr;
+use std::collections::{BTreeMap, HashMap};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+struct Inner {
+    dir: PathBuf,
+    manifest: Manifest,
+    /// Requested size → indices into `manifest.graphs`, trial order.
+    by_n: BTreeMap<usize, Vec<usize>>,
+    /// Relative file → decoded graph, filled on first access.
+    cache: Mutex<HashMap<String, Arc<UndirectedCsr>>>,
+}
+
+/// An opened corpus directory.
+#[derive(Clone)]
+pub struct Corpus {
+    inner: Arc<Inner>,
+}
+
+/// What [`Corpus::verify`] checked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Files whose checksum and structure were validated.
+    pub files: usize,
+    /// Total bytes read.
+    pub bytes: u64,
+}
+
+impl Corpus {
+    /// Opens the corpus at `dir` by reading its manifest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CorpusError`] if the manifest is missing or malformed.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Corpus, CorpusError> {
+        let dir = dir.into();
+        let manifest = Manifest::read_from(&dir)?;
+        let mut by_n: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (i, g) in manifest.graphs.iter().enumerate() {
+            by_n.entry(g.n).or_default().push(i);
+        }
+        for indices in by_n.values_mut() {
+            indices.sort_by_key(|&i| manifest.graphs[i].trial);
+        }
+        Ok(Corpus {
+            inner: Arc::new(Inner {
+                dir,
+                manifest,
+                by_n,
+                cache: Mutex::new(HashMap::new()),
+            }),
+        })
+    }
+
+    /// The parsed manifest.
+    pub fn manifest(&self) -> &Manifest {
+        &self.inner.manifest
+    }
+
+    /// The corpus directory.
+    pub fn dir(&self) -> &Path {
+        &self.inner.dir
+    }
+
+    /// `true` if the corpus stores graphs for requested size `n`.
+    pub fn supports_size(&self, n: usize) -> bool {
+        self.inner.by_n.contains_key(&n)
+    }
+
+    /// Checks that this corpus can back an experiment sweeping `model`
+    /// over `sizes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CorpusError::Unsupported`] naming the first mismatch
+    /// (wrong model, or a size the corpus does not store).
+    pub fn check_compatible(&self, model: &str, sizes: &[usize]) -> Result<(), CorpusError> {
+        if self.inner.manifest.model != model {
+            return Err(CorpusError::Unsupported {
+                reason: format!(
+                    "corpus stores {:?}, experiment sweeps {model:?} \
+                     (rebuild with --model or drop --corpus)",
+                    self.inner.manifest.model
+                ),
+            });
+        }
+        if let Some(&n) = sizes.iter().find(|n| !self.supports_size(**n)) {
+            return Err(CorpusError::Unsupported {
+                reason: format!(
+                    "size {n} is not in the corpus (stored sizes: {:?})",
+                    self.inner.by_n.keys().collect::<Vec<_>>()
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Loads (and caches) one stored graph: the original of entry
+    /// `graph_idx`, or — with `variant = Some(v)` — its `v`-th rewired
+    /// null model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CorpusError`] for unknown indices, I/O failures, or
+    /// corrupt files.
+    pub fn load(
+        &self,
+        graph_idx: usize,
+        variant: Option<usize>,
+    ) -> Result<Arc<UndirectedCsr>, CorpusError> {
+        let entry =
+            self.inner
+                .manifest
+                .graphs
+                .get(graph_idx)
+                .ok_or_else(|| CorpusError::Unsupported {
+                    reason: format!(
+                        "graph index {graph_idx} out of range ({} stored)",
+                        self.inner.manifest.graphs.len()
+                    ),
+                })?;
+        let file = match variant {
+            None => &entry.file,
+            Some(v) => {
+                &entry
+                    .variants
+                    .get(v)
+                    .ok_or_else(|| CorpusError::Unsupported {
+                        reason: format!(
+                            "variant {v} of {} not stored ({} variants)",
+                            entry.file,
+                            entry.variants.len()
+                        ),
+                    })?
+                    .file
+            }
+        };
+        if let Some(g) = self.inner.cache.lock().expect("cache lock").get(file) {
+            return Ok(Arc::clone(g));
+        }
+        let graph = Arc::new(nsg::read_graph_file(&self.inner.dir.join(file))?);
+        self.inner
+            .cache
+            .lock()
+            .expect("cache lock")
+            .insert(file.clone(), Arc::clone(&graph));
+        Ok(graph)
+    }
+
+    /// A [`GraphSource`] serving the stored originals.
+    pub fn source(&self) -> CorpusSource {
+        CorpusSource {
+            inner: Arc::clone(&self.inner),
+            variant: None,
+        }
+    }
+
+    /// A [`GraphSource`] serving rewired variant `v` of every graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CorpusError::Unsupported`] if the corpus stores fewer
+    /// than `v + 1` variants per graph.
+    pub fn variant_source(&self, v: usize) -> Result<CorpusSource, CorpusError> {
+        if v >= self.inner.manifest.variants {
+            return Err(CorpusError::Unsupported {
+                reason: format!(
+                    "variant {v} not stored (corpus has {} per graph)",
+                    self.inner.manifest.variants
+                ),
+            });
+        }
+        Ok(CorpusSource {
+            inner: Arc::clone(&self.inner),
+            variant: Some(v),
+        })
+    }
+
+    /// Re-reads every stored file, checking manifest checksums, header
+    /// checksums, CSR structural consistency, and the manifest's
+    /// node/edge counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn verify(&self) -> Result<VerifyReport, CorpusError> {
+        let mut report = VerifyReport { files: 0, bytes: 0 };
+        for entry in &self.inner.manifest.graphs {
+            let checks = std::iter::once((&entry.file, entry.checksum))
+                .chain(entry.variants.iter().map(|v| (&v.file, v.checksum)));
+            for (file, expected) in checks {
+                let path = self.inner.dir.join(file);
+                let bytes = std::fs::read(&path).map_err(|e| CorpusError::io(&path, e))?;
+                let actual = nsg::fnv1a64(&bytes);
+                if actual != expected {
+                    return Err(CorpusError::Checksum {
+                        path,
+                        expected,
+                        actual,
+                    });
+                }
+                let graph = nsg::decode_graph(&bytes)?;
+                if graph.node_count() != entry.nodes || graph.edge_count() != entry.edges {
+                    return Err(CorpusError::format(format!(
+                        "{file}: graph is {}v/{}e but the manifest says {}v/{}e",
+                        graph.node_count(),
+                        graph.edge_count(),
+                        entry.nodes,
+                        entry.edges
+                    )));
+                }
+                report.files += 1;
+                report.bytes += bytes.len() as u64;
+            }
+        }
+        Ok(report)
+    }
+}
+
+/// A corpus-backed [`GraphSource`]: trial `t` at size `n` is served the
+/// stored graph `t % stored_trials` of that size.
+#[derive(Clone)]
+pub struct CorpusSource {
+    inner: Arc<Inner>,
+    variant: Option<usize>,
+}
+
+impl GraphSource for CorpusSource {
+    /// # Panics
+    ///
+    /// Panics if the corpus stores no graphs for `n` or a stored file is
+    /// unreadable — experiments validate compatibility up front via
+    /// [`Corpus::check_compatible`], so this only fires on corpora
+    /// modified mid-run.
+    fn trial_graph(&self, n: usize, trial: usize, _seeds: &SeedSequence) -> Arc<UndirectedCsr> {
+        let corpus = Corpus {
+            inner: Arc::clone(&self.inner),
+        };
+        let indices = self.inner.by_n.get(&n).unwrap_or_else(|| {
+            panic!(
+                "corpus {} stores no graphs of size {n}",
+                self.inner.dir.display()
+            )
+        });
+        let graph_idx = indices[trial % indices.len()];
+        corpus
+            .load(graph_idx, self.variant)
+            .unwrap_or_else(|e| panic!("corpus {}: {e}", self.inner.dir.display()))
+    }
+
+    fn describe(&self) -> String {
+        match self.variant {
+            None => format!("corpus:{}", self.inner.dir.display()),
+            Some(v) => format!("corpus:{}#v{v}", self.inner.dir.display()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build, BuildSpec};
+
+    fn built_corpus(tag: &str) -> (PathBuf, Corpus) {
+        let dir = std::env::temp_dir().join(format!("corpus_store_{}_{tag}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let spec = BuildSpec {
+            model_spec: "mori:p=0.6,m=1".into(),
+            seed: 11,
+            sizes: vec![32, 64],
+            trials: 2,
+            variants: 1,
+            swaps_per_edge: 4,
+            threads: 1,
+        };
+        build(&dir, &spec).unwrap();
+        let corpus = Corpus::open(&dir).unwrap();
+        (dir, corpus)
+    }
+
+    #[test]
+    fn open_indexes_sizes_and_serves_round_robin() {
+        let (dir, corpus) = built_corpus("roundrobin");
+        assert!(corpus.supports_size(32));
+        assert!(corpus.supports_size(64));
+        assert!(!corpus.supports_size(128));
+
+        let source = corpus.source();
+        let seeds = SeedSequence::new(0);
+        let t0 = source.trial_graph(32, 0, &seeds);
+        let t1 = source.trial_graph(32, 1, &seeds);
+        let t2 = source.trial_graph(32, 2, &seeds); // wraps to trial 0
+        assert_ne!(t0, t1);
+        assert_eq!(t0, t2);
+        assert!(Arc::ptr_eq(&t0, &t2), "cache shares one instance");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn variant_source_serves_rewired_graphs() {
+        let (dir, corpus) = built_corpus("variants");
+        let seeds = SeedSequence::new(0);
+        let original = corpus.source().trial_graph(64, 0, &seeds);
+        let null = corpus.variant_source(0).unwrap().trial_graph(64, 0, &seeds);
+        assert_eq!(
+            nonsearch_graph::degree_sequence(&original),
+            nonsearch_graph::degree_sequence(&null)
+        );
+        assert!(corpus.variant_source(1).is_err());
+        assert!(corpus.source().describe().starts_with("corpus:"));
+        assert!(corpus.variant_source(0).unwrap().describe().contains("#v0"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compatibility_checks_name_the_mismatch() {
+        let (dir, corpus) = built_corpus("compat");
+        assert!(corpus
+            .check_compatible("mori(p=0.6,m=1)", &[32, 64])
+            .is_ok());
+        let err = corpus
+            .check_compatible("mori(p=0.2,m=1)", &[32])
+            .unwrap_err();
+        assert!(err.to_string().contains("p=0.2"));
+        let err = corpus
+            .check_compatible("mori(p=0.6,m=1)", &[32, 999])
+            .unwrap_err();
+        assert!(err.to_string().contains("999"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn verify_passes_then_catches_tampering() {
+        let (dir, corpus) = built_corpus("verify");
+        let report = corpus.verify().unwrap();
+        assert_eq!(report.files, corpus.manifest().file_count());
+        assert!(report.bytes > 0);
+
+        // Flip one payload byte of one stored file.
+        let victim = dir.join(&corpus.manifest().graphs[0].file);
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&victim, &bytes).unwrap();
+        let fresh = Corpus::open(&dir).unwrap();
+        assert!(fresh.verify().is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_manifest_is_a_clean_error() {
+        let dir = std::env::temp_dir().join(format!("corpus_none_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(Corpus::open(&dir).is_err());
+    }
+}

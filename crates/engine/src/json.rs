@@ -58,6 +58,32 @@ impl JsonValue {
             _ => None,
         }
     }
+
+    /// The value as `u64` if it is a non-negative integer. Unlike
+    /// [`JsonValue::as_f64`] this is exact for the full 63-bit range,
+    /// which matters for round-tripping root seeds.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Int(i) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a slice if it is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as `bool` if it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
 }
 
 impl From<bool> for JsonValue {

@@ -10,8 +10,14 @@
 //!   [`SeedSequence`](nonsearch_generators::SeedSequence), aggregating
 //!   via streaming (Welford) statistics in strict trial order, so the
 //!   result is **bit-identical for 1 or N threads**.
+//! * [`run_ordered`] — the deterministic parallel *map* companion:
+//!   results come back in job order for any worker count (the corpus
+//!   builder shards graph generation through it).
+//! * [`GraphSource`] — where a trial's graph comes from: generated on
+//!   the fly or served from a persistent corpus (`nonsearch_corpus`).
 //! * [`CliOptions`] — the experiment flag set (`--quick`, `--threads`,
-//!   `--seed`, `--out`, `--format`, `--trials`, `--sizes`), parsed once.
+//!   `--seed`, `--out`, `--format`, `--trials`, `--sizes`,
+//!   `--corpus`), parsed once.
 //! * [`RunWriter`] — JSON Lines + CSV run records (params, seed, git
 //!   describe, wall time, mean/CI/success) alongside the pretty tables.
 //! * [`Registry`] — the `xp` subcommand registry: `xp list`,
@@ -44,6 +50,7 @@ mod options;
 mod record;
 mod registry;
 mod runner;
+mod source;
 
 pub use json::{parse as parse_json, JsonError, JsonValue};
 pub use options::{CliOptions, OptionsError, OutputFormat};
@@ -51,4 +58,5 @@ pub use record::{git_describe, RunSummary, RunWriter, CELL_TYPE, RUN_TYPE};
 pub use registry::{
     run_legacy, validate_jsonl, ExpContext, ExperimentSpec, Registry, ValidateSummary,
 };
-pub use runner::{run_cell, run_lanes, trial_seeds, LaneAggregate, TrialMeasure};
+pub use runner::{run_cell, run_lanes, run_ordered, trial_seeds, LaneAggregate, TrialMeasure};
+pub use source::{FnSource, GraphSource};

@@ -12,6 +12,7 @@
 //! | `--format F` | `jsonl` (default), `csv`, or `both` |
 //! | `--trials N` | override the per-cell trial count |
 //! | `--sizes A,B,C` | override the size sweep |
+//! | `--corpus DIR` | serve trial graphs from a stored corpus instead of generating |
 //!
 //! Legacy binaries used to re-scan `std::env::args()` on every call to
 //! `quick()`; [`CliOptions::global`] parses the process arguments exactly
@@ -116,6 +117,10 @@ pub struct CliOptions {
     pub trials: Option<usize>,
     /// Size-sweep override.
     pub sizes: Option<Vec<usize>>,
+    /// Directory of a persistent graph corpus; experiments that sample
+    /// whole graphs per trial serve them from here instead of
+    /// regenerating (`None` = generate per trial).
+    pub corpus: Option<PathBuf>,
 }
 
 impl CliOptions {
@@ -193,6 +198,7 @@ impl CliOptions {
                     .and_then(|v| parse_num(&v, "--trials"))
                     .map(|t| opts.trials = Some(t)),
                 "--out" => value("--out").map(|v| opts.out = Some(PathBuf::from(v))),
+                "--corpus" => value("--corpus").map(|v| opts.corpus = Some(PathBuf::from(v))),
                 "--format" => value("--format")
                     .and_then(|v| OutputFormat::parse(&v))
                     .map(|f| opts.format = f),
@@ -296,6 +302,8 @@ mod tests {
             "9",
             "--sizes",
             "128,256,512",
+            "--corpus",
+            "corpus-dir",
         ])
         .unwrap();
         assert!(opts.quick);
@@ -308,6 +316,10 @@ mod tests {
         assert_eq!(opts.format, OutputFormat::Both);
         assert_eq!(opts.trials, Some(9));
         assert_eq!(opts.sizes, Some(vec![128, 256, 512]));
+        assert_eq!(
+            opts.corpus.as_deref(),
+            Some(std::path::Path::new("corpus-dir"))
+        );
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub struct ExpContext<'a> {
 #[derive(Default)]
 pub struct Registry {
     specs: Vec<ExperimentSpec>,
+    usage_notes: Vec<String>,
 }
 
 impl Registry {
@@ -70,6 +71,13 @@ impl Registry {
     /// The registered experiments, in registration order.
     pub fn specs(&self) -> &[ExperimentSpec] {
         &self.specs
+    }
+
+    /// Appends a line to the `xp help` text — for tool subcommands the
+    /// front-end binary dispatches before this registry (e.g. `corpus`).
+    pub fn add_usage_note(&mut self, line: impl Into<String>) -> &mut Registry {
+        self.usage_notes.push(line.into());
+        self
     }
 
     /// Looks an experiment up by subcommand name.
@@ -208,6 +216,7 @@ impl Registry {
              \x20 --format F         jsonl (default) | csv | both\n\
              \x20 --trials N         override the per-cell trial count\n\
              \x20 --sizes A,B,C      override the size sweep\n\
+             \x20 --corpus DIR       serve trial graphs from a stored corpus\n\
              \n\
              experiments:\n",
         );
@@ -216,6 +225,12 @@ impl Registry {
                 "  {:<18} {:<4} {}\n",
                 spec.name, spec.id, spec.claim
             ));
+        }
+        if !self.usage_notes.is_empty() {
+            out.push_str("\ntools:\n");
+            for note in &self.usage_notes {
+                out.push_str(&format!("  {note}\n"));
+            }
         }
         out
     }

@@ -253,6 +253,71 @@ where
     .expect("one lane requested")
 }
 
+/// Runs `count` independent jobs on `threads` workers (0 = all cores)
+/// and returns their results **in job order**, regardless of which
+/// worker ran what.
+///
+/// This is the engine's deterministic parallel *map* (where
+/// [`run_lanes`] is its deterministic parallel *fold*): job `i` receives
+/// [`trial_seeds`]`(seeds, i)`, so any output derived from the seeds
+/// alone is bit-identical for every thread count. The corpus builder
+/// shards graph generation through this — each job writes its own
+/// artifact and returns metadata, and the ordered result vector makes
+/// the assembled manifest deterministic.
+///
+/// Unlike [`run_lanes`] there is no backpressure window: all `count`
+/// results are materialized, so keep per-job results small (metadata,
+/// not megabytes) for large `count`.
+///
+/// # Panics
+///
+/// Propagates job panics (the scope re-raises them on join).
+pub fn run_ordered<T, F>(count: usize, threads: usize, seeds: &SeedSequence, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, SeedSequence) -> T + Sync,
+{
+    if count == 0 {
+        return Vec::new();
+    }
+    let workers = resolve_workers(threads, count);
+    let next_job = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    let results = std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next_job = &next_job;
+            let job = &job;
+            scope.spawn(move || loop {
+                let i = next_job.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                let result = job(i, trial_seeds(seeds, i));
+                // The receiver only disconnects if assembly below
+                // panicked; stop quietly and let the scope re-raise.
+                if tx.send((i, result)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+
+        let mut results: Vec<Option<T>> = Vec::with_capacity(count);
+        results.resize_with(count, || None);
+        for (i, result) in rx {
+            debug_assert!(results[i].is_none(), "job {i} delivered twice");
+            results[i] = Some(result);
+        }
+        results
+    });
+    // Assembled after the scope joins the workers, so a job panic
+    // propagates as itself rather than as a completeness failure.
+    let assembled: Vec<T> = results.into_iter().flatten().collect();
+    assert_eq!(assembled.len(), count, "job stream incomplete");
+    assembled
+}
+
 /// Resolves a `--threads`-style setting: `0` means one per available
 /// core. Shared by the runner and [`CliOptions::resolved_threads`]
 /// (`crate::CliOptions`) so the fallback cannot drift.
@@ -384,6 +449,41 @@ mod tests {
         let parallel = run_cell(120, 8, &seeds, slow);
         let sequential = run_cell(120, 1, &seeds, synthetic);
         assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn run_ordered_returns_results_in_job_order() {
+        let seeds = SeedSequence::new(9);
+        let expected: Vec<u64> = (0..120).map(|i| trial_seeds(&seeds, i).child(0)).collect();
+        for threads in [1, 4, 8] {
+            let got = run_ordered(120, threads, &seeds, |_i, s| s.child(0));
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn run_ordered_handles_empty_and_straggler_jobs() {
+        let seeds = SeedSequence::new(10);
+        assert!(run_ordered(0, 4, &seeds, |i, _| i).is_empty());
+        let got = run_ordered(40, 8, &seeds, |i, _| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+            }
+            i * 2
+        });
+        assert_eq!(got, (0..40).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic]
+    fn run_ordered_propagates_job_panics() {
+        let seeds = SeedSequence::new(11);
+        let _ = run_ordered(32, 4, &seeds, |i, _| {
+            if i == 7 {
+                panic!("job 7 exploded");
+            }
+            i
+        });
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //! * [`KleinbergGrid`] — Kleinberg's navigable small-world lattice, the
 //!   positive contrast the paper's introduction is framed against.
 //! * [`ErdosRenyi`], [`WattsStrogatz`] — additional classical baselines.
+//! * [`degree_preserving_rewire`] — the Maslov–Sneppen double-edge-swap
+//!   null model: same degree sequence, randomized wiring, used to
+//!   isolate what structure (beyond degrees) contributes to
+//!   (non-)searchability.
 //!
 //! All generators are deterministic given a seed (ChaCha8 streams via
 //! [`rng_from_seed`]), and evolving models record full construction
@@ -42,6 +46,7 @@
 mod barabasi_albert;
 mod config_model;
 mod cooper_frieze;
+mod edge_swap;
 mod erdos_renyi;
 mod error;
 mod kleinberg;
@@ -56,6 +61,7 @@ mod weights;
 pub use barabasi_albert::BarabasiAlbert;
 pub use config_model::{ConfigModel, SimplificationPolicy};
 pub use cooper_frieze::{CooperFrieze, CooperFriezeConfig, StepKind};
+pub use edge_swap::{degree_preserving_rewire, SwapStats};
 pub use erdos_renyi::ErdosRenyi;
 pub use error::GeneratorError;
 pub use kleinberg::{GridCoord, KleinbergGrid};

@@ -1,11 +1,11 @@
 //! Property-based tests: generator invariants under arbitrary parameters.
 
 use nonsearch_generators::{
-    power_law_degree_sequence, rng_from_seed, BarabasiAlbert, ConfigModel, CooperFrieze,
-    CooperFriezeConfig, ErdosRenyi, KleinbergGrid, MergedMori, MoriTree, PowerLawConfig,
-    SimplificationPolicy, UniformAttachment, WattsStrogatz,
+    degree_preserving_rewire, power_law_degree_sequence, rng_from_seed, BarabasiAlbert,
+    ConfigModel, CooperFrieze, CooperFriezeConfig, ErdosRenyi, KleinbergGrid, MergedMori, MoriTree,
+    PowerLawConfig, SimplificationPolicy, UniformAttachment, WattsStrogatz,
 };
-use nonsearch_graph::{is_connected, GraphProperties, NodeId};
+use nonsearch_graph::{degree_sequence, is_connected, GraphProperties, NodeId};
 use proptest::prelude::*;
 
 proptest! {
@@ -156,6 +156,32 @@ proptest! {
         prop_assert_eq!(g.edge_count(), m);
         prop_assert_eq!(g.self_loop_count(), 0);
         prop_assert_eq!(g.parallel_edge_count(), 0);
+    }
+
+    #[test]
+    fn edge_swap_preserves_degree_sequence_and_simplicity(
+        n in 8usize..120,
+        m in 1usize..4,
+        swaps_per_edge in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(n >= m + 2);
+        // Barabási–Albert samples are simple, so they are valid chain
+        // starting states for any parameter draw.
+        let g = BarabasiAlbert::sample(n, m, &mut rng_from_seed(seed))
+            .unwrap()
+            .undirected();
+        let (null, stats) =
+            degree_preserving_rewire(&g, swaps_per_edge, &mut rng_from_seed(seed ^ 0xDEAD))
+                .unwrap();
+        // The exact per-vertex degree sequence is invariant…
+        prop_assert_eq!(degree_sequence(&null), degree_sequence(&g));
+        prop_assert_eq!(null.node_count(), g.node_count());
+        prop_assert_eq!(null.edge_count(), g.edge_count());
+        // …and the chain never leaves the simple-graph state space.
+        prop_assert_eq!(null.self_loop_count(), 0);
+        prop_assert_eq!(null.parallel_edge_count(), 0);
+        prop_assert!(stats.applied <= stats.attempted);
     }
 
     #[test]

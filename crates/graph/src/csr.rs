@@ -36,6 +36,12 @@ pub struct UndirectedCsr {
     edge_list: Vec<(NodeId, NodeId)>,
 }
 
+/// The borrowed CSR buffers of an [`UndirectedCsr`]:
+/// `(offsets, slots, edge_list)`. Returned by
+/// [`UndirectedCsr::raw_parts`] and accepted (owned) by
+/// [`UndirectedCsr::from_raw_parts`].
+pub type RawCsrParts<'a> = (&'a [usize], &'a [(NodeId, EdgeId)], &'a [(NodeId, NodeId)]);
+
 impl UndirectedCsr {
     /// Builds the undirected view of an evolving digraph.
     ///
@@ -91,6 +97,102 @@ impl UndirectedCsr {
             g.add_edge(u, v)?;
         }
         Ok(Self::from_digraph(&g))
+    }
+
+    /// Reassembles a graph directly from its CSR buffers, as produced by
+    /// [`UndirectedCsr::raw_parts`] (or deserialized from the binary
+    /// `.nsg` corpus format). Unlike [`UndirectedCsr::from_edges`] this
+    /// preserves the exact incidence-slot order — including any
+    /// [`shuffle_slots`](UndirectedCsr::shuffle_slots) permutation baked
+    /// into a stored graph — and performs no re-derivation work beyond
+    /// validation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidCsr`] unless all of the following
+    /// hold: `offsets` is non-empty, starts at `0`, is monotone, and ends
+    /// at `slots.len()`; `slots.len() == 2 * edge_list.len()`; every slot
+    /// and edge endpoint is in range; every edge id appears on exactly
+    /// the two slots its endpoints own.
+    pub fn from_raw_parts(
+        offsets: Vec<usize>,
+        slots: Vec<(NodeId, EdgeId)>,
+        edge_list: Vec<(NodeId, NodeId)>,
+    ) -> Result<Self> {
+        let invalid = |reason: String| GraphError::InvalidCsr { reason };
+        if offsets.first() != Some(&0) {
+            return Err(invalid("offsets must be non-empty and start at 0".into()));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(invalid("offsets must be monotone non-decreasing".into()));
+        }
+        let n = offsets.len() - 1;
+        let m = edge_list.len();
+        if *offsets.last().expect("non-empty") != slots.len() {
+            return Err(invalid(format!(
+                "final offset {} does not match slot count {}",
+                offsets.last().expect("non-empty"),
+                slots.len()
+            )));
+        }
+        if slots.len() != 2 * m {
+            return Err(invalid(format!(
+                "{} slots cannot represent {m} undirected edges (need {})",
+                slots.len(),
+                2 * m
+            )));
+        }
+        for &(u, v) in &edge_list {
+            if u.index() >= n || v.index() >= n {
+                return Err(invalid(format!(
+                    "edge endpoint {:?}-{:?} out of bounds for {n} vertices",
+                    u, v
+                )));
+            }
+        }
+        // Each edge id must occupy exactly the two slots its endpoints
+        // own (a self-loop owns both slots at one vertex).
+        let mut slots_seen = vec![0u8; m];
+        for v in 0..n {
+            for &(w, e) in &slots[offsets[v]..offsets[v + 1]] {
+                let Some((a, b)) = edge_list.get(e.index()).copied() else {
+                    return Err(invalid(format!(
+                        "slot references unknown edge {:?} (graph has {m} edges)",
+                        e
+                    )));
+                };
+                let owner = NodeId::new(v);
+                let matches = (a == owner && b == w) || (b == owner && a == w);
+                if !matches {
+                    return Err(invalid(format!(
+                        "slot ({w:?}, {e:?}) of vertex {owner:?} disagrees with \
+                         edge endpoints {a:?}-{b:?}"
+                    )));
+                }
+                slots_seen[e.index()] += 1;
+            }
+        }
+        if let Some(e) = slots_seen.iter().position(|&c| c != 2) {
+            return Err(invalid(format!(
+                "edge {:?} appears on {} slots (expected 2)",
+                EdgeId::new(e),
+                slots_seen[e]
+            )));
+        }
+        Ok(UndirectedCsr {
+            offsets,
+            slots,
+            edge_list,
+        })
+    }
+
+    /// Borrows the three CSR buffers: `(offsets, slots, edge_list)`.
+    ///
+    /// Together with [`UndirectedCsr::from_raw_parts`] this is the
+    /// lossless persistence primitive behind the binary corpus format:
+    /// the buffers round-trip the graph exactly, slot order included.
+    pub fn raw_parts(&self) -> RawCsrParts<'_> {
+        (&self.offsets, &self.slots, &self.edge_list)
     }
 
     /// Number of vertices.
@@ -530,6 +632,63 @@ mod tests {
         assert_eq!(giant.node_count(), 3);
         assert_eq!(giant.edge_count(), 3);
         assert!(map.iter().all(|v| v.index() <= 2));
+    }
+
+    #[test]
+    fn raw_parts_roundtrip_preserves_slot_order() {
+        use rand::SeedableRng;
+        let mut g =
+            UndirectedCsr::from_edges(6, [(0, 1), (0, 2), (0, 3), (1, 2), (2, 3), (0, 0)]).unwrap();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        g.shuffle_slots(&mut rng);
+        let (offsets, slots, edges) = g.raw_parts();
+        let back = UndirectedCsr::from_raw_parts(offsets.to_vec(), slots.to_vec(), edges.to_vec())
+            .unwrap();
+        assert_eq!(g, back); // equality covers the exact slot permutation
+    }
+
+    #[test]
+    fn raw_parts_roundtrip_empty_graph() {
+        let g = UndirectedCsr::from_edges(0, []).unwrap();
+        let (offsets, slots, edges) = g.raw_parts();
+        let back = UndirectedCsr::from_raw_parts(offsets.to_vec(), slots.to_vec(), edges.to_vec())
+            .unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn from_raw_parts_rejects_inconsistent_buffers() {
+        let g = triangle();
+        let (offsets, slots, edges) = g.raw_parts();
+        let (offsets, slots, edges) = (offsets.to_vec(), slots.to_vec(), edges.to_vec());
+
+        let bad = UndirectedCsr::from_raw_parts(vec![], slots.clone(), edges.clone());
+        assert!(matches!(bad, Err(GraphError::InvalidCsr { .. })));
+
+        let bad = UndirectedCsr::from_raw_parts(vec![0, 2, 1, 6], slots.clone(), edges.clone());
+        assert!(matches!(bad, Err(GraphError::InvalidCsr { .. })));
+
+        // Truncated slots: final offset disagrees.
+        let bad =
+            UndirectedCsr::from_raw_parts(offsets.clone(), slots[..4].to_vec(), edges.clone());
+        assert!(matches!(bad, Err(GraphError::InvalidCsr { .. })));
+
+        // Edge list missing an entry every slot still references.
+        let bad =
+            UndirectedCsr::from_raw_parts(offsets.clone(), slots.clone(), edges[..2].to_vec());
+        assert!(matches!(bad, Err(GraphError::InvalidCsr { .. })));
+
+        // A slot whose neighbor contradicts the edge list.
+        let mut tampered = slots.clone();
+        tampered[0].0 = NodeId::new(0);
+        let bad = UndirectedCsr::from_raw_parts(offsets.clone(), tampered, edges.clone());
+        assert!(matches!(bad, Err(GraphError::InvalidCsr { .. })));
+
+        // Edge endpoint out of vertex range.
+        let mut far = edges.clone();
+        far[0] = (NodeId::new(0), NodeId::new(99));
+        let bad = UndirectedCsr::from_raw_parts(offsets, slots, far);
+        assert!(matches!(bad, Err(GraphError::InvalidCsr { .. })));
     }
 
     #[test]

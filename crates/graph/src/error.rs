@@ -40,6 +40,13 @@ pub enum GraphError {
         /// Human-readable cause.
         reason: String,
     },
+    /// Raw CSR buffers handed to
+    /// [`UndirectedCsr::from_raw_parts`](crate::UndirectedCsr::from_raw_parts)
+    /// were internally inconsistent.
+    InvalidCsr {
+        /// Human-readable cause.
+        reason: String,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -66,6 +73,9 @@ impl fmt::Display for GraphError {
             GraphError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
             GraphError::ParseEdgeList { line, reason } => {
                 write!(f, "malformed edge list at line {line}: {reason}")
+            }
+            GraphError::InvalidCsr { reason } => {
+                write!(f, "inconsistent CSR buffers: {reason}")
             }
         }
     }
@@ -106,6 +116,11 @@ mod tests {
             reason: "expected two fields".into(),
         };
         assert!(e.to_string().contains("line 4"));
+
+        let e = GraphError::InvalidCsr {
+            reason: "offsets must start at 0".into(),
+        };
+        assert!(e.to_string().contains("offsets must start at 0"));
     }
 
     #[test]

@@ -49,7 +49,7 @@ mod serialize;
 mod traversal;
 
 pub use builder::{complete_graph, cycle_graph, path_graph, star_graph, GraphBuilder};
-pub use csr::{IncidentEdges, Neighbors, UndirectedCsr};
+pub use csr::{IncidentEdges, Neighbors, RawCsrParts, UndirectedCsr};
 pub use degree::{degree_histogram, degree_sequence, DegreeStats};
 pub use digraph::{EdgeEndpoints, EvolvingDigraph};
 pub use error::GraphError;

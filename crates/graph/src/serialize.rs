@@ -203,4 +203,72 @@ mod tests {
     fn out_of_range_edge_rejected() {
         assert!(read_edge_list("2\n0 7\n".as_bytes()).is_err());
     }
+
+    fn text_roundtrip_of(g: &UndirectedCsr) -> UndirectedCsr {
+        let mut buf = Vec::new();
+        write_edge_list(g, &mut buf).unwrap();
+        read_edge_list(buf.as_slice()).unwrap()
+    }
+
+    #[test]
+    fn empty_graph_roundtrips_in_both_forms() {
+        let g = UndirectedCsr::from_edges(0, []).unwrap();
+        assert_eq!(text_roundtrip_of(&g), g);
+        let rec = GraphRecord::from_graph(&g);
+        assert_eq!(rec.nodes, 0);
+        assert!(rec.edges.is_empty());
+        assert_eq!(rec.to_graph().unwrap(), g);
+    }
+
+    #[test]
+    fn single_isolated_node_roundtrips() {
+        let g = UndirectedCsr::from_edges(1, []).unwrap();
+        let back = text_roundtrip_of(&g);
+        assert_eq!(back.node_count(), 1);
+        assert_eq!(back.edge_count(), 0);
+        assert_eq!(GraphRecord::from_graph(&g).to_graph().unwrap(), g);
+    }
+
+    #[test]
+    fn roundtrip_preserves_self_loop_free_invariant() {
+        use crate::GraphProperties;
+        // A simple (loop-free) graph must come back loop-free; a graph
+        // with a loop must come back with exactly that loop.
+        let simple = UndirectedCsr::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(simple.self_loop_count(), 0);
+        assert_eq!(text_roundtrip_of(&simple).self_loop_count(), 0);
+
+        let looped = sample();
+        assert_eq!(looped.self_loop_count(), 1);
+        assert_eq!(text_roundtrip_of(&looped).self_loop_count(), 1);
+    }
+
+    #[test]
+    fn max_degree_star_roundtrips_with_hub_intact() {
+        let hub_degree = 40;
+        let g =
+            UndirectedCsr::from_edges(hub_degree + 1, (1..=hub_degree).map(|i| (0, i))).unwrap();
+        let back = text_roundtrip_of(&g);
+        assert_eq!(back, g);
+        let (hub, d) = back.max_degree().unwrap();
+        assert_eq!(hub.index(), 0);
+        assert_eq!(d, hub_degree);
+    }
+
+    #[test]
+    fn serialize_errors_are_std_errors_with_displays() {
+        // Both failure paths of this module surface as GraphError, which
+        // must satisfy the same Error + Display contract as graph::error.
+        let parse_err = read_edge_list("3\n0\n".as_bytes()).unwrap_err();
+        let rec_err = GraphRecord {
+            nodes: 1,
+            edges: vec![(0, 3)],
+        }
+        .to_graph()
+        .unwrap_err();
+        for e in [parse_err, rec_err] {
+            let boxed: Box<dyn std::error::Error> = Box::new(e);
+            assert!(!boxed.to_string().is_empty());
+        }
+    }
 }

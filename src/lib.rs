@@ -14,6 +14,10 @@
 //!   `E_{a,b}`, Lemma 1/3 machinery and searchability certification.
 //! * [`engine`] — the deterministic parallel Monte-Carlo trial engine,
 //!   structured run records (JSONL/CSV), and the `xp` CLI plumbing.
+//! * [`corpus`] — the persistent graph-ensemble store: binary `.nsg`
+//!   CSR files, manifest-indexed corpus directories, deterministic
+//!   sharded building, degree-preserving null-model variants, and
+//!   corpus-backed trial-graph sources.
 //!
 //! # Quickstart
 //!
@@ -43,6 +47,7 @@
 
 pub use nonsearch_analysis as analysis;
 pub use nonsearch_core as core;
+pub use nonsearch_corpus as corpus;
 pub use nonsearch_engine as engine;
 pub use nonsearch_generators as generators;
 pub use nonsearch_graph as graph;
