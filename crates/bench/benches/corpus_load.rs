@@ -2,14 +2,16 @@
 //!
 //! The corpus's reason to exist is amortizing generation: a trial's
 //! setup cost drops from "run the generator" to "load (once) and share
-//! an `Arc`". This bench measures both paths for BA(m=2) at
-//! n ∈ {1 000, 10 000} and — beyond criterion's console output — writes
-//! a `BENCH_corpus_load.json` record so the repo's perf trajectory
-//! captures the win over time (CI uploads `BENCH_*` artifacts).
+//! an `Arc`". This bench measures the paths for BA(m=2) at
+//! n ∈ {1 000, 10 000} — regeneration, cold/warm heap decodes, and the
+//! cold/warm zero-copy `mmap` lanes — and, beyond criterion's console
+//! output, writes a `BENCH_corpus_load.json` record so the repo's perf
+//! trajectory captures the win over time (CI uploads `BENCH_*`
+//! artifacts).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nonsearch_core::{BarabasiAlbertModel, ModelSource};
-use nonsearch_corpus::{build, nsg, BuildSpec, Corpus};
+use nonsearch_corpus::{build, nsg, BuildSpec, Corpus, LoadMode};
 use nonsearch_engine::{git_describe, json::JsonValue, GraphSource};
 use nonsearch_generators::SeedSequence;
 use std::path::PathBuf;
@@ -65,8 +67,35 @@ fn bench_corpus_load(c: &mut Criterion) {
             let path = corpus.dir().join(&entry.file);
             b.iter(|| nsg::read_graph_file(&path).expect("stored graph reads"));
         });
+        group.bench_with_input(BenchmarkId::new("mmap_cold", n), &n, |b, &n| {
+            // Cold zero-copy: map + validate the file every time; no
+            // CSR vectors are allocated.
+            let entry = corpus
+                .manifest()
+                .graphs
+                .iter()
+                .find(|g| g.n == n)
+                .expect("size stored");
+            let path = corpus.dir().join(&entry.file);
+            b.iter(|| nsg::map_graph_file(&path).expect("stored graph maps"));
+        });
         group.bench_with_input(BenchmarkId::new("corpus_warm", n), &n, |b, &n| {
             let source = corpus.source();
+            let mut trial = 0usize;
+            b.iter(|| {
+                trial += 1;
+                source.trial_graph(n, trial, &seeds)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("mmap_warm", n), &n, |b, &n| {
+            let mapped = Corpus::open_with(corpus.dir(), LoadMode::Mmap).expect("corpus opens");
+            let source = mapped.source();
+            // Warm: map every stored trial once up front, so the lane
+            // times the steady state (Arc clone of a mapped view), not
+            // first-map validation — mmap_cold already measures that.
+            for trial in 0..TRIALS {
+                source.trial_graph(n, trial, &seeds);
+            }
             let mut trial = 0usize;
             b.iter(|| {
                 trial += 1;
@@ -114,24 +143,55 @@ fn write_bench_record(
         let cold_ns = time_per_rep(&mut || {
             let _ = nsg::read_graph_file(&path).expect("stored graph reads");
         });
+        let mmap_cold_ns = time_per_rep(&mut || {
+            let _ = nsg::map_graph_file(&path).expect("stored graph maps");
+        });
         let source = corpus.source();
         let mut trial = 0usize;
         let warm_ns = time_per_rep(&mut || {
             trial += 1;
             let _ = source.trial_graph(n, trial, seeds);
         });
+        let mapped = Corpus::open_with(corpus.dir(), LoadMode::Mmap).expect("corpus opens");
+        let mapped_source = mapped.source();
+        // Steady state: every stored trial mapped once before timing
+        // (the heap lane above is equally warm — criterion's lanes
+        // already populated its cache).
+        for trial in 0..TRIALS {
+            mapped_source.trial_graph(n, trial, seeds);
+        }
+        let mut trial = 0usize;
+        let mmap_warm_ns = time_per_rep(&mut || {
+            trial += 1;
+            let _ = mapped_source.trial_graph(n, trial, seeds);
+        });
+        let zero_copy = mapped
+            .load(0, None)
+            .map(|g| g.is_borrowed())
+            .unwrap_or(false);
         cells.push(JsonValue::object(vec![
             ("n", JsonValue::from(n)),
             ("regenerate_ns", JsonValue::from(regenerate_ns)),
             ("corpus_cold_ns", JsonValue::from(cold_ns)),
+            ("mmap_cold_ns", JsonValue::from(mmap_cold_ns)),
             ("corpus_warm_ns", JsonValue::from(warm_ns)),
+            ("mmap_warm_ns", JsonValue::from(mmap_warm_ns)),
+            ("zero_copy", JsonValue::from(zero_copy)),
             (
                 "speedup_cold",
                 JsonValue::from(regenerate_ns as f64 / cold_ns.max(1) as f64),
             ),
             (
+                "speedup_mmap_cold",
+                JsonValue::from(regenerate_ns as f64 / mmap_cold_ns.max(1) as f64),
+            ),
+            (
                 "speedup_warm",
                 JsonValue::from(regenerate_ns as f64 / warm_ns.max(1) as f64),
+            ),
+            (
+                "speedup_mmap_warm",
+                JsonValue::from(regenerate_ns as f64 / mmap_warm_ns.max(1) as f64),
             ),
         ]));
     }

@@ -16,7 +16,7 @@ mod theorem1_strong;
 mod theorem1_weak;
 
 use nonsearch_core::{GraphModel, ModelSource};
-use nonsearch_corpus::Corpus;
+use nonsearch_corpus::{Corpus, LoadMode};
 use nonsearch_engine::{ExpContext, GraphSource, Registry};
 
 /// Builds the registry of all ported experiments.
@@ -35,7 +35,9 @@ pub fn registry() -> Registry {
     r
 }
 
-/// Opens the corpus named by `--corpus`, if any.
+/// Opens the corpus named by `--corpus`, if any, honouring `--mmap`
+/// (zero-copy memory-mapped loads instead of heap decodes — the served
+/// graphs are byte-identical either way).
 ///
 /// # Panics
 ///
@@ -43,10 +45,14 @@ pub fn registry() -> Registry {
 /// corpus — running generate-per-trial instead would silently ignore an
 /// explicit request.
 pub(super) fn open_corpus(ctx: &ExpContext) -> Option<Corpus> {
-    ctx.options
-        .corpus
-        .as_ref()
-        .map(|dir| Corpus::open(dir).unwrap_or_else(|e| panic!("--corpus {}: {e}", dir.display())))
+    let mode = if ctx.options.mmap {
+        LoadMode::Mmap
+    } else {
+        LoadMode::Heap
+    };
+    ctx.options.corpus.as_ref().map(|dir| {
+        Corpus::open_with(dir, mode).unwrap_or_else(|e| panic!("--corpus {}: {e}", dir.display()))
+    })
 }
 
 /// The trial-graph source for `model` over `sizes`: the corpus when one

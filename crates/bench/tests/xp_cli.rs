@@ -188,3 +188,69 @@ fn validate_flags_corrupt_files() {
     assert_eq!(out.status.code(), Some(1));
     std::fs::remove_file(&path).ok();
 }
+
+/// The `"quick"` field of the run footer emitted by one tiny run.
+fn footer_quick(args: &[&str], env: Option<(&str, &str)>, tag: &str) -> bool {
+    let path = temp_path(tag);
+    let mut full: Vec<&str> = vec!["theorem1-weak", "--sizes", "32", "--trials", "2", "--out"];
+    let path_str = path.to_str().unwrap().to_string();
+    full.push(&path_str);
+    full.extend_from_slice(args);
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_xp"));
+    // Start from a known state: the ambient harness environment must
+    // not leak into the regression assertions below.
+    cmd.args(&full).env_remove("NONSEARCH_QUICK");
+    if let Some((key, value)) = env {
+        cmd.env(key, value);
+    }
+    let out = cmd.output().expect("xp binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&path).unwrap();
+    let quick = text
+        .lines()
+        .filter_map(|l| parse_json(l).ok())
+        .find(|v| v.get("type").and_then(|t| t.as_str()) == Some(RUN_TYPE))
+        .and_then(|v| v.get("quick").and_then(|q| q.as_bool()))
+        .expect("run footer carries a quick field");
+    std::fs::remove_file(&path).ok();
+    quick
+}
+
+#[test]
+fn quick_env_zero_and_empty_do_not_enable_quick_mode() {
+    // The regression pair: `NONSEARCH_QUICK=0` (and the empty string)
+    // used to *enable* quick mode because only presence was checked.
+    assert!(!footer_quick(
+        &[],
+        Some(("NONSEARCH_QUICK", "0")),
+        "env0.jsonl"
+    ));
+    assert!(!footer_quick(
+        &[],
+        Some(("NONSEARCH_QUICK", "")),
+        "envempty.jsonl"
+    ));
+    assert!(footer_quick(
+        &[],
+        Some(("NONSEARCH_QUICK", "1")),
+        "env1.jsonl"
+    ));
+    assert!(footer_quick(&["--quick"], None, "flag.jsonl"));
+    assert!(!footer_quick(&[], None, "plain.jsonl"));
+}
+
+#[test]
+fn quick_with_inline_value_is_rejected_not_misread() {
+    // The regression: `--quick=false` used to silently enable quick
+    // mode. The strict xp parser now rejects any inline value.
+    for arg in ["--quick=false", "--quick=true", "--mmap=1"] {
+        let out = xp(&["theorem1-weak", arg]);
+        assert_eq!(out.status.code(), Some(2), "{arg} must be rejected");
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(stderr.contains("boolean"), "{arg}: {stderr}");
+    }
+}

@@ -171,6 +171,80 @@ fn theorem1_weak_with_corpus_matches_generate_per_trial() {
 }
 
 #[test]
+fn theorem1_weak_with_mmap_matches_heap_load_and_generate() {
+    let corpus_dir = temp_path("mmap_corpus");
+    let out = xp(&[
+        "corpus",
+        "build",
+        corpus_dir.to_str().unwrap(),
+        "--sizes",
+        "128,256",
+        "--trials",
+        "3",
+        "--seed",
+        "7",
+        "--variants",
+        "0",
+    ]);
+    assert_ok(&out, "corpus build");
+    // The zero-copy verifier accepts what the builder wrote.
+    let out = xp(&["corpus", "verify", corpus_dir.to_str().unwrap(), "--mmap"]);
+    assert_ok(&out, "corpus verify --mmap");
+
+    let generated = temp_path("mmap_generate.jsonl");
+    let heap_backed = temp_path("mmap_heap.jsonl");
+    let mmap_backed = temp_path("mmap_mmap.jsonl");
+    let common = [
+        "theorem1-weak",
+        "--quick",
+        "--sizes",
+        "128,256",
+        "--trials",
+        "3",
+        "--seed",
+        "7",
+        "--out",
+    ];
+
+    let mut args: Vec<&str> = common.to_vec();
+    args.push(generated.to_str().unwrap());
+    assert_ok(&xp(&args), "generate-per-trial run");
+
+    let mut args: Vec<&str> = common.to_vec();
+    args.push(heap_backed.to_str().unwrap());
+    args.extend(["--corpus", corpus_dir.to_str().unwrap()]);
+    assert_ok(&xp(&args), "heap corpus-backed run");
+
+    let mut args: Vec<&str> = common.to_vec();
+    args.push(mmap_backed.to_str().unwrap());
+    args.extend(["--corpus", corpus_dir.to_str().unwrap(), "--mmap"]);
+    let out = xp(&args);
+    assert_ok(&out, "mmap corpus-backed run");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("graphs: corpus:") && stdout.contains("(mmap)"),
+        "run should announce the mapped corpus:\n{stdout}"
+    );
+
+    let a = std::fs::read_to_string(&generated).unwrap();
+    let b = std::fs::read_to_string(&heap_backed).unwrap();
+    let c = std::fs::read_to_string(&mmap_backed).unwrap();
+    assert!(validate_jsonl(&c).is_ok());
+    let cells_a = cell_lines(&a);
+    assert!(!cells_a.is_empty());
+    // The headline acceptance: a mapped load serves graphs — and thus
+    // statistical records — byte-identical to both the heap-decoded
+    // corpus and the generate-per-trial path.
+    assert_eq!(cells_a, cell_lines(&c));
+    assert_eq!(cell_lines(&b), cell_lines(&c));
+
+    std::fs::remove_dir_all(&corpus_dir).ok();
+    std::fs::remove_file(&generated).ok();
+    std::fs::remove_file(&heap_backed).ok();
+    std::fs::remove_file(&mmap_backed).ok();
+}
+
+#[test]
 fn null_model_quick_emits_cell_records() {
     let out_path = temp_path("null_model.jsonl");
     let out = xp(&[

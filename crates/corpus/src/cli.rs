@@ -9,7 +9,7 @@
 
 use crate::builder::{build, BuildSpec};
 use crate::model_spec::DEFAULT_MODEL_SPEC;
-use crate::store::Corpus;
+use crate::store::{Corpus, LoadMode};
 use nonsearch_engine::CliOptions;
 use std::path::PathBuf;
 
@@ -42,8 +42,19 @@ pub fn usage() -> String {
          build flags (corpus): --model SPEC (default {DEFAULT_MODEL_SPEC:?};\n\
          \x20 also ba:m=2, uniform:m=1, cooper-frieze:alpha=0.7,\n\
          \x20 power-law:k=2.5,dmin=1), --variants K (default 1 rewired\n\
-         \x20 null model per graph), --swaps N (default 10 swaps/edge)\n"
+         \x20 null model per graph), --swaps N (default 10 swaps/edge)\n\
+         info/verify flag: --mmap — validate through the zero-copy\n\
+         \x20 memory-mapped load path (what experiments run with --mmap use)\n"
     )
+}
+
+/// The [`LoadMode`] requested by the shared flags (`--mmap`).
+fn load_mode(options: &CliOptions) -> LoadMode {
+    if options.mmap {
+        LoadMode::Mmap
+    } else {
+        LoadMode::Heap
+    }
 }
 
 /// Runs `xp corpus <args>`. Returns the process exit code.
@@ -151,7 +162,7 @@ pub fn main(args: &[String]) -> i32 {
                 }
             }
         }
-        "info" => match Corpus::open(&dir) {
+        "info" => match Corpus::open_with(&dir, load_mode(&options)) {
             Ok(corpus) => {
                 let m = corpus.manifest();
                 println!("corpus at {}", dir.display());
@@ -181,13 +192,17 @@ pub fn main(args: &[String]) -> i32 {
                 1
             }
         },
-        "verify" => match Corpus::open(&dir).and_then(|c| c.verify()) {
+        "verify" => match Corpus::open_with(&dir, load_mode(&options)).and_then(|c| c.verify()) {
             Ok(report) => {
                 println!(
-                    "[corpus verify] {}: {} files, {} KiB — OK",
+                    "[corpus verify] {}: {} files, {} KiB — OK{}",
                     dir.display(),
                     report.files,
-                    report.bytes / 1024
+                    report.bytes / 1024,
+                    match report.mode {
+                        LoadMode::Heap => "",
+                        LoadMode::Mmap => " (validated via mmap)",
+                    }
                 );
                 0
             }
@@ -254,6 +269,9 @@ mod tests {
         assert_eq!(run(&["info", dir_str]), 0);
         // --corpus works in place of the positional directory.
         assert_eq!(run(&["verify", "--corpus", dir_str]), 0);
+        // The zero-copy load path validates the same corpus.
+        assert_eq!(run(&["verify", dir_str, "--mmap"]), 0);
+        assert_eq!(run(&["info", dir_str, "--mmap"]), 0);
 
         // Corrupt a file: verify must now fail.
         let corpus = Corpus::open(&dir).unwrap();

@@ -10,7 +10,11 @@
 //!   header, versioning, and FNV-1a checksums; the reader loads
 //!   straight into `nonsearch_graph` CSR buffers
 //!   ([`UndirectedCsr::from_raw_parts`](nonsearch_graph::UndirectedCsr::from_raw_parts)),
-//!   preserving the exact incidence-slot order.
+//!   preserving the exact incidence-slot order — or, via
+//!   [`nsg::map_graph_file`] and [`MappedFile`], *borrows* them
+//!   zero-copy out of a memory-mapped file
+//!   ([`UndirectedCsr::from_csr_bytes`](nonsearch_graph::UndirectedCsr::from_csr_bytes)),
+//!   so corpora larger than RAM serve graphs at page-cache cost.
 //! * [`Manifest`] — `manifest.json` indexes generator params, root
 //!   seed, per-graph files/checksums, and the volatile build envelope.
 //! * [`build`] — the deterministic builder: generation sharded across
@@ -51,13 +55,16 @@
 //! # Ok::<(), nonsearch_corpus::CorpusError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide and allowed only in `mmap`, the
+// hand-rolled `mmap(2)` FFI wrapper behind zero-copy graph loads.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod builder;
 pub mod cli;
 mod error;
 mod manifest;
+mod mmap;
 mod model_spec;
 pub mod nsg;
 mod store;
@@ -65,8 +72,9 @@ mod store;
 pub use builder::{build, BuildReport, BuildSpec, GRAPHS_DIR};
 pub use error::CorpusError;
 pub use manifest::{BuildInfo, GraphEntry, Manifest, VariantEntry, MANIFEST_FILE};
+pub use mmap::MappedFile;
 pub use model_spec::{parse_model, BoxedModel, DEFAULT_MODEL_SPEC};
-pub use store::{Corpus, CorpusSource, VerifyReport};
+pub use store::{Corpus, CorpusSource, LoadMode, VerifyReport};
 
 /// Result alias used across this crate.
 pub type Result<T> = std::result::Result<T, CorpusError>;

@@ -23,8 +23,10 @@
 //! generation time — survives the round trip bit for bit.
 
 use crate::error::CorpusError;
-use nonsearch_graph::{EdgeId, NodeId, UndirectedCsr};
+use crate::mmap::MappedFile;
+use nonsearch_graph::{CsrBytes, CsrLayout, EdgeId, NodeId, UndirectedCsr};
 use std::path::Path;
+use std::sync::Arc;
 
 /// File magic: "NonSearch Graph", format generation 1.
 pub const MAGIC: [u8; 4] = *b"NSG1";
@@ -94,49 +96,26 @@ pub fn encode_graph(graph: &UndirectedCsr) -> Result<Vec<u8>, CorpusError> {
 ///
 /// Returns [`CorpusError::Format`] on any violation.
 pub fn decode_graph(bytes: &[u8]) -> Result<UndirectedCsr, CorpusError> {
-    if bytes.len() < HEADER_LEN {
-        return Err(CorpusError::format(format!(
-            "{} bytes is shorter than the {HEADER_LEN}-byte header",
-            bytes.len()
-        )));
-    }
-    if bytes[0..4] != MAGIC {
-        return Err(CorpusError::format("bad magic (not an .nsg file)"));
-    }
-    let version = u16::from_le_bytes(bytes[4..6].try_into().expect("2 bytes"));
-    if version != VERSION {
-        return Err(CorpusError::format(format!(
-            "unsupported format version {version} (reader speaks {VERSION})"
-        )));
-    }
-    let read_u64 = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"));
-    let n64 = read_u64(8);
-    let m64 = read_u64(16);
-    let stored_checksum = read_u64(24);
+    decode_graph_inner(bytes, Checksum::Check)
+}
 
-    // Checked arithmetic: a corrupt header with absurd counts must fail
-    // cleanly here, not overflow or attempt a huge allocation below.
-    let expected_len = n64
-        .checked_add(1)
-        .and_then(|x| x.checked_mul(8))
-        .and_then(|x| x.checked_add(m64.checked_mul(24)?))
-        .and_then(|x| x.checked_add(HEADER_LEN as u64));
-    if expected_len != Some(bytes.len() as u64) {
-        return Err(CorpusError::format(format!(
-            "file is {} bytes but the header claims n={n64}, m={m64}",
-            bytes.len()
-        )));
-    }
-    // The length equality bounds both counts far below usize::MAX.
-    let (n, m) = (n64 as usize, m64 as usize);
+/// Whether a load re-hashes the payload against the header checksum.
+/// [`Checksum::Trusted`] is for callers that have *already* verified
+/// the bytes end to end (e.g. the corpus verifier, whose manifest
+/// checksum covers the whole file including the header) — it skips the
+/// second FNV pass, not any structural validation.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Checksum {
+    Check,
+    Trusted,
+}
+
+pub(crate) fn decode_graph_inner(
+    bytes: &[u8],
+    checksum: Checksum,
+) -> Result<UndirectedCsr, CorpusError> {
+    let (n, m) = validate_bytes_inner(bytes, checksum)?;
     let payload = &bytes[HEADER_LEN..];
-    let actual_checksum = fnv1a64(payload);
-    if actual_checksum != stored_checksum {
-        return Err(CorpusError::format(format!(
-            "payload checksum mismatch (header {stored_checksum:016x}, payload {actual_checksum:016x})"
-        )));
-    }
-
     let mut at = 0usize;
     let mut next_u64 = || {
         let v = u64::from_le_bytes(payload[at..at + 8].try_into().expect("8 bytes"));
@@ -165,6 +144,134 @@ pub fn decode_graph(bytes: &[u8]) -> Result<UndirectedCsr, CorpusError> {
 
     UndirectedCsr::from_raw_parts(offsets, slots, edge_list)
         .map_err(|e| CorpusError::format(e.to_string()))
+}
+
+/// Validates everything about an `.nsg` image short of CSR structure —
+/// header magic, version, byte length vs the claimed counts, and the
+/// payload checksum — and returns `(n, m)`. Both [`decode_graph`] and
+/// the zero-copy readers run this exactly once per image.
+///
+/// # Errors
+///
+/// Returns [`CorpusError::Format`] on any violation.
+pub fn validate_bytes(bytes: &[u8]) -> Result<(usize, usize), CorpusError> {
+    validate_bytes_inner(bytes, Checksum::Check)
+}
+
+fn validate_bytes_inner(bytes: &[u8], checksum: Checksum) -> Result<(usize, usize), CorpusError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(CorpusError::format(format!(
+            "{} bytes is shorter than the {HEADER_LEN}-byte header",
+            bytes.len()
+        )));
+    }
+    if bytes[0..4] != MAGIC {
+        return Err(CorpusError::format("bad magic (not an .nsg file)"));
+    }
+    let version = u16::from_le_bytes(bytes[4..6].try_into().expect("2 bytes"));
+    if version != VERSION {
+        return Err(CorpusError::format(format!(
+            "unsupported format version {version} (reader speaks {VERSION})"
+        )));
+    }
+    // The flags field is reserved: a writer that sets it speaks a
+    // dialect this reader does not, so refusing is safer than guessing
+    // (and every header bit stays covered by corruption detection).
+    let flags = u16::from_le_bytes(bytes[6..8].try_into().expect("2 bytes"));
+    if flags != 0 {
+        return Err(CorpusError::format(format!(
+            "unknown flags {flags:#06x} (reserved field must be 0)"
+        )));
+    }
+    let read_u64 = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"));
+    let n64 = read_u64(8);
+    let m64 = read_u64(16);
+    let stored_checksum = read_u64(24);
+
+    // Checked arithmetic: a corrupt header with absurd counts must fail
+    // cleanly here, not overflow or attempt a huge allocation below.
+    let expected_len = n64
+        .checked_add(1)
+        .and_then(|x| x.checked_mul(8))
+        .and_then(|x| x.checked_add(m64.checked_mul(24)?))
+        .and_then(|x| x.checked_add(HEADER_LEN as u64));
+    if expected_len != Some(bytes.len() as u64) {
+        return Err(CorpusError::format(format!(
+            "file is {} bytes but the header claims n={n64}, m={m64}",
+            bytes.len()
+        )));
+    }
+    if checksum == Checksum::Check {
+        let payload = &bytes[HEADER_LEN..];
+        let actual_checksum = fnv1a64(payload);
+        if actual_checksum != stored_checksum {
+            return Err(CorpusError::format(format!(
+                "payload checksum mismatch (header {stored_checksum:016x}, payload {actual_checksum:016x})"
+            )));
+        }
+    }
+    // The length equality bounds both counts far below usize::MAX.
+    Ok((n64 as usize, m64 as usize))
+}
+
+/// The byte ranges of the three CSR buffers inside a *validated* `.nsg`
+/// image with `n` vertices and `m` edges: the payload is `offsets`
+/// (`(n + 1) × u64`), `slots` (`2m × (u32, u32)`), then `edge_list`
+/// (`m × (u32, u32)`), and `HEADER_LEN` is 8-byte aligned — exactly the
+/// shape [`UndirectedCsr::from_csr_bytes`] borrows without copying.
+pub fn csr_layout(n: usize, m: usize) -> CsrLayout {
+    let offsets_end = HEADER_LEN + 8 * (n + 1);
+    let slots_end = offsets_end + 16 * m;
+    CsrLayout {
+        offsets: HEADER_LEN..offsets_end,
+        slots: offsets_end..slots_end,
+        edge_list: slots_end..slots_end + 8 * m,
+    }
+}
+
+/// Serves the graph inside `region` (a whole `.nsg` image) zero-copy:
+/// after one pass of validation — header, checksum, and (inside
+/// [`UndirectedCsr::from_csr_bytes`]) CSR structure — the returned
+/// graph borrows the region's bytes directly; no per-buffer vectors are
+/// allocated. If the *target* cannot express the borrowed view
+/// (big-endian, 32-bit, or an unexpectedly misaligned region), falls
+/// back to [`decode_graph`] so every platform stays correct.
+///
+/// # Errors
+///
+/// Returns [`CorpusError::Format`] for malformed content.
+pub fn graph_from_region(region: Arc<dyn CsrBytes>) -> Result<UndirectedCsr, CorpusError> {
+    graph_from_region_inner(region, Checksum::Check)
+}
+
+pub(crate) fn graph_from_region_inner(
+    region: Arc<dyn CsrBytes>,
+    checksum: Checksum,
+) -> Result<UndirectedCsr, CorpusError> {
+    let (n, m) = validate_bytes_inner(region.bytes(), checksum)?;
+    let layout = csr_layout(n, m);
+    match UndirectedCsr::from_csr_bytes(Arc::clone(&region), &layout) {
+        Ok(graph) => Ok(graph),
+        // Structural errors reproduce identically below; target/alignment
+        // limitations silently degrade to the owned decode.
+        Err(_) => decode_graph_inner(region.bytes(), checksum),
+    }
+}
+
+/// Memory-maps the `.nsg` file at `path` and serves its graph
+/// zero-copy (see [`graph_from_region`]): the OS page cache backs the
+/// CSR buffers, so corpora larger than RAM stay servable and warm
+/// re-loads cost page faults, not decodes. Where mapping is unavailable
+/// the file is read into an aligned heap image instead — still
+/// borrowed, still one validation pass, just not page-backed.
+///
+/// # Errors
+///
+/// Returns [`CorpusError::Io`] for filesystem failures and
+/// [`CorpusError::Format`] for malformed content.
+pub fn map_graph_file(path: &Path) -> Result<UndirectedCsr, CorpusError> {
+    let mapped = MappedFile::open(path)?;
+    graph_from_region(Arc::new(mapped))
 }
 
 /// Encodes `graph` and writes it to `path`, returning the FNV-1a 64
@@ -285,6 +392,72 @@ mod tests {
         assert_eq!(checksum, fnv1a64(&std::fs::read(&path).unwrap()));
         assert_eq!(read_graph_file(&path).unwrap(), g);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mapped_load_is_zero_copy_and_equals_heap_decode() {
+        let dir = std::env::temp_dir().join(format!("nsg_map_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.nsg");
+        let g = sample();
+        write_graph_file(&path, &g).unwrap();
+
+        let mapped = map_graph_file(&path).unwrap();
+        let heap = read_graph_file(&path).unwrap();
+        assert_eq!(mapped, heap);
+        assert_eq!(mapped, g, "slot shuffle survives the mapped path");
+        assert!(!heap.is_borrowed());
+        if nonsearch_graph::zero_copy_support().is_ok() {
+            assert!(mapped.is_borrowed(), "CI targets must really borrow");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mapped_load_runs_the_full_corruption_matrix() {
+        let dir = std::env::temp_dir().join(format!("nsg_map_corrupt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.nsg");
+        let g = sample();
+        let good = encode_graph(&g).unwrap();
+
+        // Payload flip: caught by the checksum at map time.
+        let mut flipped = good.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0xFF;
+        std::fs::write(&path, &flipped).unwrap();
+        assert!(map_graph_file(&path).is_err());
+
+        // Truncation: caught by the length-vs-header check.
+        std::fs::write(&path, &good[..good.len() - 8]).unwrap();
+        assert!(map_graph_file(&path).is_err());
+
+        // Bad magic.
+        let mut bad_magic = good;
+        bad_magic[0] = b'X';
+        std::fs::write(&path, &bad_magic).unwrap();
+        assert!(map_graph_file(&path).is_err());
+
+        // Missing file: clean I/O error.
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(matches!(map_graph_file(&path), Err(CorpusError::Io { .. })));
+    }
+
+    #[test]
+    fn region_layout_matches_the_documented_format() {
+        let g = UndirectedCsr::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        let layout = csr_layout(3, 2);
+        assert_eq!(layout.offsets, 32..64); // 4 × u64
+        assert_eq!(layout.slots, 64..96); // 4 slots × 8
+        assert_eq!(layout.edge_list, 96..112); // 2 edges × 8
+        let bytes = encode_graph(&g).unwrap();
+        assert_eq!(layout.edge_list.end, bytes.len());
+        // A heap image (aligned) decodes zero-copy through the region
+        // path too.
+        let region: std::sync::Arc<dyn CsrBytes> =
+            std::sync::Arc::new(nonsearch_graph::AlignedBytes::from_bytes(&bytes));
+        let view = graph_from_region(region).unwrap();
+        assert_eq!(view, g);
     }
 
     #[test]

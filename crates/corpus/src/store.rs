@@ -5,25 +5,49 @@
 //! (rewired null models) hand out [`CorpusSource`]s that assign trials
 //! to stored graphs **round-robin** (`trial % stored_trials`). Loaded
 //! graphs are cached behind an `Arc`, so concurrent trials on any
-//! number of engine workers share one in-memory copy per file.
+//! number of engine workers share one in-memory copy per file; first
+//! loads are **single-flight** — one decode (or mapping) per file no
+//! matter how many workers race for it. With [`LoadMode::Mmap`] the
+//! store serves zero-copy views of memory-mapped files instead of heap
+//! decodes, bounding memory by the page cache rather than by RAM.
 
 use crate::error::CorpusError;
 use crate::manifest::Manifest;
+use crate::mmap::MappedFile;
 use crate::nsg;
 use nonsearch_engine::GraphSource;
 use nonsearch_generators::SeedSequence;
-use nonsearch_graph::UndirectedCsr;
+use nonsearch_graph::{CsrBytes, UndirectedCsr};
 use std::collections::{BTreeMap, HashMap};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
+/// How a [`Corpus`] materializes stored graphs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LoadMode {
+    /// Decode each `.nsg` file into heap-owned CSR buffers (the
+    /// classic path; always available).
+    #[default]
+    Heap,
+    /// Memory-map each `.nsg` file and serve zero-copy borrowed views:
+    /// one validation pass at map time, then the page cache backs every
+    /// access. Falls back to an owned decode on targets that cannot
+    /// express the borrowed view, so results are identical either way.
+    Mmap,
+}
+
+/// One cache entry: the per-file lock making first loads single-flight.
+/// Loaders of *different* files never contend on each other's slots.
+type CacheSlot = Arc<Mutex<Option<Arc<UndirectedCsr>>>>;
+
 struct Inner {
     dir: PathBuf,
     manifest: Manifest,
+    mode: LoadMode,
     /// Requested size → indices into `manifest.graphs`, trial order.
     by_n: BTreeMap<usize, Vec<usize>>,
-    /// Relative file → decoded graph, filled on first access.
-    cache: Mutex<HashMap<String, Arc<UndirectedCsr>>>,
+    /// Relative file → load slot, filled on first access.
+    cache: Mutex<HashMap<String, CacheSlot>>,
 }
 
 /// An opened corpus directory.
@@ -39,15 +63,28 @@ pub struct VerifyReport {
     pub files: usize,
     /// Total bytes read.
     pub bytes: u64,
+    /// Which load path performed the validation.
+    pub mode: LoadMode,
 }
 
 impl Corpus {
-    /// Opens the corpus at `dir` by reading its manifest.
+    /// Opens the corpus at `dir` by reading its manifest, with the
+    /// default heap [`LoadMode`].
     ///
     /// # Errors
     ///
     /// Returns [`CorpusError`] if the manifest is missing or malformed.
     pub fn open(dir: impl Into<PathBuf>) -> Result<Corpus, CorpusError> {
+        Self::open_with(dir, LoadMode::default())
+    }
+
+    /// Opens the corpus at `dir` with an explicit [`LoadMode`] (the
+    /// `--mmap` experiment flag maps to [`LoadMode::Mmap`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CorpusError`] if the manifest is missing or malformed.
+    pub fn open_with(dir: impl Into<PathBuf>, mode: LoadMode) -> Result<Corpus, CorpusError> {
         let dir = dir.into();
         let manifest = Manifest::read_from(&dir)?;
         let mut by_n: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
@@ -61,6 +98,7 @@ impl Corpus {
             inner: Arc::new(Inner {
                 dir,
                 manifest,
+                mode,
                 by_n,
                 cache: Mutex::new(HashMap::new()),
             }),
@@ -70,6 +108,11 @@ impl Corpus {
     /// The parsed manifest.
     pub fn manifest(&self) -> &Manifest {
         &self.inner.manifest
+    }
+
+    /// How this corpus materializes stored graphs.
+    pub fn load_mode(&self) -> LoadMode {
+        self.inner.mode
     }
 
     /// The corpus directory.
@@ -114,6 +157,13 @@ impl Corpus {
     /// `graph_idx`, or — with `variant = Some(v)` — its `v`-th rewired
     /// null model.
     ///
+    /// First loads are single-flight per file: concurrent callers block
+    /// on that file's slot while exactly one of them decodes (or maps),
+    /// and all of them receive the same `Arc` — the "one in-memory copy
+    /// per file" contract holds even under a racing first access, and a
+    /// mapped file is mapped once, not once per worker. A failed load
+    /// leaves the slot empty so a later call can retry.
+    ///
     /// # Errors
     ///
     /// Returns [`CorpusError`] for unknown indices, I/O failures, or
@@ -150,15 +200,23 @@ impl Corpus {
                     .file
             }
         };
-        if let Some(g) = self.inner.cache.lock().expect("cache lock").get(file) {
+        // Take (or create) this file's slot under the map lock, then
+        // release the map before any I/O: the slot lock serializes
+        // loaders of *this* file only.
+        let slot = {
+            let mut cache = self.inner.cache.lock().expect("cache lock");
+            Arc::clone(cache.entry(file.clone()).or_default())
+        };
+        let mut loaded = slot.lock().expect("file slot lock");
+        if let Some(g) = &*loaded {
             return Ok(Arc::clone(g));
         }
-        let graph = Arc::new(nsg::read_graph_file(&self.inner.dir.join(file))?);
-        self.inner
-            .cache
-            .lock()
-            .expect("cache lock")
-            .insert(file.clone(), Arc::clone(&graph));
+        let path = self.inner.dir.join(file);
+        let graph = Arc::new(match self.inner.mode {
+            LoadMode::Heap => nsg::read_graph_file(&path)?,
+            LoadMode::Mmap => nsg::map_graph_file(&path)?,
+        });
+        *loaded = Some(Arc::clone(&graph));
         Ok(graph)
     }
 
@@ -193,20 +251,32 @@ impl Corpus {
 
     /// Re-reads every stored file, checking manifest checksums, header
     /// checksums, CSR structural consistency, and the manifest's
-    /// node/edge counts.
+    /// node/edge counts. With [`LoadMode::Mmap`] the files are mapped
+    /// and validated through the zero-copy path, proving exactly the
+    /// machinery experiments will use.
     ///
     /// # Errors
     ///
     /// Returns the first violation found.
     pub fn verify(&self) -> Result<VerifyReport, CorpusError> {
-        let mut report = VerifyReport { files: 0, bytes: 0 };
+        let mut report = VerifyReport {
+            files: 0,
+            bytes: 0,
+            mode: self.inner.mode,
+        };
         for entry in &self.inner.manifest.graphs {
             let checks = std::iter::once((&entry.file, entry.checksum))
                 .chain(entry.variants.iter().map(|v| (&v.file, v.checksum)));
             for (file, expected) in checks {
                 let path = self.inner.dir.join(file);
-                let bytes = std::fs::read(&path).map_err(|e| CorpusError::io(&path, e))?;
-                let actual = nsg::fnv1a64(&bytes);
+                let region: Arc<dyn CsrBytes> = match self.inner.mode {
+                    LoadMode::Heap => {
+                        Arc::new(std::fs::read(&path).map_err(|e| CorpusError::io(&path, e))?)
+                    }
+                    LoadMode::Mmap => Arc::new(MappedFile::open(&path)?),
+                };
+                let bytes = region.bytes();
+                let actual = nsg::fnv1a64(bytes);
                 if actual != expected {
                     return Err(CorpusError::Checksum {
                         path,
@@ -214,7 +284,18 @@ impl Corpus {
                         actual,
                     });
                 }
-                let graph = nsg::decode_graph(&bytes)?;
+                let len = bytes.len();
+                // The manifest checksum above covered every byte of the
+                // file (header included), so the structural pass can
+                // trust the bytes instead of FNV-hashing the payload a
+                // second time — verify stays one read + one hash per
+                // file.
+                let graph = match self.inner.mode {
+                    LoadMode::Heap => nsg::decode_graph_inner(bytes, nsg::Checksum::Trusted)?,
+                    LoadMode::Mmap => {
+                        nsg::graph_from_region_inner(Arc::clone(&region), nsg::Checksum::Trusted)?
+                    }
+                };
                 if graph.node_count() != entry.nodes || graph.edge_count() != entry.edges {
                     return Err(CorpusError::format(format!(
                         "{file}: graph is {}v/{}e but the manifest says {}v/{}e",
@@ -225,7 +306,7 @@ impl Corpus {
                     )));
                 }
                 report.files += 1;
-                report.bytes += bytes.len() as u64;
+                report.bytes += len as u64;
             }
         }
         Ok(report)
@@ -264,9 +345,13 @@ impl GraphSource for CorpusSource {
     }
 
     fn describe(&self) -> String {
+        let mode = match self.inner.mode {
+            LoadMode::Heap => "",
+            LoadMode::Mmap => " (mmap)",
+        };
         match self.variant {
-            None => format!("corpus:{}", self.inner.dir.display()),
-            Some(v) => format!("corpus:{}#v{v}", self.inner.dir.display()),
+            None => format!("corpus:{}{mode}", self.inner.dir.display()),
+            Some(v) => format!("corpus:{}#v{v}{mode}", self.inner.dir.display()),
         }
     }
 }
@@ -359,6 +444,106 @@ mod tests {
         std::fs::write(&victim, &bytes).unwrap();
         let fresh = Corpus::open(&dir).unwrap();
         assert!(fresh.verify().is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mmap_mode_serves_identical_graphs() {
+        let (dir, heap) = built_corpus("mmap_identity");
+        let mapped = Corpus::open_with(&dir, LoadMode::Mmap).unwrap();
+        assert_eq!(mapped.load_mode(), LoadMode::Mmap);
+        assert_eq!(heap.load_mode(), LoadMode::Heap);
+
+        let seeds = SeedSequence::new(0);
+        for n in [32usize, 64] {
+            for trial in 0..2 {
+                let a = heap.source().trial_graph(n, trial, &seeds);
+                let b = mapped.source().trial_graph(n, trial, &seeds);
+                assert_eq!(*a, *b, "n={n} trial={trial}");
+                assert!(!a.is_borrowed());
+                if nonsearch_graph::zero_copy_support().is_ok() {
+                    assert!(b.is_borrowed(), "mmap mode must serve borrowed views");
+                }
+            }
+            let a = heap.variant_source(0).unwrap().trial_graph(n, 0, &seeds);
+            let b = mapped.variant_source(0).unwrap().trial_graph(n, 0, &seeds);
+            assert_eq!(*a, *b, "variant graphs agree at n={n}");
+        }
+        assert!(mapped.source().describe().contains("(mmap)"));
+        assert!(!heap.source().describe().contains("(mmap)"));
+
+        // Verify exercises the mapped validation path.
+        let report = mapped.verify().unwrap();
+        assert_eq!(report.files, mapped.manifest().file_count());
+        assert_eq!(report.mode, LoadMode::Mmap);
+
+        // Tampering is caught through the mapped path too.
+        let victim = dir.join(&mapped.manifest().graphs[0].file);
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&victim, &bytes).unwrap();
+        assert!(Corpus::open_with(&dir, LoadMode::Mmap)
+            .unwrap()
+            .verify()
+            .is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn first_load_is_single_flight() {
+        for mode in [LoadMode::Heap, LoadMode::Mmap] {
+            let (dir, _) = built_corpus(match mode {
+                LoadMode::Heap => "flight_heap",
+                LoadMode::Mmap => "flight_mmap",
+            });
+            let corpus = Corpus::open_with(&dir, mode).unwrap();
+            // Race many first loads of the same file; every caller must
+            // receive the *same* Arc (one decode, one mapping) — the old
+            // check-then-insert cache could hand out distinct copies.
+            let barrier = std::sync::Barrier::new(8);
+            let graphs: Vec<Arc<UndirectedCsr>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..8)
+                    .map(|_| {
+                        let corpus = corpus.clone();
+                        let barrier = &barrier;
+                        scope.spawn(move || {
+                            barrier.wait();
+                            corpus.load(0, None).unwrap()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            for g in &graphs[1..] {
+                assert!(
+                    Arc::ptr_eq(&graphs[0], g),
+                    "{mode:?}: racing first loads must share one copy"
+                );
+            }
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn failed_load_leaves_the_slot_retryable() {
+        let (dir, _) = built_corpus("retry");
+        let corpus = Corpus::open_with(&dir, LoadMode::Heap).unwrap();
+        let file = corpus.manifest().graphs[0].file.clone();
+        let path = dir.join(&file);
+        let good = std::fs::read(&path).unwrap();
+
+        // Corrupt the file: the load fails cleanly…
+        let mut bad = good.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xFF;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(corpus.load(0, None).is_err());
+
+        // …and once repaired, the same corpus can load it (the failed
+        // first flight did not wedge or poison the slot).
+        std::fs::write(&path, &good).unwrap();
+        assert!(corpus.load(0, None).is_ok());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -17,7 +17,7 @@
 //!   the fly or served from a persistent corpus (`nonsearch_corpus`).
 //! * [`CliOptions`] — the experiment flag set (`--quick`, `--threads`,
 //!   `--seed`, `--out`, `--format`, `--trials`, `--sizes`,
-//!   `--corpus`), parsed once.
+//!   `--corpus`, `--mmap`), parsed once.
 //! * [`RunWriter`] — JSON Lines + CSV run records (params, seed, git
 //!   describe, wall time, mean/CI/success) alongside the pretty tables.
 //! * [`Registry`] — the `xp` subcommand registry: `xp list`,

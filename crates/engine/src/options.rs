@@ -13,6 +13,14 @@
 //! | `--trials N` | override the per-cell trial count |
 //! | `--sizes A,B,C` | override the size sweep |
 //! | `--corpus DIR` | serve trial graphs from a stored corpus instead of generating |
+//! | `--mmap` | serve corpus graphs zero-copy from memory-mapped files |
+//!
+//! `--quick` and `--mmap` are boolean flags: they take no value, and
+//! the strict (`xp`) parser rejects `--quick=...` outright — silently
+//! treating `--quick=false` as *enabling* quick mode was a real bug.
+//! `NONSEARCH_QUICK` enables quick mode unless it is empty or one of
+//! `0`, `false`, `off`, `no` (case-insensitive), which disable it —
+//! `NONSEARCH_QUICK=0` used to enable quick mode too.
 //!
 //! Legacy binaries used to re-scan `std::env::args()` on every call to
 //! `quick()`; [`CliOptions::global`] parses the process arguments exactly
@@ -121,6 +129,9 @@ pub struct CliOptions {
     /// whole graphs per trial serve them from here instead of
     /// regenerating (`None` = generate per trial).
     pub corpus: Option<PathBuf>,
+    /// Serve corpus graphs zero-copy from memory-mapped `.nsg` files
+    /// (`--mmap`); meaningful only together with `--corpus`.
+    pub mmap: bool,
 }
 
 impl CliOptions {
@@ -159,7 +170,7 @@ impl CliOptions {
         S: Into<String>,
     {
         let mut opts = CliOptions {
-            quick: std::env::var_os("NONSEARCH_QUICK").is_some(),
+            quick: env_flag_enabled(std::env::var_os("NONSEARCH_QUICK")),
             ..CliOptions::default()
         };
         let mut iter = args.into_iter().map(Into::into).peekable();
@@ -183,11 +194,22 @@ impl CliOptions {
                     },
                 }
             };
-            let outcome: Result<(), OptionsError> = match flag.as_str() {
-                "--quick" => {
-                    opts.quick = true;
-                    Ok(())
+            // Boolean flags take no value. An inline value is an error:
+            // strict mode rejects it (`--quick=false` must not *enable*
+            // quick mode), lenient mode swallows the whole argument.
+            let boolean = |flag_name: &'static str| -> Result<bool, OptionsError> {
+                match &inline {
+                    Some(v) => Err(OptionsError::BadValue {
+                        flag: flag_name,
+                        value: v.clone(),
+                        expected: "no value (boolean flag; pass it bare)",
+                    }),
+                    None => Ok(true),
                 }
+            };
+            let outcome: Result<(), OptionsError> = match flag.as_str() {
+                "--quick" => boolean("--quick").map(|b| opts.quick = b),
+                "--mmap" => boolean("--mmap").map(|b| opts.mmap = b),
                 "--threads" => value("--threads")
                     .and_then(|v| parse_num(&v, "--threads"))
                     .map(|n| opts.threads = n),
@@ -276,6 +298,27 @@ fn parse_num<T: std::str::FromStr>(s: &str, flag: &'static str) -> Result<T, Opt
         value: s.to_string(),
         expected: "a non-negative integer",
     })
+}
+
+/// Interprets an on/off environment variable (`NONSEARCH_QUICK`).
+///
+/// Unset, empty, and the usual negatives — `0`, `false`, `off`, `no`
+/// (case-insensitive, whitespace-trimmed) — mean *off*; anything else
+/// (`1`, `true`, …) means *on*. The old rule was "set at all means on",
+/// which turned `NONSEARCH_QUICK=0` into a way to *enable* quick mode.
+fn env_flag_enabled(value: Option<std::ffi::OsString>) -> bool {
+    match value {
+        None => false,
+        Some(raw) => {
+            let text = raw.to_string_lossy();
+            let text = text.trim();
+            !(text.is_empty()
+                || text.eq_ignore_ascii_case("0")
+                || text.eq_ignore_ascii_case("false")
+                || text.eq_ignore_ascii_case("off")
+                || text.eq_ignore_ascii_case("no"))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -390,6 +433,48 @@ mod tests {
                 ..
             })
         ));
+    }
+
+    #[test]
+    fn env_flag_values_are_interpreted_not_just_detected() {
+        use std::ffi::OsString;
+        let enabled = |v: &str| env_flag_enabled(Some(OsString::from(v)));
+        assert!(!env_flag_enabled(None));
+        // The regression: these used to enable quick mode.
+        for off in ["", "0", "false", "FALSE", "off", "Off", "no", " 0 "] {
+            assert!(!enabled(off), "{off:?} must disable");
+        }
+        for on in ["1", "true", "TRUE", "yes", "on", "quick"] {
+            assert!(enabled(on), "{on:?} must enable");
+        }
+    }
+
+    #[test]
+    fn boolean_flags_reject_inline_values_strictly() {
+        // The regression: `--quick=false` used to *enable* quick mode.
+        for arg in ["--quick=false", "--quick=true", "--quick=", "--mmap=0"] {
+            let err = strict(&[arg]).unwrap_err();
+            assert!(
+                matches!(err, OptionsError::BadValue { .. }),
+                "{arg}: {err:?}"
+            );
+        }
+        // Lenient mode swallows the malformed argument entirely — it
+        // must NOT come out as `quick: true`.
+        let opts = CliOptions::from_args_lenient(["--quick=false", "--threads", "2"]);
+        assert!(!opts.quick);
+        assert_eq!(opts.threads, 2);
+        let opts = CliOptions::from_args_lenient(["--mmap=yes"]);
+        assert!(!opts.mmap);
+    }
+
+    #[test]
+    fn mmap_flag_parses() {
+        let opts = strict(&["--mmap", "--corpus", "dir"]).unwrap();
+        assert!(opts.mmap);
+        assert!(!CliOptions::default().mmap);
+        let opts = CliOptions::from_args_lenient(["--mmap"]);
+        assert!(opts.mmap);
     }
 
     #[test]

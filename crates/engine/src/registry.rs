@@ -209,7 +209,8 @@ impl Registry {
              \x20 xp validate <file>...        check emitted JSONL run records\n\
              \n\
              shared flags:\n\
-             \x20 --quick            reduced sweep (also NONSEARCH_QUICK=1)\n\
+             \x20 --quick            reduced sweep (also NONSEARCH_QUICK=1;\n\
+             \x20                    empty/0/false/off/no leave it off)\n\
              \x20 --threads N        trial-engine workers (0 = all cores)\n\
              \x20 --seed S           override the experiment's root seed\n\
              \x20 --out PATH         write structured run records to PATH\n\
@@ -217,6 +218,7 @@ impl Registry {
              \x20 --trials N         override the per-cell trial count\n\
              \x20 --sizes A,B,C      override the size sweep\n\
              \x20 --corpus DIR       serve trial graphs from a stored corpus\n\
+             \x20 --mmap             zero-copy corpus loads via memory-mapped files\n\
              \n\
              experiments:\n",
         );

@@ -1,7 +1,9 @@
 //! Static undirected incidence view in compressed sparse row form.
 
+use crate::storage::{CsrBytes, CsrLayout, CsrStorage};
 use crate::{EdgeId, EvolvingDigraph, GraphError, NodeId, Result};
-use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
 
 /// A static undirected multigraph stored in compressed sparse row form.
 ///
@@ -27,13 +29,17 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(g.edge_count(), 3);
 /// # Ok::<(), nonsearch_graph::GraphError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+// No serde derives here (unlike `GraphRecord`): the borrowed storage
+// variant holds region-backed slices a field-wise derive could never
+// express against real serde. Interchange goes through `GraphRecord`
+// or the binary `.nsg` format, both of which round-trip `raw_parts`.
+#[derive(Clone)]
 pub struct UndirectedCsr {
-    offsets: Vec<usize>,
-    /// Flattened incidence slots: `(other endpoint, edge id)`.
-    slots: Vec<(NodeId, EdgeId)>,
-    /// Endpoints of each undirected edge, by `EdgeId` index.
-    edge_list: Vec<(NodeId, NodeId)>,
+    /// The three CSR buffers (`offsets`, `slots`, `edge_list`), either
+    /// heap-owned or borrowed zero-copy from a shared byte region such
+    /// as a memory-mapped `.nsg` file. Every accessor goes through the
+    /// storage, so searchers and analyses are agnostic to the backing.
+    storage: CsrStorage,
 }
 
 /// The borrowed CSR buffers of an [`UndirectedCsr`]:
@@ -43,6 +49,21 @@ pub struct UndirectedCsr {
 pub type RawCsrParts<'a> = (&'a [usize], &'a [(NodeId, EdgeId)], &'a [(NodeId, NodeId)]);
 
 impl UndirectedCsr {
+    #[inline]
+    fn offsets(&self) -> &[usize] {
+        self.storage.offsets()
+    }
+
+    #[inline]
+    fn slots(&self) -> &[(NodeId, EdgeId)] {
+        self.storage.slots()
+    }
+
+    #[inline]
+    fn edge_list(&self) -> &[(NodeId, NodeId)] {
+        self.storage.edge_list()
+    }
+
     /// Builds the undirected view of an evolving digraph.
     ///
     /// Edge ids are preserved, so construction-time provenance (who chose
@@ -73,9 +94,11 @@ impl UndirectedCsr {
             edge_list.push((ep.source, ep.target));
         }
         UndirectedCsr {
-            offsets,
-            slots,
-            edge_list,
+            storage: CsrStorage::Owned {
+                offsets,
+                slots,
+                edge_list,
+            },
         }
     }
 
@@ -119,71 +142,55 @@ impl UndirectedCsr {
         slots: Vec<(NodeId, EdgeId)>,
         edge_list: Vec<(NodeId, NodeId)>,
     ) -> Result<Self> {
-        let invalid = |reason: String| GraphError::InvalidCsr { reason };
-        if offsets.first() != Some(&0) {
-            return Err(invalid("offsets must be non-empty and start at 0".into()));
-        }
-        if offsets.windows(2).any(|w| w[0] > w[1]) {
-            return Err(invalid("offsets must be monotone non-decreasing".into()));
-        }
-        let n = offsets.len() - 1;
-        let m = edge_list.len();
-        if *offsets.last().expect("non-empty") != slots.len() {
-            return Err(invalid(format!(
-                "final offset {} does not match slot count {}",
-                offsets.last().expect("non-empty"),
-                slots.len()
-            )));
-        }
-        if slots.len() != 2 * m {
-            return Err(invalid(format!(
-                "{} slots cannot represent {m} undirected edges (need {})",
-                slots.len(),
-                2 * m
-            )));
-        }
-        for &(u, v) in &edge_list {
-            if u.index() >= n || v.index() >= n {
-                return Err(invalid(format!(
-                    "edge endpoint {:?}-{:?} out of bounds for {n} vertices",
-                    u, v
-                )));
-            }
-        }
-        // Each edge id must occupy exactly the two slots its endpoints
-        // own (a self-loop owns both slots at one vertex).
-        let mut slots_seen = vec![0u8; m];
-        for v in 0..n {
-            for &(w, e) in &slots[offsets[v]..offsets[v + 1]] {
-                let Some((a, b)) = edge_list.get(e.index()).copied() else {
-                    return Err(invalid(format!(
-                        "slot references unknown edge {:?} (graph has {m} edges)",
-                        e
-                    )));
-                };
-                let owner = NodeId::new(v);
-                let matches = (a == owner && b == w) || (b == owner && a == w);
-                if !matches {
-                    return Err(invalid(format!(
-                        "slot ({w:?}, {e:?}) of vertex {owner:?} disagrees with \
-                         edge endpoints {a:?}-{b:?}"
-                    )));
-                }
-                slots_seen[e.index()] += 1;
-            }
-        }
-        if let Some(e) = slots_seen.iter().position(|&c| c != 2) {
-            return Err(invalid(format!(
-                "edge {:?} appears on {} slots (expected 2)",
-                EdgeId::new(e),
-                slots_seen[e]
-            )));
-        }
+        validate_parts(&offsets, &slots, &edge_list)?;
         Ok(UndirectedCsr {
-            offsets,
-            slots,
-            edge_list,
+            storage: CsrStorage::Owned {
+                offsets,
+                slots,
+                edge_list,
+            },
         })
+    }
+
+    /// Borrows a graph zero-copy out of a shared byte `region` whose
+    /// `layout` names the byte ranges of the three CSR buffers — the
+    /// exact shape of a `.nsg` payload (little-endian `u64` offsets,
+    /// then `(u32, u32)` slot and edge pairs). The region is typically
+    /// a memory-mapped corpus file; no per-graph vectors are allocated
+    /// and the page cache backs every access.
+    ///
+    /// The cast is *validated*, never assumed: the target's in-memory
+    /// layout of the id tuples is probed against the on-disk shape
+    /// ([`crate::zero_copy_support`]), the ranges are bounds- and
+    /// alignment-checked, and the resulting view passes the same
+    /// structural validation as [`UndirectedCsr::from_raw_parts`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidCsr`] if the target cannot express
+    /// the cast (callers should fall back to an owned decode), the
+    /// layout is out of bounds or misaligned, or the buffers are
+    /// structurally inconsistent.
+    pub fn from_csr_bytes(region: Arc<dyn CsrBytes>, layout: &CsrLayout) -> Result<Self> {
+        let storage = CsrStorage::from_region(region, layout)
+            .map_err(|reason| GraphError::InvalidCsr { reason })?;
+        validate_parts(storage.offsets(), storage.slots(), storage.edge_list())?;
+        Ok(UndirectedCsr { storage })
+    }
+
+    /// `true` if this graph borrows its buffers from a shared byte
+    /// region (see [`UndirectedCsr::from_csr_bytes`]) instead of owning
+    /// them.
+    pub fn is_borrowed(&self) -> bool {
+        self.storage.is_borrowed()
+    }
+
+    /// Copies borrowed buffers into owned vectors, detaching the graph
+    /// from its backing region. No-op for owned graphs. Mutating
+    /// operations ([`shuffle_slots`](UndirectedCsr::shuffle_slots)) do
+    /// this implicitly.
+    pub fn make_owned(&mut self) {
+        self.storage.make_owned();
     }
 
     /// Borrows the three CSR buffers: `(offsets, slots, edge_list)`.
@@ -192,19 +199,19 @@ impl UndirectedCsr {
     /// lossless persistence primitive behind the binary corpus format:
     /// the buffers round-trip the graph exactly, slot order included.
     pub fn raw_parts(&self) -> RawCsrParts<'_> {
-        (&self.offsets, &self.slots, &self.edge_list)
+        (self.offsets(), self.slots(), self.edge_list())
     }
 
     /// Number of vertices.
     #[inline]
     pub fn node_count(&self) -> usize {
-        self.offsets.len() - 1
+        self.offsets().len() - 1
     }
 
     /// Number of undirected edges (self-loops count once).
     #[inline]
     pub fn edge_count(&self) -> usize {
-        self.edge_list.len()
+        self.edge_list().len()
     }
 
     /// `true` if the graph has no vertices.
@@ -220,7 +227,7 @@ impl UndirectedCsr {
     /// Panics if `v` is out of bounds.
     #[inline]
     pub fn degree(&self, v: NodeId) -> usize {
-        self.offsets[v.index() + 1] - self.offsets[v.index()]
+        self.offsets()[v.index() + 1] - self.offsets()[v.index()]
     }
 
     /// The incidence slots of `v`: pairs `(neighbor, edge)`.
@@ -230,7 +237,7 @@ impl UndirectedCsr {
     /// Panics if `v` is out of bounds.
     #[inline]
     pub fn incident(&self, v: NodeId) -> &[(NodeId, EdgeId)] {
-        &self.slots[self.offsets[v.index()]..self.offsets[v.index() + 1]]
+        &self.slots()[self.offsets()[v.index()]..self.offsets()[v.index() + 1]]
     }
 
     /// Resolves incidence slot `slot` of vertex `v`.
@@ -288,7 +295,7 @@ impl UndirectedCsr {
     ///
     /// Returns [`GraphError::EdgeOutOfBounds`] if `e` does not exist.
     pub fn edge_endpoints(&self, e: EdgeId) -> Result<(NodeId, NodeId)> {
-        self.edge_list
+        self.edge_list()
             .get(e.index())
             .copied()
             .ok_or(GraphError::EdgeOutOfBounds {
@@ -320,7 +327,7 @@ impl UndirectedCsr {
 
     /// Iterator over `(EdgeId, (u, v))` for every undirected edge.
     pub fn edges(&self) -> impl ExactSizeIterator<Item = (EdgeId, (NodeId, NodeId))> + '_ {
-        self.edge_list
+        self.edge_list()
             .iter()
             .enumerate()
             .map(|(i, &uv)| (EdgeId::new(i), uv))
@@ -342,11 +349,15 @@ impl UndirectedCsr {
     /// in evolving models correlates with *arrival time* — information
     /// the paper's weak oracle does not give away. Experiments shuffle
     /// slots so that the presentation order carries no signal.
+    ///
+    /// A borrowed (mapped) graph is first detached into owned buffers
+    /// (see [`make_owned`](UndirectedCsr::make_owned)) — the backing
+    /// region is shared and read-only, so it is never mutated in place.
     pub fn shuffle_slots<R: rand::Rng + ?Sized>(&mut self, rng: &mut R) {
         use rand::seq::SliceRandom;
-        for v in 0..self.node_count() {
-            let (lo, hi) = (self.offsets[v], self.offsets[v + 1]);
-            self.slots[lo..hi].shuffle(rng);
+        let (offsets, slots) = self.storage.offsets_and_slots_mut();
+        for v in 0..offsets.len() - 1 {
+            slots[offsets[v]..offsets[v + 1]].shuffle(rng);
         }
     }
 
@@ -396,6 +407,103 @@ impl UndirectedCsr {
             .filter(|&v| cc.component_of(v) == giant_label)
             .collect();
         self.induced_subgraph(&keep)
+    }
+}
+
+/// The structural validation shared by [`UndirectedCsr::from_raw_parts`]
+/// (owned buffers) and [`UndirectedCsr::from_csr_bytes`] (borrowed
+/// views): offsets monotone and consistent with the slot count, all ids
+/// in range, and every edge id on exactly the two slots its endpoints
+/// own.
+fn validate_parts(
+    offsets: &[usize],
+    slots: &[(NodeId, EdgeId)],
+    edge_list: &[(NodeId, NodeId)],
+) -> Result<()> {
+    let invalid = |reason: String| GraphError::InvalidCsr { reason };
+    if offsets.first() != Some(&0) {
+        return Err(invalid("offsets must be non-empty and start at 0".into()));
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(invalid("offsets must be monotone non-decreasing".into()));
+    }
+    let n = offsets.len() - 1;
+    let m = edge_list.len();
+    if *offsets.last().expect("non-empty") != slots.len() {
+        return Err(invalid(format!(
+            "final offset {} does not match slot count {}",
+            offsets.last().expect("non-empty"),
+            slots.len()
+        )));
+    }
+    if slots.len() != 2 * m {
+        return Err(invalid(format!(
+            "{} slots cannot represent {m} undirected edges (need {})",
+            slots.len(),
+            2 * m
+        )));
+    }
+    for &(u, v) in edge_list {
+        if u.index() >= n || v.index() >= n {
+            return Err(invalid(format!(
+                "edge endpoint {:?}-{:?} out of bounds for {n} vertices",
+                u, v
+            )));
+        }
+    }
+    // Each edge id must occupy exactly the two slots its endpoints
+    // own (a self-loop owns both slots at one vertex).
+    let mut slots_seen = vec![0u8; m];
+    for v in 0..n {
+        for &(w, e) in &slots[offsets[v]..offsets[v + 1]] {
+            let Some((a, b)) = edge_list.get(e.index()).copied() else {
+                return Err(invalid(format!(
+                    "slot references unknown edge {:?} (graph has {m} edges)",
+                    e
+                )));
+            };
+            let owner = NodeId::new(v);
+            let matches = (a == owner && b == w) || (b == owner && a == w);
+            if !matches {
+                return Err(invalid(format!(
+                    "slot ({w:?}, {e:?}) of vertex {owner:?} disagrees with \
+                     edge endpoints {a:?}-{b:?}"
+                )));
+            }
+            slots_seen[e.index()] += 1;
+        }
+    }
+    if let Some(e) = slots_seen.iter().position(|&c| c != 2) {
+        return Err(invalid(format!(
+            "edge {:?} appears on {} slots (expected 2)",
+            EdgeId::new(e),
+            slots_seen[e]
+        )));
+    }
+    Ok(())
+}
+
+// Equality is *content* equality — an owned graph and a borrowed view of
+// the same buffers compare equal, which is exactly what mapped-vs-heap
+// load tests rely on.
+impl PartialEq for UndirectedCsr {
+    fn eq(&self, other: &Self) -> bool {
+        self.offsets() == other.offsets()
+            && self.slots() == other.slots()
+            && self.edge_list() == other.edge_list()
+    }
+}
+
+impl Eq for UndirectedCsr {}
+
+impl fmt::Debug for UndirectedCsr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("UndirectedCsr")
+            .field("offsets", &self.offsets())
+            .field("slots", &self.slots())
+            .field("edge_list", &self.edge_list())
+            .field("borrowed", &self.is_borrowed())
+            .finish()
     }
 }
 
@@ -689,6 +797,108 @@ mod tests {
         far[0] = (NodeId::new(0), NodeId::new(99));
         let bad = UndirectedCsr::from_raw_parts(offsets, slots, far);
         assert!(matches!(bad, Err(GraphError::InvalidCsr { .. })));
+    }
+
+    /// Encodes a graph's CSR buffers into an aligned byte region in the
+    /// `.nsg` payload shape, plus the matching layout.
+    fn region_of(g: &UndirectedCsr) -> (Arc<dyn CsrBytes>, CsrLayout) {
+        let (offsets, slots, edge_list) = g.raw_parts();
+        let mut bytes = Vec::new();
+        for &o in offsets {
+            bytes.extend_from_slice(&(o as u64).to_le_bytes());
+        }
+        for &(v, e) in slots {
+            bytes.extend_from_slice(&(v.index() as u32).to_le_bytes());
+            bytes.extend_from_slice(&(e.index() as u32).to_le_bytes());
+        }
+        for &(u, v) in edge_list {
+            bytes.extend_from_slice(&(u.index() as u32).to_le_bytes());
+            bytes.extend_from_slice(&(v.index() as u32).to_le_bytes());
+        }
+        let offsets_end = 8 * offsets.len();
+        let slots_end = offsets_end + 8 * slots.len();
+        let layout = CsrLayout {
+            offsets: 0..offsets_end,
+            slots: offsets_end..slots_end,
+            edge_list: slots_end..bytes.len(),
+        };
+        (Arc::new(crate::AlignedBytes::from_bytes(&bytes)), layout)
+    }
+
+    #[test]
+    fn borrowed_view_equals_owned_graph() {
+        use rand::SeedableRng;
+        let mut g =
+            UndirectedCsr::from_edges(6, [(0, 1), (0, 2), (0, 3), (1, 2), (2, 3), (0, 0)]).unwrap();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        g.shuffle_slots(&mut rng);
+        let (region, layout) = region_of(&g);
+        let view = UndirectedCsr::from_csr_bytes(region, &layout).unwrap();
+        assert!(view.is_borrowed());
+        assert!(!g.is_borrowed());
+        assert_eq!(view, g, "content equality across storage kinds");
+        // Every accessor agrees with the owned original.
+        for v in g.nodes() {
+            assert_eq!(view.degree(v), g.degree(v));
+            assert_eq!(view.incident(v), g.incident(v));
+        }
+        assert_eq!(
+            view.edges().collect::<Vec<_>>(),
+            g.edges().collect::<Vec<_>>()
+        );
+        assert_eq!(view.max_degree(), g.max_degree());
+        // Clones of a borrowed view share the region and stay borrowed.
+        let clone = view.clone();
+        assert!(clone.is_borrowed());
+        assert_eq!(clone, g);
+    }
+
+    #[test]
+    fn borrowed_view_detaches_on_mutation() {
+        use rand::SeedableRng;
+        let g = UndirectedCsr::from_edges(9, (1..9).map(|i| (0, i))).unwrap();
+        let (region, layout) = region_of(&g);
+        let mut view = UndirectedCsr::from_csr_bytes(Arc::clone(&region), &layout).unwrap();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2);
+        view.shuffle_slots(&mut rng);
+        assert!(!view.is_borrowed(), "mutation must copy out of the region");
+        // The region itself is untouched: a fresh view still matches the
+        // original slot order.
+        let fresh = UndirectedCsr::from_csr_bytes(region, &layout).unwrap();
+        assert_eq!(fresh, g);
+        // Explicit detach is also available.
+        let (region, layout) = region_of(&g);
+        let mut view = UndirectedCsr::from_csr_bytes(region, &layout).unwrap();
+        view.make_owned();
+        assert!(!view.is_borrowed());
+        assert_eq!(view, g);
+    }
+
+    #[test]
+    fn from_csr_bytes_rejects_structural_corruption() {
+        let g = triangle();
+        let (region, layout) = region_of(&g);
+        // Valid region, but a layout that swaps slots and edge_list has
+        // the wrong element counts.
+        let swapped = CsrLayout {
+            offsets: layout.offsets.clone(),
+            slots: layout.edge_list.clone(),
+            edge_list: layout.slots.clone(),
+        };
+        assert!(matches!(
+            UndirectedCsr::from_csr_bytes(Arc::clone(&region), &swapped),
+            Err(GraphError::InvalidCsr { .. })
+        ));
+        // Out-of-bounds layout.
+        let far = CsrLayout {
+            offsets: layout.offsets.clone(),
+            slots: layout.slots.clone(),
+            edge_list: layout.edge_list.start..layout.edge_list.end + 8,
+        };
+        assert!(matches!(
+            UndirectedCsr::from_csr_bytes(region, &far),
+            Err(GraphError::InvalidCsr { .. })
+        ));
     }
 
     #[test]

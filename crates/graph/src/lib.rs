@@ -35,7 +35,10 @@
 //! assert!(view.neighbors(center).count() == 3);
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide and allowed only in `storage`, which
+// implements the validated zero-copy casts behind borrowed CSR views
+// (memory-mapped `.nsg` corpus files).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod builder;
@@ -46,6 +49,7 @@ mod error;
 mod node;
 mod properties;
 mod serialize;
+mod storage;
 mod traversal;
 
 pub use builder::{complete_graph, cycle_graph, path_graph, star_graph, GraphBuilder};
@@ -56,6 +60,7 @@ pub use error::GraphError;
 pub use node::{EdgeId, NodeId};
 pub use properties::{GraphProperties, StructuralSummary};
 pub use serialize::{read_edge_list, write_edge_list, GraphRecord};
+pub use storage::{zero_copy_support, AlignedBytes, CsrBytes, CsrLayout, RawSlotPair};
 pub use traversal::{
     bfs_distances, bfs_order, connected_components, is_connected, Bfs, ComponentLabels,
 };
