@@ -1,52 +1,209 @@
 //! Oracle request overhead: cost per weak/strong request including view
-//! bookkeeping.
+//! bookkeeping — the repo's first recorded hot-loop trajectory.
+//!
+//! The weak lanes run the full-flood microbench (one request per newly
+//! reachable vertex) on BA(m=2) at n ∈ {1 000, 10 000, 100 000},
+//! through a pooled [`SearchScratch`] exactly as the Monte-Carlo
+//! engines do. Beyond criterion's console output this writes
+//! `BENCH_search_hot_path.json`: requests/sec per size, per-trial heap
+//! allocation counts (measured by a counting global allocator), and the
+//! speedup against the pre-refactor `HashMap`-based view, whose numbers
+//! were measured on the same harness at the commit before the dense
+//! rewrite and are embedded as the fixed baseline.
+//!
+//! Quick mode (`NONSEARCH_QUICK=1`, as CI's smoke job sets) skips the
+//! n = 100 000 lane **and the record write**: the committed
+//! `crates/bench/BENCH_search_hot_path.json` is the full-sweep
+//! trajectory reference, and a truncated or noisy quick run must not
+//! clobber it. The allocation counter is the shared
+//! `nonsearch_alloc_counter` — the same one `alloc_free.rs` installs,
+//! so the bench's `steady_state_allocs` and the test's zero-alloc
+//! assertion measure identically.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use nonsearch_generators::{rng_from_seed, MergedMori};
-use nonsearch_graph::NodeId;
-use nonsearch_search::{StrongSearchState, WeakSearchState};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nonsearch_alloc_counter::{allocations, CountingAllocator};
+use nonsearch_core::{BarabasiAlbertModel, ModelSource};
+use nonsearch_engine::{git_describe, json::JsonValue, GraphSource};
+use nonsearch_generators::{rng_from_seed, MergedMori, SeedSequence};
+use nonsearch_graph::{NodeId, UndirectedCsr};
+use nonsearch_search::{FrontierCursors, SearchScratch, StrongSearchState, WeakSearchState};
+use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// Pre-refactor baseline (HashMap view, fresh state per trial), measured
+/// with this exact flood harness at the commit before the dense
+/// epoch-stamped rewrite: (n, ns per trial, requests per second).
+const HASHMAP_BASELINE: [(usize, u64, u64); 3] = [
+    (1_000, 468_040, 2_134_433),
+    (10_000, 5_626_027, 1_777_276),
+    (100_000, 79_003_774, 1_265_750),
+];
+/// Heap allocations one n = 10 000 flood trial performed on the
+/// pre-refactor view (same counting-allocator harness).
+const HASHMAP_BASELINE_ALLOCS_10K: u64 = 13_901;
+
+fn bench_sizes() -> Vec<usize> {
+    if nonsearch_bench::quick() {
+        vec![1_000, 10_000]
+    } else {
+        vec![1_000, 10_000, 100_000]
+    }
+}
+
+fn ba_graph(n: usize) -> std::sync::Arc<UndirectedCsr> {
+    let model = BarabasiAlbertModel { m: 2 };
+    ModelSource::new(&model).trial_graph(n, 0, &SeedSequence::new(0xBEAC).subsequence(0))
+}
+
+/// The weak-model full flood: request every unexplored edge of each
+/// discovered vertex in discovery order (amortized O(1) per request via
+/// cursors). On a connected graph every request reveals a new vertex,
+/// so the flood costs exactly n − 1 requests.
+fn weak_flood(
+    scratch: &mut SearchScratch,
+    cursors: &mut FrontierCursors,
+    graph: &UndirectedCsr,
+) -> usize {
+    cursors.reset();
+    let mut state = WeakSearchState::new_in(scratch, graph, NodeId::from_label(1)).unwrap();
+    let mut cursor = 0usize;
+    while cursor < state.view().len() {
+        let v = state.view().discovered()[cursor];
+        match cursors.next_unexplored(state.view(), v) {
+            Some(e) => {
+                state.request(v, e).unwrap();
+            }
+            None => cursor += 1,
+        }
+    }
+    state.requests()
+}
+
+fn strong_expand_all(scratch: &mut SearchScratch, graph: &UndirectedCsr) -> usize {
+    let mut state = StrongSearchState::new_in(scratch, graph, NodeId::from_label(1)).unwrap();
+    let mut cursor = 0usize;
+    while cursor < state.view().len() {
+        let v = state.view().discovered()[cursor];
+        cursor += 1;
+        state.request(v).unwrap();
+    }
+    state.requests()
+}
 
 fn bench_oracles(c: &mut Criterion) {
-    let mori = MergedMori::sample(10_000, 2, 0.5, &mut rng_from_seed(1)).unwrap();
-    let graph = mori.undirected();
-
     let mut group = c.benchmark_group("oracle");
     group.sample_size(20);
 
+    // The historical lanes, kept comparable with earlier trajectories:
+    // one Móri(10k) graph, full weak flood / strong expansion per
+    // iteration on a pooled scratch.
+    let mori = MergedMori::sample(10_000, 2, 0.5, &mut rng_from_seed(1)).unwrap();
+    let mori_graph = mori.undirected();
     group.bench_function("weak_flood_10k", |b| {
-        b.iter(|| {
-            // Resolve every edge once, BFS style.
-            let mut state = WeakSearchState::new(&graph, NodeId::from_label(1)).unwrap();
-            let mut cursor = 0usize;
-            while cursor < state.view().len() {
-                let v = state.view().discovered()[cursor];
-                let pending = state.view().unexplored_edges_of(v);
-                if pending.is_empty() {
-                    cursor += 1;
-                    continue;
-                }
-                for e in pending {
-                    state.request(v, e).unwrap();
-                }
-            }
-            state.requests()
-        });
+        let mut scratch = SearchScratch::new();
+        let mut cursors = FrontierCursors::new();
+        b.iter(|| weak_flood(&mut scratch, &mut cursors, &mori_graph));
     });
-
     group.bench_function("strong_expand_all_10k", |b| {
-        b.iter(|| {
-            let mut state = StrongSearchState::new(&graph, NodeId::from_label(1)).unwrap();
-            let mut cursor = 0usize;
-            while cursor < state.view().len() {
-                let v = state.view().discovered()[cursor];
-                cursor += 1;
-                state.request(v).unwrap();
-            }
-            state.requests()
-        });
+        let mut scratch = SearchScratch::new();
+        b.iter(|| strong_expand_all(&mut scratch, &mori_graph));
     });
 
+    // The recorded before/after lanes: BA(m=2) floods per size, pooled
+    // scratch (steady state) vs per-trial fresh scratch.
+    for n in bench_sizes() {
+        let graph = ba_graph(n);
+        group.bench_with_input(BenchmarkId::new("weak_flood_ba_pooled", n), &n, |b, _| {
+            let mut scratch = SearchScratch::new();
+            let mut cursors = FrontierCursors::new();
+            b.iter(|| weak_flood(&mut scratch, &mut cursors, &graph));
+        });
+        group.bench_with_input(BenchmarkId::new("weak_flood_ba_fresh", n), &n, |b, _| {
+            b.iter(|| {
+                let mut scratch = SearchScratch::new();
+                let mut cursors = FrontierCursors::new();
+                weak_flood(&mut scratch, &mut cursors, &graph)
+            });
+        });
+    }
     group.finish();
+
+    if nonsearch_bench::quick() {
+        // The committed record is the full-sweep reference measured on
+        // an idle machine; a quick (or CI smoke) run must not clobber
+        // it with a truncated sweep.
+        println!("quick mode: leaving BENCH_search_hot_path.json untouched");
+    } else {
+        write_bench_record();
+    }
+}
+
+/// Times the flood directly (criterion's console numbers are not
+/// machine-readable here) and writes `BENCH_search_hot_path.json`
+/// (full mode only; see the module docs).
+fn write_bench_record() {
+    let mut cells: Vec<JsonValue> = Vec::new();
+    let mut scratch = SearchScratch::new();
+    let mut cursors = FrontierCursors::new();
+    for n in bench_sizes() {
+        let graph = ba_graph(n);
+        let reps: u32 = if n >= 100_000 { 3 } else { 10 };
+
+        // Warm the scratch, then count a steady-state trial's heap
+        // allocations — the acceptance bar is zero.
+        let requests = weak_flood(&mut scratch, &mut cursors, &graph);
+        let before = allocations();
+        weak_flood(&mut scratch, &mut cursors, &graph);
+        let steady_allocs = allocations() - before;
+
+        let start = Instant::now();
+        for _ in 0..reps {
+            weak_flood(&mut scratch, &mut cursors, &graph);
+        }
+        let ns = (start.elapsed().as_nanos() / reps as u128) as u64;
+        let rps = requests as f64 / (ns as f64 / 1e9);
+
+        let baseline = HASHMAP_BASELINE.iter().find(|&&(bn, _, _)| bn == n);
+        let mut cell = vec![
+            ("n", JsonValue::from(n)),
+            ("requests_per_trial", JsonValue::from(requests)),
+            ("ns_per_trial", JsonValue::from(ns)),
+            ("requests_per_sec", JsonValue::from(rps)),
+            ("steady_state_allocs", JsonValue::from(steady_allocs)),
+        ];
+        if let Some(&(_, base_ns, base_rps)) = baseline {
+            cell.push(("hashmap_baseline_ns_per_trial", JsonValue::from(base_ns)));
+            cell.push((
+                "hashmap_baseline_requests_per_sec",
+                JsonValue::from(base_rps),
+            ));
+            cell.push(("speedup_vs_hashmap", JsonValue::from(rps / base_rps as f64)));
+        }
+        if n == 10_000 {
+            cell.push((
+                "hashmap_baseline_allocs_per_trial",
+                JsonValue::from(HASHMAP_BASELINE_ALLOCS_10K),
+            ));
+        }
+        cells.push(JsonValue::object(cell));
+    }
+    let record = JsonValue::object(vec![
+        ("type", JsonValue::from("bench")),
+        ("bench", JsonValue::from("search_hot_path")),
+        ("model", JsonValue::from("barabasi-albert(m=2)")),
+        (
+            "workload",
+            JsonValue::from("weak-model full flood, pooled scratch"),
+        ),
+        ("quick", JsonValue::from(nonsearch_bench::quick())),
+        ("git", JsonValue::from(git_describe())),
+        ("cells", JsonValue::Array(cells)),
+    ]);
+    let out = "BENCH_search_hot_path.json";
+    std::fs::write(out, format!("{record}\n")).expect("bench record writes");
+    println!("wrote {out}");
 }
 
 criterion_group!(benches, bench_oracles);

@@ -1,10 +1,12 @@
 //! Searcher throughput: one full search per iteration for each suite
-//! member on a fixed Móri graph.
+//! member on a fixed Móri graph, in both execution modes — the classic
+//! per-run state (`run_weak`) and the engine's pooled per-worker
+//! scratch (`run_weak_in`), so the scratch win is visible per searcher.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use nonsearch_generators::{rng_from_seed, MoriTree};
 use nonsearch_graph::NodeId;
-use nonsearch_search::{run_weak, SearchTask, SearcherKind};
+use nonsearch_search::{run_weak, run_weak_in, SearchScratch, SearchTask, SearcherKind};
 
 fn bench_searchers(c: &mut Criterion) {
     let n = 4096;
@@ -19,6 +21,21 @@ fn bench_searchers(c: &mut Criterion) {
             let mut searcher = kind.build();
             let mut rng = rng_from_seed(7);
             b.iter(|| run_weak(&graph, &task, &mut *searcher, &mut rng).unwrap());
+        });
+    }
+    group.finish();
+
+    // Same suite on a pooled scratch: what a Monte-Carlo worker's
+    // steady state looks like (outcomes are bit-identical; only the
+    // per-trial setup cost differs).
+    let mut group = c.benchmark_group("searchers_mori_4096_pooled");
+    group.sample_size(10);
+    for kind in SearcherKind::all() {
+        group.bench_function(kind.name(), |b| {
+            let mut scratch = SearchScratch::new();
+            let mut searcher = kind.build();
+            let mut rng = rng_from_seed(7);
+            b.iter(|| run_weak_in(&mut scratch, &graph, &task, &mut *searcher, &mut rng).unwrap());
         });
     }
     group.finish();

@@ -37,7 +37,8 @@ pub fn registry() -> Registry {
 
 /// Opens the corpus named by `--corpus`, if any, honouring `--mmap`
 /// (zero-copy memory-mapped loads instead of heap decodes — the served
-/// graphs are byte-identical either way).
+/// graphs are byte-identical either way) and `--trust-checksums`
+/// (skip the per-load payload hash; run `corpus verify` first).
 ///
 /// # Panics
 ///
@@ -51,7 +52,8 @@ pub(super) fn open_corpus(ctx: &ExpContext) -> Option<Corpus> {
         LoadMode::Heap
     };
     ctx.options.corpus.as_ref().map(|dir| {
-        Corpus::open_with(dir, mode).unwrap_or_else(|e| panic!("--corpus {}: {e}", dir.display()))
+        Corpus::open_with_trust(dir, mode, ctx.options.trust_checksums)
+            .unwrap_or_else(|e| panic!("--corpus {}: {e}", dir.display()))
     })
 }
 

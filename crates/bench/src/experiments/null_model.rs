@@ -22,10 +22,10 @@
 use super::{open_corpus, print_banner, resolve_source};
 use nonsearch_analysis::{fit_log_log, Table};
 use nonsearch_core::{BarabasiAlbertModel, GraphModel};
-use nonsearch_engine::{run_lanes, ExpContext, ExperimentSpec, GraphSource, JsonValue};
+use nonsearch_engine::{run_lanes_with, ExpContext, ExperimentSpec, GraphSource, JsonValue};
 use nonsearch_generators::{degree_preserving_rewire, SeedSequence};
 use nonsearch_graph::NodeId;
-use nonsearch_search::{run_weak, SearchTask, SearcherKind, SuccessCriterion};
+use nonsearch_search::{run_weak_in, SearchScratch, SearchTask, SearcherKind, SuccessCriterion};
 use std::sync::Arc;
 
 pub(super) const SPEC: ExperimentSpec = ExperimentSpec {
@@ -77,12 +77,22 @@ fn run(ctx: &mut ExpContext) {
 
     for (size_idx, &n) in sizes.iter().enumerate() {
         let size_seeds = seeds.subsequence(size_idx as u64);
-        let lanes = run_lanes(
+        let lanes = run_lanes_with(
             trial_count,
             VARIANTS.len() * SEARCHERS.len(),
             ctx.options.threads,
             &size_seeds,
-            |trial, trial_seeds| {
+            // Per-worker pool: one scratch plus one instance of each
+            // searcher per variant lane, reused across trials.
+            || {
+                (
+                    SearchScratch::new(),
+                    (0..VARIANTS.len() * SEARCHERS.len())
+                        .map(|i| SEARCHERS[i % SEARCHERS.len()].build())
+                        .collect::<Vec<_>>(),
+                )
+            },
+            |(scratch, searchers), trial, trial_seeds| {
                 let original = original_source.trial_graph(n, trial, &trial_seeds);
                 let rewired = match &variant_source {
                     Some(source) => source.trial_graph(n, trial, &trial_seeds),
@@ -101,11 +111,11 @@ fn run(ctx: &mut ExpContext) {
                     let task = SearchTask::new(NodeId::from_label(1), NodeId::from_label(actual))
                         .with_criterion(SuccessCriterion::DiscoverTarget)
                         .with_budget(budget_multiplier * actual);
-                    for (s_idx, kind) in SEARCHERS.iter().enumerate() {
-                        let mut rng =
-                            trial_seeds.child_rng(1 + (v_idx * SEARCHERS.len() + s_idx) as u64);
-                        let mut searcher = kind.build();
-                        let outcome = run_weak(graph, &task, &mut *searcher, &mut rng)
+                    for s_idx in 0..SEARCHERS.len() {
+                        let lane_idx = v_idx * SEARCHERS.len() + s_idx;
+                        let mut rng = trial_seeds.child_rng(1 + lane_idx as u64);
+                        let searcher = &mut searchers[lane_idx];
+                        let outcome = run_weak_in(scratch, graph, &task, &mut **searcher, &mut rng)
                             .expect("suite searchers never violate the protocol");
                         measures.push(nonsearch_engine::TrialMeasure::new(
                             outcome.requests as f64,

@@ -17,10 +17,12 @@
 pub mod experiments;
 
 use nonsearch_core::{GraphModel, ModelSource};
-use nonsearch_engine::{run_cell, CliOptions, GraphSource, TrialMeasure};
+use nonsearch_engine::{run_cell_with, CliOptions, GraphSource, TrialMeasure};
 use nonsearch_generators::SeedSequence;
 use nonsearch_graph::NodeId;
-use nonsearch_search::{run_strong, run_weak, SearchTask, StrongSearcher, SuccessCriterion};
+use nonsearch_search::{
+    run_strong_in, run_weak_in, SearchScratch, SearchTask, StrongSearcher, SuccessCriterion,
+};
 
 /// `true` when the caller asked for a reduced sweep (`--quick` or
 /// `NONSEARCH_QUICK=1`); read from the process-wide options, which are
@@ -131,17 +133,24 @@ pub fn strong_cell_from(
     threads: usize,
     seeds: &SeedSequence,
 ) -> CellStats {
-    let lane = run_cell(trial_count, threads, seeds, |trial, cell_seeds| {
-        let graph = source.trial_graph(n, trial, &cell_seeds);
-        let actual = graph.node_count();
-        let task = SearchTask::new(NodeId::from_label(1), NodeId::from_label(actual))
-            .with_budget(50 * actual);
-        let mut searcher = kind.build();
-        let mut search_rng = cell_seeds.child_rng(1);
-        let outcome = run_strong(&graph, &task, &mut *searcher, &mut search_rng)
-            .expect("suite searchers never violate the protocol");
-        TrialMeasure::new(outcome.requests as f64, outcome.found)
-    });
+    // Per-worker pool: scratch + searcher built once, reused (and reset)
+    // across all of the worker's trials.
+    let lane = run_cell_with(
+        trial_count,
+        threads,
+        seeds,
+        || (SearchScratch::new(), kind.build()),
+        |(scratch, searcher), trial, cell_seeds| {
+            let graph = source.trial_graph(n, trial, &cell_seeds);
+            let actual = graph.node_count();
+            let task = SearchTask::new(NodeId::from_label(1), NodeId::from_label(actual))
+                .with_budget(50 * actual);
+            let mut search_rng = cell_seeds.child_rng(1);
+            let outcome = run_strong_in(scratch, &graph, &task, &mut **searcher, &mut search_rng)
+                .expect("suite searchers never violate the protocol");
+            TrialMeasure::new(outcome.requests as f64, outcome.found)
+        },
+    );
     CellStats {
         mean: lane.mean(),
         ci95: lane.ci95(),
@@ -227,19 +236,24 @@ pub fn weak_cell_with_policy_from(
     threads: usize,
     seeds: &SeedSequence,
 ) -> CellStats {
-    let lane = run_cell(trial_count, threads, seeds, |trial, cell_seeds| {
-        let graph = source.trial_graph(n, trial, &cell_seeds);
-        let actual = graph.node_count();
-        let start = start_policy.pick(actual, &mut cell_seeds.child_rng(2));
-        let task = SearchTask::new(start, NodeId::from_label(actual))
-            .with_criterion(criterion)
-            .with_budget(budget_multiplier * actual);
-        let mut searcher = kind.build();
-        let mut search_rng = cell_seeds.child_rng(1);
-        let outcome = run_weak(&graph, &task, &mut *searcher, &mut search_rng)
-            .expect("suite searchers never violate the protocol");
-        TrialMeasure::new(outcome.requests as f64, outcome.found)
-    });
+    let lane = run_cell_with(
+        trial_count,
+        threads,
+        seeds,
+        || (SearchScratch::new(), kind.build()),
+        |(scratch, searcher), trial, cell_seeds| {
+            let graph = source.trial_graph(n, trial, &cell_seeds);
+            let actual = graph.node_count();
+            let start = start_policy.pick(actual, &mut cell_seeds.child_rng(2));
+            let task = SearchTask::new(start, NodeId::from_label(actual))
+                .with_criterion(criterion)
+                .with_budget(budget_multiplier * actual);
+            let mut search_rng = cell_seeds.child_rng(1);
+            let outcome = run_weak_in(scratch, &graph, &task, &mut **searcher, &mut search_rng)
+                .expect("suite searchers never violate the protocol");
+            TrialMeasure::new(outcome.requests as f64, outcome.found)
+        },
+    );
     CellStats {
         mean: lane.mean(),
         ci95: lane.ci95(),

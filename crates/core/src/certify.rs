@@ -10,10 +10,12 @@
 
 use crate::model::GraphModel;
 use nonsearch_analysis::{fit_log_log, LinearFit, Table};
-use nonsearch_engine::{run_lanes, GraphSource, TrialMeasure};
+use nonsearch_engine::{run_lanes_with, GraphSource, TrialMeasure};
 use nonsearch_generators::SeedSequence;
 use nonsearch_graph::NodeId;
-use nonsearch_search::{run_weak, SearchTask, SearcherKind, SuccessCriterion};
+use nonsearch_search::{
+    run_weak_in, SearchScratch, SearchTask, SearcherKind, SuccessCriterion, WeakSearcher,
+};
 use std::fmt;
 
 /// Configuration of a certification sweep.
@@ -189,12 +191,20 @@ pub fn certify_with_source(
 
     for (size_idx, &n) in config.sizes.iter().enumerate() {
         let size_seeds = seeds.subsequence(size_idx as u64);
-        let lanes = run_lanes(
+        let lanes = run_lanes_with(
             config.trials,
             n_searchers,
             config.threads,
             &size_seeds,
-            |trial, trial_seeds| run_one_trial(source, config, n, trial, &trial_seeds),
+            // Per-worker pool: one scratch plus one instance of every
+            // searcher, allocated once per graph size and reused across
+            // all of the worker's trials (reset per run). Outcomes stay
+            // bit-identical to fresh-state runs.
+            || TrialPool {
+                scratch: SearchScratch::new(),
+                searchers: config.searchers.iter().map(|kind| kind.build()).collect(),
+            },
+            |pool, trial, trial_seeds| run_one_trial(pool, source, config, n, trial, &trial_seeds),
         );
         for (s_idx, lane) in lanes.iter().enumerate() {
             all_points[s_idx].push(ScalingPoint {
@@ -225,9 +235,17 @@ pub fn certify_with_source(
     }
 }
 
+/// A worker's reusable trial state: the search scratch plus one pooled
+/// instance of each configured searcher.
+struct TrialPool {
+    scratch: SearchScratch,
+    searchers: Vec<Box<dyn WeakSearcher>>,
+}
+
 /// One graph sample, all searchers raced on it — one engine lane per
-/// searcher.
+/// searcher, all running allocation-free on the worker's pool.
 fn run_one_trial(
+    pool: &mut TrialPool,
     source: &(impl GraphSource + ?Sized),
     config: &CertifyConfig,
     n: usize,
@@ -239,14 +257,15 @@ fn run_one_trial(
     let task = SearchTask::new(NodeId::from_label(1), NodeId::from_label(actual))
         .with_criterion(config.criterion)
         .with_budget(config.budget_multiplier * actual);
-    config
-        .searchers
-        .iter()
+    let TrialPool {
+        scratch, searchers, ..
+    } = pool;
+    searchers
+        .iter_mut()
         .enumerate()
-        .map(|(s_idx, kind)| {
+        .map(|(s_idx, searcher)| {
             let mut rng = trial_seeds.child_rng(1 + s_idx as u64);
-            let mut searcher = kind.build();
-            let outcome = run_weak(&graph, &task, &mut *searcher, &mut rng)
+            let outcome = run_weak_in(scratch, &graph, &task, &mut **searcher, &mut rng)
                 .expect("suite searchers never violate the protocol");
             TrialMeasure::new(outcome.requests as f64, outcome.found)
         })

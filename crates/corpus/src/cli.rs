@@ -44,7 +44,9 @@ pub fn usage() -> String {
          \x20 power-law:k=2.5,dmin=1), --variants K (default 1 rewired\n\
          \x20 null model per graph), --swaps N (default 10 swaps/edge)\n\
          info/verify flag: --mmap — validate through the zero-copy\n\
-         \x20 memory-mapped load path (what experiments run with --mmap use)\n"
+         \x20 memory-mapped load path (what experiments run with --mmap use)\n\
+         experiment flag: --trust-checksums — skip per-load payload\n\
+         \x20 hashing on corpus opens; verify always hashes regardless\n"
     )
 }
 
@@ -162,7 +164,8 @@ pub fn main(args: &[String]) -> i32 {
                 }
             }
         }
-        "info" => match Corpus::open_with(&dir, load_mode(&options)) {
+        "info" => match Corpus::open_with_trust(&dir, load_mode(&options), options.trust_checksums)
+        {
             Ok(corpus) => {
                 let m = corpus.manifest();
                 println!("corpus at {}", dir.display());
@@ -272,6 +275,7 @@ mod tests {
         // The zero-copy load path validates the same corpus.
         assert_eq!(run(&["verify", dir_str, "--mmap"]), 0);
         assert_eq!(run(&["info", dir_str, "--mmap"]), 0);
+        assert_eq!(run(&["info", dir_str, "--trust-checksums"]), 0);
 
         // Corrupt a file: verify must now fail.
         let corpus = Corpus::open(&dir).unwrap();

@@ -100,13 +100,22 @@ pub fn decode_graph(bytes: &[u8]) -> Result<UndirectedCsr, CorpusError> {
 }
 
 /// Whether a load re-hashes the payload against the header checksum.
-/// [`Checksum::Trusted`] is for callers that have *already* verified
-/// the bytes end to end (e.g. the corpus verifier, whose manifest
-/// checksum covers the whole file including the header) — it skips the
-/// second FNV pass, not any structural validation.
-#[derive(Clone, Copy, PartialEq, Eq)]
-pub(crate) enum Checksum {
+///
+/// [`Checksum::Trusted`] is for callers whose bytes have *already* been
+/// verified end to end — the corpus verifier (whose manifest checksum
+/// covers the whole file including the header), or an operator who ran
+/// `corpus verify` and passes `--trust-checksums` so per-trial opens
+/// skip the map-time FNV pass over the payload. Trusting skips only
+/// that hash: the header sanity checks and the CSR structural
+/// validation always run, so a trusted load of malformed content still
+/// fails cleanly. `corpus verify` itself always hashes — it is the
+/// integrity authority the trusted mode leans on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Checksum {
+    /// Re-hash the payload and compare with the header (the default).
+    #[default]
     Check,
+    /// Skip the payload hash; keep header + structural validation.
     Trusted,
 }
 
@@ -270,8 +279,32 @@ pub(crate) fn graph_from_region_inner(
 /// Returns [`CorpusError::Io`] for filesystem failures and
 /// [`CorpusError::Format`] for malformed content.
 pub fn map_graph_file(path: &Path) -> Result<UndirectedCsr, CorpusError> {
+    map_graph_file_with(path, Checksum::Check)
+}
+
+/// [`map_graph_file`] with an explicit [`Checksum`] policy. With
+/// [`Checksum::Trusted`] the map-time FNV pass over the payload is
+/// skipped, so a cold map does no full-file read of its own — the page
+/// cache is touched by the (cheap) header checks and the structural
+/// walk only, and integrity rests on a prior `corpus verify`.
+///
+/// # Errors
+///
+/// Same contract as [`map_graph_file`].
+pub fn map_graph_file_with(path: &Path, checksum: Checksum) -> Result<UndirectedCsr, CorpusError> {
     let mapped = MappedFile::open(path)?;
-    graph_from_region(Arc::new(mapped))
+    graph_from_region_inner(Arc::new(mapped), checksum)
+}
+
+/// [`read_graph_file`](read_graph_file) with an explicit [`Checksum`]
+/// policy (see [`map_graph_file_with`]).
+///
+/// # Errors
+///
+/// Same contract as [`read_graph_file`].
+pub fn read_graph_file_with(path: &Path, checksum: Checksum) -> Result<UndirectedCsr, CorpusError> {
+    let bytes = std::fs::read(path).map_err(|e| CorpusError::io(path, e))?;
+    decode_graph_inner(&bytes, checksum)
 }
 
 /// Encodes `graph` and writes it to `path`, returning the FNV-1a 64

@@ -44,6 +44,9 @@ struct Inner {
     dir: PathBuf,
     manifest: Manifest,
     mode: LoadMode,
+    /// Skip the per-file payload checksum on load (`--trust-checksums`);
+    /// [`Corpus::verify`] always hashes regardless.
+    trust_checksums: bool,
     /// Requested size → indices into `manifest.graphs`, trial order.
     by_n: BTreeMap<usize, Vec<usize>>,
     /// Relative file → load slot, filled on first access.
@@ -85,6 +88,24 @@ impl Corpus {
     ///
     /// Returns [`CorpusError`] if the manifest is missing or malformed.
     pub fn open_with(dir: impl Into<PathBuf>, mode: LoadMode) -> Result<Corpus, CorpusError> {
+        Self::open_with_trust(dir, mode, false)
+    }
+
+    /// Opens the corpus at `dir` with an explicit [`LoadMode`] and
+    /// checksum policy. With `trust_checksums` every per-trial load
+    /// skips the FNV pass over the payload (the `--trust-checksums`
+    /// flag) — use after a `corpus verify`, which remains the integrity
+    /// authority and always hashes. Header sanity checks and CSR
+    /// structural validation still run on every load.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CorpusError`] if the manifest is missing or malformed.
+    pub fn open_with_trust(
+        dir: impl Into<PathBuf>,
+        mode: LoadMode,
+        trust_checksums: bool,
+    ) -> Result<Corpus, CorpusError> {
         let dir = dir.into();
         let manifest = Manifest::read_from(&dir)?;
         let mut by_n: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
@@ -99,6 +120,7 @@ impl Corpus {
                 dir,
                 manifest,
                 mode,
+                trust_checksums,
                 by_n,
                 cache: Mutex::new(HashMap::new()),
             }),
@@ -113,6 +135,12 @@ impl Corpus {
     /// How this corpus materializes stored graphs.
     pub fn load_mode(&self) -> LoadMode {
         self.inner.mode
+    }
+
+    /// `true` if loads skip the per-file payload checksum (see
+    /// [`Corpus::open_with_trust`]).
+    pub fn trusts_checksums(&self) -> bool {
+        self.inner.trust_checksums
     }
 
     /// The corpus directory.
@@ -212,9 +240,14 @@ impl Corpus {
             return Ok(Arc::clone(g));
         }
         let path = self.inner.dir.join(file);
+        let checksum = if self.inner.trust_checksums {
+            nsg::Checksum::Trusted
+        } else {
+            nsg::Checksum::Check
+        };
         let graph = Arc::new(match self.inner.mode {
-            LoadMode::Heap => nsg::read_graph_file(&path)?,
-            LoadMode::Mmap => nsg::map_graph_file(&path)?,
+            LoadMode::Heap => nsg::read_graph_file_with(&path, checksum)?,
+            LoadMode::Mmap => nsg::map_graph_file_with(&path, checksum)?,
         });
         *loaded = Some(Arc::clone(&graph));
         Ok(graph)
@@ -345,9 +378,11 @@ impl GraphSource for CorpusSource {
     }
 
     fn describe(&self) -> String {
-        let mode = match self.inner.mode {
-            LoadMode::Heap => "",
-            LoadMode::Mmap => " (mmap)",
+        let mode = match (self.inner.mode, self.inner.trust_checksums) {
+            (LoadMode::Heap, false) => "",
+            (LoadMode::Heap, true) => " (trusted)",
+            (LoadMode::Mmap, false) => " (mmap)",
+            (LoadMode::Mmap, true) => " (mmap, trusted)",
         };
         match self.variant {
             None => format!("corpus:{}{mode}", self.inner.dir.display()),
@@ -545,6 +580,53 @@ mod tests {
         std::fs::write(&path, &good).unwrap();
         assert!(corpus.load(0, None).is_ok());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trusted_loads_skip_only_the_payload_hash() {
+        for mode in [LoadMode::Heap, LoadMode::Mmap] {
+            let (dir, _) = built_corpus(match mode {
+                LoadMode::Heap => "trust_heap",
+                LoadMode::Mmap => "trust_mmap",
+            });
+            // Trusted and checked loads serve identical graphs.
+            let checked = Corpus::open_with(&dir, mode).unwrap();
+            let trusted = Corpus::open_with_trust(&dir, mode, true).unwrap();
+            assert!(trusted.trusts_checksums());
+            assert!(!checked.trusts_checksums());
+            assert_eq!(
+                *checked.load(0, None).unwrap(),
+                *trusted.load(0, None).unwrap()
+            );
+            assert!(trusted.source().describe().contains("trusted"));
+
+            // Corrupt the *stored header checksum* only: the payload
+            // (and CSR structure) stays intact, so a trusted load still
+            // succeeds while a checked load refuses.
+            let victim = dir.join(&checked.manifest().graphs[0].file);
+            let mut bytes = std::fs::read(&victim).unwrap();
+            bytes[24] ^= 0xFF; // first byte of the stored FNV checksum
+            std::fs::write(&victim, &bytes).unwrap();
+
+            let checked = Corpus::open_with(&dir, mode).unwrap();
+            assert!(checked.load(0, None).is_err(), "{mode:?}");
+            let trusted = Corpus::open_with_trust(&dir, mode, true).unwrap();
+            assert!(trusted.load(0, None).is_ok(), "{mode:?}");
+            // `verify` is the integrity authority: it always hashes and
+            // catches the tampering even on a trusting corpus.
+            assert!(trusted.verify().is_err(), "{mode:?}");
+
+            // Structural corruption still fails even when trusted: only
+            // the payload hash is skipped, not validation.
+            let mut bytes = std::fs::read(&victim).unwrap();
+            let last = bytes.len() - 1;
+            bytes[last] ^= 0xFF; // clobber an edge-list entry
+            std::fs::write(&victim, &bytes).unwrap();
+            let trusted = Corpus::open_with_trust(&dir, mode, true).unwrap();
+            assert!(trusted.load(0, None).is_err(), "{mode:?}");
+
+            std::fs::remove_dir_all(&dir).ok();
+        }
     }
 
     #[test]

@@ -58,5 +58,8 @@ pub use record::{git_describe, RunSummary, RunWriter, CELL_TYPE, RUN_TYPE};
 pub use registry::{
     run_legacy, validate_jsonl, ExpContext, ExperimentSpec, Registry, ValidateSummary,
 };
-pub use runner::{run_cell, run_lanes, run_ordered, trial_seeds, LaneAggregate, TrialMeasure};
+pub use runner::{
+    run_cell, run_cell_with, run_lanes, run_lanes_with, run_ordered, trial_seeds, LaneAggregate,
+    TrialMeasure,
+};
 pub use source::{FnSource, GraphSource};

@@ -14,8 +14,9 @@
 //! | `--sizes A,B,C` | override the size sweep |
 //! | `--corpus DIR` | serve trial graphs from a stored corpus instead of generating |
 //! | `--mmap` | serve corpus graphs zero-copy from memory-mapped files |
+//! | `--trust-checksums` | skip per-load payload checksums (run `corpus verify` first) |
 //!
-//! `--quick` and `--mmap` are boolean flags: they take no value, and
+//! `--quick`, `--mmap`, and `--trust-checksums` are boolean flags: they take no value, and
 //! the strict (`xp`) parser rejects `--quick=...` outright — silently
 //! treating `--quick=false` as *enabling* quick mode was a real bug.
 //! `NONSEARCH_QUICK` enables quick mode unless it is empty or one of
@@ -132,6 +133,11 @@ pub struct CliOptions {
     /// Serve corpus graphs zero-copy from memory-mapped `.nsg` files
     /// (`--mmap`); meaningful only together with `--corpus`.
     pub mmap: bool,
+    /// Skip the per-load payload checksum pass on corpus opens
+    /// (`--trust-checksums`): integrity then rests on a prior
+    /// `corpus verify`, which always hashes. Meaningful only together
+    /// with `--corpus`.
+    pub trust_checksums: bool,
 }
 
 impl CliOptions {
@@ -210,6 +216,9 @@ impl CliOptions {
             let outcome: Result<(), OptionsError> = match flag.as_str() {
                 "--quick" => boolean("--quick").map(|b| opts.quick = b),
                 "--mmap" => boolean("--mmap").map(|b| opts.mmap = b),
+                "--trust-checksums" => {
+                    boolean("--trust-checksums").map(|b| opts.trust_checksums = b)
+                }
                 "--threads" => value("--threads")
                     .and_then(|v| parse_num(&v, "--threads"))
                     .map(|n| opts.threads = n),
@@ -347,9 +356,11 @@ mod tests {
             "128,256,512",
             "--corpus",
             "corpus-dir",
+            "--trust-checksums",
         ])
         .unwrap();
         assert!(opts.quick);
+        assert!(opts.trust_checksums);
         assert_eq!(opts.threads, 4);
         assert_eq!(opts.seed, Some(17));
         assert_eq!(
@@ -452,7 +463,13 @@ mod tests {
     #[test]
     fn boolean_flags_reject_inline_values_strictly() {
         // The regression: `--quick=false` used to *enable* quick mode.
-        for arg in ["--quick=false", "--quick=true", "--quick=", "--mmap=0"] {
+        for arg in [
+            "--quick=false",
+            "--quick=true",
+            "--quick=",
+            "--mmap=0",
+            "--trust-checksums=1",
+        ] {
             let err = strict(&[arg]).unwrap_err();
             assert!(
                 matches!(err, OptionsError::BadValue { .. }),
@@ -475,6 +492,15 @@ mod tests {
         assert!(!CliOptions::default().mmap);
         let opts = CliOptions::from_args_lenient(["--mmap"]);
         assert!(opts.mmap);
+    }
+
+    #[test]
+    fn trust_checksums_flag_parses() {
+        let opts = strict(&["--trust-checksums", "--corpus", "dir"]).unwrap();
+        assert!(opts.trust_checksums);
+        assert!(!CliOptions::default().trust_checksums);
+        let opts = CliOptions::from_args_lenient(["--trust-checksums"]);
+        assert!(opts.trust_checksums);
     }
 
     #[test]

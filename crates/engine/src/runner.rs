@@ -114,6 +114,44 @@ pub fn run_lanes<F>(
 where
     F: Fn(usize, SeedSequence) -> Vec<TrialMeasure> + Sync,
 {
+    run_lanes_with(
+        trials,
+        lanes,
+        threads,
+        seeds,
+        || (),
+        |(), trial, seeds| trial_fn(trial, seeds),
+    )
+}
+
+/// [`run_lanes`] with a per-worker mutable context — the scratch-pool
+/// seam for allocation-free trial loops.
+///
+/// Each worker thread calls `init()` once when it starts and hands the
+/// resulting value to every `trial_fn` invocation it runs, so
+/// expensive-to-build, reusable state (a `SearchScratch`, pooled
+/// searcher instances, …) is allocated once per worker per cell and
+/// reused across all of that worker's trials. The context never crosses
+/// threads (no `Send`/`Sync` bound) and must not influence results:
+/// determinism still comes from `(trial, seeds)` alone, so aggregates
+/// remain bit-identical for any thread count — which is exactly what
+/// the search layer's scratch-reuse tests assert.
+///
+/// # Panics
+///
+/// Same contract as [`run_lanes`].
+pub fn run_lanes_with<C, I, F>(
+    trials: usize,
+    lanes: usize,
+    threads: usize,
+    seeds: &SeedSequence,
+    init: I,
+    trial_fn: F,
+) -> Vec<LaneAggregate>
+where
+    I: Fn() -> C + Sync,
+    F: Fn(&mut C, usize, SeedSequence) -> Vec<TrialMeasure> + Sync,
+{
     let mut aggregates = vec![LaneAggregate::default(); lanes];
     if trials == 0 || lanes == 0 {
         return aggregates;
@@ -157,6 +195,7 @@ where
         for _ in 0..workers {
             let tx = tx.clone();
             let next_trial = &next_trial;
+            let init = &init;
             let trial_fn = &trial_fn;
             let (frontier, frontier_moved) = (&frontier, &frontier_moved);
             scope.spawn(move || {
@@ -166,6 +205,9 @@ where
                     frontier_moved,
                     armed: true,
                 };
+                // Per-worker context: built on this thread, reused for
+                // every trial this worker steals, dropped with it.
+                let mut ctx = init();
                 loop {
                     let trial = next_trial.fetch_add(1, Ordering::Relaxed);
                     if trial >= trials {
@@ -182,7 +224,7 @@ where
                             break;
                         }
                     }
-                    let measures = trial_fn(trial, trial_seeds(seeds, trial));
+                    let measures = trial_fn(&mut ctx, trial, trial_seeds(seeds, trial));
                     // The consumer only disconnects on panic; stop quietly.
                     if tx.send((trial, measures)).is_err() {
                         break;
@@ -248,6 +290,26 @@ where
 {
     run_lanes(trials, 1, threads, seeds, |trial, seeds| {
         vec![trial_fn(trial, seeds)]
+    })
+    .pop()
+    .expect("one lane requested")
+}
+
+/// Single-lane convenience wrapper around [`run_lanes_with`] (the
+/// per-worker-context seam).
+pub fn run_cell_with<C, I, F>(
+    trials: usize,
+    threads: usize,
+    seeds: &SeedSequence,
+    init: I,
+    trial_fn: F,
+) -> LaneAggregate
+where
+    I: Fn() -> C + Sync,
+    F: Fn(&mut C, usize, SeedSequence) -> TrialMeasure + Sync,
+{
+    run_lanes_with(trials, 1, threads, seeds, init, |ctx, trial, seeds| {
+        vec![trial_fn(ctx, trial, seeds)]
     })
     .pop()
     .expect("one lane requested")
@@ -490,5 +552,46 @@ mod tests {
     fn trial_seed_derivation_matches_subsequence() {
         let seeds = SeedSequence::new(5);
         assert_eq!(trial_seeds(&seeds, 3), seeds.subsequence(3));
+    }
+
+    #[test]
+    fn worker_contexts_are_built_once_per_worker_and_reused() {
+        let seeds = SeedSequence::new(31);
+        let inits = AtomicU64::new(0);
+        let agg = run_cell_with(
+            64,
+            4,
+            &seeds,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0usize // per-worker trial counter
+            },
+            |count, trial, seeds| {
+                *count += 1;
+                synthetic(trial, seeds)
+            },
+        );
+        assert_eq!(agg.count(), 64);
+        let workers = inits.load(Ordering::Relaxed);
+        assert!(
+            (1..=4).contains(&workers),
+            "one context per worker, got {workers}"
+        );
+    }
+
+    #[test]
+    fn context_runs_are_bit_identical_to_plain_runs_across_threads() {
+        // A context that hoards mutable state must not perturb results:
+        // determinism comes from (trial, seeds) alone.
+        let seeds = SeedSequence::new(77);
+        let plain = run_cell(80, 1, &seeds, synthetic);
+        for threads in [1, 2, 8] {
+            let ctx = run_cell_with(80, threads, &seeds, Vec::<f64>::new, |buf, trial, seeds| {
+                let m = synthetic(trial, seeds);
+                buf.push(m.value); // grows across the worker's trials
+                m
+            });
+            assert_eq!(ctx, plain, "threads={threads}");
+        }
     }
 }

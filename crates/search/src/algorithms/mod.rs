@@ -31,6 +31,9 @@ pub use greedy_id::{GreedyIdProximity, OldestFirst};
 pub use high_degree::HighDegreeGreedy;
 pub use kleinberg_greedy::{greedy_route, GreedyRouteOutcome};
 pub use lookahead::{LookaheadWalk, RestartingWalk};
-pub use percolation::{percolation_search, PercolationConfig, PercolationOutcome};
+pub use percolation::{
+    percolation_search, percolation_search_in, PercolationConfig, PercolationOutcome,
+    PercolationScratch,
+};
 pub use strong_greedy::{StrongBfs, StrongGreedyId, StrongHighDegree};
 pub use walks::{AvoidingWalk, RandomWalk};

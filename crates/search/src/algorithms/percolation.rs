@@ -8,10 +8,10 @@
 //! (very low) threshold reaches the high-degree core, so walk-replicated
 //! content is found with sublinear message cost.
 
-use crate::{Result, SearchError};
+use crate::{Result, SearchError, StampedNodeSet};
 use nonsearch_graph::{NodeId, UndirectedCsr};
 use rand::{Rng, RngCore};
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 
 /// Parameters of a percolation search run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -44,8 +44,36 @@ pub struct PercolationOutcome {
     pub reached: usize,
 }
 
+/// Reusable state for [`percolation_search_in`]: dense stamped vertex
+/// sets (replica holders, query-reached) plus the broadcast queue and
+/// walk buffer, all reset in O(1) between runs — the same epoch trick
+/// as [`SearchScratch`](crate::SearchScratch).
+#[derive(Debug, Clone, Default)]
+pub struct PercolationScratch {
+    replicas: StampedNodeSet,
+    reached: StampedNodeSet,
+    implanted: Vec<NodeId>,
+    queue: VecDeque<NodeId>,
+}
+
+impl PercolationScratch {
+    /// Creates an empty scratch; buffers grow to the graph size on
+    /// first use and are reused from then on.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn begin(&mut self) {
+        self.replicas.clear();
+        self.reached.clear();
+        self.implanted.clear();
+        self.queue.clear();
+    }
+}
+
 /// Runs one percolation search of content owned by `owner` from
-/// `requester`.
+/// `requester` with a private, per-call [`PercolationScratch`]. Sweeps
+/// should hold a scratch and call [`percolation_search_in`].
 ///
 /// # Errors
 ///
@@ -53,6 +81,31 @@ pub struct PercolationOutcome {
 /// the graph and [`SearchError::InvalidParameter`] if
 /// `edge_probability ∉ [0, 1]`.
 pub fn percolation_search(
+    graph: &UndirectedCsr,
+    owner: NodeId,
+    requester: NodeId,
+    config: &PercolationConfig,
+    rng: &mut dyn RngCore,
+) -> Result<PercolationOutcome> {
+    percolation_search_in(
+        &mut PercolationScratch::new(),
+        graph,
+        owner,
+        requester,
+        config,
+        rng,
+    )
+}
+
+/// [`percolation_search`] on a caller-owned scratch: identical
+/// outcomes and RNG consumption, but the vertex sets and queues are
+/// reused across runs instead of reallocated.
+///
+/// # Errors
+///
+/// Same contract as [`percolation_search`].
+pub fn percolation_search_in(
+    scratch: &mut PercolationScratch,
     graph: &UndirectedCsr,
     owner: NodeId,
     requester: NodeId,
@@ -73,53 +126,80 @@ pub fn percolation_search(
             value: config.edge_probability.to_string(),
         });
     }
+    scratch.begin();
     let mut messages = 0usize;
 
     // Phase 1: replicate content along a random walk from the owner.
-    let replicas = random_walk_set(graph, owner, config.replication_walk, rng, &mut messages);
-    let replica_set: HashSet<NodeId> = replicas.iter().copied().collect();
+    // Only membership matters, so the set needs no ordered copy.
+    random_walk_into(
+        graph,
+        owner,
+        config.replication_walk,
+        rng,
+        &mut messages,
+        &mut scratch.replicas,
+        None,
+    );
 
-    // Phase 2: implant the query along a random walk from the requester.
-    let implanted = random_walk_set(graph, requester, config.query_walk, rng, &mut messages);
+    // Phase 2: implant the query along a random walk from the
+    // requester, keeping first-visit order for the broadcast seeds.
+    random_walk_into(
+        graph,
+        requester,
+        config.query_walk,
+        rng,
+        &mut messages,
+        &mut scratch.reached,
+        Some(&mut scratch.implanted),
+    );
 
     // Phase 3: bond-percolation broadcast from every implanted vertex.
     // First-visit order keeps the RNG consumption deterministic.
-    let mut reached: HashSet<NodeId> = implanted.iter().copied().collect();
-    let mut queue: VecDeque<NodeId> = implanted.iter().copied().collect();
-    while let Some(v) = queue.pop_front() {
+    let mut found = scratch
+        .implanted
+        .iter()
+        .any(|&v| scratch.replicas.contains(v));
+    scratch.queue.extend(scratch.implanted.iter().copied());
+    while let Some(v) = scratch.queue.pop_front() {
         for (w, _) in graph.incident_edges(v) {
             if rng.gen::<f64>() < config.edge_probability {
                 messages += 1;
-                if reached.insert(w) {
-                    queue.push_back(w);
+                if scratch.reached.insert(w) {
+                    found |= scratch.replicas.contains(w);
+                    scratch.queue.push_back(w);
                 }
             }
         }
     }
 
-    let found = reached.iter().any(|v| replica_set.contains(v));
     Ok(PercolationOutcome {
         found,
         messages,
-        replicas: replica_set.len(),
-        reached: reached.len(),
+        replicas: scratch.replicas.len(),
+        reached: scratch.reached.len(),
     })
 }
 
-/// Walks `steps` uniform random hops from `start`, returning the visited
-/// vertices in first-visit order (including `start`) and charging one
-/// message per hop.
-fn random_walk_set(
+/// Walks `steps` uniform random hops from `start`, inserting visited
+/// vertices into `set` (and appending first visits to `order`, when
+/// given), charging one message per hop.
+fn random_walk_into(
     graph: &UndirectedCsr,
     start: NodeId,
     steps: usize,
     rng: &mut dyn RngCore,
     messages: &mut usize,
-) -> Vec<NodeId> {
-    let mut seen = HashSet::new();
-    let mut order = Vec::new();
-    seen.insert(start);
-    order.push(start);
+    set: &mut StampedNodeSet,
+    mut order: Option<&mut Vec<NodeId>>,
+) {
+    let mut visit = |v: NodeId, set: &mut StampedNodeSet| {
+        if set.insert(v) {
+            if let Some(order) = order.as_deref_mut() {
+                order.push(v);
+            }
+        }
+    };
+    visit(start, set);
     let mut current = start;
     for _ in 0..steps {
         let degree = graph.degree(current);
@@ -128,12 +208,9 @@ fn random_walk_set(
         }
         let (next, _) = graph.incident(current)[rng.gen_range(0..degree)];
         *messages += 1;
-        if seen.insert(next) {
-            order.push(next);
-        }
+        visit(next, set);
         current = next;
     }
-    order
 }
 
 #[cfg(test)]
@@ -236,5 +313,32 @@ mod tests {
             edge_probability: 0.5,
         };
         assert!(percolation_search(&g, NodeId::new(9), NodeId::new(1), &cfg, &mut rng()).is_err());
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_runs() {
+        let g = complete(12);
+        let cfg = PercolationConfig {
+            replication_walk: 6,
+            query_walk: 4,
+            edge_probability: 0.3,
+        };
+        let mut scratch = PercolationScratch::new();
+        for seed in 0..10u64 {
+            let mut r1 = ChaCha8Rng::seed_from_u64(seed);
+            let pooled = percolation_search_in(
+                &mut scratch,
+                &g,
+                NodeId::new(1),
+                NodeId::new(8),
+                &cfg,
+                &mut r1,
+            )
+            .unwrap();
+            let mut r2 = ChaCha8Rng::seed_from_u64(seed);
+            let fresh =
+                percolation_search(&g, NodeId::new(1), NodeId::new(8), &cfg, &mut r2).unwrap();
+            assert_eq!(pooled, fresh, "seed {seed}");
+        }
     }
 }

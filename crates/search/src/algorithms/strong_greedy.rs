@@ -1,14 +1,13 @@
 //! Strong-model searchers: expansion-order policies over known vertices.
 
-use crate::{DiscoveredView, SearchTask, StrongSearcher};
+use crate::{DiscoveredView, SearchTask, StampedNodeSet, StrongSearcher};
 use nonsearch_graph::NodeId;
 use rand::RngCore;
-use std::collections::HashSet;
 
 /// Strong-model BFS: expand known vertices in discovery order.
 #[derive(Debug, Clone, Default)]
 pub struct StrongBfs {
-    expanded: HashSet<NodeId>,
+    expanded: StampedNodeSet,
     cursor: usize,
 }
 
@@ -32,7 +31,7 @@ impl StrongSearcher for StrongBfs {
     ) -> Option<NodeId> {
         while self.cursor < view.len() {
             let v = view.discovered()[self.cursor];
-            if !self.expanded.contains(&v) {
+            if !self.expanded.contains(v) {
                 return Some(v);
             }
             self.cursor += 1;
@@ -55,7 +54,7 @@ impl StrongSearcher for StrongBfs {
 /// neighbor degrees *are* known in the strong model).
 #[derive(Debug, Clone, Default)]
 pub struct StrongHighDegree {
-    expanded: HashSet<NodeId>,
+    expanded: StampedNodeSet,
 }
 
 impl StrongHighDegree {
@@ -79,7 +78,7 @@ impl StrongSearcher for StrongHighDegree {
         view.discovered()
             .iter()
             .copied()
-            .filter(|v| !self.expanded.contains(v))
+            .filter(|&v| !self.expanded.contains(v))
             .max_by_key(|&v| {
                 (
                     view.degree_of(v).expect("discovered vertices have info"),
@@ -101,7 +100,7 @@ impl StrongSearcher for StrongHighDegree {
 /// label closest to the target's.
 #[derive(Debug, Clone, Default)]
 pub struct StrongGreedyId {
-    expanded: HashSet<NodeId>,
+    expanded: StampedNodeSet,
 }
 
 impl StrongGreedyId {
@@ -125,7 +124,7 @@ impl StrongSearcher for StrongGreedyId {
         view.discovered()
             .iter()
             .copied()
-            .filter(|v| !self.expanded.contains(v))
+            .filter(|&v| !self.expanded.contains(v))
             .min_by_key(|&v| (v.label().abs_diff(task.target.label()), v))
     }
 

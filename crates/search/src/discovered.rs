@@ -1,34 +1,50 @@
-//! The searcher's partial view of the graph.
+//! The searcher's partial view of the graph, stored dense.
+//!
+//! Vertex and edge handles are dense integers ([`NodeId`]/[`EdgeId`]), so
+//! the view keeps flat arrays indexed by id instead of hash tables: a
+//! *discovery stamp* per node, a *resolution record* per edge, and one
+//! shared arena holding every discovered incident list back to back.
+//! Per-request work is a handful of array reads — no hashing, and no
+//! heap allocation once the arrays have grown to the graph's size.
+//!
+//! # The epoch trick
+//!
+//! Stamps compare against the view's current *epoch*: a node is
+//! discovered iff `node_stamp[v] == epoch`, an edge is known iff
+//! `edge_stamp[e] == epoch`, resolved iff `edge_resolved[e] == epoch`.
+//! [`DiscoveredView::reset`] therefore does not touch the stamp arrays
+//! at all — it bumps the epoch (invalidating every stamp at once) and
+//! truncates the two length-tracking vectors, which is O(1). Only when
+//! the `u32` epoch would wrap (once per ~4 billion resets) are the
+//! arrays actually zero-filled. This is what lets one
+//! [`SearchScratch`](crate::SearchScratch) serve thousands of
+//! Monte-Carlo trials without reallocating.
 
 use nonsearch_graph::{EdgeId, NodeId};
-use std::collections::HashMap;
 
-/// What the searcher knows about one discovered vertex.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct DiscoveredVertex {
-    degree: usize,
-    incident: Vec<EdgeId>,
+/// What the searcher knows about one discovered vertex: its degree and
+/// its incident edge handles, as revealed on discovery.
+///
+/// A lightweight borrowed proxy — the incident list is a slice into the
+/// view's shared arena (the vertex's slot-ordered incident image), not a
+/// per-vertex allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiscoveredVertex<'a> {
+    incident: &'a [EdgeId],
 }
 
-impl DiscoveredVertex {
+impl<'a> DiscoveredVertex<'a> {
     /// The vertex degree (length of its incident edge list).
     pub fn degree(&self) -> usize {
-        self.degree
+        self.incident.len()
     }
 
-    /// The incident edge handles, as revealed on discovery.
-    pub fn incident(&self) -> &[EdgeId] {
-        &self.incident
+    /// The incident edge handles, in the slot order revealed on
+    /// discovery. The slice borrows from the view, not from a
+    /// per-vertex vector.
+    pub fn incident(self) -> &'a [EdgeId] {
+        self.incident
     }
-}
-
-/// What the searcher knows about one edge handle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct EdgeKnowledge {
-    /// First endpoint at which the edge was seen.
-    first: NodeId,
-    /// The opposite endpoint, once known.
-    other: Option<NodeId>,
 }
 
 /// The searcher's accumulated knowledge: discovered vertices (with degree
@@ -38,17 +54,95 @@ struct EdgeKnowledge {
 /// been discovered the view infers the connection without spending a
 /// request — a conservative choice for lower-bound experiments (the
 /// searcher is never given *less* than the model allows).
-#[derive(Debug, Clone, Default)]
+///
+/// All state lives in dense arrays indexed by `NodeId`/`EdgeId` and is
+/// invalidated wholesale by an epoch bump (see the module docs), so a
+/// view reused across trials performs zero heap allocations once warm.
+/// The mutators ([`insert_vertex`](DiscoveredView::insert_vertex),
+/// [`resolve_edge`](DiscoveredView::resolve_edge)) are the oracle-side
+/// API; algorithms only ever see `&DiscoveredView`.
+#[derive(Debug, Clone)]
 pub struct DiscoveredView {
+    /// Current epoch; stamps from other epochs read as "absent".
+    epoch: u32,
+    /// `node_stamp[v] == epoch` iff `v` is discovered.
+    node_stamp: Vec<u32>,
+    /// Arena range of `v`'s incident list (valid only when stamped).
+    node_start: Vec<usize>,
+    node_len: Vec<usize>,
+    /// `edge_stamp[e] == epoch` iff `e` has appeared in some discovered
+    /// incident list or request answer.
+    edge_stamp: Vec<u32>,
+    /// `edge_resolved[e] == epoch` iff both endpoints of `e` are known.
+    edge_resolved: Vec<u32>,
+    /// First endpoint at which the edge was seen (valid when stamped).
+    edge_first: Vec<NodeId>,
+    /// The opposite endpoint (valid when resolved).
+    edge_other: Vec<NodeId>,
+    /// Discovered vertices in discovery order (start vertex first).
     order: Vec<NodeId>,
-    vertices: HashMap<NodeId, DiscoveredVertex>,
-    edges: HashMap<EdgeId, EdgeKnowledge>,
+    /// All discovered incident lists, back to back in discovery order.
+    arena: Vec<EdgeId>,
+}
+
+impl Default for DiscoveredView {
+    fn default() -> Self {
+        DiscoveredView {
+            // Stamps start at 0 and the epoch at 1, so freshly grown
+            // array entries never read as present.
+            epoch: 1,
+            node_stamp: Vec::new(),
+            node_start: Vec::new(),
+            node_len: Vec::new(),
+            edge_stamp: Vec::new(),
+            edge_resolved: Vec::new(),
+            edge_first: Vec::new(),
+            edge_other: Vec::new(),
+            order: Vec::new(),
+            arena: Vec::new(),
+        }
+    }
 }
 
 impl DiscoveredView {
     /// An empty view (no vertices discovered yet).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Forgets everything in O(1): bumps the epoch and truncates the
+    /// discovery-order list and arena, keeping every allocation for the
+    /// next search (see the module docs for the epoch trick).
+    pub fn reset(&mut self) {
+        self.order.clear();
+        self.arena.clear();
+        if self.epoch == u32::MAX {
+            // Once per 2^32 resets the stamps really are cleared.
+            self.node_stamp.fill(0);
+            self.edge_stamp.fill(0);
+            self.edge_resolved.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+    }
+
+    /// Grows the dense arrays to cover `nodes` vertices and `edges`
+    /// edges, so a search over a graph of that size triggers no further
+    /// allocation. Called by the oracles at search start; a no-op once
+    /// the arrays are large enough.
+    pub fn reserve_graph(&mut self, nodes: usize, edges: usize) {
+        if self.node_stamp.len() < nodes {
+            self.node_stamp.resize(nodes, 0);
+            self.node_start.resize(nodes, 0);
+            self.node_len.resize(nodes, 0);
+        }
+        if self.edge_stamp.len() < edges {
+            self.edge_stamp.resize(edges, 0);
+            self.edge_resolved.resize(edges, 0);
+            self.edge_first.resize(edges, NodeId::new(0));
+            self.edge_other.resize(edges, NodeId::new(0));
+        }
     }
 
     /// Number of discovered vertices.
@@ -62,8 +156,9 @@ impl DiscoveredView {
     }
 
     /// `true` if `v` has been discovered.
+    #[inline]
     pub fn contains(&self, v: NodeId) -> bool {
-        self.vertices.contains_key(&v)
+        self.node_stamp.get(v.index()) == Some(&self.epoch)
     }
 
     /// Discovered vertices in discovery order (start vertex first).
@@ -72,13 +167,26 @@ impl DiscoveredView {
     }
 
     /// Knowledge about `v`, if discovered.
-    pub fn vertex(&self, v: NodeId) -> Option<&DiscoveredVertex> {
-        self.vertices.get(&v)
+    #[inline]
+    pub fn vertex(&self, v: NodeId) -> Option<DiscoveredVertex<'_>> {
+        if !self.contains(v) {
+            return None;
+        }
+        let start = self.node_start[v.index()];
+        let len = self.node_len[v.index()];
+        Some(DiscoveredVertex {
+            incident: &self.arena[start..start + len],
+        })
     }
 
     /// Degree of `v`, if discovered.
+    #[inline]
     pub fn degree_of(&self, v: NodeId) -> Option<usize> {
-        self.vertices.get(&v).map(|d| d.degree)
+        if self.contains(v) {
+            Some(self.node_len[v.index()])
+        } else {
+            None
+        }
     }
 
     /// The opposite endpoint of `e` as seen from `u`, if already known.
@@ -86,104 +194,136 @@ impl DiscoveredView {
     /// Known means: revealed by a request, or inferable because the edge
     /// handle appeared in two discovered incident lists.
     pub fn other_endpoint(&self, u: NodeId, e: EdgeId) -> Option<NodeId> {
-        let k = self.edges.get(&e)?;
-        match (k.first, k.other) {
-            (a, Some(b)) if a == u => Some(b),
-            (a, Some(b)) if b == u => Some(a),
-            _ => None,
+        let i = e.index();
+        if self.edge_resolved.get(i) != Some(&self.epoch) {
+            return None;
+        }
+        let (a, b) = (self.edge_first[i], self.edge_other[i]);
+        if a == u {
+            Some(b)
+        } else if b == u {
+            Some(a)
+        } else {
+            None
         }
     }
 
     /// `true` if both endpoints of `e` are known.
+    #[inline]
     pub fn is_resolved(&self, e: EdgeId) -> bool {
-        self.edges.get(&e).is_some_and(|k| k.other.is_some())
+        self.edge_resolved.get(e.index()) == Some(&self.epoch)
     }
 
-    /// Incident edges of `v` whose far endpoint is still unknown.
-    ///
-    /// Returns an empty vector for undiscovered vertices.
-    pub fn unexplored_edges_of(&self, v: NodeId) -> Vec<EdgeId> {
-        match self.vertices.get(&v) {
-            None => Vec::new(),
-            Some(info) => info
-                .incident
-                .iter()
-                .copied()
-                .filter(|e| !self.is_resolved(*e))
-                .collect(),
+    /// Incident edges of `v` whose far endpoint is still unknown, in
+    /// slot order. The iterator borrows the view and allocates nothing;
+    /// it is empty for undiscovered vertices.
+    pub fn unexplored_edges_of(&self, v: NodeId) -> UnexploredEdges<'_> {
+        UnexploredEdges {
+            view: self,
+            inner: self
+                .vertex(v)
+                .map_or([].iter(), |info| info.incident().iter()),
         }
     }
 
     /// `true` if `v` is discovered and has at least one unresolved edge.
     pub fn has_unexplored(&self, v: NodeId) -> bool {
-        match self.vertices.get(&v) {
-            None => false,
-            Some(info) => info.incident.iter().any(|e| !self.is_resolved(*e)),
-        }
+        self.unexplored_edges_of(v).next().is_some()
     }
 
     /// Records the discovery of `v` with its incident edge list.
     ///
-    /// Called by the oracles; idempotent for already-known vertices.
-    pub(crate) fn insert_vertex(&mut self, v: NodeId, incident: Vec<EdgeId>) {
-        if self.vertices.contains_key(&v) {
+    /// This is oracle-side API (algorithms only see `&DiscoveredView`),
+    /// public so model-based tests and benches can drive the view
+    /// directly. Idempotent for already-known vertices; the arrays grow
+    /// as needed, so any in-range ids are acceptable.
+    pub fn insert_vertex(&mut self, v: NodeId, incident: &[EdgeId]) {
+        self.insert_with(v, incident.iter().copied());
+    }
+
+    /// [`insert_vertex`](DiscoveredView::insert_vertex) reading the edge
+    /// handles straight out of a CSR incidence-slot slice, so the oracle
+    /// copies each handle exactly once (graph → arena) with no
+    /// intermediate vector.
+    pub(crate) fn insert_vertex_from_slots(&mut self, v: NodeId, slots: &[(NodeId, EdgeId)]) {
+        self.insert_with(v, slots.iter().map(|&(_, e)| e));
+    }
+
+    fn insert_with(&mut self, v: NodeId, incident: impl Iterator<Item = EdgeId>) {
+        if self.contains(v) {
             return;
         }
-        for &e in &incident {
-            match self.edges.get_mut(&e) {
-                None => {
-                    self.edges.insert(
-                        e,
-                        EdgeKnowledge {
-                            first: v,
-                            other: None,
-                        },
-                    );
-                }
-                Some(k) if k.other.is_none() => {
-                    // Second sighting resolves the edge; a self-loop lists
-                    // the same handle twice in one incident list.
-                    k.other = Some(v);
-                }
-                Some(_) => {}
-            }
+        let vi = v.index();
+        if vi >= self.node_stamp.len() {
+            self.reserve_graph(vi + 1, 0);
         }
+        let start = self.arena.len();
+        for e in incident {
+            let i = e.index();
+            if i >= self.edge_stamp.len() {
+                self.reserve_graph(0, i + 1);
+            }
+            if self.edge_stamp[i] != self.epoch {
+                self.edge_stamp[i] = self.epoch;
+                self.edge_first[i] = v;
+            } else if self.edge_resolved[i] != self.epoch {
+                // Second sighting resolves the edge; a self-loop lists
+                // the same handle twice in one incident list.
+                self.edge_resolved[i] = self.epoch;
+                self.edge_other[i] = v;
+            }
+            self.arena.push(e);
+        }
+        self.node_stamp[vi] = self.epoch;
+        self.node_start[vi] = start;
+        self.node_len[vi] = self.arena.len() - start;
         self.order.push(v);
-        self.vertices.insert(
-            v,
-            DiscoveredVertex {
-                degree: incident.len(),
-                incident,
-            },
-        );
     }
 
     /// Records the answer to a request on `(u, e)`: the far endpoint is
-    /// `other`.
-    pub(crate) fn resolve_edge(&mut self, u: NodeId, e: EdgeId, other: NodeId) {
-        match self.edges.get_mut(&e) {
-            Some(k) => {
-                if k.other.is_none() {
-                    k.other = Some(other);
-                    // Keep `first` as the vertex it was seen at; if the
-                    // recorded first endpoint is not `u`, the pair is
-                    // still {first, other} = {other, u} consistent.
-                    if k.first != u && k.other != Some(u) {
-                        // Edge was first seen at `other` before this
-                        // request: nothing further to record.
-                    }
-                }
-            }
-            None => {
-                self.edges.insert(
-                    e,
-                    EdgeKnowledge {
-                        first: u,
-                        other: Some(other),
-                    },
-                );
-            }
+    /// `other`. Oracle-side API, public for the same reason as
+    /// [`insert_vertex`](DiscoveredView::insert_vertex).
+    pub fn resolve_edge(&mut self, u: NodeId, e: EdgeId, other: NodeId) {
+        let i = e.index();
+        if i >= self.edge_stamp.len() {
+            self.reserve_graph(0, i + 1);
         }
+        if self.edge_stamp[i] != self.epoch {
+            self.edge_stamp[i] = self.epoch;
+            self.edge_first[i] = u;
+            self.edge_resolved[i] = self.epoch;
+            self.edge_other[i] = other;
+        } else if self.edge_resolved[i] != self.epoch {
+            // Keep `first` as the vertex the edge was seen at; the pair
+            // {first, other} stays consistent whichever endpoint that
+            // was.
+            self.edge_resolved[i] = self.epoch;
+            self.edge_other[i] = other;
+        }
+    }
+}
+
+/// Iterator over a vertex's unresolved incident edges, in slot order.
+/// Created by [`DiscoveredView::unexplored_edges_of`]; allocates
+/// nothing.
+#[derive(Debug, Clone)]
+pub struct UnexploredEdges<'a> {
+    view: &'a DiscoveredView,
+    inner: std::slice::Iter<'a, EdgeId>,
+}
+
+impl Iterator for UnexploredEdges<'_> {
+    type Item = EdgeId;
+
+    fn next(&mut self) -> Option<EdgeId> {
+        self.inner
+            .by_ref()
+            .copied()
+            .find(|&e| !self.view.is_resolved(e))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, self.inner.size_hint().1)
     }
 }
 
@@ -198,11 +338,15 @@ mod tests {
         NodeId::new(i)
     }
 
+    fn unexplored(view: &DiscoveredView, u: NodeId) -> Vec<EdgeId> {
+        view.unexplored_edges_of(u).collect()
+    }
+
     #[test]
     fn insert_and_query() {
         let mut view = DiscoveredView::new();
         assert!(view.is_empty());
-        view.insert_vertex(v(0), vec![e(0), e(1)]);
+        view.insert_vertex(v(0), &[e(0), e(1)]);
         assert_eq!(view.len(), 1);
         assert!(view.contains(v(0)));
         assert_eq!(view.degree_of(v(0)), Some(2));
@@ -213,8 +357,8 @@ mod tests {
     #[test]
     fn duplicate_insert_is_idempotent() {
         let mut view = DiscoveredView::new();
-        view.insert_vertex(v(0), vec![e(0)]);
-        view.insert_vertex(v(0), vec![e(0), e(1)]);
+        view.insert_vertex(v(0), &[e(0)]);
+        view.insert_vertex(v(0), &[e(0), e(1)]);
         assert_eq!(view.degree_of(v(0)), Some(1));
         assert_eq!(view.len(), 1);
     }
@@ -222,21 +366,21 @@ mod tests {
     #[test]
     fn explicit_resolution() {
         let mut view = DiscoveredView::new();
-        view.insert_vertex(v(0), vec![e(0)]);
+        view.insert_vertex(v(0), &[e(0)]);
         assert!(!view.is_resolved(e(0)));
-        assert_eq!(view.unexplored_edges_of(v(0)), vec![e(0)]);
+        assert_eq!(unexplored(&view, v(0)), vec![e(0)]);
         view.resolve_edge(v(0), e(0), v(1));
         assert!(view.is_resolved(e(0)));
         assert_eq!(view.other_endpoint(v(0), e(0)), Some(v(1)));
         assert_eq!(view.other_endpoint(v(1), e(0)), Some(v(0)));
-        assert!(view.unexplored_edges_of(v(0)).is_empty());
+        assert!(unexplored(&view, v(0)).is_empty());
     }
 
     #[test]
     fn double_sighting_resolves_implicitly() {
         let mut view = DiscoveredView::new();
-        view.insert_vertex(v(0), vec![e(5)]);
-        view.insert_vertex(v(3), vec![e(5), e(6)]);
+        view.insert_vertex(v(0), &[e(5)]);
+        view.insert_vertex(v(3), &[e(5), e(6)]);
         assert!(view.is_resolved(e(5)));
         assert_eq!(view.other_endpoint(v(0), e(5)), Some(v(3)));
         assert!(!view.is_resolved(e(6)));
@@ -248,7 +392,7 @@ mod tests {
     fn self_loop_resolves_within_one_list() {
         let mut view = DiscoveredView::new();
         // A self-loop contributes two slots with the same handle.
-        view.insert_vertex(v(2), vec![e(0), e(0), e(1)]);
+        view.insert_vertex(v(2), &[e(0), e(0), e(1)]);
         assert!(view.is_resolved(e(0)));
         assert_eq!(view.other_endpoint(v(2), e(0)), Some(v(2)));
         assert!(!view.is_resolved(e(1)));
@@ -259,16 +403,67 @@ mod tests {
         let view = DiscoveredView::new();
         assert_eq!(view.other_endpoint(v(0), e(0)), None);
         assert!(!view.is_resolved(e(0)));
-        assert!(view.unexplored_edges_of(v(0)).is_empty());
+        assert!(unexplored(&view, v(0)).is_empty());
         assert!(!view.has_unexplored(v(0)));
     }
 
     #[test]
     fn discovery_order_is_preserved() {
         let mut view = DiscoveredView::new();
-        view.insert_vertex(v(4), vec![]);
-        view.insert_vertex(v(1), vec![]);
-        view.insert_vertex(v(9), vec![]);
+        view.insert_vertex(v(4), &[]);
+        view.insert_vertex(v(1), &[]);
+        view.insert_vertex(v(9), &[]);
         assert_eq!(view.discovered(), &[v(4), v(1), v(9)]);
+    }
+
+    #[test]
+    fn resolving_an_unseen_edge_records_both_endpoints() {
+        let mut view = DiscoveredView::new();
+        view.resolve_edge(v(3), e(7), v(5));
+        assert!(view.is_resolved(e(7)));
+        assert_eq!(view.other_endpoint(v(3), e(7)), Some(v(5)));
+        assert_eq!(view.other_endpoint(v(5), e(7)), Some(v(3)));
+        assert_eq!(view.other_endpoint(v(9), e(7)), None);
+    }
+
+    #[test]
+    fn reset_forgets_everything_and_reuses_memory() {
+        let mut view = DiscoveredView::new();
+        view.insert_vertex(v(0), &[e(0), e(1)]);
+        view.resolve_edge(v(0), e(0), v(1));
+        view.reset();
+        assert!(view.is_empty());
+        assert!(!view.contains(v(0)));
+        assert!(!view.is_resolved(e(0)));
+        assert_eq!(view.other_endpoint(v(0), e(0)), None);
+        // The arrays kept their length; fresh inserts work immediately.
+        view.insert_vertex(v(1), &[e(1)]);
+        assert_eq!(view.discovered(), &[v(1)]);
+        assert!(!view.is_resolved(e(1)));
+    }
+
+    #[test]
+    fn epoch_wrap_clears_stamps() {
+        let mut view = DiscoveredView::new();
+        view.insert_vertex(v(0), &[e(0)]);
+        // Force the wrap path.
+        view.epoch = u32::MAX;
+        view.node_stamp[0] = u32::MAX;
+        assert!(view.contains(v(0)));
+        view.reset();
+        assert_eq!(view.epoch, 1);
+        assert!(!view.contains(v(0)));
+        view.insert_vertex(v(0), &[e(0)]);
+        assert!(view.contains(v(0)));
+    }
+
+    #[test]
+    fn reserve_graph_is_idempotent() {
+        let mut view = DiscoveredView::new();
+        view.reserve_graph(10, 20);
+        view.insert_vertex(v(9), &[e(19)]);
+        view.reserve_graph(5, 5); // never shrinks
+        assert!(view.contains(v(9)));
+        assert_eq!(view.vertex(v(9)).unwrap().incident(), &[e(19)]);
     }
 }

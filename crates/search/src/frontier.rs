@@ -2,18 +2,36 @@
 
 use crate::DiscoveredView;
 use nonsearch_graph::{EdgeId, NodeId};
-use std::collections::HashMap;
 
-/// Per-vertex cursors over incident edge lists.
+/// Per-vertex cursors over incident edge lists, stored dense.
 ///
 /// Edge resolution is monotone (a resolved edge never becomes unresolved),
 /// so a forward-only cursor per vertex finds each vertex's next
 /// unexplored edge in O(1) amortized instead of rescanning the whole
 /// incident list on every request. All the O(log n)-per-step searchers
 /// ([`HighDegreeGreedy`](crate::HighDegreeGreedy) and friends) share this.
-#[derive(Debug, Clone, Default)]
+///
+/// The cursors live in a flat array indexed by [`NodeId`] with an epoch
+/// stamp per entry (the same trick as
+/// [`DiscoveredView`](crate::DiscoveredView); see the `discovered`
+/// module docs), so [`reset`](FrontierCursors::reset) is O(1) and a
+/// searcher reused across trials performs no per-request hashing or
+/// allocation once the array has grown to the graph size.
+#[derive(Debug, Clone)]
 pub struct FrontierCursors {
-    cursor: HashMap<NodeId, usize>,
+    epoch: u32,
+    stamp: Vec<u32>,
+    cursor: Vec<usize>,
+}
+
+impl Default for FrontierCursors {
+    fn default() -> Self {
+        FrontierCursors {
+            epoch: 1,
+            stamp: Vec::new(),
+            cursor: Vec::new(),
+        }
+    }
 }
 
 impl FrontierCursors {
@@ -27,33 +45,54 @@ impl FrontierCursors {
     /// discovered).
     pub fn next_unexplored(&mut self, view: &DiscoveredView, v: NodeId) -> Option<EdgeId> {
         let info = view.vertex(v)?;
-        let cursor = self.cursor.entry(v).or_insert(0);
-        while *cursor < info.incident().len() {
-            let e = info.incident()[*cursor];
-            if !view.is_resolved(e) {
-                return Some(e);
-            }
-            *cursor += 1;
+        let i = v.index();
+        if i >= self.stamp.len() {
+            self.stamp.resize(i + 1, 0);
+            self.cursor.resize(i + 1, 0);
         }
-        None
+        let mut cursor = if self.stamp[i] == self.epoch {
+            self.cursor[i]
+        } else {
+            0
+        };
+        let incident = info.incident();
+        let mut found = None;
+        while cursor < incident.len() {
+            let e = incident[cursor];
+            if !view.is_resolved(e) {
+                found = Some(e);
+                break;
+            }
+            cursor += 1;
+        }
+        self.stamp[i] = self.epoch;
+        self.cursor[i] = cursor;
+        found
     }
 
-    /// Clears all cursors (for searcher reuse across runs).
+    /// Rewinds all cursors in O(1) via an epoch bump (for searcher reuse
+    /// across runs); the backing array keeps its allocation.
     pub fn reset(&mut self) {
-        self.cursor.clear();
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::WeakSearchState;
+    use crate::{SearchScratch, WeakSearchState};
     use nonsearch_graph::UndirectedCsr;
 
     #[test]
     fn cursor_advances_past_resolved_edges() {
         let g = UndirectedCsr::from_edges(4, [(0, 1), (0, 2), (0, 3)]).unwrap();
-        let mut state = WeakSearchState::new(&g, NodeId::new(0)).unwrap();
+        let mut scratch = SearchScratch::new();
+        let mut state = WeakSearchState::new_in(&mut scratch, &g, NodeId::new(0)).unwrap();
         let mut cursors = FrontierCursors::new();
 
         let e0 = cursors
@@ -77,7 +116,8 @@ mod tests {
     #[test]
     fn undiscovered_vertex_yields_none() {
         let g = UndirectedCsr::from_edges(2, [(0, 1)]).unwrap();
-        let state = WeakSearchState::new(&g, NodeId::new(0)).unwrap();
+        let mut scratch = SearchScratch::new();
+        let state = WeakSearchState::new_in(&mut scratch, &g, NodeId::new(0)).unwrap();
         let mut cursors = FrontierCursors::new();
         assert!(cursors
             .next_unexplored(state.view(), NodeId::new(1))
@@ -87,12 +127,31 @@ mod tests {
     #[test]
     fn reset_rewinds() {
         let g = UndirectedCsr::from_edges(2, [(0, 1)]).unwrap();
-        let state = WeakSearchState::new(&g, NodeId::new(0)).unwrap();
+        let mut scratch = SearchScratch::new();
+        let state = WeakSearchState::new_in(&mut scratch, &g, NodeId::new(0)).unwrap();
         let mut cursors = FrontierCursors::new();
         assert!(cursors
             .next_unexplored(state.view(), NodeId::new(0))
             .is_some());
         cursors.reset();
+        assert!(cursors
+            .next_unexplored(state.view(), NodeId::new(0))
+            .is_some());
+    }
+
+    #[test]
+    fn epoch_wrap_rewinds_too() {
+        let g = UndirectedCsr::from_edges(2, [(0, 1)]).unwrap();
+        let mut scratch = SearchScratch::new();
+        let state = WeakSearchState::new_in(&mut scratch, &g, NodeId::new(0)).unwrap();
+        let mut cursors = FrontierCursors::new();
+        cursors.next_unexplored(state.view(), NodeId::new(0));
+        cursors.epoch = u32::MAX;
+        cursors.stamp[0] = u32::MAX;
+        cursors.cursor[0] = 1; // pretend the cursor had advanced
+        cursors.reset();
+        assert_eq!(cursors.epoch, 1);
+        // A wrapped reset must rewind to slot 0, not resume at 1.
         assert!(cursors
             .next_unexplored(state.view(), NodeId::new(0))
             .is_some());

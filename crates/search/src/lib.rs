@@ -51,6 +51,7 @@ mod discovered;
 mod error;
 mod frontier;
 mod runner;
+mod scratch;
 mod simulate;
 mod strong;
 mod suite;
@@ -58,14 +59,16 @@ mod task;
 mod weak;
 
 pub use algorithms::{
-    greedy_route, percolation_search, AvoidingWalk, BfsFlood, DfsWalk, GreedyIdProximity,
-    GreedyRouteOutcome, HighDegreeGreedy, LookaheadWalk, OldestFirst, PercolationConfig,
-    PercolationOutcome, RandomWalk, RestartingWalk, StrongBfs, StrongGreedyId, StrongHighDegree,
+    greedy_route, percolation_search, percolation_search_in, AvoidingWalk, BfsFlood, DfsWalk,
+    GreedyIdProximity, GreedyRouteOutcome, HighDegreeGreedy, LookaheadWalk, OldestFirst,
+    PercolationConfig, PercolationOutcome, PercolationScratch, RandomWalk, RestartingWalk,
+    StrongBfs, StrongGreedyId, StrongHighDegree,
 };
-pub use discovered::{DiscoveredVertex, DiscoveredView};
+pub use discovered::{DiscoveredVertex, DiscoveredView, UnexploredEdges};
 pub use error::SearchError;
 pub use frontier::FrontierCursors;
-pub use runner::{run_strong, run_weak};
+pub use runner::{run_strong, run_strong_in, run_weak, run_weak_in};
+pub use scratch::{SearchScratch, StampedNodeSet};
 pub use simulate::SimulatedStrong;
 pub use strong::{StrongSearchState, StrongSearcher};
 pub use suite::SearcherKind;

@@ -1,8 +1,17 @@
 //! Search execution loops for both knowledge models.
+//!
+//! Each loop exists in two forms: the classic entry points
+//! ([`run_weak`], [`run_strong`]) that allocate a private
+//! [`SearchScratch`] per call, and the scratch-threading forms
+//! ([`run_weak_in`], [`run_strong_in`]) that borrow a caller-owned
+//! scratch — what the Monte-Carlo engines use so each worker allocates
+//! once per graph size and reuses across all its trials. Both forms are
+//! observationally identical (same request sequences, same RNG
+//! consumption).
 
 use crate::{
-    SearchError, SearchOutcome, SearchTask, StrongSearchState, StrongSearcher, SuccessCriterion,
-    WeakSearchState, WeakSearcher,
+    SearchError, SearchOutcome, SearchScratch, SearchTask, StrongSearchState, StrongSearcher,
+    SuccessCriterion, WeakSearchState, WeakSearcher,
 };
 use nonsearch_graph::{NodeId, UndirectedCsr};
 use rand::RngCore;
@@ -33,13 +42,11 @@ fn validate_task(graph: &UndirectedCsr, task: &SearchTask) -> crate::Result<()> 
     Ok(())
 }
 
-/// Runs a weak-model search to completion.
+/// Runs a weak-model search to completion with a private, per-call
+/// [`SearchScratch`].
 ///
-/// The loop: ask `searcher` for a request, execute it against the oracle,
-/// feed the answer back via [`WeakSearcher::observe`], and stop when the
-/// success criterion first holds, the budget runs out, or the searcher
-/// gives up. The searcher is [`reset`](WeakSearcher::reset) before the
-/// run, so one instance can be reused across trials.
+/// Convenient for one-off searches; hot loops should hold a scratch and
+/// call [`run_weak_in`] instead. See there for the loop contract.
 ///
 /// # Errors
 ///
@@ -51,9 +58,32 @@ pub fn run_weak<S: WeakSearcher + ?Sized>(
     searcher: &mut S,
     rng: &mut dyn RngCore,
 ) -> crate::Result<SearchOutcome> {
+    run_weak_in(&mut SearchScratch::new(), graph, task, searcher, rng)
+}
+
+/// Runs a weak-model search to completion on a caller-owned scratch.
+///
+/// The loop: ask `searcher` for a request, execute it against the oracle,
+/// feed the answer back via [`WeakSearcher::observe`], and stop when the
+/// success criterion first holds, the budget runs out, or the searcher
+/// gives up. The searcher is [`reset`](WeakSearcher::reset) and the
+/// scratch epoch-bumped before the run, so one instance of each can be
+/// reused across trials with outcomes identical to fresh state.
+///
+/// # Errors
+///
+/// Returns [`SearchError`] on task-validation failures or protocol
+/// violations by the algorithm.
+pub fn run_weak_in<S: WeakSearcher + ?Sized>(
+    scratch: &mut SearchScratch,
+    graph: &UndirectedCsr,
+    task: &SearchTask,
+    searcher: &mut S,
+    rng: &mut dyn RngCore,
+) -> crate::Result<SearchOutcome> {
     validate_task(graph, task)?;
     searcher.reset();
-    let mut state = WeakSearchState::new(graph, task.start)?;
+    let mut state = WeakSearchState::new_in(scratch, graph, task.start)?;
     if satisfies(graph, task, task.start) {
         return Ok(SearchOutcome::success(0, state.view().len()));
     }
@@ -86,8 +116,9 @@ pub fn run_weak<S: WeakSearcher + ?Sized>(
     }
 }
 
-/// Runs a strong-model search to completion (same loop shape as
-/// [`run_weak`], counting strong requests).
+/// Runs a strong-model search to completion with a private, per-call
+/// [`SearchScratch`] (same loop shape as [`run_weak`], counting strong
+/// requests). Hot loops should use [`run_strong_in`].
 ///
 /// # Errors
 ///
@@ -99,9 +130,26 @@ pub fn run_strong<S: StrongSearcher + ?Sized>(
     searcher: &mut S,
     rng: &mut dyn RngCore,
 ) -> crate::Result<SearchOutcome> {
+    run_strong_in(&mut SearchScratch::new(), graph, task, searcher, rng)
+}
+
+/// Runs a strong-model search to completion on a caller-owned scratch
+/// (same contract as [`run_weak_in`], counting strong requests).
+///
+/// # Errors
+///
+/// Returns [`SearchError`] on task-validation failures or protocol
+/// violations by the algorithm.
+pub fn run_strong_in<S: StrongSearcher + ?Sized>(
+    scratch: &mut SearchScratch,
+    graph: &UndirectedCsr,
+    task: &SearchTask,
+    searcher: &mut S,
+    rng: &mut dyn RngCore,
+) -> crate::Result<SearchOutcome> {
     validate_task(graph, task)?;
     searcher.reset();
-    let mut state = StrongSearchState::new(graph, task.start)?;
+    let mut state = StrongSearchState::new_in(scratch, graph, task.start)?;
     if satisfies(graph, task, task.start) {
         return Ok(SearchOutcome::success(0, state.view().len()));
     }
@@ -126,12 +174,15 @@ pub fn run_strong<S: StrongSearcher + ?Sized>(
                 budget_exhausted: false,
             });
         };
-        let revealed = state.request(u)?;
-        searcher.observe(u, &revealed);
-        for v in revealed {
-            if satisfies(graph, task, v) {
-                return Ok(SearchOutcome::success(state.requests(), state.view().len()));
-            }
+        // The answer slice borrows the oracle's reusable buffer; the
+        // block scopes that borrow so the outcome can read the state.
+        let found = {
+            let revealed = state.request(u)?;
+            searcher.observe(u, revealed);
+            revealed.iter().any(|&v| satisfies(graph, task, v))
+        };
+        if found {
+            return Ok(SearchOutcome::success(state.requests(), state.view().len()));
         }
     }
 }
@@ -208,5 +259,27 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         assert!(run_weak(&g, &task, &mut BfsFlood::new(), &mut rng).is_err());
         assert!(run_strong(&g, &task, &mut StrongBfs::new(), &mut rng).is_err());
+    }
+
+    #[test]
+    fn scratch_runs_match_fresh_runs() {
+        let g = path(12);
+        let task = SearchTask::new(NodeId::new(0), NodeId::new(11));
+        let mut scratch = SearchScratch::new();
+        let mut flood = BfsFlood::new();
+        let mut strong = StrongBfs::new();
+        for _ in 0..3 {
+            let mut rng = ChaCha8Rng::seed_from_u64(4);
+            let pooled = run_weak_in(&mut scratch, &g, &task, &mut flood, &mut rng).unwrap();
+            let mut rng = ChaCha8Rng::seed_from_u64(4);
+            let fresh = run_weak(&g, &task, &mut BfsFlood::new(), &mut rng).unwrap();
+            assert_eq!(pooled, fresh);
+
+            let mut rng = ChaCha8Rng::seed_from_u64(4);
+            let pooled = run_strong_in(&mut scratch, &g, &task, &mut strong, &mut rng).unwrap();
+            let mut rng = ChaCha8Rng::seed_from_u64(4);
+            let fresh = run_strong(&g, &task, &mut StrongBfs::new(), &mut rng).unwrap();
+            assert_eq!(pooled, fresh);
+        }
     }
 }

@@ -1,0 +1,197 @@
+//! Reusable per-worker search state: the dense view plus the oracle
+//! buffers, reset in O(1) between trials.
+//!
+//! A Monte-Carlo sweep runs thousands of searches on graphs of one
+//! size. Allocating a fresh view (and oracle buffers) per trial made
+//! per-request hashing and allocation the hot path's dominant cost;
+//! instead, a worker owns one [`SearchScratch`], the `*_in` runners
+//! ([`run_weak_in`](crate::run_weak_in),
+//! [`run_strong_in`](crate::run_strong_in)) borrow it for the duration
+//! of one search, and `begin` resets it by epoch bump — no memory is
+//! released or re-acquired once the arrays have grown to the graph
+//! size.
+
+use crate::DiscoveredView;
+use nonsearch_graph::{NodeId, UndirectedCsr};
+
+/// Reusable buffers for one search at a time: the searcher's
+/// [`DiscoveredView`] plus the strong oracle's expansion-order and
+/// answer buffers.
+///
+/// Create one per worker (or per call site) and pass it to
+/// [`WeakSearchState::new_in`](crate::WeakSearchState::new_in),
+/// [`StrongSearchState::new_in`](crate::StrongSearchState::new_in), or
+/// the `*_in` runners. Reuse across trials is observationally
+/// identical to fresh state — the engine's trial records are
+/// bit-identical either way (asserted by the scratch-reuse tests).
+///
+/// # Example
+///
+/// ```
+/// use nonsearch_generators::rng_from_seed;
+/// use nonsearch_graph::{NodeId, UndirectedCsr};
+/// use nonsearch_search::{run_weak_in, BfsFlood, SearchScratch, SearchTask};
+///
+/// let g = UndirectedCsr::from_edges(4, [(0, 1), (1, 2), (2, 3)])?;
+/// let task = SearchTask::new(NodeId::new(0), NodeId::new(3));
+/// let mut scratch = SearchScratch::new();
+/// let mut flood = BfsFlood::new();
+/// // Both trials share one allocation; outcomes match fresh-state runs.
+/// let a = run_weak_in(&mut scratch, &g, &task, &mut flood, &mut rng_from_seed(1))?;
+/// let b = run_weak_in(&mut scratch, &g, &task, &mut flood, &mut rng_from_seed(1))?;
+/// assert_eq!(a, b);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SearchScratch {
+    pub(crate) view: DiscoveredView,
+    /// Vertices expanded by a strong-model search, in request order.
+    pub(crate) expanded: Vec<NodeId>,
+    /// The neighbors revealed by the latest strong request.
+    pub(crate) revealed: Vec<NodeId>,
+}
+
+impl SearchScratch {
+    /// Creates an empty scratch; the arrays grow to the first graph's
+    /// size on first use and are reused from then on.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a scratch pre-sized for graphs with `nodes` vertices and
+    /// `edges` edges, so even the first search allocates nothing after
+    /// construction.
+    pub fn for_graph_size(nodes: usize, edges: usize) -> Self {
+        let mut scratch = Self::new();
+        scratch.view.reserve_graph(nodes, edges);
+        scratch
+    }
+
+    /// The view as left by the last search (empty before any).
+    pub fn view(&self) -> &DiscoveredView {
+        &self.view
+    }
+
+    /// O(1) reset called by the oracles at search start: epoch-bumps
+    /// the view and truncates the buffers, keeping all capacity.
+    pub(crate) fn begin(&mut self, graph: &UndirectedCsr) {
+        self.view.reset();
+        self.view
+            .reserve_graph(graph.node_count(), graph.edge_count());
+        self.expanded.clear();
+        self.revealed.clear();
+    }
+}
+
+/// A dense set of vertices with O(1) `insert`/`contains`/`clear`,
+/// backed by an epoch-stamped array (same trick as
+/// [`DiscoveredView`]; see the `discovered` module docs).
+///
+/// Replaces the `HashSet<NodeId>` bookkeeping in the strong-model
+/// searchers and percolation search: membership is one array read, and
+/// clearing for the next trial is an epoch bump, not a rehash.
+#[derive(Debug, Clone)]
+pub struct StampedNodeSet {
+    epoch: u32,
+    stamp: Vec<u32>,
+    len: usize,
+}
+
+impl Default for StampedNodeSet {
+    fn default() -> Self {
+        StampedNodeSet {
+            epoch: 1,
+            stamp: Vec::new(),
+            len: 0,
+        }
+    }
+}
+
+impl StampedNodeSet {
+    /// Creates an empty set; the backing array grows on demand.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of vertices in the set.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `true` if `v` is in the set.
+    #[inline]
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.stamp.get(v.index()) == Some(&self.epoch)
+    }
+
+    /// Inserts `v`; returns `true` if it was not already present.
+    #[inline]
+    pub fn insert(&mut self, v: NodeId) -> bool {
+        let i = v.index();
+        if i >= self.stamp.len() {
+            self.stamp.resize(i + 1, 0);
+        }
+        if self.stamp[i] == self.epoch {
+            return false;
+        }
+        self.stamp[i] = self.epoch;
+        self.len += 1;
+        true
+    }
+
+    /// Empties the set in O(1) (epoch bump), keeping the allocation.
+    pub fn clear(&mut self) {
+        self.len = 0;
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nonsearch_graph::NodeId;
+
+    #[test]
+    fn stamped_set_behaves_like_a_set() {
+        let mut set = StampedNodeSet::new();
+        assert!(set.is_empty());
+        assert!(set.insert(NodeId::new(5)));
+        assert!(!set.insert(NodeId::new(5)));
+        assert!(set.insert(NodeId::new(0)));
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(NodeId::new(5)));
+        assert!(!set.contains(NodeId::new(4)));
+        set.clear();
+        assert!(set.is_empty());
+        assert!(!set.contains(NodeId::new(5)));
+        assert!(set.insert(NodeId::new(5)));
+    }
+
+    #[test]
+    fn stamped_set_epoch_wrap_is_sound() {
+        let mut set = StampedNodeSet::new();
+        set.insert(NodeId::new(1));
+        set.epoch = u32::MAX;
+        set.stamp[1] = u32::MAX;
+        assert!(set.contains(NodeId::new(1)));
+        set.clear();
+        assert_eq!(set.epoch, 1);
+        assert!(!set.contains(NodeId::new(1)));
+    }
+
+    #[test]
+    fn scratch_presizing_and_view_access() {
+        let scratch = SearchScratch::for_graph_size(16, 32);
+        assert!(scratch.view().is_empty());
+    }
+}

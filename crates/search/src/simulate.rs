@@ -74,8 +74,10 @@ impl<S: StrongSearcher> SimulatedStrong<S> {
 
     fn finish_expansion(&mut self) {
         if let Some(u) = self.expanding.take() {
-            let revealed = std::mem::take(&mut self.revealed);
-            self.inner.observe(u, &revealed);
+            self.inner.observe(u, &self.revealed);
+            // Clear, don't take: the buffer keeps its capacity for the
+            // next expansion, so steady state allocates nothing.
+            self.revealed.clear();
         }
     }
 }
@@ -103,14 +105,16 @@ impl<S: StrongSearcher> WeakSearcher for SimulatedStrong<S> {
             let u = self.inner.next_request(task, view, rng)?;
             self.strong_requests += 1;
             self.expanding = Some(u);
-            let edges = view.unexplored_edges_of(u);
-            if edges.is_empty() {
+            // The unexplored-edges iterator streams straight into the
+            // queue; nothing is collected on the way.
+            self.pending
+                .extend(view.unexplored_edges_of(u).map(|e| (u, e)));
+            if self.pending.is_empty() {
                 // Nothing to ask: the expansion is already complete
                 // (every neighbor known); notify and pick again.
                 self.finish_expansion();
                 continue;
             }
-            self.pending.extend(edges.into_iter().map(|e| (u, e)));
         }
     }
 

@@ -1,7 +1,6 @@
 //! The strong local-knowledge oracle and the strong-searcher interface.
 
-use crate::weak::incident_handles;
-use crate::{DiscoveredView, SearchError, SearchTask};
+use crate::{DiscoveredView, SearchError, SearchScratch, SearchTask};
 use nonsearch_graph::{NodeId, UndirectedCsr};
 use rand::RngCore;
 
@@ -13,41 +12,50 @@ use rand::RngCore;
 /// `u` with its identity and degree. This is strictly more information
 /// per request than the weak model, and the paper notes Kleinberg's model
 /// assumes even more.
-#[derive(Debug, Clone)]
-pub struct StrongSearchState<'g> {
+///
+/// All mutable state (view, expansion order, answer buffer) lives in a
+/// borrowed [`SearchScratch`], so per-request work allocates nothing
+/// once the scratch is warm.
+#[derive(Debug)]
+pub struct StrongSearchState<'s, 'g> {
     graph: &'g UndirectedCsr,
-    view: DiscoveredView,
-    expanded: Vec<NodeId>,
+    scratch: &'s mut SearchScratch,
     requests: usize,
 }
 
-impl<'g> StrongSearchState<'g> {
-    /// Starts a search at `start` (known for free, as in the weak model).
+impl<'s, 'g> StrongSearchState<'s, 'g> {
+    /// Starts a search at `start` (known for free, as in the weak
+    /// model), resetting `scratch` first (O(1) epoch bump).
     ///
     /// # Errors
     ///
     /// Returns [`SearchError::TaskOutOfBounds`] if `start` is not in the
     /// graph.
-    pub fn new(graph: &'g UndirectedCsr, start: NodeId) -> crate::Result<Self> {
+    pub fn new_in(
+        scratch: &'s mut SearchScratch,
+        graph: &'g UndirectedCsr,
+        start: NodeId,
+    ) -> crate::Result<Self> {
         if start.index() >= graph.node_count() {
             return Err(SearchError::TaskOutOfBounds {
                 vertex: start,
                 node_count: graph.node_count(),
             });
         }
-        let mut view = DiscoveredView::new();
-        view.insert_vertex(start, incident_handles(graph, start));
+        scratch.begin(graph);
+        scratch
+            .view
+            .insert_vertex_from_slots(start, graph.incident(start));
         Ok(StrongSearchState {
             graph,
-            view,
-            expanded: Vec::new(),
+            scratch,
             requests: 0,
         })
     }
 
     /// The searcher's current knowledge.
     pub fn view(&self) -> &DiscoveredView {
-        &self.view
+        &self.scratch.view
     }
 
     /// Requests issued so far.
@@ -57,31 +65,37 @@ impl<'g> StrongSearchState<'g> {
 
     /// Vertices whose neighborhoods have been expanded, in request order.
     pub fn expanded(&self) -> &[NodeId] {
-        &self.expanded
+        &self.scratch.expanded
     }
 
     /// Issues the strong-model request on `u`: reveals all neighbors of
     /// `u` (identity + incident edge lists). Costs one request.
     ///
+    /// The returned slice borrows the scratch's answer buffer (reused
+    /// across requests, so no per-request vector is allocated); copy it
+    /// out if you need it past the next call.
+    ///
     /// # Errors
     ///
     /// Returns [`SearchError::UndiscoveredVertex`] if the identity of `u`
     /// is not yet known to the searcher.
-    pub fn request(&mut self, u: NodeId) -> crate::Result<Vec<NodeId>> {
-        if !self.view.contains(u) {
+    pub fn request(&mut self, u: NodeId) -> crate::Result<&[NodeId]> {
+        if !self.scratch.view.contains(u) {
             return Err(SearchError::UndiscoveredVertex { vertex: u });
         }
         self.requests += 1;
-        self.expanded.push(u);
-        let mut revealed = Vec::new();
+        self.scratch.expanded.push(u);
+        self.scratch.revealed.clear();
         for &(v, e) in self.graph.incident(u) {
-            self.view.resolve_edge(u, e, v);
-            if !self.view.contains(v) {
-                self.view.insert_vertex(v, incident_handles(self.graph, v));
+            self.scratch.view.resolve_edge(u, e, v);
+            if !self.scratch.view.contains(v) {
+                self.scratch
+                    .view
+                    .insert_vertex_from_slots(v, self.graph.incident(v));
             }
-            revealed.push(v);
+            self.scratch.revealed.push(v);
         }
-        Ok(revealed)
+        Ok(&self.scratch.revealed)
     }
 }
 
@@ -118,8 +132,9 @@ mod tests {
     #[test]
     fn one_request_reveals_all_neighbors() {
         let g = star();
-        let mut s = StrongSearchState::new(&g, NodeId::new(0)).unwrap();
-        let revealed = s.request(NodeId::new(0)).unwrap();
+        let mut scratch = SearchScratch::new();
+        let mut s = StrongSearchState::new_in(&mut scratch, &g, NodeId::new(0)).unwrap();
+        let revealed = s.request(NodeId::new(0)).unwrap().to_vec();
         assert_eq!(revealed.len(), 3);
         assert_eq!(s.requests(), 1);
         for v in [1, 2, 3] {
@@ -132,7 +147,8 @@ mod tests {
     #[test]
     fn revealed_neighbors_can_be_expanded_next() {
         let g = UndirectedCsr::from_edges(3, [(0, 1), (1, 2)]).unwrap();
-        let mut s = StrongSearchState::new(&g, NodeId::new(0)).unwrap();
+        let mut scratch = SearchScratch::new();
+        let mut s = StrongSearchState::new_in(&mut scratch, &g, NodeId::new(0)).unwrap();
         s.request(NodeId::new(0)).unwrap();
         let revealed = s.request(NodeId::new(1)).unwrap();
         assert!(revealed.contains(&NodeId::new(2)));
@@ -142,7 +158,8 @@ mod tests {
     #[test]
     fn unknown_identity_is_a_violation() {
         let g = star();
-        let mut s = StrongSearchState::new(&g, NodeId::new(1)).unwrap();
+        let mut scratch = SearchScratch::new();
+        let mut s = StrongSearchState::new_in(&mut scratch, &g, NodeId::new(1)).unwrap();
         // Vertex 2's identity is unknown until some expansion reveals it.
         assert!(matches!(
             s.request(NodeId::new(2)),
@@ -154,17 +171,33 @@ mod tests {
     #[test]
     fn bad_start_rejected() {
         let g = star();
-        assert!(StrongSearchState::new(&g, NodeId::new(99)).is_err());
+        let mut scratch = SearchScratch::new();
+        assert!(StrongSearchState::new_in(&mut scratch, &g, NodeId::new(99)).is_err());
     }
 
     #[test]
     fn edges_resolved_after_expansion() {
         let g = star();
-        let mut s = StrongSearchState::new(&g, NodeId::new(0)).unwrap();
+        let mut scratch = SearchScratch::new();
+        let mut s = StrongSearchState::new_in(&mut scratch, &g, NodeId::new(0)).unwrap();
         s.request(NodeId::new(0)).unwrap();
         let incident = s.view().vertex(NodeId::new(0)).unwrap().incident().to_vec();
         for e in incident {
             assert!(s.view().is_resolved(e));
         }
+    }
+
+    #[test]
+    fn scratch_reuse_clears_expansion_order() {
+        let g = star();
+        let mut scratch = SearchScratch::new();
+        {
+            let mut s = StrongSearchState::new_in(&mut scratch, &g, NodeId::new(0)).unwrap();
+            s.request(NodeId::new(0)).unwrap();
+            assert_eq!(s.expanded().len(), 1);
+        }
+        let s = StrongSearchState::new_in(&mut scratch, &g, NodeId::new(1)).unwrap();
+        assert!(s.expanded().is_empty());
+        assert_eq!(s.view().len(), 1);
     }
 }

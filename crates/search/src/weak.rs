@@ -1,64 +1,74 @@
 //! The weak local-knowledge oracle and the weak-searcher interface.
 
-use crate::{DiscoveredView, SearchError, SearchTask};
+use crate::{DiscoveredView, SearchError, SearchScratch, SearchTask};
 use nonsearch_graph::{EdgeId, NodeId, UndirectedCsr};
 use rand::RngCore;
 
 /// Oracle state for a weak-model search over one graph.
 ///
-/// Wraps the true graph, the searcher's [`DiscoveredView`], and the
-/// request counter. Algorithms cannot touch the graph directly; every bit
-/// of information flows through [`request`](WeakSearchState::request),
-/// which costs one unit.
+/// Wraps the true graph, the searcher's [`DiscoveredView`] (borrowed
+/// from a reusable [`SearchScratch`]), and the request counter.
+/// Algorithms cannot touch the graph directly; every bit of information
+/// flows through [`request`](WeakSearchState::request), which costs one
+/// unit.
 ///
 /// # Example
 ///
 /// ```
 /// use nonsearch_graph::{NodeId, UndirectedCsr};
-/// use nonsearch_search::WeakSearchState;
+/// use nonsearch_search::{SearchScratch, WeakSearchState};
 ///
 /// let g = UndirectedCsr::from_edges(3, [(0, 1), (1, 2)])?;
-/// let mut state = WeakSearchState::new(&g, NodeId::new(0))?;
-/// let edges = state.view().vertex(NodeId::new(0)).unwrap().incident().to_vec();
-/// let v = state.request(NodeId::new(0), edges[0])?;
+/// let mut scratch = SearchScratch::new();
+/// let mut state = WeakSearchState::new_in(&mut scratch, &g, NodeId::new(0))?;
+/// let e = state.view().vertex(NodeId::new(0)).unwrap().incident()[0];
+/// let v = state.request(NodeId::new(0), e)?;
 /// assert_eq!(v, NodeId::new(1));
 /// assert_eq!(state.requests(), 1);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone)]
-pub struct WeakSearchState<'g> {
+#[derive(Debug)]
+pub struct WeakSearchState<'s, 'g> {
     graph: &'g UndirectedCsr,
-    view: DiscoveredView,
+    scratch: &'s mut SearchScratch,
     requests: usize,
 }
 
-impl<'g> WeakSearchState<'g> {
-    /// Starts a search at `start`: the searcher knows `start`, its degree
-    /// and its incident edge handles, at no request cost.
+impl<'s, 'g> WeakSearchState<'s, 'g> {
+    /// Starts a search at `start` using `scratch`'s view: the searcher
+    /// knows `start`, its degree and its incident edge handles, at no
+    /// request cost. The scratch is reset (O(1) epoch bump) first, so
+    /// reuse across trials is observationally identical to fresh state.
     ///
     /// # Errors
     ///
     /// Returns [`SearchError::TaskOutOfBounds`] if `start` is not in the
     /// graph.
-    pub fn new(graph: &'g UndirectedCsr, start: NodeId) -> crate::Result<Self> {
+    pub fn new_in(
+        scratch: &'s mut SearchScratch,
+        graph: &'g UndirectedCsr,
+        start: NodeId,
+    ) -> crate::Result<Self> {
         if start.index() >= graph.node_count() {
             return Err(SearchError::TaskOutOfBounds {
                 vertex: start,
                 node_count: graph.node_count(),
             });
         }
-        let mut view = DiscoveredView::new();
-        view.insert_vertex(start, incident_handles(graph, start));
+        scratch.begin(graph);
+        scratch
+            .view
+            .insert_vertex_from_slots(start, graph.incident(start));
         Ok(WeakSearchState {
             graph,
-            view,
+            scratch,
             requests: 0,
         })
     }
 
     /// The searcher's current knowledge.
     pub fn view(&self) -> &DiscoveredView {
-        &self.view
+        &self.scratch.view
     }
 
     /// Requests issued so far — the paper's cost measure.
@@ -75,7 +85,7 @@ impl<'g> WeakSearchState<'g> {
     /// * [`SearchError::UndiscoveredVertex`] if `u` is not discovered.
     /// * [`SearchError::UnknownIncidence`] if `e` is not incident to `u`.
     pub fn request(&mut self, u: NodeId, e: EdgeId) -> crate::Result<NodeId> {
-        let Some(info) = self.view.vertex(u) else {
+        let Some(info) = self.scratch.view.vertex(u) else {
             return Err(SearchError::UndiscoveredVertex { vertex: u });
         };
         if !info.incident().contains(&e) {
@@ -87,16 +97,12 @@ impl<'g> WeakSearchState<'g> {
             .edge_endpoints(e)
             .expect("edge handle came from the graph");
         let other = if a == u { b } else { a };
-        self.view.resolve_edge(u, e, other);
-        self.view
-            .insert_vertex(other, incident_handles(self.graph, other));
+        self.scratch.view.resolve_edge(u, e, other);
+        self.scratch
+            .view
+            .insert_vertex_from_slots(other, self.graph.incident(other));
         Ok(other)
     }
-}
-
-/// The incident edge handles of `v` in slot order.
-pub(crate) fn incident_handles(graph: &UndirectedCsr, v: NodeId) -> Vec<EdgeId> {
-    graph.incident(v).iter().map(|&(_, e)| e).collect()
 }
 
 /// A weak-model search algorithm.
@@ -136,7 +142,8 @@ mod tests {
     #[test]
     fn start_is_free_and_known() {
         let g = path3();
-        let s = WeakSearchState::new(&g, NodeId::new(1)).unwrap();
+        let mut scratch = SearchScratch::new();
+        let s = WeakSearchState::new_in(&mut scratch, &g, NodeId::new(1)).unwrap();
         assert_eq!(s.requests(), 0);
         assert_eq!(s.view().len(), 1);
         assert_eq!(s.view().degree_of(NodeId::new(1)), Some(2));
@@ -145,7 +152,8 @@ mod tests {
     #[test]
     fn request_reveals_far_endpoint_and_its_edges() {
         let g = path3();
-        let mut s = WeakSearchState::new(&g, NodeId::new(0)).unwrap();
+        let mut scratch = SearchScratch::new();
+        let mut s = WeakSearchState::new_in(&mut scratch, &g, NodeId::new(0)).unwrap();
         let e0 = s.view().vertex(NodeId::new(0)).unwrap().incident()[0];
         let v = s.request(NodeId::new(0), e0).unwrap();
         assert_eq!(v, NodeId::new(1));
@@ -161,7 +169,8 @@ mod tests {
     #[test]
     fn redundant_requests_still_cost() {
         let g = path3();
-        let mut s = WeakSearchState::new(&g, NodeId::new(0)).unwrap();
+        let mut scratch = SearchScratch::new();
+        let mut s = WeakSearchState::new_in(&mut scratch, &g, NodeId::new(0)).unwrap();
         let e0 = s.view().vertex(NodeId::new(0)).unwrap().incident()[0];
         s.request(NodeId::new(0), e0).unwrap();
         s.request(NodeId::new(0), e0).unwrap();
@@ -171,7 +180,8 @@ mod tests {
     #[test]
     fn protocol_violations_are_errors() {
         let g = path3();
-        let mut s = WeakSearchState::new(&g, NodeId::new(0)).unwrap();
+        let mut scratch = SearchScratch::new();
+        let mut s = WeakSearchState::new_in(&mut scratch, &g, NodeId::new(0)).unwrap();
         // Vertex 2 not discovered.
         let any_edge = EdgeId::new(1);
         assert!(matches!(
@@ -190,8 +200,9 @@ mod tests {
     #[test]
     fn bad_start_rejected() {
         let g = path3();
+        let mut scratch = SearchScratch::new();
         assert!(matches!(
-            WeakSearchState::new(&g, NodeId::new(9)),
+            WeakSearchState::new_in(&mut scratch, &g, NodeId::new(9)),
             Err(SearchError::TaskOutOfBounds { .. })
         ));
     }
@@ -199,9 +210,27 @@ mod tests {
     #[test]
     fn self_loop_request_returns_self() {
         let g = UndirectedCsr::from_edges(1, [(0, 0)]).unwrap();
-        let mut s = WeakSearchState::new(&g, NodeId::new(0)).unwrap();
+        let mut scratch = SearchScratch::new();
+        let mut s = WeakSearchState::new_in(&mut scratch, &g, NodeId::new(0)).unwrap();
         let e = s.view().vertex(NodeId::new(0)).unwrap().incident()[0];
         let v = s.request(NodeId::new(0), e).unwrap();
         assert_eq!(v, NodeId::new(0));
+    }
+
+    #[test]
+    fn scratch_reuse_starts_clean() {
+        let g = path3();
+        let mut scratch = SearchScratch::new();
+        {
+            let mut s = WeakSearchState::new_in(&mut scratch, &g, NodeId::new(0)).unwrap();
+            let e0 = s.view().vertex(NodeId::new(0)).unwrap().incident()[0];
+            s.request(NodeId::new(0), e0).unwrap();
+            assert_eq!(s.view().len(), 2);
+        }
+        // Second search on the same scratch sees none of the first.
+        let s = WeakSearchState::new_in(&mut scratch, &g, NodeId::new(2)).unwrap();
+        assert_eq!(s.view().len(), 1);
+        assert!(!s.view().contains(NodeId::new(0)));
+        assert_eq!(s.requests(), 0);
     }
 }

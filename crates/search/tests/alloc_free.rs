@@ -1,0 +1,77 @@
+//! Proves the view/frontier hot path is allocation-free in steady
+//! state: once a `SearchScratch` and a pooled searcher have served one
+//! trial on a graph size, further trials on that size perform **zero**
+//! heap allocations.
+//!
+//! The shared counting global allocator (`nonsearch_alloc_counter`,
+//! also installed by the `oracle_ops` bench so both harnesses measure
+//! the same thing) makes the claim checkable rather than aspirational.
+//! The counter is per-thread (concurrent libtest threads cannot
+//! pollute a measurement window), so everything lives in one `#[test]`
+//! purely to keep the warm-up → steady-state sequencing explicit.
+
+use nonsearch_alloc_counter::{allocations, CountingAllocator};
+use nonsearch_generators::{rng_from_seed, MergedMori};
+use nonsearch_graph::NodeId;
+use nonsearch_search::{
+    run_strong_in, run_weak_in, SearchScratch, SearchTask, SearcherKind, StrongBfs,
+};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+#[test]
+fn steady_state_trials_allocate_nothing() {
+    let n = 512;
+    let graph = MergedMori::sample(n, 2, 0.5, &mut rng_from_seed(3))
+        .unwrap()
+        .undirected();
+    let task = SearchTask::new(NodeId::from_label(1), NodeId::from_label(n)).with_budget(50 * n);
+
+    let mut scratch = SearchScratch::new();
+
+    // The deterministic weak searchers built on the dense view/frontier
+    // path. (Walk searchers draw from the RNG; the vendored ChaCha is
+    // alloc-free too, so RandomWalk rides along as a bonus check.)
+    for kind in [
+        SearcherKind::BfsFlood,
+        SearcherKind::Dfs,
+        SearcherKind::HighDegree,
+        SearcherKind::GreedyId,
+        SearcherKind::OldestFirst,
+        SearcherKind::RandomWalk,
+        SearcherKind::SimStrongHighDegree,
+    ] {
+        let mut searcher = kind.build();
+        // Warm-up trial: arrays grow to the graph size, heaps/queues
+        // reach their high-water marks.
+        let mut rng = rng_from_seed(11);
+        let warm = run_weak_in(&mut scratch, &graph, &task, &mut *searcher, &mut rng).unwrap();
+        assert!(warm.found, "{kind}");
+
+        // Steady state: bit-identical outcome, zero allocations.
+        let mut rng = rng_from_seed(11);
+        let before = allocations();
+        let steady = run_weak_in(&mut scratch, &graph, &task, &mut *searcher, &mut rng).unwrap();
+        let allocated = allocations() - before;
+        assert_eq!(steady, warm, "{kind}: scratch reuse changed the outcome");
+        assert_eq!(
+            allocated, 0,
+            "{kind}: steady-state trial performed {allocated} heap allocations"
+        );
+    }
+
+    // The strong oracle's expansion/answer buffers are pooled too.
+    let mut strong = StrongBfs::new();
+    let mut rng = rng_from_seed(13);
+    let warm = run_strong_in(&mut scratch, &graph, &task, &mut strong, &mut rng).unwrap();
+    let mut rng = rng_from_seed(13);
+    let before = allocations();
+    let steady = run_strong_in(&mut scratch, &graph, &task, &mut strong, &mut rng).unwrap();
+    let allocated = allocations() - before;
+    assert_eq!(steady, warm);
+    assert_eq!(
+        allocated, 0,
+        "strong-bfs: steady-state trial performed {allocated} heap allocations"
+    );
+}

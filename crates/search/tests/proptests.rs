@@ -1,13 +1,15 @@
-//! Property-based tests: oracle accounting and searcher invariants on
-//! random connected graphs.
+//! Property-based tests: oracle accounting, searcher invariants, the
+//! dense view's observational equivalence against a hash-map reference
+//! model, and scratch-reuse bit-identity.
 
 use nonsearch_generators::{rng_from_seed, MergedMori};
-use nonsearch_graph::{NodeId, UndirectedCsr};
+use nonsearch_graph::{EdgeId, NodeId, UndirectedCsr};
 use nonsearch_search::{
-    run_strong, run_weak, SearchTask, SearcherKind, StrongBfs, StrongSearchState, SuccessCriterion,
-    WeakSearchState,
+    run_strong, run_strong_in, run_weak, run_weak_in, DiscoveredView, SearchScratch, SearchTask,
+    SearcherKind, StrongBfs, StrongSearchState, SuccessCriterion, WeakSearchState,
 };
 use proptest::prelude::*;
+use std::collections::HashMap;
 
 /// A connected multigraph via the merged Móri generator.
 fn connected_graph(n: usize, m: usize, p: f64, seed: u64) -> UndirectedCsr {
@@ -16,8 +18,196 @@ fn connected_graph(n: usize, m: usize, p: f64, seed: u64) -> UndirectedCsr {
         .undirected()
 }
 
+/// The pre-refactor `HashMap`-based view, kept as the reference model:
+/// the dense epoch-stamped implementation must agree with it on every
+/// observable query after any script of inserts and resolutions.
+#[derive(Default)]
+struct ReferenceView {
+    order: Vec<NodeId>,
+    vertices: HashMap<NodeId, Vec<EdgeId>>,
+    edges: HashMap<EdgeId, (NodeId, Option<NodeId>)>,
+}
+
+impl ReferenceView {
+    fn insert_vertex(&mut self, v: NodeId, incident: &[EdgeId]) {
+        if self.vertices.contains_key(&v) {
+            return;
+        }
+        for &e in incident {
+            match self.edges.get_mut(&e) {
+                None => {
+                    self.edges.insert(e, (v, None));
+                }
+                Some((_, other @ None)) => *other = Some(v),
+                Some(_) => {}
+            }
+        }
+        self.order.push(v);
+        self.vertices.insert(v, incident.to_vec());
+    }
+
+    fn resolve_edge(&mut self, u: NodeId, e: EdgeId, other: NodeId) {
+        match self.edges.get_mut(&e) {
+            Some((_, slot @ None)) => *slot = Some(other),
+            Some(_) => {}
+            None => {
+                self.edges.insert(e, (u, Some(other)));
+            }
+        }
+    }
+
+    fn contains(&self, v: NodeId) -> bool {
+        self.vertices.contains_key(&v)
+    }
+
+    fn degree_of(&self, v: NodeId) -> Option<usize> {
+        self.vertices.get(&v).map(Vec::len)
+    }
+
+    fn is_resolved(&self, e: EdgeId) -> bool {
+        self.edges.get(&e).is_some_and(|(_, other)| other.is_some())
+    }
+
+    fn other_endpoint(&self, u: NodeId, e: EdgeId) -> Option<NodeId> {
+        let &(a, b) = self.edges.get(&e)?;
+        match (a, b?) {
+            (a, b) if a == u => Some(b),
+            (a, b) if b == u => Some(a),
+            _ => None,
+        }
+    }
+
+    fn unexplored(&self, v: NodeId) -> Vec<EdgeId> {
+        self.vertices.get(&v).map_or(Vec::new(), |incident| {
+            incident
+                .iter()
+                .copied()
+                .filter(|&e| !self.is_resolved(e))
+                .collect()
+        })
+    }
+}
+
+/// One scripted operation against both views.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(usize, Vec<usize>),
+    Resolve(usize, usize, usize),
+    Reset,
+}
+
+fn op_strategy(nodes: usize, edges: usize) -> impl Strategy<Value = Op> {
+    (
+        0usize..9,
+        0..nodes,
+        proptest::collection::vec(0..edges, 0..6),
+        0..edges,
+        0..nodes,
+    )
+        .prop_map(|(sel, v, incident, e, w)| match sel {
+            0..=3 => Op::Insert(v, incident),
+            4..=7 => Op::Resolve(v, e, w),
+            _ => Op::Reset,
+        })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn dense_view_matches_the_hashmap_reference_model(
+        ops in proptest::collection::vec(op_strategy(12, 16), 1..60),
+    ) {
+        let mut dense = DiscoveredView::new();
+        let mut reference = ReferenceView::default();
+        for op in &ops {
+            match op {
+                Op::Insert(v, incident) => {
+                    let incident: Vec<EdgeId> =
+                        incident.iter().map(|&e| EdgeId::new(e)).collect();
+                    dense.insert_vertex(NodeId::new(*v), &incident);
+                    reference.insert_vertex(NodeId::new(*v), &incident);
+                }
+                Op::Resolve(u, e, w) => {
+                    dense.resolve_edge(NodeId::new(*u), EdgeId::new(*e), NodeId::new(*w));
+                    reference.resolve_edge(NodeId::new(*u), EdgeId::new(*e), NodeId::new(*w));
+                }
+                Op::Reset => {
+                    dense.reset();
+                    reference = ReferenceView::default();
+                }
+            }
+            // After every step the two implementations agree on every
+            // observable query over the whole id space.
+            prop_assert_eq!(dense.len(), reference.order.len());
+            prop_assert_eq!(dense.discovered(), &reference.order[..]);
+            for v in (0..12).map(NodeId::new) {
+                prop_assert_eq!(dense.contains(v), reference.contains(v));
+                prop_assert_eq!(dense.degree_of(v), reference.degree_of(v));
+                prop_assert_eq!(
+                    dense.unexplored_edges_of(v).collect::<Vec<_>>(),
+                    reference.unexplored(v)
+                );
+                if let Some(info) = dense.vertex(v) {
+                    prop_assert_eq!(info.incident(), &reference.vertices[&v][..]);
+                }
+            }
+            for e in (0..16).map(EdgeId::new) {
+                prop_assert_eq!(dense.is_resolved(e), reference.is_resolved(e));
+                for u in (0..12).map(NodeId::new) {
+                    prop_assert_eq!(
+                        dense.other_endpoint(u, e),
+                        reference.other_endpoint(u, e)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_to_fresh_state(
+        n in 4usize..50,
+        p in 0.0f64..=1.0,
+        seed in 0u64..300,
+    ) {
+        let graph = connected_graph(n, 1, p, seed);
+        // One scratch and one searcher instance serve consecutive trials
+        // with different tasks; every outcome must equal a fresh-state
+        // run with the same seed.
+        let mut scratch = SearchScratch::new();
+        for kind in [
+            SearcherKind::BfsFlood,
+            SearcherKind::HighDegree,
+            SearcherKind::RandomWalk,
+            SearcherKind::SimStrongHighDegree,
+        ] {
+            let mut pooled = kind.build();
+            for target in [n - 1, n / 2, 0] {
+                let task = SearchTask::new(NodeId::from_label(1), NodeId::new(target))
+                    .with_budget(200 * n);
+                let reused = run_weak_in(
+                    &mut scratch, &graph, &task, &mut *pooled, &mut rng_from_seed(seed ^ 0x5C),
+                ).unwrap();
+                let fresh = run_weak(
+                    &graph, &task, &mut *kind.build(), &mut rng_from_seed(seed ^ 0x5C),
+                ).unwrap();
+                prop_assert_eq!(reused, fresh, "{} target {}", kind, target);
+            }
+        }
+        // Same property for the strong oracle.
+        let mut strong = StrongBfs::new();
+        for target in [n - 1, 0] {
+            let task = SearchTask::new(NodeId::from_label(1), NodeId::new(target))
+                .with_budget(200 * n);
+            let reused = run_strong_in(
+                &mut scratch, &graph, &task, &mut strong, &mut rng_from_seed(seed),
+            ).unwrap();
+            let fresh = run_strong(
+                &graph, &task, &mut StrongBfs::new(), &mut rng_from_seed(seed),
+            ).unwrap();
+            prop_assert_eq!(reused, fresh, "strong target {}", target);
+        }
+    }
 
     #[test]
     fn every_searcher_finds_every_target_on_connected_graphs(
@@ -91,7 +281,9 @@ proptest! {
         steps in 1usize..50,
     ) {
         let graph = connected_graph(n, 1, p, seed);
-        let mut state = WeakSearchState::new(&graph, NodeId::from_label(1)).unwrap();
+        let mut scratch = SearchScratch::new();
+        let mut state =
+            WeakSearchState::new_in(&mut scratch, &graph, NodeId::from_label(1)).unwrap();
         let mut issued = 0usize;
         let mut rng = rng_from_seed(seed);
         use rand::Rng;
@@ -118,8 +310,10 @@ proptest! {
         seed in 0u64..500,
     ) {
         let graph = connected_graph(n, m, p, seed);
-        let mut state = StrongSearchState::new(&graph, NodeId::from_label(1)).unwrap();
-        let revealed = state.request(NodeId::from_label(1)).unwrap();
+        let mut scratch = SearchScratch::new();
+        let mut state =
+            StrongSearchState::new_in(&mut scratch, &graph, NodeId::from_label(1)).unwrap();
+        let revealed = state.request(NodeId::from_label(1)).unwrap().to_vec();
         prop_assert_eq!(revealed.len(), graph.degree(NodeId::from_label(1)));
         for v in revealed {
             prop_assert!(state.view().contains(v));
