@@ -31,6 +31,20 @@ fn record(ctx: &mut ExpContext, knob: &str, variant: &str, n: usize, trials: usi
             ("success", JsonValue::from(c.success)),
         ])
         .expect("write cell record");
+    if ctx.options.profile {
+        ctx.writer
+            .record_profile(vec![
+                ("model", JsonValue::from("mori")),
+                ("knob", JsonValue::from(knob)),
+                ("variant", JsonValue::from(variant)),
+                ("n", JsonValue::from(n)),
+                ("trials", JsonValue::from(trials)),
+                ("requests", JsonValue::from(c.mean * trials as f64)),
+                ("wall_ms", JsonValue::from(c.wall_ms)),
+                ("requests_per_sec", JsonValue::from(c.requests_per_sec)),
+            ])
+            .expect("write profile record");
+    }
 }
 
 fn run(ctx: &mut ExpContext) {

@@ -77,6 +77,7 @@ fn run(ctx: &mut ExpContext) {
 
     for (size_idx, &n) in sizes.iter().enumerate() {
         let size_seeds = seeds.subsequence(size_idx as u64);
+        let cell_start = std::time::Instant::now();
         let lanes = run_lanes_with(
             trial_count,
             VARIANTS.len() * SEARCHERS.len(),
@@ -126,6 +127,7 @@ fn run(ctx: &mut ExpContext) {
                 measures
             },
         );
+        let wall_ms = cell_start.elapsed().as_secs_f64() * 1e3;
 
         for (lane_idx, lane) in lanes.iter().enumerate() {
             let v_idx = lane_idx / SEARCHERS.len();
@@ -154,6 +156,26 @@ fn run(ctx: &mut ExpContext) {
                     ("success", JsonValue::from(lane.success_rate())),
                 ])
                 .expect("write cell record");
+        }
+        if ctx.options.profile {
+            let requests: f64 = lanes
+                .iter()
+                .map(|lane| lane.mean() * trial_count as f64)
+                .sum();
+            ctx.writer
+                .record_profile(vec![
+                    ("model", JsonValue::from("barabasi-albert")),
+                    ("n", JsonValue::from(n)),
+                    ("trials", JsonValue::from(trial_count)),
+                    ("lanes", JsonValue::from(lanes.len())),
+                    ("requests", JsonValue::from(requests)),
+                    ("wall_ms", JsonValue::from(wall_ms)),
+                    (
+                        "requests_per_sec",
+                        JsonValue::from(requests / (wall_ms / 1e3).max(f64::EPSILON)),
+                    ),
+                ])
+                .expect("write profile record");
         }
     }
     println!("{table}");

@@ -77,6 +77,20 @@ fn run(ctx: &mut ExpContext) {
                         ("success", JsonValue::from(cell.success)),
                     ])
                     .expect("write cell record");
+                if ctx.options.profile {
+                    ctx.writer
+                        .record_profile(vec![
+                            ("model", JsonValue::from("mori")),
+                            ("p", JsonValue::from(p)),
+                            ("searcher", JsonValue::from(kind.name())),
+                            ("n", JsonValue::from(n)),
+                            ("trials", JsonValue::from(trial_count)),
+                            ("requests", JsonValue::from(cell.mean * trial_count as f64)),
+                            ("wall_ms", JsonValue::from(cell.wall_ms)),
+                            ("requests_per_sec", JsonValue::from(cell.requests_per_sec)),
+                        ])
+                        .expect("write profile record");
+                }
                 series.push((n, cell.mean));
             }
             // Track the cheapest searcher at the largest size.

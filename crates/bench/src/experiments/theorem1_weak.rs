@@ -83,6 +83,27 @@ fn run(ctx: &mut ExpContext) {
                 }
             }
 
+            if ctx.options.profile {
+                for profile in &report.profiles {
+                    ctx.writer
+                        .record_profile(vec![
+                            ("model", JsonValue::from("mori")),
+                            ("p", JsonValue::from(p)),
+                            ("m", JsonValue::from(m)),
+                            ("n", JsonValue::from(profile.n)),
+                            ("trials", JsonValue::from(profile.trials)),
+                            ("lanes", JsonValue::from(profile.lanes)),
+                            ("requests", JsonValue::from(profile.requests)),
+                            ("wall_ms", JsonValue::from(profile.wall_ms)),
+                            (
+                                "requests_per_sec",
+                                JsonValue::from(profile.requests_per_sec),
+                            ),
+                        ])
+                        .expect("write profile record");
+                }
+            }
+
             let mut bound_table =
                 Table::with_columns(&["n", "lemma1 bound", "best measured", "slack"]);
             let best = report.best_algorithm().expect("suite is non-empty");

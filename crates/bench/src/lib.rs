@@ -52,6 +52,11 @@ pub fn banner(id: &str, claim: &str) {
 }
 
 /// Aggregated measurement of one (model, size, searcher) cell.
+///
+/// `mean`/`ci95`/`success` are deterministic (bit-identical for any
+/// thread count); `wall_ms`/`requests_per_sec` are volatile wall-clock
+/// throughput for `--profile` reporting and never belong in cell
+/// records.
 #[derive(Debug, Clone, Copy)]
 pub struct CellStats {
     /// Mean request count.
@@ -60,6 +65,27 @@ pub struct CellStats {
     pub ci95: f64,
     /// Fraction of trials that found the target.
     pub success: f64,
+    /// Wall-clock time of the whole cell in milliseconds.
+    pub wall_ms: f64,
+    /// Total requests across trials divided by wall seconds.
+    pub requests_per_sec: f64,
+}
+
+impl CellStats {
+    fn from_lane(
+        lane: &nonsearch_engine::LaneAggregate,
+        trial_count: usize,
+        wall_ms: f64,
+    ) -> CellStats {
+        let requests = lane.mean() * trial_count as f64;
+        CellStats {
+            mean: lane.mean(),
+            ci95: lane.ci95(),
+            success: lane.success_rate(),
+            wall_ms,
+            requests_per_sec: requests / (wall_ms / 1e3).max(f64::EPSILON),
+        }
+    }
 }
 
 /// Strong-model searcher selection for the Theorem 1 strong experiments.
@@ -135,6 +161,7 @@ pub fn strong_cell_from(
 ) -> CellStats {
     // Per-worker pool: scratch + searcher built once, reused (and reset)
     // across all of the worker's trials.
+    let start = std::time::Instant::now();
     let lane = run_cell_with(
         trial_count,
         threads,
@@ -151,11 +178,7 @@ pub fn strong_cell_from(
             TrialMeasure::new(outcome.requests as f64, outcome.found)
         },
     );
-    CellStats {
-        mean: lane.mean(),
-        ci95: lane.ci95(),
-        success: lane.success_rate(),
-    }
+    CellStats::from_lane(&lane, trial_count, start.elapsed().as_secs_f64() * 1e3)
 }
 
 /// Where the searcher starts.
@@ -236,6 +259,7 @@ pub fn weak_cell_with_policy_from(
     threads: usize,
     seeds: &SeedSequence,
 ) -> CellStats {
+    let start = std::time::Instant::now();
     let lane = run_cell_with(
         trial_count,
         threads,
@@ -254,11 +278,7 @@ pub fn weak_cell_with_policy_from(
             TrialMeasure::new(outcome.requests as f64, outcome.found)
         },
     );
-    CellStats {
-        mean: lane.mean(),
-        ci95: lane.ci95(),
-        success: lane.success_rate(),
-    }
+    CellStats::from_lane(&lane, trial_count, start.elapsed().as_secs_f64() * 1e3)
 }
 
 #[cfg(test)]
@@ -274,6 +294,9 @@ mod tests {
         let cell = strong_cell(&model, 256, StrongKind::HighDegree, 4, 0, &seeds);
         assert!(cell.mean > 0.0);
         assert!(cell.success > 0.9);
+        assert!(cell.wall_ms >= 0.0);
+        assert!(cell.requests_per_sec > 0.0);
+        assert!(cell.requests_per_sec.is_finite());
     }
 
     #[test]

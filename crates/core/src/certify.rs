@@ -89,6 +89,28 @@ impl AlgorithmScaling {
     }
 }
 
+/// Throughput of one certification cell: all lanes (searchers) of one
+/// graph size, timed around the engine call.
+///
+/// Unlike [`ScalingPoint`]s, profiles carry volatile wall-clock data —
+/// they exist for `--profile`-style reporting and regression tracking
+/// against `BENCH_search_hot_path.json`, never for determinism checks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellProfile {
+    /// Requested model size.
+    pub n: usize,
+    /// Trials per lane.
+    pub trials: usize,
+    /// Lanes (searchers) raced per trial.
+    pub lanes: usize,
+    /// Wall-clock time of the whole cell in milliseconds.
+    pub wall_ms: f64,
+    /// Total oracle requests served across all lanes and trials.
+    pub requests: f64,
+    /// `requests` divided by the cell's wall time in seconds.
+    pub requests_per_sec: f64,
+}
+
 /// The certification verdict for one model.
 #[derive(Debug, Clone)]
 pub struct SearchabilityReport {
@@ -96,6 +118,8 @@ pub struct SearchabilityReport {
     pub model: String,
     /// Per-algorithm scaling results.
     pub algorithms: Vec<AlgorithmScaling>,
+    /// One throughput profile per swept size, in sweep order.
+    pub profiles: Vec<CellProfile>,
     /// The exponent the paper proves no algorithm can beat (1/2 for the
     /// weak model).
     pub theoretical_exponent: f64,
@@ -188,9 +212,11 @@ pub fn certify_with_source(
     let n_searchers = config.searchers.len();
     // all_points[searcher][size index] = that searcher's scaling point.
     let mut all_points: Vec<Vec<ScalingPoint>> = vec![Vec::new(); n_searchers];
+    let mut profiles = Vec::with_capacity(config.sizes.len());
 
     for (size_idx, &n) in config.sizes.iter().enumerate() {
         let size_seeds = seeds.subsequence(size_idx as u64);
+        let cell_start = std::time::Instant::now();
         let lanes = run_lanes_with(
             config.trials,
             n_searchers,
@@ -206,6 +232,7 @@ pub fn certify_with_source(
             },
             |pool, trial, trial_seeds| run_one_trial(pool, source, config, n, trial, &trial_seeds),
         );
+        let wall_ms = cell_start.elapsed().as_secs_f64() * 1e3;
         for (s_idx, lane) in lanes.iter().enumerate() {
             all_points[s_idx].push(ScalingPoint {
                 n,
@@ -214,6 +241,18 @@ pub fn certify_with_source(
                 success_rate: lane.success_rate(),
             });
         }
+        let requests: f64 = lanes
+            .iter()
+            .map(|lane| lane.mean() * config.trials as f64)
+            .sum();
+        profiles.push(CellProfile {
+            n,
+            trials: config.trials,
+            lanes: n_searchers,
+            wall_ms,
+            requests,
+            requests_per_sec: requests / (wall_ms / 1e3).max(f64::EPSILON),
+        });
     }
 
     let algorithms = config
@@ -231,6 +270,7 @@ pub fn certify_with_source(
     SearchabilityReport {
         model: model_name,
         algorithms,
+        profiles,
         theoretical_exponent: 0.5,
     }
 }
@@ -308,6 +348,23 @@ mod tests {
         }
         assert!(report.best_algorithm().is_some());
         assert!(report.to_table().len() >= 9);
+        // One throughput profile per size, with sane totals: requests
+        // equals the sum of per-lane means times the trial count.
+        assert_eq!(report.profiles.len(), 3);
+        for (profile, &n) in report.profiles.iter().zip(&[128usize, 256, 512]) {
+            assert_eq!(profile.n, n);
+            assert_eq!(profile.trials, 6);
+            assert_eq!(profile.lanes, 3);
+            assert!(profile.requests > 0.0);
+            assert!(profile.requests_per_sec > 0.0);
+            assert!(profile.requests_per_sec.is_finite());
+            let lane_sum: f64 = report
+                .algorithms
+                .iter()
+                .map(|a| a.points.iter().find(|p| p.n == n).unwrap().mean_requests * 6.0)
+                .sum();
+            assert!((profile.requests - lane_sum).abs() < 1e-6);
+        }
     }
 
     #[test]

@@ -54,7 +54,7 @@ mod source;
 
 pub use json::{parse as parse_json, JsonError, JsonValue};
 pub use options::{CliOptions, OptionsError, OutputFormat};
-pub use record::{git_describe, RunSummary, RunWriter, CELL_TYPE, RUN_TYPE};
+pub use record::{git_describe, RunSummary, RunWriter, CELL_TYPE, PROFILE_TYPE, RUN_TYPE};
 pub use registry::{
     run_legacy, validate_jsonl, ExpContext, ExperimentSpec, Registry, ValidateSummary,
 };

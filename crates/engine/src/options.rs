@@ -15,8 +15,9 @@
 //! | `--corpus DIR` | serve trial graphs from a stored corpus instead of generating |
 //! | `--mmap` | serve corpus graphs zero-copy from memory-mapped files |
 //! | `--trust-checksums` | skip per-load payload checksums (run `corpus verify` first) |
+//! | `--profile` | emit per-cell throughput records (`"type":"profile"`) alongside cells |
 //!
-//! `--quick`, `--mmap`, and `--trust-checksums` are boolean flags: they take no value, and
+//! `--quick`, `--mmap`, `--trust-checksums`, and `--profile` are boolean flags: they take no value, and
 //! the strict (`xp`) parser rejects `--quick=...` outright — silently
 //! treating `--quick=false` as *enabling* quick mode was a real bug.
 //! `NONSEARCH_QUICK` enables quick mode unless it is empty or one of
@@ -138,6 +139,10 @@ pub struct CliOptions {
     /// `corpus verify`, which always hashes. Meaningful only together
     /// with `--corpus`.
     pub trust_checksums: bool,
+    /// Emit per-cell throughput records (`--profile`): wall time and
+    /// requests/sec per measured cell, as JSONL `"type":"profile"`
+    /// records riding alongside the deterministic cell stream.
+    pub profile: bool,
 }
 
 impl CliOptions {
@@ -219,6 +224,7 @@ impl CliOptions {
                 "--trust-checksums" => {
                     boolean("--trust-checksums").map(|b| opts.trust_checksums = b)
                 }
+                "--profile" => boolean("--profile").map(|b| opts.profile = b),
                 "--threads" => value("--threads")
                     .and_then(|v| parse_num(&v, "--threads"))
                     .map(|n| opts.threads = n),
@@ -357,10 +363,12 @@ mod tests {
             "--corpus",
             "corpus-dir",
             "--trust-checksums",
+            "--profile",
         ])
         .unwrap();
         assert!(opts.quick);
         assert!(opts.trust_checksums);
+        assert!(opts.profile);
         assert_eq!(opts.threads, 4);
         assert_eq!(opts.seed, Some(17));
         assert_eq!(
@@ -469,6 +477,7 @@ mod tests {
             "--quick=",
             "--mmap=0",
             "--trust-checksums=1",
+            "--profile=true",
         ] {
             let err = strict(&[arg]).unwrap_err();
             assert!(
@@ -492,6 +501,15 @@ mod tests {
         assert!(!CliOptions::default().mmap);
         let opts = CliOptions::from_args_lenient(["--mmap"]);
         assert!(opts.mmap);
+    }
+
+    #[test]
+    fn profile_flag_parses() {
+        let opts = strict(&["--profile"]).unwrap();
+        assert!(opts.profile);
+        assert!(!CliOptions::default().profile);
+        let opts = CliOptions::from_args_lenient(["--profile"]);
+        assert!(opts.profile);
     }
 
     #[test]

@@ -19,6 +19,8 @@ use std::time::Instant;
 pub const CELL_TYPE: &str = "cell";
 /// The JSONL `type` tag of the run footer.
 pub const RUN_TYPE: &str = "run";
+/// The JSONL `type` tag of per-cell throughput records (`--profile`).
+pub const PROFILE_TYPE: &str = "profile";
 
 /// Sink for one experiment run's structured records.
 ///
@@ -35,6 +37,7 @@ pub struct RunWriter {
     jsonl: Option<(PathBuf, BufWriter<File>)>,
     csv: Option<CsvSink>,
     cells: usize,
+    profiles: usize,
     start: Instant,
 }
 
@@ -86,6 +89,7 @@ impl RunWriter {
             jsonl,
             csv,
             cells: 0,
+            profiles: 0,
             start: Instant::now(),
         })
     }
@@ -121,6 +125,23 @@ impl RunWriter {
         Ok(())
     }
 
+    /// Writes one throughput record (`--profile`). Profile records carry
+    /// volatile timing, so they go to the JSONL stream only — never to
+    /// CSV, whose single header is shaped by the deterministic cell rows
+    /// — and determinism checks must filter on `"type":"cell"` as they
+    /// already do.
+    pub fn record_profile(&mut self, fields: Vec<(&str, JsonValue)>) -> io::Result<()> {
+        self.profiles += 1;
+        if let Some((_, w)) = &mut self.jsonl {
+            let mut pairs: Vec<(String, JsonValue)> = Vec::with_capacity(fields.len() + 2);
+            pairs.push(("type".into(), JsonValue::from(PROFILE_TYPE)));
+            pairs.push(("experiment".into(), JsonValue::Str(self.experiment.clone())));
+            pairs.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
+            writeln!(w, "{}", JsonValue::Object(pairs))?;
+        }
+        Ok(())
+    }
+
     /// Writes the run footer (seed, quick, threads, git describe, wall
     /// time, cell count), flushes, and reports what was written.
     pub fn finish(mut self, seed: u64) -> io::Result<RunSummary> {
@@ -136,6 +157,7 @@ impl RunWriter {
                 ("git", JsonValue::from(git_describe())),
                 ("wall_ms", JsonValue::from(wall_ms as u64)),
                 ("cells", JsonValue::from(self.cells)),
+                ("profiles", JsonValue::from(self.profiles)),
             ]);
             writeln!(w, "{footer}")?;
             w.flush()?;
@@ -355,6 +377,49 @@ mod tests {
         let csv = std::fs::read_to_string(&path).unwrap();
         assert_eq!(csv.lines().count(), 2);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn profile_records_are_jsonl_only() {
+        let path = temp_path("prof.jsonl");
+        let options = CliOptions {
+            out: Some(path.clone()),
+            format: OutputFormat::Both,
+            ..CliOptions::default()
+        };
+        let mut w = RunWriter::create("demo", &options).unwrap();
+        w.record_cell(demo_fields(64)).unwrap();
+        w.record_profile(vec![
+            ("n", JsonValue::from(64usize)),
+            ("requests_per_sec", JsonValue::from(1.25e6)),
+        ])
+        .unwrap();
+        w.finish(1).unwrap();
+
+        let jsonl = std::fs::read_to_string(&path).unwrap();
+        let profile_line = jsonl
+            .lines()
+            .find(|l| l.contains("\"type\":\"profile\""))
+            .expect("profile record in JSONL");
+        let parsed = json::parse(profile_line).unwrap();
+        assert_eq!(
+            parsed.get("type").and_then(|v| v.as_str()),
+            Some(PROFILE_TYPE)
+        );
+        assert_eq!(
+            parsed.get("requests_per_sec").and_then(|v| v.as_f64()),
+            Some(1.25e6)
+        );
+        let footer = json::parse(jsonl.lines().last().unwrap()).unwrap();
+        assert_eq!(footer.get("profiles").and_then(|v| v.as_f64()), Some(1.0));
+        // The CSV sibling keeps its single cell-shaped header: no
+        // profile rows leak into it.
+        let csv_path = path.with_extension("csv");
+        let csv = std::fs::read_to_string(&csv_path).unwrap();
+        assert_eq!(csv.lines().count(), 2);
+        assert!(!csv.contains("profile"));
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&csv_path).ok();
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use crate::json;
 use crate::options::CliOptions;
-use crate::record::{RunSummary, RunWriter, CELL_TYPE, RUN_TYPE};
+use crate::record::{RunSummary, RunWriter, CELL_TYPE, PROFILE_TYPE, RUN_TYPE};
 use nonsearch_analysis::Table;
 use std::io;
 
@@ -219,6 +219,7 @@ impl Registry {
              \x20 --sizes A,B,C      override the size sweep\n\
              \x20 --corpus DIR       serve trial graphs from a stored corpus\n\
              \x20 --mmap             zero-copy corpus loads via memory-mapped files\n\
+             \x20 --profile          per-cell throughput records (requests/sec) in the JSONL out\n\
              \n\
              experiments:\n",
         );
@@ -245,22 +246,33 @@ pub struct ValidateSummary {
     pub cells: usize,
     /// `"type":"run"` footers.
     pub runs: usize,
+    /// `"type":"profile"` throughput records (`--profile`).
+    pub profiles: usize,
 }
 
 impl std::fmt::Display for ValidateSummary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} cell records, {} run footers — OK",
-            self.cells, self.runs
+            "{} cell records, {} run footers, {} profile records — OK",
+            self.cells, self.runs, self.profiles
         )
     }
 }
 
-/// Checks that every non-empty line is a JSON object tagged `cell` or
-/// `run`, and that at least one record is present.
+/// The numeric fields every `"type":"profile"` record must carry, each a
+/// finite non-negative number.
+const PROFILE_REQUIRED: [&str; 5] = ["n", "trials", "requests", "wall_ms", "requests_per_sec"];
+
+/// Checks that every non-empty line is a JSON object tagged `cell`,
+/// `run`, or `profile`, that profile records carry well-formed
+/// throughput fields, and that at least one record is present.
 pub fn validate_jsonl(text: &str) -> Result<ValidateSummary, String> {
-    let mut summary = ValidateSummary { cells: 0, runs: 0 };
+    let mut summary = ValidateSummary {
+        cells: 0,
+        runs: 0,
+        profiles: 0,
+    };
     for (lineno, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -269,6 +281,27 @@ pub fn validate_jsonl(text: &str) -> Result<ValidateSummary, String> {
         match value.get("type").and_then(|t| t.as_str()) {
             Some(t) if t == CELL_TYPE => summary.cells += 1,
             Some(t) if t == RUN_TYPE => summary.runs += 1,
+            Some(t) if t == PROFILE_TYPE => {
+                for key in PROFILE_REQUIRED {
+                    match value.get(key).and_then(|v| v.as_f64()) {
+                        Some(x) if x.is_finite() && x >= 0.0 => {}
+                        Some(x) => {
+                            return Err(format!(
+                                "line {}: profile field {key:?} is not a finite non-negative \
+                                 number (got {x})",
+                                lineno + 1
+                            ))
+                        }
+                        None => {
+                            return Err(format!(
+                                "line {}: profile record is missing numeric field {key:?}",
+                                lineno + 1
+                            ))
+                        }
+                    }
+                }
+                summary.profiles += 1;
+            }
             Some(t) => return Err(format!("line {}: unknown record type {t:?}", lineno + 1)),
             None => {
                 return Err(format!(
@@ -278,7 +311,7 @@ pub fn validate_jsonl(text: &str) -> Result<ValidateSummary, String> {
             }
         }
     }
-    if summary.cells + summary.runs == 0 {
+    if summary.cells + summary.runs + summary.profiles == 0 {
         return Err("no records found".to_string());
     }
     Ok(summary)
@@ -367,7 +400,14 @@ mod tests {
         assert_eq!(summary.cells, 2);
         let text = std::fs::read_to_string(&path).unwrap();
         let v = validate_jsonl(&text).unwrap();
-        assert_eq!(v, ValidateSummary { cells: 2, runs: 1 });
+        assert_eq!(
+            v,
+            ValidateSummary {
+                cells: 2,
+                runs: 1,
+                profiles: 0
+            }
+        );
         let first = json::parse(text.lines().next().unwrap()).unwrap();
         assert_eq!(first.get("seed").and_then(|x| x.as_f64()), Some(99.0));
         std::fs::remove_file(&path).ok();
@@ -388,6 +428,37 @@ mod tests {
         assert!(validate_jsonl("{\"type\":\"alien\"}").is_err());
         assert!(validate_jsonl("[1,2]").is_err());
         let ok = validate_jsonl("{\"type\":\"cell\"}\n\n{\"type\":\"run\"}\n").unwrap();
-        assert_eq!(ok, ValidateSummary { cells: 1, runs: 1 });
+        assert_eq!(
+            ok,
+            ValidateSummary {
+                cells: 1,
+                runs: 1,
+                profiles: 0
+            }
+        );
+    }
+
+    #[test]
+    fn validate_checks_profile_fields() {
+        let good = "{\"type\":\"profile\",\"n\":128,\"trials\":4,\"requests\":512,\
+                    \"wall_ms\":2.5,\"requests_per_sec\":204800.0}\n";
+        let ok = validate_jsonl(good).unwrap();
+        assert_eq!(
+            ok,
+            ValidateSummary {
+                cells: 0,
+                runs: 0,
+                profiles: 1
+            }
+        );
+        // A missing throughput field is an error, not a shrug.
+        let missing = "{\"type\":\"profile\",\"n\":128}";
+        let err = validate_jsonl(missing).unwrap_err();
+        assert!(err.contains("missing"), "{err}");
+        // So is a non-finite or negative value.
+        let negative = "{\"type\":\"profile\",\"n\":128,\"trials\":4,\"requests\":512,\
+                        \"wall_ms\":-1,\"requests_per_sec\":1.0}";
+        let err = validate_jsonl(negative).unwrap_err();
+        assert!(err.contains("wall_ms"), "{err}");
     }
 }

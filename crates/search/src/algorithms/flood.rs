@@ -50,6 +50,10 @@ impl WeakSearcher for BfsFlood {
         self.cursor = 0;
         self.edges.reset();
     }
+
+    fn reserve(&mut self, nodes: usize, _edges: usize) {
+        self.edges.reserve(nodes);
+    }
 }
 
 /// Depth-first exploration: expand the most recently discovered vertex
@@ -97,6 +101,11 @@ impl WeakSearcher for DfsWalk {
         self.stack.clear();
         self.seen = 0;
         self.edges.reset();
+    }
+
+    fn reserve(&mut self, nodes: usize, _edges: usize) {
+        self.stack.reserve(nodes);
+        self.edges.reserve(nodes);
     }
 }
 

@@ -62,6 +62,11 @@ impl WeakSearcher for GreedyIdProximity {
         self.seen = 0;
         self.edges.reset();
     }
+
+    fn reserve(&mut self, nodes: usize, _edges: usize) {
+        self.heap.reserve(nodes);
+        self.edges.reserve(nodes);
+    }
 }
 
 /// Expand edges of the oldest (smallest-label) discovered vertex first.
@@ -110,6 +115,11 @@ impl WeakSearcher for OldestFirst {
         self.heap.clear();
         self.seen = 0;
         self.edges.reset();
+    }
+
+    fn reserve(&mut self, nodes: usize, _edges: usize) {
+        self.heap.reserve(nodes);
+        self.edges.reserve(nodes);
     }
 }
 

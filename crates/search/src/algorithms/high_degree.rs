@@ -67,6 +67,11 @@ impl WeakSearcher for HighDegreeGreedy {
         self.seen = 0;
         self.edges.reset();
     }
+
+    fn reserve(&mut self, nodes: usize, _edges: usize) {
+        self.heap.reserve(nodes);
+        self.edges.reserve(nodes);
+    }
 }
 
 #[cfg(test)]

@@ -82,6 +82,13 @@ impl WeakSearcher for LookaheadWalk {
         self.edges.reset();
         self.basket.clear();
     }
+
+    fn reserve(&mut self, nodes: usize, edges: usize) {
+        self.edges.reserve(nodes);
+        // The basket holds one entry per request since the last hop,
+        // which the expanding vertex's degree bounds.
+        self.basket.reserve(2 * edges);
+    }
 }
 
 /// A random walk that teleports back to the start every `restart_every`

@@ -63,11 +63,20 @@ impl PercolationScratch {
         Self::default()
     }
 
-    fn begin(&mut self) {
+    fn begin(&mut self, nodes: usize) {
         self.replicas.clear();
+        self.replicas.reserve(nodes);
         self.reached.clear();
+        self.reached.reserve(nodes);
         self.implanted.clear();
         self.queue.clear();
+        // Both hold distinct vertices only, so `nodes` bounds them.
+        if self.implanted.capacity() < nodes {
+            self.implanted.reserve(nodes);
+        }
+        if self.queue.capacity() < nodes {
+            self.queue.reserve(nodes);
+        }
     }
 }
 
@@ -126,7 +135,7 @@ pub fn percolation_search_in(
             value: config.edge_probability.to_string(),
         });
     }
-    scratch.begin();
+    scratch.begin(graph.node_count());
     let mut messages = 0usize;
 
     // Phase 1: replicate content along a random walk from the owner.

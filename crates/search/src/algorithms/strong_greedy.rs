@@ -47,6 +47,10 @@ impl StrongSearcher for StrongBfs {
         self.expanded.clear();
         self.cursor = 0;
     }
+
+    fn reserve(&mut self, nodes: usize, _edges: usize) {
+        self.expanded.reserve(nodes);
+    }
 }
 
 /// Strong-model high-degree greedy: expand the known, unexpanded vertex
@@ -94,6 +98,10 @@ impl StrongSearcher for StrongHighDegree {
     fn reset(&mut self) {
         self.expanded.clear();
     }
+
+    fn reserve(&mut self, nodes: usize, _edges: usize) {
+        self.expanded.reserve(nodes);
+    }
 }
 
 /// Strong-model identity greedy: expand the known, unexpanded vertex with
@@ -134,6 +142,10 @@ impl StrongSearcher for StrongGreedyId {
 
     fn reset(&mut self) {
         self.expanded.clear();
+    }
+
+    fn reserve(&mut self, nodes: usize, _edges: usize) {
+        self.expanded.reserve(nodes);
     }
 }
 

@@ -101,6 +101,10 @@ impl WeakSearcher for AvoidingWalk {
         self.current = None;
         self.edges.reset();
     }
+
+    fn reserve(&mut self, nodes: usize, _edges: usize) {
+        self.edges.reserve(nodes);
+    }
 }
 
 #[cfg(test)]

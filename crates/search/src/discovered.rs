@@ -2,25 +2,38 @@
 //!
 //! Vertex and edge handles are dense integers ([`NodeId`]/[`EdgeId`]), so
 //! the view keeps flat arrays indexed by id instead of hash tables: a
-//! *discovery stamp* per node, a *resolution record* per edge, and one
-//! shared arena holding every discovered incident list back to back.
-//! Per-request work is a handful of array reads — no hashing, and no
-//! heap allocation once the arrays have grown to the graph's size.
+//! [`StampedMap`] of arena spans per node, a [`StampedMap`] of resolution
+//! flags per edge, and one shared arena holding every discovered incident
+//! list back to back. Per-request work is a handful of array reads — no
+//! hashing, and no heap allocation once the arrays have grown to the
+//! graph's size.
 //!
-//! # The epoch trick
+//! # Layout: hot stamps, cold endpoints
 //!
-//! Stamps compare against the view's current *epoch*: a node is
-//! discovered iff `node_stamp[v] == epoch`, an edge is known iff
-//! `edge_stamp[e] == epoch`, resolved iff `edge_resolved[e] == epoch`.
-//! [`DiscoveredView::reset`] therefore does not touch the stamp arrays
-//! at all — it bumps the epoch (invalidating every stamp at once) and
-//! truncates the two length-tracking vectors, which is O(1). Only when
-//! the `u32` epoch would wrap (once per ~4 billion resets) are the
-//! arrays actually zero-filled. This is what lets one
-//! [`SearchScratch`](crate::SearchScratch) serve thousands of
-//! Monte-Carlo trials without reallocating.
+//! Edge state is split by access pattern. The *hot* pair — presence stamp
+//! and resolved flag — lives inline in one `StampedMap<bool>` slot
+//! (8 bytes), because the request loop's dominant operation,
+//! [`is_resolved`](DiscoveredView::is_resolved), reads exactly that pair
+//! for every incident slot it scans. The *cold* endpoint pair
+//! `[first, other]` sits in a separate side array touched only on the
+//! rare [`other_endpoint`](DiscoveredView::other_endpoint) lookup, so it
+//! no longer dilutes the cache lines the scan streams through.
+//!
+//! Presence itself is epoch-stamped — clearing the view is an O(1) epoch
+//! bump, with the u32-wrap path audited once in
+//! [`StampedMap`](crate::StampedMap) rather than re-implemented here.
+//! This is what lets one [`SearchScratch`](crate::SearchScratch) serve
+//! thousands of Monte-Carlo trials without reallocating.
 
+use crate::stamped::StampedMap;
 use nonsearch_graph::{EdgeId, NodeId};
+
+/// Arena range of a discovered vertex's incident list.
+#[derive(Debug, Clone, Copy, Default)]
+struct NodeSpan {
+    start: usize,
+    len: usize,
+}
 
 /// What the searcher knows about one discovered vertex: its degree and
 /// its incident edge handles, as revealed on discovery.
@@ -55,53 +68,31 @@ impl<'a> DiscoveredVertex<'a> {
 /// request — a conservative choice for lower-bound experiments (the
 /// searcher is never given *less* than the model allows).
 ///
-/// All state lives in dense arrays indexed by `NodeId`/`EdgeId` and is
-/// invalidated wholesale by an epoch bump (see the module docs), so a
-/// view reused across trials performs zero heap allocations once warm.
-/// The mutators ([`insert_vertex`](DiscoveredView::insert_vertex),
+/// All state lives in dense [`StampedMap`]s indexed by `NodeId`/`EdgeId`
+/// and is invalidated wholesale by an epoch bump (see the module docs),
+/// so a view reused across trials performs zero heap allocations once
+/// warm. The mutators ([`insert_vertex`](DiscoveredView::insert_vertex),
 /// [`resolve_edge`](DiscoveredView::resolve_edge)) are the oracle-side
 /// API; algorithms only ever see `&DiscoveredView`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct DiscoveredView {
-    /// Current epoch; stamps from other epochs read as "absent".
-    epoch: u32,
-    /// `node_stamp[v] == epoch` iff `v` is discovered.
-    node_stamp: Vec<u32>,
-    /// Arena range of `v`'s incident list (valid only when stamped).
-    node_start: Vec<usize>,
-    node_len: Vec<usize>,
-    /// `edge_stamp[e] == epoch` iff `e` has appeared in some discovered
-    /// incident list or request answer.
-    edge_stamp: Vec<u32>,
-    /// `edge_resolved[e] == epoch` iff both endpoints of `e` are known.
-    edge_resolved: Vec<u32>,
-    /// First endpoint at which the edge was seen (valid when stamped).
-    edge_first: Vec<NodeId>,
-    /// The opposite endpoint (valid when resolved).
-    edge_other: Vec<NodeId>,
+    /// Discovered vertices: present iff discovered, value is the arena
+    /// span of the incident list.
+    nodes: StampedMap<NodeSpan>,
+    /// Hot edge state: present iff the edge has appeared in some
+    /// discovered incident list or request answer; the value is `true`
+    /// iff both endpoints are known.
+    edges: StampedMap<bool>,
+    /// Cold edge state: `[first, other]` endpoints. `first` is valid
+    /// when the edge is present in `edges`, `other` when resolved. Kept
+    /// out of the hot slots so resolution scans stay cache-dense; grown
+    /// in lockstep with `edges` by
+    /// [`reserve_graph`](DiscoveredView::reserve_graph).
+    edge_ends: Vec<[NodeId; 2]>,
     /// Discovered vertices in discovery order (start vertex first).
     order: Vec<NodeId>,
     /// All discovered incident lists, back to back in discovery order.
     arena: Vec<EdgeId>,
-}
-
-impl Default for DiscoveredView {
-    fn default() -> Self {
-        DiscoveredView {
-            // Stamps start at 0 and the epoch at 1, so freshly grown
-            // array entries never read as present.
-            epoch: 1,
-            node_stamp: Vec::new(),
-            node_start: Vec::new(),
-            node_len: Vec::new(),
-            edge_stamp: Vec::new(),
-            edge_resolved: Vec::new(),
-            edge_first: Vec::new(),
-            edge_other: Vec::new(),
-            order: Vec::new(),
-            arena: Vec::new(),
-        }
-    }
 }
 
 impl DiscoveredView {
@@ -110,38 +101,47 @@ impl DiscoveredView {
         Self::default()
     }
 
-    /// Forgets everything in O(1): bumps the epoch and truncates the
-    /// discovery-order list and arena, keeping every allocation for the
-    /// next search (see the module docs for the epoch trick).
-    pub fn reset(&mut self) {
-        self.order.clear();
-        self.arena.clear();
-        if self.epoch == u32::MAX {
-            // Once per 2^32 resets the stamps really are cleared.
-            self.node_stamp.fill(0);
-            self.edge_stamp.fill(0);
-            self.edge_resolved.fill(0);
-            self.epoch = 1;
-        } else {
-            self.epoch += 1;
+    /// A view whose *next* [`reset`](DiscoveredView::reset) takes the
+    /// epoch-wrap path. Test-only hook: wrap coverage drives the public
+    /// API instead of poking private fields.
+    #[doc(hidden)]
+    pub fn near_wrap() -> Self {
+        DiscoveredView {
+            nodes: StampedMap::near_wrap(),
+            edges: StampedMap::near_wrap(),
+            ..Self::default()
         }
     }
 
+    /// Forgets everything in O(1): bumps the node/edge epochs and
+    /// truncates the discovery-order list and arena, keeping every
+    /// allocation for the next search. The once-per-2^32 wrap path is
+    /// [`StampedMap::reset`]'s.
+    pub fn reset(&mut self) {
+        self.order.clear();
+        self.arena.clear();
+        self.nodes.reset();
+        self.edges.reset();
+    }
+
     /// Grows the dense arrays to cover `nodes` vertices and `edges`
-    /// edges, so a search over a graph of that size triggers no further
-    /// allocation. Called by the oracles at search start; a no-op once
-    /// the arrays are large enough.
+    /// edges — including the discovery-order and arena buffers (a graph
+    /// with `edges` edges has exactly `2 * edges` incidence slots) — so
+    /// a search over a graph of that size triggers no allocation at all,
+    /// even on the first trial. Called by the oracles at search start; a
+    /// no-op once the arrays are large enough.
     pub fn reserve_graph(&mut self, nodes: usize, edges: usize) {
-        if self.node_stamp.len() < nodes {
-            self.node_stamp.resize(nodes, 0);
-            self.node_start.resize(nodes, 0);
-            self.node_len.resize(nodes, 0);
+        self.nodes.reserve(nodes);
+        self.edges.reserve(edges);
+        if self.edge_ends.len() < edges {
+            self.edge_ends.resize(edges, [NodeId::new(0); 2]);
         }
-        if self.edge_stamp.len() < edges {
-            self.edge_stamp.resize(edges, 0);
-            self.edge_resolved.resize(edges, 0);
-            self.edge_first.resize(edges, NodeId::new(0));
-            self.edge_other.resize(edges, NodeId::new(0));
+        if self.order.capacity() < nodes {
+            self.order.reserve(nodes - self.order.len());
+        }
+        let slots = 2 * edges;
+        if self.arena.capacity() < slots {
+            self.arena.reserve(slots - self.arena.len());
         }
     }
 
@@ -158,7 +158,7 @@ impl DiscoveredView {
     /// `true` if `v` has been discovered.
     #[inline]
     pub fn contains(&self, v: NodeId) -> bool {
-        self.node_stamp.get(v.index()) == Some(&self.epoch)
+        self.nodes.contains(v.index())
     }
 
     /// Discovered vertices in discovery order (start vertex first).
@@ -169,24 +169,15 @@ impl DiscoveredView {
     /// Knowledge about `v`, if discovered.
     #[inline]
     pub fn vertex(&self, v: NodeId) -> Option<DiscoveredVertex<'_>> {
-        if !self.contains(v) {
-            return None;
-        }
-        let start = self.node_start[v.index()];
-        let len = self.node_len[v.index()];
-        Some(DiscoveredVertex {
-            incident: &self.arena[start..start + len],
+        self.nodes.get(v.index()).map(|span| DiscoveredVertex {
+            incident: &self.arena[span.start..span.start + span.len],
         })
     }
 
     /// Degree of `v`, if discovered.
     #[inline]
     pub fn degree_of(&self, v: NodeId) -> Option<usize> {
-        if self.contains(v) {
-            Some(self.node_len[v.index()])
-        } else {
-            None
-        }
+        self.nodes.get(v.index()).map(|span| span.len)
     }
 
     /// The opposite endpoint of `e` as seen from `u`, if already known.
@@ -195,10 +186,10 @@ impl DiscoveredView {
     /// handle appeared in two discovered incident lists.
     pub fn other_endpoint(&self, u: NodeId, e: EdgeId) -> Option<NodeId> {
         let i = e.index();
-        if self.edge_resolved.get(i) != Some(&self.epoch) {
+        if !self.is_resolved(e) {
             return None;
         }
-        let (a, b) = (self.edge_first[i], self.edge_other[i]);
+        let [a, b] = self.edge_ends[i];
         if a == u {
             Some(b)
         } else if b == u {
@@ -211,7 +202,7 @@ impl DiscoveredView {
     /// `true` if both endpoints of `e` are known.
     #[inline]
     pub fn is_resolved(&self, e: EdgeId) -> bool {
-        self.edge_resolved.get(e.index()) == Some(&self.epoch)
+        matches!(self.edges.get(e.index()), Some(true))
     }
 
     /// Incident edges of `v` whose far endpoint is still unknown, in
@@ -254,29 +245,34 @@ impl DiscoveredView {
             return;
         }
         let vi = v.index();
-        if vi >= self.node_stamp.len() {
+        if vi >= self.nodes.capacity() {
             self.reserve_graph(vi + 1, 0);
         }
         let start = self.arena.len();
         for e in incident {
             let i = e.index();
-            if i >= self.edge_stamp.len() {
+            if i >= self.edges.capacity() {
                 self.reserve_graph(0, i + 1);
             }
-            if self.edge_stamp[i] != self.epoch {
-                self.edge_stamp[i] = self.epoch;
-                self.edge_first[i] = v;
-            } else if self.edge_resolved[i] != self.epoch {
-                // Second sighting resolves the edge; a self-loop lists
-                // the same handle twice in one incident list.
-                self.edge_resolved[i] = self.epoch;
-                self.edge_other[i] = v;
+            if self.edges.insert(i, false) {
+                self.edge_ends[i][0] = v;
+            } else if let Some(resolved) = self.edges.get_mut(i) {
+                if !*resolved {
+                    // Second sighting resolves the edge; a self-loop
+                    // lists the same handle twice in one incident list.
+                    *resolved = true;
+                    self.edge_ends[i][1] = v;
+                }
             }
             self.arena.push(e);
         }
-        self.node_stamp[vi] = self.epoch;
-        self.node_start[vi] = start;
-        self.node_len[vi] = self.arena.len() - start;
+        self.nodes.insert(
+            vi,
+            NodeSpan {
+                start,
+                len: self.arena.len() - start,
+            },
+        );
         self.order.push(v);
     }
 
@@ -285,20 +281,20 @@ impl DiscoveredView {
     /// [`insert_vertex`](DiscoveredView::insert_vertex).
     pub fn resolve_edge(&mut self, u: NodeId, e: EdgeId, other: NodeId) {
         let i = e.index();
-        if i >= self.edge_stamp.len() {
+        if i >= self.edges.capacity() {
             self.reserve_graph(0, i + 1);
         }
-        if self.edge_stamp[i] != self.epoch {
-            self.edge_stamp[i] = self.epoch;
-            self.edge_first[i] = u;
-            self.edge_resolved[i] = self.epoch;
-            self.edge_other[i] = other;
-        } else if self.edge_resolved[i] != self.epoch {
-            // Keep `first` as the vertex the edge was seen at; the pair
-            // {first, other} stays consistent whichever endpoint that
-            // was.
-            self.edge_resolved[i] = self.epoch;
-            self.edge_other[i] = other;
+        if self.edges.insert(i, true) {
+            self.edge_ends[i] = [u, other];
+        } else if let Some(resolved) = self.edges.get_mut(i) {
+            if !*resolved {
+                // Re-anchor on the requesting endpoint: the stored
+                // `first` may be the *far* endpoint of this request (a
+                // caller resolving from the other side), and keeping it
+                // would record the degenerate pair `{other, other}`.
+                *resolved = true;
+                self.edge_ends[i] = [u, other];
+            }
         }
     }
 }
@@ -427,6 +423,20 @@ mod tests {
     }
 
     #[test]
+    fn resolving_from_the_far_endpoint_keeps_the_pair_consistent() {
+        // Regression: e(0) first sighted at v(0); a later request driven
+        // from the *far* endpoint v(7) used to keep `first = v(0)` while
+        // storing `other = v(0)`, collapsing the pair to {v(0), v(0)} so
+        // `other_endpoint(v(7), e(0))` wrongly answered `None`.
+        let mut view = DiscoveredView::new();
+        view.insert_vertex(v(0), &[e(0)]);
+        view.resolve_edge(v(7), e(0), v(0));
+        assert!(view.is_resolved(e(0)));
+        assert_eq!(view.other_endpoint(v(7), e(0)), Some(v(0)));
+        assert_eq!(view.other_endpoint(v(0), e(0)), Some(v(7)));
+    }
+
+    #[test]
     fn reset_forgets_everything_and_reuses_memory() {
         let mut view = DiscoveredView::new();
         view.insert_vertex(v(0), &[e(0), e(1)]);
@@ -444,17 +454,18 @@ mod tests {
 
     #[test]
     fn epoch_wrap_clears_stamps() {
-        let mut view = DiscoveredView::new();
+        // Built at the wrap boundary: the first reset zero-fills stamps.
+        let mut view = DiscoveredView::near_wrap();
         view.insert_vertex(v(0), &[e(0)]);
-        // Force the wrap path.
-        view.epoch = u32::MAX;
-        view.node_stamp[0] = u32::MAX;
         assert!(view.contains(v(0)));
         view.reset();
-        assert_eq!(view.epoch, 1);
         assert!(!view.contains(v(0)));
+        assert!(!view.is_resolved(e(0)));
         view.insert_vertex(v(0), &[e(0)]);
         assert!(view.contains(v(0)));
+        // And the restarted epoch keeps resetting cleanly.
+        view.reset();
+        assert!(!view.contains(v(0)));
     }
 
     #[test]

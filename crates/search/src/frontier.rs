@@ -1,5 +1,6 @@
 //! Amortized-O(1) frontier bookkeeping shared by the greedy searchers.
 
+use crate::stamped::StampedMap;
 use crate::DiscoveredView;
 use nonsearch_graph::{EdgeId, NodeId};
 
@@ -9,29 +10,18 @@ use nonsearch_graph::{EdgeId, NodeId};
 /// so a forward-only cursor per vertex finds each vertex's next
 /// unexplored edge in O(1) amortized instead of rescanning the whole
 /// incident list on every request. All the O(log n)-per-step searchers
-/// ([`HighDegreeGreedy`](crate::HighDegreeGreedy) and friends) share this.
+/// ([`HighDegreeGreedy`](crate::HighDegreeGreedy) and friends) share this,
+/// as does [`SimulatedStrong`](crate::SimulatedStrong)'s expansion scan.
 ///
-/// The cursors live in a flat array indexed by [`NodeId`] with an epoch
-/// stamp per entry (the same trick as
-/// [`DiscoveredView`](crate::DiscoveredView); see the `discovered`
-/// module docs), so [`reset`](FrontierCursors::reset) is O(1) and a
-/// searcher reused across trials performs no per-request hashing or
-/// allocation once the array has grown to the graph size.
-#[derive(Debug, Clone)]
+/// The cursors live in a [`StampedMap`] indexed by [`NodeId`], so
+/// [`reset`](FrontierCursors::reset) is O(1), the u32 epoch wrap is
+/// audited once (in `StampedMap`), and a searcher reused across trials
+/// performs no per-request hashing or allocation once the array has grown
+/// to the graph size — or from the very first request, after
+/// [`reserve`](FrontierCursors::reserve).
+#[derive(Debug, Clone, Default)]
 pub struct FrontierCursors {
-    epoch: u32,
-    stamp: Vec<u32>,
-    cursor: Vec<usize>,
-}
-
-impl Default for FrontierCursors {
-    fn default() -> Self {
-        FrontierCursors {
-            epoch: 1,
-            stamp: Vec::new(),
-            cursor: Vec::new(),
-        }
-    }
+    cursors: StampedMap<usize>,
 }
 
 impl FrontierCursors {
@@ -40,22 +30,40 @@ impl FrontierCursors {
         Self::default()
     }
 
+    /// Cursors whose *next* [`reset`](FrontierCursors::reset) takes the
+    /// epoch-wrap path. Test-only hook: wrap coverage drives the public
+    /// API instead of poking private fields.
+    #[doc(hidden)]
+    pub fn near_wrap() -> Self {
+        FrontierCursors {
+            cursors: StampedMap::near_wrap(),
+        }
+    }
+
+    /// Grows the cursor array to cover `nodes` vertices, so lookups on a
+    /// graph of that size never allocate — even on the first trial.
+    pub fn reserve(&mut self, nodes: usize) {
+        self.cursors.reserve(nodes);
+    }
+
     /// The next unresolved incident edge of `v`, advancing the cursor
     /// past resolved edges. Returns `None` when `v` is exhausted (or not
     /// discovered).
     pub fn next_unexplored(&mut self, view: &DiscoveredView, v: NodeId) -> Option<EdgeId> {
         let info = view.vertex(v)?;
-        let i = v.index();
-        if i >= self.stamp.len() {
-            self.stamp.resize(i + 1, 0);
-            self.cursor.resize(i + 1, 0);
-        }
-        let mut cursor = if self.stamp[i] == self.epoch {
-            self.cursor[i]
-        } else {
-            0
-        };
         let incident = info.incident();
+        let i = v.index();
+        let mut cursor = self.cursors.get(i).copied().unwrap_or(0);
+        if cursor > incident.len() {
+            // Stale cursor from a *different* graph (caller reused the
+            // searcher without `reset`): the stored position can exceed
+            // this vertex's incident list, and resuming there would
+            // falsely report the vertex exhausted. Rescan from slot 0 —
+            // resolution is monotone within a view, so rescanning only
+            // re-skips edges and returns the correct first unresolved
+            // one.
+            cursor = 0;
+        }
         let mut found = None;
         while cursor < incident.len() {
             let e = incident[cursor];
@@ -65,20 +73,14 @@ impl FrontierCursors {
             }
             cursor += 1;
         }
-        self.stamp[i] = self.epoch;
-        self.cursor[i] = cursor;
+        self.cursors.put(i, cursor);
         found
     }
 
     /// Rewinds all cursors in O(1) via an epoch bump (for searcher reuse
     /// across runs); the backing array keeps its allocation.
     pub fn reset(&mut self) {
-        if self.epoch == u32::MAX {
-            self.stamp.fill(0);
-            self.epoch = 1;
-        } else {
-            self.epoch += 1;
-        }
+        self.cursors.reset();
     }
 }
 
@@ -143,17 +145,50 @@ mod tests {
     fn epoch_wrap_rewinds_too() {
         let g = UndirectedCsr::from_edges(2, [(0, 1)]).unwrap();
         let mut scratch = SearchScratch::new();
+        let mut state = WeakSearchState::new_in(&mut scratch, &g, NodeId::new(0)).unwrap();
+        // Built at the wrap boundary; advance the cursor to exhaustion
+        // through the public API.
+        let mut cursors = FrontierCursors::near_wrap();
+        let e0 = cursors
+            .next_unexplored(state.view(), NodeId::new(0))
+            .unwrap();
+        state.request(NodeId::new(0), e0).unwrap();
+        assert!(cursors
+            .next_unexplored(state.view(), NodeId::new(0))
+            .is_none());
+        cursors.reset(); // the wrap path
+                         // A fresh search on the same scratch: the view resets too.
         let state = WeakSearchState::new_in(&mut scratch, &g, NodeId::new(0)).unwrap();
-        let mut cursors = FrontierCursors::new();
-        cursors.next_unexplored(state.view(), NodeId::new(0));
-        cursors.epoch = u32::MAX;
-        cursors.stamp[0] = u32::MAX;
-        cursors.cursor[0] = 1; // pretend the cursor had advanced
-        cursors.reset();
-        assert_eq!(cursors.epoch, 1);
         // A wrapped reset must rewind to slot 0, not resume at 1.
         assert!(cursors
             .next_unexplored(state.view(), NodeId::new(0))
             .is_some());
+    }
+
+    #[test]
+    fn stale_cursor_from_a_longer_graph_does_not_fake_exhaustion() {
+        // Regression: reuse the cursors across two graphs *without*
+        // reset. On graph A, vertex 0 has degree 3 and gets fully
+        // explored (cursor parked at 3). On graph B the same vertex has
+        // degree 1; the stale same-epoch cursor (3 > 1) used to make
+        // `next_unexplored` report the vertex exhausted even though its
+        // single edge is unresolved.
+        let a = UndirectedCsr::from_edges(4, [(0, 1), (0, 2), (0, 3)]).unwrap();
+        let b = UndirectedCsr::from_edges(2, [(0, 1)]).unwrap();
+        let mut scratch = SearchScratch::new();
+        let mut cursors = FrontierCursors::new();
+
+        let mut state = WeakSearchState::new_in(&mut scratch, &a, NodeId::new(0)).unwrap();
+        while let Some(e) = cursors.next_unexplored(state.view(), NodeId::new(0)) {
+            state.request(NodeId::new(0), e).unwrap();
+        }
+
+        let state = WeakSearchState::new_in(&mut scratch, &b, NodeId::new(0)).unwrap();
+        assert!(
+            cursors
+                .next_unexplored(state.view(), NodeId::new(0))
+                .is_some(),
+            "stale cursor reported the vertex exhausted"
+        );
     }
 }

@@ -53,6 +53,7 @@ mod frontier;
 mod runner;
 mod scratch;
 mod simulate;
+mod stamped;
 mod strong;
 mod suite;
 mod task;
@@ -70,6 +71,7 @@ pub use frontier::FrontierCursors;
 pub use runner::{run_strong, run_strong_in, run_weak, run_weak_in};
 pub use scratch::{SearchScratch, StampedNodeSet};
 pub use simulate::SimulatedStrong;
+pub use stamped::StampedMap;
 pub use strong::{StrongSearchState, StrongSearcher};
 pub use suite::SearcherKind;
 pub use task::{SearchOutcome, SearchTask, SuccessCriterion};

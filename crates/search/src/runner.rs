@@ -83,6 +83,7 @@ pub fn run_weak_in<S: WeakSearcher + ?Sized>(
 ) -> crate::Result<SearchOutcome> {
     validate_task(graph, task)?;
     searcher.reset();
+    searcher.reserve(graph.node_count(), graph.edge_count());
     let mut state = WeakSearchState::new_in(scratch, graph, task.start)?;
     if satisfies(graph, task, task.start) {
         return Ok(SearchOutcome::success(0, state.view().len()));
@@ -149,6 +150,7 @@ pub fn run_strong_in<S: StrongSearcher + ?Sized>(
 ) -> crate::Result<SearchOutcome> {
     validate_task(graph, task)?;
     searcher.reset();
+    searcher.reserve(graph.node_count(), graph.edge_count());
     let mut state = StrongSearchState::new_in(scratch, graph, task.start)?;
     if satisfies(graph, task, task.start) {
         return Ok(SearchOutcome::success(0, state.view().len()));

@@ -11,6 +11,7 @@
 //! released or re-acquired once the arrays have grown to the graph
 //! size.
 
+use crate::stamped::StampedMap;
 use crate::DiscoveredView;
 use nonsearch_graph::{NodeId, UndirectedCsr};
 
@@ -59,11 +60,17 @@ impl SearchScratch {
     }
 
     /// Creates a scratch pre-sized for graphs with `nodes` vertices and
-    /// `edges` edges, so even the first search allocates nothing after
-    /// construction.
+    /// `edges` edges — view tables, arena, and the strong oracle's
+    /// buffers — so even the first search allocates nothing after
+    /// construction (pair with the searcher-side
+    /// [`reserve`](crate::WeakSearcher::reserve) hook).
     pub fn for_graph_size(nodes: usize, edges: usize) -> Self {
         let mut scratch = Self::new();
         scratch.view.reserve_graph(nodes, edges);
+        // The strong oracle expands each vertex at most once per search
+        // and reveals at most one neighbor per incidence slot.
+        scratch.expanded.reserve(nodes);
+        scratch.revealed.reserve(2 * edges);
         scratch
     }
 
@@ -84,27 +91,15 @@ impl SearchScratch {
 }
 
 /// A dense set of vertices with O(1) `insert`/`contains`/`clear`,
-/// backed by an epoch-stamped array (same trick as
-/// [`DiscoveredView`]; see the `discovered` module docs).
+/// backed by an epoch-stamped [`StampedMap`] (see the `stamped` module
+/// docs for the trick and its audited wrap path).
 ///
 /// Replaces the `HashSet<NodeId>` bookkeeping in the strong-model
 /// searchers and percolation search: membership is one array read, and
 /// clearing for the next trial is an epoch bump, not a rehash.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct StampedNodeSet {
-    epoch: u32,
-    stamp: Vec<u32>,
-    len: usize,
-}
-
-impl Default for StampedNodeSet {
-    fn default() -> Self {
-        StampedNodeSet {
-            epoch: 1,
-            stamp: Vec::new(),
-            len: 0,
-        }
-    }
+    members: StampedMap<()>,
 }
 
 impl StampedNodeSet {
@@ -113,46 +108,47 @@ impl StampedNodeSet {
         Self::default()
     }
 
+    /// A set whose *next* [`clear`](StampedNodeSet::clear) takes the
+    /// epoch-wrap path. Test-only hook: wrap coverage drives the public
+    /// API instead of poking private fields.
+    #[doc(hidden)]
+    pub fn near_wrap() -> Self {
+        StampedNodeSet {
+            members: StampedMap::near_wrap(),
+        }
+    }
+
+    /// Grows the backing array to cover `nodes` vertices, so inserts on
+    /// a graph of that size never allocate — even on the first trial.
+    pub fn reserve(&mut self, nodes: usize) {
+        self.members.reserve(nodes);
+    }
+
     /// Number of vertices in the set.
     pub fn len(&self) -> usize {
-        self.len
+        self.members.len()
     }
 
     /// `true` if the set is empty.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.members.is_empty()
     }
 
     /// `true` if `v` is in the set.
     #[inline]
     pub fn contains(&self, v: NodeId) -> bool {
-        self.stamp.get(v.index()) == Some(&self.epoch)
+        self.members.contains(v.index())
     }
 
     /// Inserts `v`; returns `true` if it was not already present.
     #[inline]
     pub fn insert(&mut self, v: NodeId) -> bool {
-        let i = v.index();
-        if i >= self.stamp.len() {
-            self.stamp.resize(i + 1, 0);
-        }
-        if self.stamp[i] == self.epoch {
-            return false;
-        }
-        self.stamp[i] = self.epoch;
-        self.len += 1;
-        true
+        self.members.insert(v.index(), ())
     }
 
     /// Empties the set in O(1) (epoch bump), keeping the allocation.
     pub fn clear(&mut self) {
-        self.len = 0;
-        if self.epoch == u32::MAX {
-            self.stamp.fill(0);
-            self.epoch = 1;
-        } else {
-            self.epoch += 1;
-        }
+        self.members.reset();
     }
 }
 
@@ -179,14 +175,25 @@ mod tests {
 
     #[test]
     fn stamped_set_epoch_wrap_is_sound() {
-        let mut set = StampedNodeSet::new();
+        // Built at the wrap boundary: the next clear zero-fills stamps.
+        let mut set = StampedNodeSet::near_wrap();
         set.insert(NodeId::new(1));
-        set.epoch = u32::MAX;
-        set.stamp[1] = u32::MAX;
         assert!(set.contains(NodeId::new(1)));
         set.clear();
-        assert_eq!(set.epoch, 1);
         assert!(!set.contains(NodeId::new(1)));
+        assert!(set.insert(NodeId::new(1)));
+        // The restarted epoch keeps clearing cleanly.
+        set.clear();
+        assert!(!set.contains(NodeId::new(1)));
+    }
+
+    #[test]
+    fn stamped_set_reserve_presizes() {
+        let mut set = StampedNodeSet::new();
+        set.reserve(8);
+        assert!(set.is_empty());
+        assert!(!set.contains(NodeId::new(7)));
+        assert!(set.insert(NodeId::new(7)));
     }
 
     #[test]

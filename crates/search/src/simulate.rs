@@ -8,10 +8,9 @@
 //! `Ω(n^{1/2−p−ε})` follows from the weak-model bound and Móri's
 //! `t^p` maximum degree.
 
-use crate::{DiscoveredView, SearchTask, StrongSearcher, WeakSearcher};
+use crate::{DiscoveredView, FrontierCursors, SearchTask, StrongSearcher, WeakSearcher};
 use nonsearch_graph::{EdgeId, NodeId};
 use rand::RngCore;
-use std::collections::VecDeque;
 
 /// Wraps a [`StrongSearcher`] as a [`WeakSearcher`].
 ///
@@ -19,6 +18,13 @@ use std::collections::VecDeque;
 /// unresolved incident edge of `u`, so the weak request count is at most
 /// `max_degree` times the strong request count — never more, because
 /// already-resolved edges are skipped.
+///
+/// The expansion walks `u`'s incident list lazily through a pooled
+/// [`FrontierCursors`] instead of snapshotting the unresolved edges into
+/// a queue: resolution is monotone and `u`'s incident image is fixed at
+/// discovery, so the forward-only cursor emits exactly the edges the
+/// queue would have (slot order, unresolved at emission time) without a
+/// per-expansion buffer to fill.
 ///
 /// # Example
 ///
@@ -39,8 +45,10 @@ use std::collections::VecDeque;
 #[derive(Debug, Clone)]
 pub struct SimulatedStrong<S> {
     inner: S,
-    /// Weak requests queued for the strong request being simulated.
-    pending: VecDeque<(NodeId, EdgeId)>,
+    /// Forward-only scan position over the expanding vertex's incident
+    /// list (and, across the whole search, over any vertex expanded
+    /// earlier — expansion never revisits slots).
+    edges: FrontierCursors,
     /// The vertex currently being expanded, to report back to `inner`.
     expanding: Option<NodeId>,
     /// Neighbors revealed while expanding, passed to `inner.observe`.
@@ -54,7 +62,7 @@ impl<S: StrongSearcher> SimulatedStrong<S> {
     pub fn new(inner: S) -> Self {
         SimulatedStrong {
             inner,
-            pending: VecDeque::new(),
+            edges: FrontierCursors::new(),
             expanding: None,
             revealed: Vec::new(),
             strong_requests: 0,
@@ -94,27 +102,21 @@ impl<S: StrongSearcher> WeakSearcher for SimulatedStrong<S> {
         rng: &mut dyn RngCore,
     ) -> Option<(NodeId, EdgeId)> {
         loop {
-            // Drain queued edge requests, skipping any resolved meanwhile.
-            while let Some((u, e)) = self.pending.pop_front() {
-                if !view.is_resolved(e) {
+            // Continue the current expansion: the cursor resumes where
+            // the last request left off and skips edges resolved in the
+            // meantime (by the answer itself, or by symmetry).
+            if let Some(u) = self.expanding {
+                if let Some(e) = self.edges.next_unexplored(view, u) {
                     return Some((u, e));
                 }
+                // The strong request is fully expanded: report it.
+                self.finish_expansion();
             }
-            // The previous strong request is fully expanded: report it.
-            self.finish_expansion();
             let u = self.inner.next_request(task, view, rng)?;
             self.strong_requests += 1;
             self.expanding = Some(u);
-            // The unexplored-edges iterator streams straight into the
-            // queue; nothing is collected on the way.
-            self.pending
-                .extend(view.unexplored_edges_of(u).map(|e| (u, e)));
-            if self.pending.is_empty() {
-                // Nothing to ask: the expansion is already complete
-                // (every neighbor known); notify and pick again.
-                self.finish_expansion();
-                continue;
-            }
+            // An expansion with nothing to ask (every neighbor already
+            // known) is finished — and reported — on the next lap.
         }
     }
 
@@ -124,10 +126,18 @@ impl<S: StrongSearcher> WeakSearcher for SimulatedStrong<S> {
 
     fn reset(&mut self) {
         self.inner.reset();
-        self.pending.clear();
+        self.edges.reset();
         self.expanding = None;
         self.revealed.clear();
         self.strong_requests = 0;
+    }
+
+    fn reserve(&mut self, nodes: usize, edges: usize) {
+        self.edges.reserve(nodes);
+        // One revealed neighbor per incidence slot of the expanding
+        // vertex, so max degree — bounded by the total slot count.
+        self.revealed.reserve(2 * edges);
+        self.inner.reserve(nodes, edges);
     }
 }
 

@@ -128,6 +128,12 @@ pub trait WeakSearcher {
 
     /// Resets internal state so the searcher can be reused for a new run.
     fn reset(&mut self) {}
+
+    /// Pre-sizes internal buffers for a graph with `nodes` vertices and
+    /// `edges` edges, so even a first trial allocates nothing (default:
+    /// ignore). The runners call this right after
+    /// [`reset`](WeakSearcher::reset); a no-op once large enough.
+    fn reserve(&mut self, _nodes: usize, _edges: usize) {}
 }
 
 #[cfg(test)]

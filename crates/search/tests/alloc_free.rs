@@ -14,7 +14,7 @@ use nonsearch_alloc_counter::{allocations, CountingAllocator};
 use nonsearch_generators::{rng_from_seed, MergedMori};
 use nonsearch_graph::NodeId;
 use nonsearch_search::{
-    run_strong_in, run_weak_in, SearchScratch, SearchTask, SearcherKind, StrongBfs,
+    run_strong_in, run_weak_in, SearchScratch, SearchTask, SearcherKind, StrongBfs, StrongSearcher,
 };
 
 #[global_allocator]
@@ -74,4 +74,77 @@ fn steady_state_trials_allocate_nothing() {
         allocated, 0,
         "strong-bfs: steady-state trial performed {allocated} heap allocations"
     );
+}
+
+#[test]
+fn presized_first_trials_allocate_nothing() {
+    // The stronger claim: with a scratch pre-sized via `for_graph_size`
+    // and a searcher pre-sized via the `reserve` hook, even the *first*
+    // trial performs zero heap allocations — no warm-up required. This
+    // is what used to fail through `FrontierCursors`, which had no
+    // `reserve` and grew its stamp/cursor arrays inside the request
+    // loop of trial 1.
+    let n = 512;
+    let graph = MergedMori::sample(n, 2, 0.5, &mut rng_from_seed(3))
+        .unwrap()
+        .undirected();
+    let task = SearchTask::new(NodeId::from_label(1), NodeId::from_label(n)).with_budget(50 * n);
+    let nodes = graph.node_count();
+    let edges = graph.edge_count();
+
+    for kind in [
+        SearcherKind::BfsFlood,
+        SearcherKind::Dfs,
+        SearcherKind::HighDegree,
+        SearcherKind::GreedyId,
+        SearcherKind::OldestFirst,
+        SearcherKind::RandomWalk,
+        SearcherKind::SimStrongHighDegree,
+    ] {
+        let mut scratch = SearchScratch::for_graph_size(nodes, edges);
+        let mut searcher = kind.build();
+        searcher.reserve(nodes, edges);
+        let mut rng = rng_from_seed(11);
+        let before = allocations();
+        let first = run_weak_in(&mut scratch, &graph, &task, &mut *searcher, &mut rng).unwrap();
+        let allocated = allocations() - before;
+        assert!(first.found, "{kind}");
+        assert_eq!(
+            allocated, 0,
+            "{kind}: pre-sized first trial performed {allocated} heap allocations"
+        );
+        // Pre-sizing is invisible to the outcome.
+        let mut rng = rng_from_seed(11);
+        let unsized_run = run_weak_in(
+            &mut SearchScratch::new(),
+            &graph,
+            &task,
+            &mut *kind.build(),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(first, unsized_run, "{kind}: pre-sizing changed the outcome");
+    }
+
+    let mut scratch = SearchScratch::for_graph_size(nodes, edges);
+    let mut strong = StrongBfs::new();
+    strong.reserve(nodes, edges);
+    let mut rng = rng_from_seed(13);
+    let before = allocations();
+    let first = run_strong_in(&mut scratch, &graph, &task, &mut strong, &mut rng).unwrap();
+    let allocated = allocations() - before;
+    assert_eq!(
+        allocated, 0,
+        "strong-bfs: pre-sized first trial performed {allocated} heap allocations"
+    );
+    let mut rng = rng_from_seed(13);
+    let unsized_run = run_strong_in(
+        &mut SearchScratch::new(),
+        &graph,
+        &task,
+        &mut StrongBfs::new(),
+        &mut rng,
+    )
+    .unwrap();
+    assert_eq!(first, unsized_run);
 }

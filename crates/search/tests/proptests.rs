@@ -6,7 +6,7 @@ use nonsearch_generators::{rng_from_seed, MergedMori};
 use nonsearch_graph::{EdgeId, NodeId, UndirectedCsr};
 use nonsearch_search::{
     run_strong, run_strong_in, run_weak, run_weak_in, DiscoveredView, SearchScratch, SearchTask,
-    SearcherKind, StrongBfs, StrongSearchState, SuccessCriterion, WeakSearchState,
+    SearcherKind, StampedMap, StrongBfs, StrongSearchState, SuccessCriterion, WeakSearchState,
 };
 use proptest::prelude::*;
 use std::collections::HashMap;
@@ -48,7 +48,11 @@ impl ReferenceView {
 
     fn resolve_edge(&mut self, u: NodeId, e: EdgeId, other: NodeId) {
         match self.edges.get_mut(&e) {
-            Some((_, slot @ None)) => *slot = Some(other),
+            // Resolving re-anchors on the requesting endpoint `u`: the
+            // recorded first sighting may be this request's *far*
+            // endpoint, and keeping it would store the degenerate pair
+            // {other, other}.
+            Some(entry) if entry.1.is_none() => *entry = (u, Some(other)),
             Some(_) => {}
             None => {
                 self.edges.insert(e, (u, Some(other)));
@@ -94,6 +98,22 @@ enum Op {
     Insert(usize, Vec<usize>),
     Resolve(usize, usize, usize),
     Reset,
+}
+
+/// One scripted operation against a raw [`StampedMap`] and a `HashMap`.
+#[derive(Debug, Clone)]
+enum MapOp {
+    Insert(usize, u8),
+    Put(usize, u8),
+    Reset,
+}
+
+fn map_op_strategy(indices: usize) -> impl Strategy<Value = MapOp> {
+    (0usize..8, 0..indices, 0u8..=255).prop_map(|(sel, i, x)| match sel {
+        0..=2 => MapOp::Insert(i, x),
+        3..=5 => MapOp::Put(i, x),
+        _ => MapOp::Reset,
+    })
 }
 
 fn op_strategy(nodes: usize, edges: usize) -> impl Strategy<Value = Op> {
@@ -160,6 +180,41 @@ proptest! {
                         reference.other_endpoint(u, e)
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn stamped_map_reset_soak_matches_a_hashmap_across_the_wrap(
+        ops in proptest::collection::vec(map_op_strategy(24), 1..80),
+    ) {
+        // Start at the epoch-wrap boundary so the very first reset takes
+        // the zero-fill path; every subsequent reset takes the bump
+        // path. The map must behave exactly like a freshly-cleared
+        // HashMap throughout.
+        let mut dense: StampedMap<u8> = StampedMap::near_wrap();
+        let mut reference: HashMap<usize, u8> = HashMap::new();
+        for op in &ops {
+            match *op {
+                MapOp::Insert(i, x) => {
+                    let inserted = dense.insert(i, x);
+                    prop_assert_eq!(inserted, !reference.contains_key(&i));
+                    reference.entry(i).or_insert(x);
+                }
+                MapOp::Put(i, x) => {
+                    dense.put(i, x);
+                    reference.insert(i, x);
+                }
+                MapOp::Reset => {
+                    dense.reset();
+                    reference.clear();
+                }
+            }
+            prop_assert_eq!(dense.len(), reference.len());
+            prop_assert_eq!(dense.is_empty(), reference.is_empty());
+            for i in 0..24 {
+                prop_assert_eq!(dense.contains(i), reference.contains_key(&i));
+                prop_assert_eq!(dense.get(i), reference.get(&i));
             }
         }
     }
