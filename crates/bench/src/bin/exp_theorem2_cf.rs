@@ -27,6 +27,7 @@ fn main() {
             criterion: SuccessCriterion::DiscoverTarget,
             budget_multiplier: 30,
             threads: CliOptions::global().threads,
+            tracer: nonsearch_obs::Tracer::disabled(),
         };
         let report = certify(&model, &config);
         println!("{report}");

@@ -44,6 +44,17 @@ fn record(ctx: &mut ExpContext, knob: &str, variant: &str, n: usize, trials: usi
                 ("requests_per_sec", JsonValue::from(c.requests_per_sec)),
             ])
             .expect("write profile record");
+        ctx.writer
+            .record_metrics(
+                vec![
+                    ("model", JsonValue::from("mori")),
+                    ("knob", JsonValue::from(knob)),
+                    ("variant", JsonValue::from(variant)),
+                    ("n", JsonValue::from(n)),
+                ],
+                &c.metrics,
+            )
+            .expect("write metrics record");
     }
 }
 
@@ -62,11 +73,13 @@ fn run(ctx: &mut ExpContext) {
     let seeds = SeedSequence::new(ctx.seed);
     let corpus = open_corpus(ctx);
     let source = resolve_source(corpus.as_ref(), &model, &sizes);
+    let tracer = ctx.tracer.clone();
 
     // Knob 1: weak vs strong vs simulated-strong oracle.
     println!("oracle strength (high-degree strategy):");
     let mut t1 = Table::with_columns(&["oracle", "n", "mean requests", "success"]);
     for (si, &n) in sizes.iter().enumerate() {
+        let _cell_span = tracer.span("size-cell");
         let weak = weak_cell_with_policy_from(
             &*source,
             n,
@@ -125,6 +138,7 @@ fn run(ctx: &mut ExpContext) {
     println!("success criterion (high-degree strategy, weak oracle):");
     let mut t2 = Table::with_columns(&["criterion", "n", "mean requests", "success"]);
     for (si, &n) in sizes.iter().enumerate() {
+        let _cell_span = tracer.span("size-cell");
         for (criterion, name) in [
             (SuccessCriterion::DiscoverTarget, "discover target"),
             (SuccessCriterion::ReachNeighbor, "reach neighbor"),
@@ -155,6 +169,7 @@ fn run(ctx: &mut ExpContext) {
     println!("start vertex policy (high-degree strategy, weak oracle):");
     let mut t3 = Table::with_columns(&["start", "n", "mean requests", "success"]);
     for (si, &n) in sizes.iter().enumerate() {
+        let _cell_span = tracer.span("size-cell");
         for policy in [
             StartPolicy::OldestHub,
             StartPolicy::Uniform,

@@ -40,6 +40,7 @@ fn run(ctx: &mut ExpContext) {
         criterion: SuccessCriterion::DiscoverTarget,
         budget_multiplier: 30,
         threads: ctx.options.threads,
+        tracer: ctx.tracer.clone(),
     };
     let corpus = open_corpus(ctx);
     let source = resolve_source(corpus.as_ref(), &model, &sizes);
@@ -88,6 +89,37 @@ fn run(ctx: &mut ExpContext) {
             ])
             .expect("write cell record");
         bound_series.push((pt.n as f64, bound));
+    }
+    if ctx.options.profile {
+        // The certify sweep already timed each size cell; report its
+        // throughput records exactly like theorem1-weak does.
+        for profile in &report.profiles {
+            ctx.writer
+                .record_profile(vec![
+                    ("model", JsonValue::from("mori")),
+                    ("p", JsonValue::from(p)),
+                    ("n", JsonValue::from(profile.n)),
+                    ("trials", JsonValue::from(profile.trials)),
+                    ("lanes", JsonValue::from(profile.lanes)),
+                    ("requests", JsonValue::from(profile.requests)),
+                    ("wall_ms", JsonValue::from(profile.wall_ms)),
+                    (
+                        "requests_per_sec",
+                        JsonValue::from(profile.requests_per_sec),
+                    ),
+                ])
+                .expect("write profile record");
+            ctx.writer
+                .record_metrics(
+                    vec![
+                        ("model", JsonValue::from("mori")),
+                        ("p", JsonValue::from(p)),
+                        ("n", JsonValue::from(profile.n)),
+                    ],
+                    &profile.metrics,
+                )
+                .expect("write metrics record");
+        }
     }
     println!("best algorithm: {}", best.kind.name());
     println!("{table}");

@@ -78,11 +78,15 @@ fn run(ctx: &mut ExpContext) {
         "verdict",
     ]);
     let sample_trials = ctx.options.trial_count(5_000);
+    let tracer = ctx.tracer.clone();
     for &p in &[0.3, 0.6, 0.9] {
         for &a in &[50usize, 200] {
+            let _cell_span = tracer.span("size-cell");
             let w = EquivalenceWindow::from_anchor(a);
+            let cell_start = std::time::Instant::now();
             let report = sampled_window_symmetry(&w, p, sample_trials, ctx.seed)
                 .expect("event has constant probability, some trials accept");
+            let wall_ms = cell_start.elapsed().as_secs_f64() * 1e3;
             let ok = report.max_z < 4.0;
             sampled_table.row(vec![
                 format!("{p:.2}"),
@@ -110,6 +114,25 @@ fn run(ctx: &mut ExpContext) {
                     ("ok", JsonValue::from(ok)),
                 ])
                 .expect("write cell record");
+            if ctx.options.profile {
+                // "Requests" for this experiment = sampled trees: the
+                // throughput unit the symmetry check actually spends.
+                let sampled = report.attempted as f64;
+                ctx.writer
+                    .record_profile(vec![
+                        ("check", JsonValue::from("sampled")),
+                        ("p", JsonValue::from(p)),
+                        ("n", JsonValue::from(a)),
+                        ("trials", JsonValue::from(report.attempted)),
+                        ("requests", JsonValue::from(sampled)),
+                        ("wall_ms", JsonValue::from(wall_ms)),
+                        (
+                            "requests_per_sec",
+                            JsonValue::from(sampled / (wall_ms / 1e3).max(f64::EPSILON)),
+                        ),
+                    ])
+                    .expect("write profile record");
+            }
         }
     }
     println!("{sampled_table}");

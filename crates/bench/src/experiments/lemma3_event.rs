@@ -48,12 +48,15 @@ fn run(ctx: &mut ExpContext) {
         "bound e^-(1-p)",
         "holds",
     ]);
+    let tracer = ctx.tracer.clone();
     for &p in &p_values {
         for &a in &anchors {
+            let _cell_span = tracer.span("size-cell");
             let w = EquivalenceWindow::from_anchor(a);
             let exact =
                 mori_event_probability_exact(w.a(), w.b(), p).expect("valid window parameters");
             // Monte Carlo on the big anchors is costly; sample the small ones.
+            let mc_start = std::time::Instant::now();
             let estimate = if a <= 1_000 {
                 Some(
                     estimate_mori_event_probability(&w, p, mc_trials, ctx.seed)
@@ -62,6 +65,7 @@ fn run(ctx: &mut ExpContext) {
             } else {
                 None
             };
+            let mc_wall_ms = mc_start.elapsed().as_secs_f64() * 1e3;
             let mc = estimate.as_ref().map_or("-".to_string(), |est| {
                 format!("{:.4} ± {:.4}", est.estimate, est.std_error)
             });
@@ -99,6 +103,24 @@ fn run(ctx: &mut ExpContext) {
                     ("holds", JsonValue::from(holds)),
                 ])
                 .expect("write cell record");
+            if ctx.options.profile && estimate.is_some() {
+                // "Requests" here = Monte-Carlo trials: each one grows a
+                // fresh Móri tree over the window and tests the event.
+                let sampled = mc_trials as f64;
+                ctx.writer
+                    .record_profile(vec![
+                        ("p", JsonValue::from(p)),
+                        ("n", JsonValue::from(a)),
+                        ("trials", JsonValue::from(mc_trials)),
+                        ("requests", JsonValue::from(sampled)),
+                        ("wall_ms", JsonValue::from(mc_wall_ms)),
+                        (
+                            "requests_per_sec",
+                            JsonValue::from(sampled / (mc_wall_ms / 1e3).max(f64::EPSILON)),
+                        ),
+                    ])
+                    .expect("write profile record");
+            }
         }
     }
     println!("{table}");

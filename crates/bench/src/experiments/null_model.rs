@@ -22,7 +22,7 @@
 use super::{open_corpus, print_banner, resolve_source};
 use nonsearch_analysis::{fit_log_log, Table};
 use nonsearch_core::{BarabasiAlbertModel, GraphModel};
-use nonsearch_engine::{run_lanes_with, ExpContext, ExperimentSpec, GraphSource, JsonValue};
+use nonsearch_engine::{run_lanes_metered, ExpContext, ExperimentSpec, GraphSource, JsonValue};
 use nonsearch_generators::{degree_preserving_rewire, SeedSequence};
 use nonsearch_graph::NodeId;
 use nonsearch_search::{run_weak_in, SearchScratch, SearchTask, SearcherKind, SuccessCriterion};
@@ -75,10 +75,12 @@ fn run(ctx: &mut ExpContext) {
     // series[variant][searcher] = (n, mean) points for the exponent fit.
     let mut series = vec![vec![Vec::new(); SEARCHERS.len()]; VARIANTS.len()];
 
+    let tracer = ctx.tracer.clone();
     for (size_idx, &n) in sizes.iter().enumerate() {
+        let _cell_span = tracer.span("size-cell");
         let size_seeds = seeds.subsequence(size_idx as u64);
         let cell_start = std::time::Instant::now();
-        let lanes = run_lanes_with(
+        let (lanes, metrics) = run_lanes_metered(
             trial_count,
             VARIANTS.len() * SEARCHERS.len(),
             ctx.options.threads,
@@ -93,7 +95,7 @@ fn run(ctx: &mut ExpContext) {
                         .collect::<Vec<_>>(),
                 )
             },
-            |(scratch, searchers), trial, trial_seeds| {
+            |(scratch, searchers), m, trial, trial_seeds| {
                 let original = original_source.trial_graph(n, trial, &trial_seeds);
                 let rewired = match &variant_source {
                     Some(source) => source.trial_graph(n, trial, &trial_seeds),
@@ -106,6 +108,9 @@ fn run(ctx: &mut ExpContext) {
                         Arc::new(null)
                     }
                 };
+                let resolutions_before = scratch.view().edge_resolutions();
+                let resets_before = scratch.view().resets();
+                let requests_before = m.requests;
                 let mut measures = Vec::with_capacity(VARIANTS.len() * SEARCHERS.len());
                 for (v_idx, graph) in [&original, &rewired].into_iter().enumerate() {
                     let actual = graph.node_count();
@@ -116,14 +121,21 @@ fn run(ctx: &mut ExpContext) {
                         let lane_idx = v_idx * SEARCHERS.len() + s_idx;
                         let mut rng = trial_seeds.child_rng(1 + lane_idx as u64);
                         let searcher = &mut searchers[lane_idx];
+                        let rescans_before = searcher.frontier_rescans();
                         let outcome = run_weak_in(scratch, graph, &task, &mut **searcher, &mut rng)
                             .expect("suite searchers never violate the protocol");
+                        m.requests += outcome.requests as u64;
+                        m.discoveries += outcome.discovered as u64;
+                        m.frontier_rescans += searcher.frontier_rescans() - rescans_before;
                         measures.push(nonsearch_engine::TrialMeasure::new(
                             outcome.requests as f64,
                             outcome.found,
                         ));
                     }
                 }
+                m.edge_resolutions += scratch.view().edge_resolutions() - resolutions_before;
+                m.scratch_resets += scratch.view().resets() - resets_before;
+                m.observe_trial_requests(m.requests - requests_before);
                 measures
             },
         );
@@ -176,6 +188,15 @@ fn run(ctx: &mut ExpContext) {
                     ),
                 ])
                 .expect("write profile record");
+            ctx.writer
+                .record_metrics(
+                    vec![
+                        ("model", JsonValue::from("barabasi-albert")),
+                        ("n", JsonValue::from(n)),
+                    ],
+                    &metrics,
+                )
+                .expect("write metrics record");
         }
     }
     println!("{table}");

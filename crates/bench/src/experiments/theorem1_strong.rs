@@ -34,6 +34,7 @@ fn run(ctx: &mut ExpContext) {
     };
     let seeds = SeedSequence::new(ctx.seed);
     let corpus = open_corpus(ctx);
+    let tracer = ctx.tracer.clone();
 
     for &p in &p_values {
         let model = MergedMoriModel { p, m: 1 };
@@ -44,6 +45,7 @@ fn run(ctx: &mut ExpContext) {
         for kind in StrongKind::all() {
             let mut series = Vec::new();
             for (i, &n) in sizes.iter().enumerate() {
+                let _cell_span = tracer.span("size-cell");
                 let cell_seeds = seeds
                     .subsequence((p * 100.0) as u64)
                     .subsequence(i as u64)
@@ -90,6 +92,17 @@ fn run(ctx: &mut ExpContext) {
                             ("requests_per_sec", JsonValue::from(cell.requests_per_sec)),
                         ])
                         .expect("write profile record");
+                    ctx.writer
+                        .record_metrics(
+                            vec![
+                                ("model", JsonValue::from("mori")),
+                                ("p", JsonValue::from(p)),
+                                ("searcher", JsonValue::from(kind.name())),
+                                ("n", JsonValue::from(n)),
+                            ],
+                            &cell.metrics,
+                        )
+                        .expect("write metrics record");
                 }
                 series.push((n, cell.mean));
             }

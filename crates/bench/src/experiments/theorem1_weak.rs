@@ -54,6 +54,7 @@ fn run(ctx: &mut ExpContext) {
                 criterion: SuccessCriterion::DiscoverTarget,
                 budget_multiplier: 30,
                 threads: ctx.options.threads,
+                tracer: ctx.tracer.clone(),
             };
             // A corpus built with this experiment's seed and sizes
             // serves the exact per-trial graphs, so the report (and the
@@ -101,6 +102,17 @@ fn run(ctx: &mut ExpContext) {
                             ),
                         ])
                         .expect("write profile record");
+                    ctx.writer
+                        .record_metrics(
+                            vec![
+                                ("model", JsonValue::from("mori")),
+                                ("p", JsonValue::from(p)),
+                                ("m", JsonValue::from(m)),
+                                ("n", JsonValue::from(profile.n)),
+                            ],
+                            &profile.metrics,
+                        )
+                        .expect("write metrics record");
                 }
             }
 

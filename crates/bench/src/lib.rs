@@ -17,9 +17,10 @@
 pub mod experiments;
 
 use nonsearch_core::{GraphModel, ModelSource};
-use nonsearch_engine::{run_cell_with, CliOptions, GraphSource, TrialMeasure};
+use nonsearch_engine::{run_cell_metered, CliOptions, GraphSource, TrialMeasure};
 use nonsearch_generators::SeedSequence;
 use nonsearch_graph::NodeId;
+use nonsearch_obs::Metrics;
 use nonsearch_search::{
     run_strong_in, run_weak_in, SearchScratch, SearchTask, StrongSearcher, SuccessCriterion,
 };
@@ -69,6 +70,9 @@ pub struct CellStats {
     pub wall_ms: f64,
     /// Total requests across trials divided by wall seconds.
     pub requests_per_sec: f64,
+    /// Deterministically merged per-worker counters for the cell
+    /// (exact u64 sums, bit-identical for any thread count).
+    pub metrics: Metrics,
 }
 
 impl CellStats {
@@ -76,6 +80,7 @@ impl CellStats {
         lane: &nonsearch_engine::LaneAggregate,
         trial_count: usize,
         wall_ms: f64,
+        metrics: Metrics,
     ) -> CellStats {
         let requests = lane.mean() * trial_count as f64;
         CellStats {
@@ -84,6 +89,7 @@ impl CellStats {
             success: lane.success_rate(),
             wall_ms,
             requests_per_sec: requests / (wall_ms / 1e3).max(f64::EPSILON),
+            metrics,
         }
     }
 }
@@ -162,23 +168,37 @@ pub fn strong_cell_from(
     // Per-worker pool: scratch + searcher built once, reused (and reset)
     // across all of the worker's trials.
     let start = std::time::Instant::now();
-    let lane = run_cell_with(
+    let (lane, metrics) = run_cell_metered(
         trial_count,
         threads,
         seeds,
         || (SearchScratch::new(), kind.build()),
-        |(scratch, searcher), trial, cell_seeds| {
+        |(scratch, searcher), m, trial, cell_seeds| {
             let graph = source.trial_graph(n, trial, &cell_seeds);
             let actual = graph.node_count();
             let task = SearchTask::new(NodeId::from_label(1), NodeId::from_label(actual))
                 .with_budget(50 * actual);
             let mut search_rng = cell_seeds.child_rng(1);
+            let resolutions_before = scratch.view().edge_resolutions();
+            let resets_before = scratch.view().resets();
+            let rescans_before = searcher.frontier_rescans();
             let outcome = run_strong_in(scratch, &graph, &task, &mut **searcher, &mut search_rng)
                 .expect("suite searchers never violate the protocol");
+            m.requests += outcome.requests as u64;
+            m.discoveries += outcome.discovered as u64;
+            m.frontier_rescans += searcher.frontier_rescans() - rescans_before;
+            m.edge_resolutions += scratch.view().edge_resolutions() - resolutions_before;
+            m.scratch_resets += scratch.view().resets() - resets_before;
+            m.observe_trial_requests(outcome.requests as u64);
             TrialMeasure::new(outcome.requests as f64, outcome.found)
         },
     );
-    CellStats::from_lane(&lane, trial_count, start.elapsed().as_secs_f64() * 1e3)
+    CellStats::from_lane(
+        &lane,
+        trial_count,
+        start.elapsed().as_secs_f64() * 1e3,
+        metrics,
+    )
 }
 
 /// Where the searcher starts.
@@ -260,12 +280,12 @@ pub fn weak_cell_with_policy_from(
     seeds: &SeedSequence,
 ) -> CellStats {
     let start = std::time::Instant::now();
-    let lane = run_cell_with(
+    let (lane, metrics) = run_cell_metered(
         trial_count,
         threads,
         seeds,
         || (SearchScratch::new(), kind.build()),
-        |(scratch, searcher), trial, cell_seeds| {
+        |(scratch, searcher), m, trial, cell_seeds| {
             let graph = source.trial_graph(n, trial, &cell_seeds);
             let actual = graph.node_count();
             let start = start_policy.pick(actual, &mut cell_seeds.child_rng(2));
@@ -273,12 +293,26 @@ pub fn weak_cell_with_policy_from(
                 .with_criterion(criterion)
                 .with_budget(budget_multiplier * actual);
             let mut search_rng = cell_seeds.child_rng(1);
+            let resolutions_before = scratch.view().edge_resolutions();
+            let resets_before = scratch.view().resets();
+            let rescans_before = searcher.frontier_rescans();
             let outcome = run_weak_in(scratch, &graph, &task, &mut **searcher, &mut search_rng)
                 .expect("suite searchers never violate the protocol");
+            m.requests += outcome.requests as u64;
+            m.discoveries += outcome.discovered as u64;
+            m.frontier_rescans += searcher.frontier_rescans() - rescans_before;
+            m.edge_resolutions += scratch.view().edge_resolutions() - resolutions_before;
+            m.scratch_resets += scratch.view().resets() - resets_before;
+            m.observe_trial_requests(outcome.requests as u64);
             TrialMeasure::new(outcome.requests as f64, outcome.found)
         },
     );
-    CellStats::from_lane(&lane, trial_count, start.elapsed().as_secs_f64() * 1e3)
+    CellStats::from_lane(
+        &lane,
+        trial_count,
+        start.elapsed().as_secs_f64() * 1e3,
+        metrics,
+    )
 }
 
 #[cfg(test)]
@@ -297,6 +331,11 @@ mod tests {
         assert!(cell.wall_ms >= 0.0);
         assert!(cell.requests_per_sec > 0.0);
         assert!(cell.requests_per_sec.is_finite());
+        assert_eq!(cell.metrics.trials, 4);
+        assert_eq!(cell.metrics.trial_requests.total(), 4);
+        assert!(cell.metrics.requests > 0);
+        assert!(cell.metrics.discoveries > 0);
+        assert_eq!(cell.metrics.scratch_resets, 4);
     }
 
     #[test]
@@ -332,6 +371,7 @@ mod tests {
         assert_eq!(a.mean, b.mean);
         assert_eq!(a.ci95, b.ci95);
         assert_eq!(a.success, b.success);
+        assert_eq!(a.metrics, b.metrics);
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! End-to-end tests of the `xp` binary: subcommand listing, JSONL
-//! emission, and the headline engine guarantee — byte-identical cell
-//! records for `--threads 1` vs `--threads 4` with the same seed.
+//! emission, the headline engine guarantee — byte-identical cell
+//! records for `--threads 1` vs `--threads 4` with the same seed —
+//! and the observability surface (`--trace`, metrics records,
+//! `profile-diff`).
 
-use nonsearch_engine::{parse_json, validate_jsonl, CELL_TYPE, RUN_TYPE};
+use nonsearch_engine::{parse_json, validate_chrome_trace, validate_jsonl, CELL_TYPE, RUN_TYPE};
 use std::path::PathBuf;
 use std::process::{Command, Output};
 
@@ -241,6 +243,135 @@ fn quick_env_zero_and_empty_do_not_enable_quick_mode() {
     ));
     assert!(footer_quick(&["--quick"], None, "flag.jsonl"));
     assert!(!footer_quick(&[], None, "plain.jsonl"));
+}
+
+#[test]
+fn trace_and_metrics_flow_through_a_profiled_run() {
+    let run = temp_path("obs.jsonl");
+    let trace = temp_path("obs.trace.json");
+    let run_str = run.to_str().unwrap();
+    let trace_str = trace.to_str().unwrap();
+    let out = xp(&[
+        "theorem1-weak",
+        "--quick",
+        "--trials",
+        "3",
+        "--sizes",
+        "64,128",
+        "--profile",
+        "--trace",
+        trace_str,
+        "--out",
+        run_str,
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // The JSONL stream now carries metrics records next to the profile
+    // records, and the library validator counts both.
+    let text = std::fs::read_to_string(&run).unwrap();
+    let summary = validate_jsonl(&text).unwrap();
+    assert!(summary.cells > 0, "{summary:?}");
+    assert!(summary.profiles > 0, "{summary:?}");
+    assert!(summary.metrics > 0, "{summary:?}");
+    assert_eq!(summary.metrics, summary.profiles, "{summary:?}");
+
+    // The trace is a structurally valid Chrome Trace Event document
+    // covering the whole span hierarchy.
+    let trace_text = std::fs::read_to_string(&trace).unwrap();
+    let events = validate_chrome_trace(&trace_text).unwrap();
+    assert!(events > 0);
+    for name in ["\"run\"", "\"size-cell\"", "\"trial-batch\"", "\"trial\""] {
+        assert!(trace_text.contains(name), "trace misses {name}");
+    }
+
+    // `xp validate` accepts both files from the command line.
+    let out = xp(&["validate", run_str, trace_str]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("metrics"), "{stdout}");
+
+    std::fs::remove_file(&run).ok();
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
+fn profile_diff_gates_on_a_doubled_baseline() {
+    let run = temp_path("pd.jsonl");
+    let run_str = run.to_str().unwrap();
+    let out = xp(&[
+        "theorem1-weak",
+        "--trials",
+        "3",
+        "--sizes",
+        "64",
+        "--profile",
+        "--out",
+        run_str,
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Self-baseline: ratio 1.0 everywhere, exit 0.
+    let base = temp_path("pd_base.json");
+    let base_str = base.to_str().unwrap();
+    let out = xp(&["profile-diff", run_str, "--write-baseline", base_str]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = xp(&["profile-diff", run_str, "--baseline", base_str]);
+    assert_eq!(out.status.code(), Some(0));
+
+    // A baseline claiming 2× the measured throughput regresses at the
+    // default 0.7 threshold (ratio 0.5) — and exits nonzero.
+    let doubled = temp_path("pd_base2.json");
+    let doubled_str = doubled.to_str().unwrap();
+    let out = xp(&[
+        "profile-diff",
+        run_str,
+        "--write-baseline",
+        doubled_str,
+        "--scale",
+        "2.0",
+    ]);
+    assert!(out.status.success());
+    let out = xp(&["profile-diff", run_str, "--baseline", doubled_str]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("regression"), "{stderr}");
+
+    // A run without profile records cannot be gated — usage error.
+    let bare = temp_path("pd_bare.jsonl");
+    let bare_str = bare.to_str().unwrap();
+    let out = xp(&[
+        "theorem1-weak",
+        "--trials",
+        "2",
+        "--sizes",
+        "32",
+        "--out",
+        bare_str,
+    ]);
+    assert!(out.status.success());
+    let out = xp(&["profile-diff", bare_str, "--baseline", base_str]);
+    assert_eq!(out.status.code(), Some(2));
+
+    std::fs::remove_file(&run).ok();
+    std::fs::remove_file(&base).ok();
+    std::fs::remove_file(&doubled).ok();
+    std::fs::remove_file(&bare).ok();
 }
 
 #[test]

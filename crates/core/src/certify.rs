@@ -10,9 +10,10 @@
 
 use crate::model::GraphModel;
 use nonsearch_analysis::{fit_log_log, LinearFit, Table};
-use nonsearch_engine::{run_lanes_with, GraphSource, TrialMeasure};
+use nonsearch_engine::{run_lanes_metered, GraphSource, TrialMeasure};
 use nonsearch_generators::SeedSequence;
 use nonsearch_graph::NodeId;
+use nonsearch_obs::{Metrics, Tracer};
 use nonsearch_search::{
     run_weak_in, SearchScratch, SearchTask, SearcherKind, SuccessCriterion, WeakSearcher,
 };
@@ -37,6 +38,11 @@ pub struct CertifyConfig {
     /// Worker threads for the trial engine (`0` = all cores). Results
     /// are bit-identical for any value.
     pub threads: usize,
+    /// Span tracer for `size-cell` / `trial-batch` / `trial` scopes;
+    /// disabled by default (every scope then costs one `Option` check).
+    /// Never consulted by the measurement path itself, so enabling it
+    /// cannot perturb the deterministic aggregates.
+    pub tracer: Tracer,
 }
 
 impl Default for CertifyConfig {
@@ -49,6 +55,7 @@ impl Default for CertifyConfig {
             criterion: SuccessCriterion::DiscoverTarget,
             budget_multiplier: 50,
             threads: 0,
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -109,6 +116,10 @@ pub struct CellProfile {
     pub requests: f64,
     /// `requests` divided by the cell's wall time in seconds.
     pub requests_per_sec: f64,
+    /// The cell's merged engine metrics — exact counters folded in
+    /// strict trial order, bit-identical for any thread count (unlike
+    /// the wall-clock fields around them).
+    pub metrics: Metrics,
 }
 
 /// The certification verdict for one model.
@@ -216,8 +227,9 @@ pub fn certify_with_source(
 
     for (size_idx, &n) in config.sizes.iter().enumerate() {
         let size_seeds = seeds.subsequence(size_idx as u64);
+        let _cell_span = config.tracer.span("size-cell");
         let cell_start = std::time::Instant::now();
-        let lanes = run_lanes_with(
+        let (lanes, metrics) = run_lanes_metered(
             config.trials,
             n_searchers,
             config.threads,
@@ -225,12 +237,18 @@ pub fn certify_with_source(
             // Per-worker pool: one scratch plus one instance of every
             // searcher, allocated once per graph size and reused across
             // all of the worker's trials (reset per run). Outcomes stay
-            // bit-identical to fresh-state runs.
+            // bit-identical to fresh-state runs. The pool also carries
+            // the worker's `trial-batch` span, so its guard records the
+            // worker's whole stint when the pool drops.
             || TrialPool {
                 scratch: SearchScratch::new(),
                 searchers: config.searchers.iter().map(|kind| kind.build()).collect(),
+                _batch_span: config.tracer.span("trial-batch"),
             },
-            |pool, trial, trial_seeds| run_one_trial(pool, source, config, n, trial, &trial_seeds),
+            |pool, m, trial, trial_seeds| {
+                let _trial_span = config.tracer.span("trial");
+                run_one_trial(pool, m, source, config, n, trial, &trial_seeds)
+            },
         );
         let wall_ms = cell_start.elapsed().as_secs_f64() * 1e3;
         for (s_idx, lane) in lanes.iter().enumerate() {
@@ -252,6 +270,7 @@ pub fn certify_with_source(
             wall_ms,
             requests,
             requests_per_sec: requests / (wall_ms / 1e3).max(f64::EPSILON),
+            metrics,
         });
     }
 
@@ -276,16 +295,26 @@ pub fn certify_with_source(
 }
 
 /// A worker's reusable trial state: the search scratch plus one pooled
-/// instance of each configured searcher.
-struct TrialPool {
+/// instance of each configured searcher (and, when tracing, the
+/// worker's open `trial-batch` span — recorded when the pool drops).
+struct TrialPool<'t> {
     scratch: SearchScratch,
     searchers: Vec<Box<dyn WeakSearcher>>,
+    _batch_span: nonsearch_obs::SpanGuard<'t>,
 }
 
 /// One graph sample, all searchers raced on it — one engine lane per
 /// searcher, all running allocation-free on the worker's pool.
+///
+/// Counter deltas land in `m`, the trial's zeroed [`Metrics`] bundle:
+/// requests and discoveries come off the search outcomes; frontier
+/// rescans off each searcher's cumulative counter; edge resolutions and
+/// scratch resets off the pooled view's cumulative counters. Reading
+/// counters never perturbs the search, so metered runs stay
+/// bit-identical to unmetered ones.
 fn run_one_trial(
-    pool: &mut TrialPool,
+    pool: &mut TrialPool<'_>,
+    m: &mut Metrics,
     source: &(impl GraphSource + ?Sized),
     config: &CertifyConfig,
     n: usize,
@@ -300,16 +329,29 @@ fn run_one_trial(
     let TrialPool {
         scratch, searchers, ..
     } = pool;
-    searchers
+    let resolutions_before = scratch.view().edge_resolutions();
+    let resets_before = scratch.view().resets();
+    let requests_before = m.requests;
+    // Collected eagerly: the view's cumulative counters are read *after*
+    // every lane ran, so a lazily-evaluated map would under-count.
+    let measures: Vec<TrialMeasure> = searchers
         .iter_mut()
         .enumerate()
         .map(|(s_idx, searcher)| {
+            let rescans_before = searcher.frontier_rescans();
             let mut rng = trial_seeds.child_rng(1 + s_idx as u64);
             let outcome = run_weak_in(scratch, &graph, &task, &mut **searcher, &mut rng)
                 .expect("suite searchers never violate the protocol");
+            m.requests += outcome.requests as u64;
+            m.discoveries += outcome.discovered as u64;
+            m.frontier_rescans += searcher.frontier_rescans() - rescans_before;
             TrialMeasure::new(outcome.requests as f64, outcome.found)
         })
-        .collect()
+        .collect();
+    m.edge_resolutions += scratch.view().edge_resolutions() - resolutions_before;
+    m.scratch_resets += scratch.view().resets() - resets_before;
+    m.observe_trial_requests(m.requests - requests_before);
+    measures
 }
 
 #[cfg(test)]
@@ -330,6 +372,7 @@ mod tests {
             criterion: SuccessCriterion::DiscoverTarget,
             budget_multiplier: 50,
             threads: 0,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -364,6 +407,20 @@ mod tests {
                 .map(|a| a.points.iter().find(|p| p.n == n).unwrap().mean_requests * 6.0)
                 .sum();
             assert!((profile.requests - lane_sum).abs() < 1e-6);
+            // The merged metrics agree with the aggregates: exact
+            // request totals, one histogram sample per trial, and
+            // sane activity counters from the pooled oracle state.
+            let m = &profile.metrics;
+            assert_eq!(m.trials, 6);
+            assert_eq!(m.requests as f64, profile.requests);
+            assert_eq!(m.trial_requests.total(), 6);
+            assert!(m.discoveries > 0);
+            assert!(m.edge_resolutions > 0);
+            // Three searchers per trial, each resetting the shared view.
+            assert_eq!(m.scratch_resets, 6 * 3);
+            // The suite includes cursor-based searchers, which skip
+            // resolved slots on dense vertices.
+            assert!(m.frontier_rescans > 0);
         }
     }
 
@@ -397,6 +454,12 @@ mod tests {
             for (px, py) in x.points.iter().zip(&y.points) {
                 assert_eq!(px, py);
             }
+        }
+        // The merged per-cell metrics are exact u64 sums folded in
+        // strict trial order, so they match bit-for-bit too.
+        assert_eq!(a.profiles.len(), b.profiles.len());
+        for (px, py) in a.profiles.iter().zip(&b.profiles) {
+            assert_eq!(px.metrics, py.metrics);
         }
     }
 

@@ -21,7 +21,11 @@
 //! * [`RunWriter`] — JSON Lines + CSV run records (params, seed, git
 //!   describe, wall time, mean/CI/success) alongside the pretty tables.
 //! * [`Registry`] — the `xp` subcommand registry: `xp list`,
-//!   `xp <experiment> [flags]`, `xp validate <file>`.
+//!   `xp <experiment> [flags]`, `xp validate <file>`,
+//!   `xp profile-diff <run.jsonl>`.
+//! * [`Metrics`] / [`Tracer`] (re-exported from `nonsearch_obs`) — the
+//!   allocation-free per-worker counter bundle merged by
+//!   [`run_lanes_metered`], and the span tracer behind `--trace`.
 //! * [`json`] — a dependency-free JSON value/serializer/parser (the
 //!   workspace's vendored `serde` is a no-op stub).
 //!
@@ -47,19 +51,25 @@
 
 pub mod json;
 mod options;
+pub mod profile_diff;
 mod record;
 mod registry;
 mod runner;
 mod source;
 
 pub use json::{parse as parse_json, JsonError, JsonValue};
+pub use nonsearch_obs::{Log2Histogram, Metrics, SpanGuard, Tracer, HISTOGRAM_BUCKETS};
 pub use options::{CliOptions, OptionsError, OutputFormat};
-pub use record::{git_describe, RunSummary, RunWriter, CELL_TYPE, PROFILE_TYPE, RUN_TYPE};
+pub use record::{
+    git_describe, metrics_fields, RunSummary, RunWriter, CELL_TYPE, METRICS_TYPE, PROFILE_TYPE,
+    RUN_TYPE,
+};
 pub use registry::{
-    run_legacy, validate_jsonl, ExpContext, ExperimentSpec, Registry, ValidateSummary,
+    run_legacy, validate_chrome_trace, validate_jsonl, ExpContext, ExperimentSpec, Registry,
+    ValidateSummary,
 };
 pub use runner::{
-    run_cell, run_cell_with, run_lanes, run_lanes_with, run_ordered, trial_seeds, LaneAggregate,
-    TrialMeasure,
+    run_cell, run_cell_metered, run_cell_with, run_lanes, run_lanes_metered, run_lanes_with,
+    run_ordered, trial_seeds, LaneAggregate, TrialMeasure,
 };
 pub use source::{FnSource, GraphSource};

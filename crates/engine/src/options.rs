@@ -16,6 +16,7 @@
 //! | `--mmap` | serve corpus graphs zero-copy from memory-mapped files |
 //! | `--trust-checksums` | skip per-load payload checksums (run `corpus verify` first) |
 //! | `--profile` | emit per-cell throughput records (`"type":"profile"`) alongside cells |
+//! | `--trace PATH` | record run/cell/trial spans and write Chrome Trace Event JSON to `PATH` |
 //!
 //! `--quick`, `--mmap`, `--trust-checksums`, and `--profile` are boolean flags: they take no value, and
 //! the strict (`xp`) parser rejects `--quick=...` outright — silently
@@ -143,6 +144,10 @@ pub struct CliOptions {
     /// requests/sec per measured cell, as JSONL `"type":"profile"`
     /// records riding alongside the deterministic cell stream.
     pub profile: bool,
+    /// Write span traces as Chrome Trace Event Format JSON to this path
+    /// (`--trace PATH`): run → size-cell → trial-batch scopes, loadable
+    /// in Perfetto / `chrome://tracing`. `None` disables tracing.
+    pub trace: Option<PathBuf>,
 }
 
 impl CliOptions {
@@ -235,6 +240,7 @@ impl CliOptions {
                     .and_then(|v| parse_num(&v, "--trials"))
                     .map(|t| opts.trials = Some(t)),
                 "--out" => value("--out").map(|v| opts.out = Some(PathBuf::from(v))),
+                "--trace" => value("--trace").map(|v| opts.trace = Some(PathBuf::from(v))),
                 "--corpus" => value("--corpus").map(|v| opts.corpus = Some(PathBuf::from(v))),
                 "--format" => value("--format")
                     .and_then(|v| OutputFormat::parse(&v))
@@ -364,11 +370,17 @@ mod tests {
             "corpus-dir",
             "--trust-checksums",
             "--profile",
+            "--trace",
+            "run.trace.json",
         ])
         .unwrap();
         assert!(opts.quick);
         assert!(opts.trust_checksums);
         assert!(opts.profile);
+        assert_eq!(
+            opts.trace.as_deref(),
+            Some(std::path::Path::new("run.trace.json"))
+        );
         assert_eq!(opts.threads, 4);
         assert_eq!(opts.seed, Some(17));
         assert_eq!(

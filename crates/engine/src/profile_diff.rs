@@ -1,0 +1,505 @@
+//! `xp profile-diff` — the throughput-regression gate.
+//!
+//! Compares the `"type":"profile"` records of a finished run against a
+//! committed JSON baseline and exits nonzero when measured throughput
+//! falls below `threshold × baseline` for any size — which is what lets
+//! CI fail a PR that quietly slows the oracle hot path down, without
+//! ever looking at the volatile numbers by eye.
+//!
+//! ```text
+//! xp profile-diff <run.jsonl> [--baseline FILE] [--threshold 0.7]
+//!                 [--write-baseline OUT] [--scale F]
+//! ```
+//!
+//! * `--baseline FILE` — compare against `FILE` (one JSON document,
+//!   `{"cells":[{"n":N,"requests_per_sec":X}, …]}`; extra fields are
+//!   ignored). Measured cells match the baseline cell with the nearest
+//!   `n`, so a `--quick`-truncated sweep still gates against a
+//!   full-sweep baseline sensibly.
+//! * `--threshold F` — regression ratio, default `0.7`: a cell fails
+//!   when `measured < F × baseline`. Throughput *above* baseline never
+//!   fails (improvements are free).
+//! * `--write-baseline OUT` — instead of comparing, write a baseline
+//!   from the run's measured throughput (`× --scale`, default `1.0`).
+//!   Quick runs are guarded: when the run footer says `quick: true`
+//!   and `OUT` lacks a `.quick.` marker, the baseline is written to
+//!   `OUT` with `.json` → `.quick.json` instead, so a truncated quick
+//!   sweep can never clobber a committed full-sweep baseline.
+//!
+//! Exit codes: `0` OK (or baseline written), `1` regression detected,
+//! `2` usage or I/O error — the same convention as the rest of `xp`.
+
+use crate::json::{self, JsonValue};
+use crate::record::{PROFILE_TYPE, RUN_TYPE};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Default regression threshold: fail below 70% of baseline throughput.
+pub const DEFAULT_THRESHOLD: f64 = 0.7;
+
+const USAGE: &str = "usage: xp profile-diff <run.jsonl> [--baseline FILE] [--threshold F] \
+                     [--write-baseline OUT] [--scale F]";
+
+/// What one run's profile records measured, keyed by cell size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasuredProfile {
+    /// Mean requests/sec per size `n` (multiple profile records at the
+    /// same `n` — e.g. one per searcher — are averaged).
+    pub cells: BTreeMap<u64, f64>,
+    /// Whether the run footer was stamped `quick: true`.
+    pub quick: bool,
+}
+
+/// Extracts the profile records and the footer's quick flag from a
+/// JSONL run stream.
+pub fn measured_from_jsonl(text: &str) -> Result<MeasuredProfile, String> {
+    let mut sums: BTreeMap<u64, (f64, u64)> = BTreeMap::new();
+    let mut quick = false;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        match value.get("type").and_then(|t| t.as_str()) {
+            Some(t) if t == PROFILE_TYPE => {
+                let n = value
+                    .get("n")
+                    .and_then(|v| v.as_f64())
+                    .filter(|x| x.is_finite() && *x >= 0.0)
+                    .ok_or_else(|| {
+                        format!("line {}: profile record has no usable \"n\"", lineno + 1)
+                    })? as u64;
+                let rps = value
+                    .get("requests_per_sec")
+                    .and_then(|v| v.as_f64())
+                    .filter(|x| x.is_finite() && *x >= 0.0)
+                    .ok_or_else(|| {
+                        format!(
+                            "line {}: profile record has no usable \"requests_per_sec\"",
+                            lineno + 1
+                        )
+                    })?;
+                let slot = sums.entry(n).or_insert((0.0, 0));
+                slot.0 += rps;
+                slot.1 += 1;
+            }
+            Some(t) if t == RUN_TYPE => {
+                quick = value
+                    .get("quick")
+                    .and_then(|v| v.as_bool())
+                    .unwrap_or(false);
+            }
+            _ => {}
+        }
+    }
+    if sums.is_empty() {
+        return Err("no profile records found (was the run made with --profile?)".to_string());
+    }
+    Ok(MeasuredProfile {
+        cells: sums
+            .into_iter()
+            .map(|(n, (sum, count))| (n, sum / count as f64))
+            .collect(),
+        quick,
+    })
+}
+
+/// Parses a baseline document: `{"cells":[{"n":N,"requests_per_sec":X}]}`.
+pub fn baseline_from_json(text: &str) -> Result<BTreeMap<u64, f64>, String> {
+    let doc = json::parse(text.trim()).map_err(|e| e.to_string())?;
+    let cells = doc
+        .get("cells")
+        .and_then(|v| v.as_array())
+        .ok_or_else(|| "baseline has no \"cells\" array".to_string())?;
+    let mut out = BTreeMap::new();
+    for (i, cell) in cells.iter().enumerate() {
+        let n = cell
+            .get("n")
+            .and_then(|v| v.as_f64())
+            .filter(|x| x.is_finite() && *x >= 0.0)
+            .ok_or_else(|| format!("baseline cell {i} has no usable \"n\""))?;
+        let rps = cell
+            .get("requests_per_sec")
+            .and_then(|v| v.as_f64())
+            .filter(|x| x.is_finite() && *x > 0.0)
+            .ok_or_else(|| format!("baseline cell {i} has no usable \"requests_per_sec\""))?;
+        out.insert(n as u64, rps);
+    }
+    if out.is_empty() {
+        return Err("baseline \"cells\" array is empty".to_string());
+    }
+    Ok(out)
+}
+
+/// One compared cell: measured against the nearest-`n` baseline cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    /// Measured cell size.
+    pub n: u64,
+    /// Baseline cell size matched (nearest `n`).
+    pub baseline_n: u64,
+    /// Measured mean requests/sec.
+    pub measured: f64,
+    /// Baseline requests/sec.
+    pub baseline: f64,
+    /// `measured / baseline`.
+    pub ratio: f64,
+    /// Whether this cell fell below the threshold.
+    pub regressed: bool,
+}
+
+/// Compares measured cells against a baseline at `threshold`. Every
+/// measured cell is matched to the baseline cell with the nearest `n`
+/// (ties toward the smaller size, for determinism).
+pub fn diff(
+    measured: &MeasuredProfile,
+    baseline: &BTreeMap<u64, f64>,
+    threshold: f64,
+) -> Vec<DiffRow> {
+    measured
+        .cells
+        .iter()
+        .map(|(&n, &rps)| {
+            let (&baseline_n, &base_rps) = baseline
+                .iter()
+                .min_by_key(|(&bn, _)| (bn.abs_diff(n), bn))
+                .expect("baseline verified non-empty");
+            let ratio = rps / base_rps;
+            DiffRow {
+                n,
+                baseline_n,
+                measured: rps,
+                baseline: base_rps,
+                ratio,
+                regressed: ratio < threshold,
+            }
+        })
+        .collect()
+}
+
+/// Serializes a baseline document from measured throughput, scaling
+/// each cell's requests/sec by `scale`.
+pub fn baseline_to_json(measured: &MeasuredProfile, scale: f64) -> String {
+    let cells: Vec<JsonValue> = measured
+        .cells
+        .iter()
+        .map(|(&n, &rps)| {
+            JsonValue::object(vec![
+                ("n", JsonValue::from(n)),
+                ("requests_per_sec", JsonValue::from(rps * scale)),
+            ])
+        })
+        .collect();
+    let doc = JsonValue::object(vec![
+        ("quick", JsonValue::from(measured.quick)),
+        ("cells", JsonValue::Array(cells)),
+    ]);
+    format!("{doc}\n")
+}
+
+/// Applies the quick-clobber guard to a `--write-baseline` target: a
+/// quick run writing to a path without a `.quick.` marker is redirected
+/// to the `.quick.json` sibling, so truncated quick sweeps never
+/// overwrite committed full-sweep baselines.
+pub fn guarded_baseline_path(out: &Path, quick: bool) -> PathBuf {
+    let name = out.file_name().map(|n| n.to_string_lossy().to_string());
+    match name {
+        Some(name) if quick && !name.contains(".quick.") => {
+            let guarded = match name.strip_suffix(".json") {
+                Some(stem) => format!("{stem}.quick.json"),
+                None => format!("{name}.quick.json"),
+            };
+            out.with_file_name(guarded)
+        }
+        _ => out.to_path_buf(),
+    }
+}
+
+/// The `xp profile-diff` subcommand body. Returns the process exit code.
+pub fn main(args: &[String]) -> i32 {
+    let mut run_path: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut write_baseline: Option<PathBuf> = None;
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut scale = 1.0f64;
+
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| -> Result<String, String> {
+            iter.next()
+                .map(|s| s.to_string())
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        let outcome: Result<(), String> = match arg.as_str() {
+            "--baseline" => value("--baseline").map(|v| baseline_path = Some(PathBuf::from(v))),
+            "--write-baseline" => {
+                value("--write-baseline").map(|v| write_baseline = Some(PathBuf::from(v)))
+            }
+            "--threshold" => value("--threshold").and_then(|v| {
+                v.parse::<f64>()
+                    .ok()
+                    .filter(|x| x.is_finite() && *x > 0.0)
+                    .map(|x| threshold = x)
+                    .ok_or_else(|| format!("--threshold: cannot parse {v:?}"))
+            }),
+            "--scale" => value("--scale").and_then(|v| {
+                v.parse::<f64>()
+                    .ok()
+                    .filter(|x| x.is_finite() && *x > 0.0)
+                    .map(|x| scale = x)
+                    .ok_or_else(|| format!("--scale: cannot parse {v:?}"))
+            }),
+            other if other.starts_with("--") => Err(format!("unknown argument {other:?}")),
+            _ if run_path.is_none() => {
+                run_path = Some(PathBuf::from(arg));
+                Ok(())
+            }
+            _ => Err(format!("unexpected extra argument {arg:?}")),
+        };
+        if let Err(e) = outcome {
+            eprintln!("xp profile-diff: {e}");
+            eprintln!("{USAGE}");
+            return 2;
+        }
+    }
+
+    let Some(run_path) = run_path else {
+        eprintln!("{USAGE}");
+        return 2;
+    };
+    let text = match std::fs::read_to_string(&run_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("xp profile-diff: cannot read {}: {e}", run_path.display());
+            return 2;
+        }
+    };
+    let measured = match measured_from_jsonl(&text) {
+        Ok(measured) => measured,
+        Err(e) => {
+            eprintln!("xp profile-diff: {}: {e}", run_path.display());
+            return 2;
+        }
+    };
+
+    if let Some(out) = write_baseline {
+        let guarded = guarded_baseline_path(&out, measured.quick);
+        if guarded != out {
+            println!(
+                "note: quick run — baseline redirected to {} so the full-sweep baseline \
+                 stays intact",
+                guarded.display()
+            );
+        }
+        return match std::fs::write(&guarded, baseline_to_json(&measured, scale)) {
+            Ok(()) => {
+                println!(
+                    "wrote baseline for {} sizes to {}",
+                    measured.cells.len(),
+                    guarded.display()
+                );
+                0
+            }
+            Err(e) => {
+                eprintln!("xp profile-diff: cannot write {}: {e}", guarded.display());
+                2
+            }
+        };
+    }
+
+    let Some(baseline_path) = baseline_path else {
+        eprintln!("xp profile-diff: pass --baseline FILE to compare (or --write-baseline OUT)");
+        eprintln!("{USAGE}");
+        return 2;
+    };
+    let baseline = match std::fs::read_to_string(&baseline_path)
+        .map_err(|e| e.to_string())
+        .and_then(|text| baseline_from_json(&text))
+    {
+        Ok(baseline) => baseline,
+        Err(e) => {
+            eprintln!("xp profile-diff: {}: {e}", baseline_path.display());
+            return 2;
+        }
+    };
+
+    let rows = diff(&measured, &baseline, threshold);
+    let mut regressed = false;
+    for row in &rows {
+        let verdict = if row.regressed {
+            regressed = true;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "n={:<8} measured {:>12.0} req/s vs baseline {:>12.0} (n={}) ratio {:.3} [{verdict}]",
+            row.n, row.measured, row.baseline, row.baseline_n, row.ratio
+        );
+    }
+    if regressed {
+        eprintln!(
+            "xp profile-diff: throughput regression — at least one cell below {threshold:.2}× \
+             baseline"
+        );
+        1
+    } else {
+        println!("profile-diff: all {} cells within threshold", rows.len());
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_jsonl(rps: &[(u64, f64)], quick: bool) -> String {
+        let mut out = String::new();
+        for (n, r) in rps {
+            out.push_str(&format!(
+                "{{\"type\":\"profile\",\"experiment\":\"demo\",\"n\":{n},\"trials\":3,\
+                 \"requests\":100,\"wall_ms\":5.0,\"requests_per_sec\":{r}}}\n"
+            ));
+        }
+        out.push_str(&format!(
+            "{{\"type\":\"run\",\"experiment\":\"demo\",\"seed\":1,\"quick\":{quick},\
+             \"threads\":1,\"git\":\"x\",\"wall_ms\":9,\"cells\":0,\"profiles\":{}}}\n",
+            rps.len()
+        ));
+        out
+    }
+
+    #[test]
+    fn measured_parses_profiles_and_quick_footer() {
+        let m = measured_from_jsonl(&run_jsonl(&[(128, 1000.0), (256, 2000.0)], true)).unwrap();
+        assert!(m.quick);
+        assert_eq!(m.cells.len(), 2);
+        assert_eq!(m.cells[&128], 1000.0);
+        // Records at the same n are averaged.
+        let m = measured_from_jsonl(&run_jsonl(&[(128, 1000.0), (128, 3000.0)], false)).unwrap();
+        assert_eq!(m.cells[&128], 2000.0);
+        assert!(!m.quick);
+        // A run without profile records is an error, not a silent pass.
+        let err = measured_from_jsonl("{\"type\":\"cell\"}\n").unwrap_err();
+        assert!(err.contains("--profile"), "{err}");
+    }
+
+    #[test]
+    fn diff_flags_cells_below_threshold_only() {
+        let measured =
+            measured_from_jsonl(&run_jsonl(&[(128, 500.0), (256, 3000.0)], false)).unwrap();
+        let baseline = baseline_from_json(
+            "{\"cells\":[{\"n\":128,\"requests_per_sec\":1000.0},\
+             {\"n\":256,\"requests_per_sec\":2000.0}]}",
+        )
+        .unwrap();
+        let rows = diff(&measured, &baseline, 0.7);
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].regressed, "0.5× must regress at 0.7");
+        assert!(!rows[1].regressed, "1.5× must pass");
+        // At a looser threshold the same cell passes.
+        let rows = diff(&measured, &baseline, 0.4);
+        assert!(!rows[0].regressed);
+    }
+
+    #[test]
+    fn diff_matches_nearest_baseline_size() {
+        // A quick run measuring n=100 gates against the n=128 baseline.
+        let measured = measured_from_jsonl(&run_jsonl(&[(100, 950.0)], true)).unwrap();
+        let baseline = baseline_from_json(
+            "{\"cells\":[{\"n\":128,\"requests_per_sec\":1000.0},\
+             {\"n\":1024,\"requests_per_sec\":5000.0}]}",
+        )
+        .unwrap();
+        let rows = diff(&measured, &baseline, 0.7);
+        assert_eq!(rows[0].baseline_n, 128);
+        assert!(!rows[0].regressed);
+    }
+
+    #[test]
+    fn baseline_round_trips_through_writer() {
+        let measured = measured_from_jsonl(&run_jsonl(&[(64, 1500.0)], false)).unwrap();
+        let text = baseline_to_json(&measured, 1.0);
+        let parsed = baseline_from_json(&text).unwrap();
+        assert_eq!(parsed[&64], 1500.0);
+        // Scale is applied on write (for loose CI baselines).
+        let scaled = baseline_from_json(&baseline_to_json(&measured, 0.5)).unwrap();
+        assert_eq!(scaled[&64], 750.0);
+    }
+
+    #[test]
+    fn quick_runs_never_clobber_full_baselines() {
+        let full = PathBuf::from("fixtures/BENCH_theorem1_weak.profile.json");
+        let guarded = guarded_baseline_path(&full, true);
+        assert_eq!(
+            guarded,
+            PathBuf::from("fixtures/BENCH_theorem1_weak.profile.quick.json")
+        );
+        // Non-quick runs and already-marked paths pass through untouched.
+        assert_eq!(guarded_baseline_path(&full, false), full);
+        assert_eq!(guarded_baseline_path(&guarded, true), guarded);
+    }
+
+    #[test]
+    fn main_gates_and_writes_end_to_end() {
+        let dir = std::env::temp_dir();
+        let unique = std::process::id();
+        let run = dir.join(format!("pd_run_{unique}.jsonl"));
+        let base = dir.join(format!("pd_base_{unique}.json"));
+        std::fs::write(&run, run_jsonl(&[(128, 1000.0)], false)).unwrap();
+
+        // Write a baseline from the run, then compare against itself: OK.
+        let s = |x: &str| x.to_string();
+        assert_eq!(
+            main(&[
+                s(run.to_str().unwrap()),
+                s("--write-baseline"),
+                s(base.to_str().unwrap()),
+            ]),
+            0
+        );
+        assert_eq!(
+            main(&[
+                s(run.to_str().unwrap()),
+                s("--baseline"),
+                s(base.to_str().unwrap()),
+            ]),
+            0
+        );
+        // A baseline claiming 2× the measured throughput must fail the
+        // gate (measured ratio 0.5 < default 0.7 threshold) — the
+        // ISSUE's acceptance criterion.
+        let doubled = dir.join(format!("pd_base2_{unique}.json"));
+        std::fs::write(
+            &doubled,
+            "{\"cells\":[{\"n\":128,\"requests_per_sec\":2000.0}]}",
+        )
+        .unwrap();
+        assert_eq!(
+            main(&[
+                s(run.to_str().unwrap()),
+                s("--baseline"),
+                s(doubled.to_str().unwrap()),
+            ]),
+            1
+        );
+        // ...unless the threshold is loosened below the measured ratio.
+        assert_eq!(
+            main(&[
+                s(run.to_str().unwrap()),
+                s("--baseline"),
+                s(doubled.to_str().unwrap()),
+                s("--threshold"),
+                s("0.4"),
+            ]),
+            0
+        );
+        // Usage errors exit 2.
+        assert_eq!(main(&[]), 2);
+        assert_eq!(main(&[s(run.to_str().unwrap())]), 2);
+        assert_eq!(main(&[s(run.to_str().unwrap()), s("--wat")]), 2);
+        std::fs::remove_file(&run).ok();
+        std::fs::remove_file(&base).ok();
+        std::fs::remove_file(&doubled).ok();
+    }
+}

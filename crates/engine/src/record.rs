@@ -10,6 +10,7 @@
 
 use crate::json::JsonValue;
 use crate::options::{CliOptions, OutputFormat};
+use nonsearch_obs::Metrics;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
@@ -21,6 +22,8 @@ pub const CELL_TYPE: &str = "cell";
 pub const RUN_TYPE: &str = "run";
 /// The JSONL `type` tag of per-cell throughput records (`--profile`).
 pub const PROFILE_TYPE: &str = "profile";
+/// The JSONL `type` tag of per-cell engine-metrics records.
+pub const METRICS_TYPE: &str = "metrics";
 
 /// Sink for one experiment run's structured records.
 ///
@@ -38,6 +41,7 @@ pub struct RunWriter {
     csv: Option<CsvSink>,
     cells: usize,
     profiles: usize,
+    metrics: usize,
     start: Instant,
 }
 
@@ -90,6 +94,7 @@ impl RunWriter {
             csv,
             cells: 0,
             profiles: 0,
+            metrics: 0,
             start: Instant::now(),
         })
     }
@@ -142,6 +147,33 @@ impl RunWriter {
         Ok(())
     }
 
+    /// Writes one engine-metrics record: the identifying `fields` (model,
+    /// size, …) followed by [`metrics_fields`]`(metrics)`. The counter
+    /// values are deterministic (bit-identical for any `--threads`), but
+    /// like profile records they ride the JSONL stream only, so the CSV
+    /// header stays shaped by the cell rows and the determinism `cmp`
+    /// gates keep filtering on `"type":"cell"`.
+    pub fn record_metrics(
+        &mut self,
+        fields: Vec<(&str, JsonValue)>,
+        metrics: &Metrics,
+    ) -> io::Result<()> {
+        self.metrics += 1;
+        if let Some((_, w)) = &mut self.jsonl {
+            let mut pairs: Vec<(String, JsonValue)> = Vec::with_capacity(fields.len() + 9);
+            pairs.push(("type".into(), JsonValue::from(METRICS_TYPE)));
+            pairs.push(("experiment".into(), JsonValue::Str(self.experiment.clone())));
+            pairs.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
+            pairs.extend(
+                metrics_fields(metrics)
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v)),
+            );
+            writeln!(w, "{}", JsonValue::Object(pairs))?;
+        }
+        Ok(())
+    }
+
     /// Writes the run footer (seed, quick, threads, git describe, wall
     /// time, cell count), flushes, and reports what was written.
     pub fn finish(mut self, seed: u64) -> io::Result<RunSummary> {
@@ -158,6 +190,7 @@ impl RunWriter {
                 ("wall_ms", JsonValue::from(wall_ms as u64)),
                 ("cells", JsonValue::from(self.cells)),
                 ("profiles", JsonValue::from(self.profiles)),
+                ("metrics", JsonValue::from(self.metrics)),
             ]);
             writeln!(w, "{footer}")?;
             w.flush()?;
@@ -224,6 +257,40 @@ fn csv_escape(s: &str) -> String {
     } else {
         s.to_string()
     }
+}
+
+/// The canonical JSON field set of a [`Metrics`] bundle, in a fixed
+/// order: the six counters, then `hist_requests_log2` — the per-trial
+/// request-count histogram in its trimmed form (bucket `0` counts
+/// zero-request trials; bucket `k ≥ 1` counts trials with total
+/// requests in `[2^(k−1), 2^k)`). `xp validate` checks the bucket
+/// counts sum to `trials`.
+pub fn metrics_fields(metrics: &Metrics) -> Vec<(&'static str, JsonValue)> {
+    vec![
+        ("trials", JsonValue::from(metrics.trials)),
+        ("requests", JsonValue::from(metrics.requests)),
+        ("discoveries", JsonValue::from(metrics.discoveries)),
+        (
+            "edge_resolutions",
+            JsonValue::from(metrics.edge_resolutions),
+        ),
+        (
+            "frontier_rescans",
+            JsonValue::from(metrics.frontier_rescans),
+        ),
+        ("scratch_resets", JsonValue::from(metrics.scratch_resets)),
+        (
+            "hist_requests_log2",
+            JsonValue::Array(
+                metrics
+                    .trial_requests
+                    .trimmed()
+                    .iter()
+                    .map(|&count| JsonValue::from(count))
+                    .collect(),
+            ),
+        ),
+    ]
 }
 
 /// `git describe --always --dirty`, or `"unknown"` outside a work tree.
@@ -418,6 +485,57 @@ mod tests {
         let csv = std::fs::read_to_string(&csv_path).unwrap();
         assert_eq!(csv.lines().count(), 2);
         assert!(!csv.contains("profile"));
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&csv_path).ok();
+    }
+
+    #[test]
+    fn metrics_records_are_jsonl_only_and_counted() {
+        let path = temp_path("metrics.jsonl");
+        let options = CliOptions {
+            out: Some(path.clone()),
+            format: OutputFormat::Both,
+            ..CliOptions::default()
+        };
+        let mut w = RunWriter::create("demo", &options).unwrap();
+        w.record_cell(demo_fields(64)).unwrap();
+        let mut m = Metrics::new();
+        m.trials = 2;
+        m.requests = 100;
+        m.observe_trial_requests(60);
+        m.observe_trial_requests(40);
+        w.record_metrics(vec![("n", JsonValue::from(64usize))], &m)
+            .unwrap();
+        w.finish(1).unwrap();
+
+        let jsonl = std::fs::read_to_string(&path).unwrap();
+        let line = jsonl
+            .lines()
+            .find(|l| l.contains("\"type\":\"metrics\""))
+            .expect("metrics record in JSONL");
+        let parsed = json::parse(line).unwrap();
+        assert_eq!(
+            parsed.get("type").and_then(|v| v.as_str()),
+            Some(METRICS_TYPE)
+        );
+        assert_eq!(parsed.get("n").and_then(|v| v.as_f64()), Some(64.0));
+        assert_eq!(parsed.get("trials").and_then(|v| v.as_f64()), Some(2.0));
+        assert_eq!(parsed.get("requests").and_then(|v| v.as_f64()), Some(100.0));
+        // Both samples land in bucket 6 ([32, 64)); the trimmed array
+        // covers buckets 0..=6 and its counts sum to the trial count.
+        let hist = parsed
+            .get("hist_requests_log2")
+            .and_then(|v| v.as_array())
+            .expect("histogram array");
+        let total: f64 = hist.iter().filter_map(|v| v.as_f64()).sum();
+        assert_eq!(total, 2.0);
+        assert_eq!(hist.len(), 7);
+        let footer = json::parse(jsonl.lines().last().unwrap()).unwrap();
+        assert_eq!(footer.get("metrics").and_then(|v| v.as_f64()), Some(1.0));
+        // No metrics rows leak into the CSV sibling.
+        let csv_path = path.with_extension("csv");
+        let csv = std::fs::read_to_string(&csv_path).unwrap();
+        assert_eq!(csv.lines().count(), 2);
         std::fs::remove_file(&path).ok();
         std::fs::remove_file(&csv_path).ok();
     }

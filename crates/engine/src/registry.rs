@@ -10,9 +10,11 @@
 
 use crate::json;
 use crate::options::CliOptions;
-use crate::record::{RunSummary, RunWriter, CELL_TYPE, PROFILE_TYPE, RUN_TYPE};
+use crate::record::{RunSummary, RunWriter, CELL_TYPE, METRICS_TYPE, PROFILE_TYPE, RUN_TYPE};
 use nonsearch_analysis::Table;
+use nonsearch_obs::Tracer;
 use std::io;
+use std::io::Write;
 
 /// One registered experiment.
 #[derive(Debug, Clone, Copy)]
@@ -38,6 +40,9 @@ pub struct ExpContext<'a> {
     pub seed: u64,
     /// Structured-record sink; inert without `--out`.
     pub writer: &'a mut RunWriter,
+    /// Span tracer; enabled only under `--trace PATH` (clones share one
+    /// event buffer, so experiments pass it down to worker scopes).
+    pub tracer: Tracer,
 }
 
 /// An ordered collection of experiments with CLI dispatch.
@@ -94,14 +99,30 @@ impl Registry {
             )
         })?;
         let mut writer = RunWriter::create(spec.name, options)?;
+        let tracer = if options.trace.is_some() {
+            Tracer::enabled()
+        } else {
+            Tracer::disabled()
+        };
         let mut ctx = ExpContext {
             options,
             seed: options.seed_or(spec.default_seed),
             writer: &mut writer,
+            tracer: tracer.clone(),
         };
-        (spec.run)(&mut ctx);
+        {
+            let _run_span = tracer.span("run");
+            (spec.run)(&mut ctx);
+        }
         let seed = ctx.seed;
-        writer.finish(seed)
+        let mut summary = writer.finish(seed)?;
+        if let (Some(path), Some(json)) = (&options.trace, tracer.to_chrome_trace()) {
+            let mut file = io::BufWriter::new(std::fs::File::create(path)?);
+            writeln!(file, "{json}")?;
+            file.flush()?;
+            summary.paths.push(path.clone());
+        }
+        Ok(summary)
     }
 
     /// The full `xp` command line. Returns the process exit code.
@@ -117,12 +138,25 @@ impl Registry {
             }
             Some("validate") => {
                 if args.len() < 2 {
-                    eprintln!("usage: xp validate <runs.jsonl>...");
+                    eprintln!("usage: xp validate <runs.jsonl | run.trace.json>...");
                     return 2;
                 }
                 let mut ok = true;
                 for path in &args[1..] {
                     match std::fs::read_to_string(path) {
+                        // Chrome-trace exports are one JSON document, not
+                        // JSONL; route them to the structural trace check.
+                        Ok(text) if path.ends_with(".trace.json") => {
+                            match validate_chrome_trace(&text) {
+                                Ok(events) => {
+                                    println!("{path}: {events} trace events — OK")
+                                }
+                                Err(e) => {
+                                    eprintln!("{path}: INVALID — {e}");
+                                    ok = false;
+                                }
+                            }
+                        }
                         Ok(text) => match validate_jsonl(&text) {
                             Ok(v) => println!("{path}: {v}"),
                             Err(e) => {
@@ -138,6 +172,7 @@ impl Registry {
                 }
                 i32::from(!ok)
             }
+            Some("profile-diff") => crate::profile_diff::main(&args[1..]),
             Some(name) => {
                 let options = match CliOptions::from_args(args[1..].iter().cloned()) {
                     Ok(options) => options,
@@ -206,7 +241,8 @@ impl Registry {
              usage:\n\
              \x20 xp list                      enumerate registered experiments\n\
              \x20 xp <experiment> [flags]      run one experiment\n\
-             \x20 xp validate <file>...        check emitted JSONL run records\n\
+             \x20 xp validate <file>...        check emitted JSONL run records (and .trace.json exports)\n\
+             \x20 xp profile-diff <run.jsonl>  compare a run's profile records to a committed baseline\n\
              \n\
              shared flags:\n\
              \x20 --quick            reduced sweep (also NONSEARCH_QUICK=1;\n\
@@ -220,6 +256,7 @@ impl Registry {
              \x20 --corpus DIR       serve trial graphs from a stored corpus\n\
              \x20 --mmap             zero-copy corpus loads via memory-mapped files\n\
              \x20 --profile          per-cell throughput records (requests/sec) in the JSONL out\n\
+             \x20 --trace PATH       write run/cell/trial spans as Chrome Trace Event JSON\n\
              \n\
              experiments:\n",
         );
@@ -248,14 +285,16 @@ pub struct ValidateSummary {
     pub runs: usize,
     /// `"type":"profile"` throughput records (`--profile`).
     pub profiles: usize,
+    /// `"type":"metrics"` engine-counter records.
+    pub metrics: usize,
 }
 
 impl std::fmt::Display for ValidateSummary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} cell records, {} run footers, {} profile records — OK",
-            self.cells, self.runs, self.profiles
+            "{} cell records, {} run footers, {} profile records, {} metrics records — OK",
+            self.cells, self.runs, self.profiles, self.metrics
         )
     }
 }
@@ -264,14 +303,29 @@ impl std::fmt::Display for ValidateSummary {
 /// finite non-negative number.
 const PROFILE_REQUIRED: [&str; 5] = ["n", "trials", "requests", "wall_ms", "requests_per_sec"];
 
+/// The counter fields every `"type":"metrics"` record must carry, each a
+/// finite non-negative number.
+const METRICS_REQUIRED: [&str; 6] = [
+    "trials",
+    "requests",
+    "discoveries",
+    "edge_resolutions",
+    "frontier_rescans",
+    "scratch_resets",
+];
+
 /// Checks that every non-empty line is a JSON object tagged `cell`,
-/// `run`, or `profile`, that profile records carry well-formed
-/// throughput fields, and that at least one record is present.
+/// `run`, `profile`, or `metrics`; that profile records carry
+/// well-formed throughput fields; that metrics records carry finite
+/// non-negative counters and a `hist_requests_log2` histogram whose
+/// bucket counts sum to `trials`; and that at least one record is
+/// present.
 pub fn validate_jsonl(text: &str) -> Result<ValidateSummary, String> {
     let mut summary = ValidateSummary {
         cells: 0,
         runs: 0,
         profiles: 0,
+        metrics: 0,
     };
     for (lineno, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
@@ -302,6 +356,62 @@ pub fn validate_jsonl(text: &str) -> Result<ValidateSummary, String> {
                 }
                 summary.profiles += 1;
             }
+            Some(t) if t == METRICS_TYPE => {
+                let mut trials = 0.0f64;
+                for key in METRICS_REQUIRED {
+                    match value.get(key).and_then(|v| v.as_f64()) {
+                        Some(x) if x.is_finite() && x >= 0.0 => {
+                            if key == "trials" {
+                                trials = x;
+                            }
+                        }
+                        Some(x) => {
+                            return Err(format!(
+                                "line {}: metrics field {key:?} is not a finite non-negative \
+                                 number (got {x})",
+                                lineno + 1
+                            ))
+                        }
+                        None => {
+                            return Err(format!(
+                                "line {}: metrics record is missing numeric field {key:?}",
+                                lineno + 1
+                            ))
+                        }
+                    }
+                }
+                let buckets = value
+                    .get("hist_requests_log2")
+                    .and_then(|v| v.as_array())
+                    .ok_or_else(|| {
+                        format!(
+                            "line {}: metrics record is missing array field \
+                             \"hist_requests_log2\"",
+                            lineno + 1
+                        )
+                    })?;
+                let mut bucket_sum = 0.0f64;
+                for (i, bucket) in buckets.iter().enumerate() {
+                    match bucket.as_f64() {
+                        Some(x) if x.is_finite() && x >= 0.0 => bucket_sum += x,
+                        _ => {
+                            return Err(format!(
+                                "line {}: histogram bucket {i} is not a finite non-negative \
+                                 number",
+                                lineno + 1
+                            ))
+                        }
+                    }
+                }
+                if bucket_sum != trials {
+                    return Err(format!(
+                        "line {}: histogram bucket counts sum to {bucket_sum}, but the record \
+                         claims {trials} trials",
+                        lineno + 1
+                    ));
+                }
+                summary.metrics += 1;
+            }
             Some(t) => return Err(format!("line {}: unknown record type {t:?}", lineno + 1)),
             None => {
                 return Err(format!(
@@ -311,10 +421,48 @@ pub fn validate_jsonl(text: &str) -> Result<ValidateSummary, String> {
             }
         }
     }
-    if summary.cells + summary.runs + summary.profiles == 0 {
+    if summary.cells + summary.runs + summary.profiles + summary.metrics == 0 {
         return Err("no records found".to_string());
     }
     Ok(summary)
+}
+
+/// Structurally validates a Chrome Trace Event Format export (the
+/// `--trace` output): one JSON document with a `traceEvents` array whose
+/// entries are complete events (`"ph":"X"`) carrying a non-empty name
+/// and finite non-negative `ts`/`dur`/`pid`/`tid`. Returns the event
+/// count.
+pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
+    let doc = json::parse(text.trim()).map_err(|e| e.to_string())?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .ok_or_else(|| "document has no \"traceEvents\" array".to_string())?;
+    if events.is_empty() {
+        return Err("trace contains no events".to_string());
+    }
+    for (i, event) in events.iter().enumerate() {
+        if event.get("ph").and_then(|v| v.as_str()) != Some("X") {
+            return Err(format!(
+                "event {i}: expected a complete event (\"ph\":\"X\")"
+            ));
+        }
+        match event.get("name").and_then(|v| v.as_str()) {
+            Some(name) if !name.is_empty() => {}
+            _ => return Err(format!("event {i}: missing or empty \"name\"")),
+        }
+        for key in ["ts", "dur", "pid", "tid"] {
+            match event.get(key).and_then(|v| v.as_f64()) {
+                Some(x) if x.is_finite() && x >= 0.0 => {}
+                _ => {
+                    return Err(format!(
+                        "event {i}: field {key:?} is not a finite non-negative number"
+                    ))
+                }
+            }
+        }
+    }
+    Ok(events.len())
 }
 
 /// Entry point for a legacy single-experiment binary: lenient flags from
@@ -405,7 +553,8 @@ mod tests {
             ValidateSummary {
                 cells: 2,
                 runs: 1,
-                profiles: 0
+                profiles: 0,
+                metrics: 0
             }
         );
         let first = json::parse(text.lines().next().unwrap()).unwrap();
@@ -433,7 +582,8 @@ mod tests {
             ValidateSummary {
                 cells: 1,
                 runs: 1,
-                profiles: 0
+                profiles: 0,
+                metrics: 0
             }
         );
     }
@@ -448,7 +598,8 @@ mod tests {
             ValidateSummary {
                 cells: 0,
                 runs: 0,
-                profiles: 1
+                profiles: 1,
+                metrics: 0
             }
         );
         // A missing throughput field is an error, not a shrug.
@@ -460,5 +611,99 @@ mod tests {
                         \"wall_ms\":-1,\"requests_per_sec\":1.0}";
         let err = validate_jsonl(negative).unwrap_err();
         assert!(err.contains("wall_ms"), "{err}");
+    }
+
+    #[test]
+    fn validate_checks_metrics_fields_and_histogram_sum() {
+        let good = "{\"type\":\"metrics\",\"trials\":3,\"requests\":21,\"discoveries\":9,\
+                    \"edge_resolutions\":12,\"frontier_rescans\":2,\"scratch_resets\":3,\
+                    \"hist_requests_log2\":[0,0,0,3]}\n";
+        let ok = validate_jsonl(good).unwrap();
+        assert_eq!(
+            ok,
+            ValidateSummary {
+                cells: 0,
+                runs: 0,
+                profiles: 0,
+                metrics: 1
+            }
+        );
+        // A missing counter is an error.
+        let missing = "{\"type\":\"metrics\",\"trials\":3,\"hist_requests_log2\":[3]}";
+        let err = validate_jsonl(missing).unwrap_err();
+        assert!(err.contains("missing"), "{err}");
+        // A missing histogram is an error.
+        let no_hist = good.replace(",\"hist_requests_log2\":[0,0,0,3]", "");
+        let err = validate_jsonl(&no_hist).unwrap_err();
+        assert!(err.contains("hist_requests_log2"), "{err}");
+        // Bucket counts must sum to the trial count.
+        let drifted = good.replace("[0,0,0,3]", "[0,0,0,2]");
+        let err = validate_jsonl(&drifted).unwrap_err();
+        assert!(err.contains("sum"), "{err}");
+        // Negative counters are rejected.
+        let negative = good.replace("\"discoveries\":9", "\"discoveries\":-1");
+        let err = validate_jsonl(&negative).unwrap_err();
+        assert!(err.contains("discoveries"), "{err}");
+    }
+
+    #[test]
+    fn validate_chrome_trace_checks_structure() {
+        let good = "{\"traceEvents\":[{\"name\":\"run\",\"cat\":\"nonsearch\",\"ph\":\"X\",\
+                    \"ts\":0,\"dur\":1200,\"pid\":1,\"tid\":1}]}";
+        assert_eq!(validate_chrome_trace(good), Ok(1));
+        // Trailing newline (as written by run_named) is fine.
+        assert_eq!(validate_chrome_trace(&format!("{good}\n")), Ok(1));
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\":[]}").is_err());
+        assert!(validate_chrome_trace("not json").is_err());
+        let bad_phase = good.replace("\"ph\":\"X\"", "\"ph\":\"B\"");
+        assert!(validate_chrome_trace(&bad_phase).is_err());
+        let bad_ts = good.replace("\"ts\":0", "\"ts\":-4");
+        assert!(validate_chrome_trace(&bad_ts).is_err());
+        let no_name = good.replace("\"name\":\"run\",", "");
+        assert!(validate_chrome_trace(&no_name).is_err());
+    }
+
+    #[test]
+    fn run_named_writes_a_chrome_trace_under_trace_flag() {
+        let trace_path =
+            std::env::temp_dir().join(format!("xp_registry_{}.trace.json", std::process::id()));
+        let options = CliOptions {
+            trace: Some(trace_path.clone()),
+            sizes: Some(vec![4]),
+            ..CliOptions::default()
+        };
+        let summary = demo_registry().run_named("demo", &options).unwrap();
+        assert!(summary.paths.contains(&trace_path));
+        let text = std::fs::read_to_string(&trace_path).unwrap();
+        // At minimum the "run" span around the experiment body exists.
+        let events = validate_chrome_trace(&text).unwrap();
+        assert!(events >= 1);
+        assert!(text.contains("\"name\":\"run\""));
+        std::fs::remove_file(&trace_path).ok();
+    }
+
+    #[test]
+    fn run_named_without_trace_flag_keeps_tracer_disabled() {
+        // The spec's run fn can't capture, so probe through a static.
+        static TRACER_WAS_ENABLED: std::sync::atomic::AtomicBool =
+            std::sync::atomic::AtomicBool::new(true);
+        fn probe_run(ctx: &mut ExpContext) {
+            TRACER_WAS_ENABLED.store(
+                ctx.tracer.is_enabled(),
+                std::sync::atomic::Ordering::Relaxed,
+            );
+        }
+        let mut r = Registry::new();
+        r.register(ExperimentSpec {
+            name: "probe",
+            id: "E0",
+            claim: "tracer probe",
+            default_seed: 0,
+            run: probe_run,
+        });
+        let summary = r.run_named("probe", &CliOptions::default()).unwrap();
+        assert!(!TRACER_WAS_ENABLED.load(std::sync::atomic::Ordering::Relaxed));
+        assert!(summary.paths.is_empty());
     }
 }

@@ -19,6 +19,7 @@
 
 use nonsearch_analysis::StreamingStats;
 use nonsearch_generators::SeedSequence;
+use nonsearch_obs::Metrics;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Condvar, Mutex};
@@ -152,9 +153,41 @@ where
     I: Fn() -> C + Sync,
     F: Fn(&mut C, usize, SeedSequence) -> Vec<TrialMeasure> + Sync,
 {
+    run_lanes_metered(trials, lanes, threads, seeds, init, |ctx, _m, trial, s| {
+        trial_fn(ctx, trial, s)
+    })
+    .0
+}
+
+/// [`run_lanes_with`] with a per-trial [`Metrics`] delta folded into one
+/// run-wide bundle — the observability seam.
+///
+/// Each `trial_fn` invocation receives a zeroed `Metrics` to fill with
+/// that trial's counters; the runner stamps `trials = 1` on the delta
+/// afterwards and the consumer merges deltas **in strict trial order**
+/// alongside the lane fold. `u64` counter addition is exact and
+/// associative, so the merged bundle — like the aggregates — is
+/// bit-identical for any thread count (and merge order would not even
+/// matter; the strict order is inherited from the lane fold for free).
+///
+/// # Panics
+///
+/// Same contract as [`run_lanes`].
+pub fn run_lanes_metered<C, I, F>(
+    trials: usize,
+    lanes: usize,
+    threads: usize,
+    seeds: &SeedSequence,
+    init: I,
+    trial_fn: F,
+) -> (Vec<LaneAggregate>, Metrics)
+where
+    I: Fn() -> C + Sync,
+    F: Fn(&mut C, &mut Metrics, usize, SeedSequence) -> Vec<TrialMeasure> + Sync,
+{
     let mut aggregates = vec![LaneAggregate::default(); lanes];
     if trials == 0 || lanes == 0 {
-        return aggregates;
+        return (aggregates, Metrics::new());
     }
     let workers = resolve_workers(threads, trials);
 
@@ -190,8 +223,8 @@ where
     }
 
     let next_trial = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, Vec<TrialMeasure>)>();
-    let folded = std::thread::scope(|scope| {
+    let (tx, rx) = mpsc::channel::<(usize, Vec<TrialMeasure>, Metrics)>();
+    let (folded, metrics) = std::thread::scope(|scope| {
         for _ in 0..workers {
             let tx = tx.clone();
             let next_trial = &next_trial;
@@ -224,9 +257,16 @@ where
                             break;
                         }
                     }
-                    let measures = trial_fn(&mut ctx, trial, trial_seeds(seeds, trial));
+                    // A fresh delta per trial: the consumer folds them in
+                    // trial order, so per-worker accumulation never leaks
+                    // into the merged bundle.
+                    let mut delta = Metrics::new();
+                    let measures = trial_fn(&mut ctx, &mut delta, trial, trial_seeds(seeds, trial));
+                    // Stamped here, not by trial_fn, so the bucket-sum ==
+                    // trials invariant can't drift per experiment.
+                    delta.trials = 1;
                     // The consumer only disconnects on panic; stop quietly.
-                    if tx.send((trial, measures)).is_err() {
+                    if tx.send((trial, measures, delta)).is_err() {
                         break;
                     }
                 }
@@ -245,9 +285,10 @@ where
             armed: true,
         };
 
-        let mut pending: BTreeMap<usize, Vec<TrialMeasure>> = BTreeMap::new();
+        let mut pending: BTreeMap<usize, (Vec<TrialMeasure>, Metrics)> = BTreeMap::new();
+        let mut merged = Metrics::new();
         let mut next_expected = 0usize;
-        for (trial, measures) in rx {
+        for (trial, measures, delta) in rx {
             // Validated here (not in the worker) so the panic reaches the
             // caller with its message instead of scope's generic payload.
             assert_eq!(
@@ -256,13 +297,14 @@ where
                 "trial_fn returned {} measurements for a {lanes}-lane cell",
                 measures.len()
             );
-            pending.insert(trial, measures);
+            pending.insert(trial, (measures, delta));
             debug_assert!(pending.len() <= window, "reorder buffer exceeded window");
             let before = next_expected;
-            while let Some(measures) = pending.remove(&next_expected) {
+            while let Some((measures, delta)) = pending.remove(&next_expected) {
                 for (aggregate, measure) in aggregates.iter_mut().zip(measures) {
                     aggregate.push(measure);
                 }
+                merged.merge(&delta);
                 next_expected += 1;
             }
             if next_expected != before {
@@ -272,10 +314,10 @@ where
         }
         // Completeness is asserted after the scope joins the workers, so
         // a worker panic propagates as itself, not as a count mismatch.
-        next_expected
+        (next_expected, merged)
     });
     assert_eq!(folded, trials, "trial stream incomplete");
-    aggregates
+    (aggregates, metrics)
 }
 
 /// Single-lane convenience wrapper around [`run_lanes`].
@@ -313,6 +355,28 @@ where
     })
     .pop()
     .expect("one lane requested")
+}
+
+/// Single-lane convenience wrapper around [`run_lanes_metered`].
+pub fn run_cell_metered<C, I, F>(
+    trials: usize,
+    threads: usize,
+    seeds: &SeedSequence,
+    init: I,
+    trial_fn: F,
+) -> (LaneAggregate, Metrics)
+where
+    I: Fn() -> C + Sync,
+    F: Fn(&mut C, &mut Metrics, usize, SeedSequence) -> TrialMeasure + Sync,
+{
+    let (aggregates, metrics) =
+        run_lanes_metered(trials, 1, threads, seeds, init, |ctx, m, trial, seeds| {
+            vec![trial_fn(ctx, m, trial, seeds)]
+        });
+    (
+        aggregates.into_iter().next().expect("one lane requested"),
+        metrics,
+    )
 }
 
 /// Runs `count` independent jobs on `threads` workers (0 = all cores)
@@ -577,6 +641,57 @@ mod tests {
             (1..=4).contains(&workers),
             "one context per worker, got {workers}"
         );
+    }
+
+    #[test]
+    fn metered_runs_merge_metrics_bit_identically_across_threads() {
+        // Counters are u64 sums folded in strict trial order, so the
+        // merged bundle must match the single-threaded one exactly.
+        let seeds = SeedSequence::new(91);
+        let metered = |threads: usize| {
+            run_cell_metered(
+                97,
+                threads,
+                &seeds,
+                || (),
+                |(), m, trial, s| {
+                    let measure = synthetic(trial, s);
+                    m.requests = measure.value as u64;
+                    m.discoveries = trial as u64 % 7;
+                    m.observe_trial_requests(m.requests);
+                    measure
+                },
+            )
+        };
+        let (baseline_agg, baseline_metrics) = metered(1);
+        assert_eq!(baseline_metrics.trials, 97);
+        assert_eq!(baseline_metrics.trial_requests.total(), 97);
+        assert!(baseline_metrics.requests > 0);
+        for threads in [2, 4, 8] {
+            let (agg, metrics) = metered(threads);
+            assert_eq!(agg, baseline_agg, "threads={threads}");
+            assert_eq!(metrics, baseline_metrics, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn metered_trial_stamp_is_set_by_the_runner() {
+        // trial_fn never touches `trials`; the runner stamps 1 per trial
+        // so the histogram's bucket-sum == trials invariant holds
+        // whenever trial_fn records exactly one sample.
+        let seeds = SeedSequence::new(92);
+        let (_, metrics) = run_cell_metered(
+            10,
+            4,
+            &seeds,
+            || (),
+            |(), m, trial, s| {
+                m.observe_trial_requests(trial as u64);
+                synthetic(trial, s)
+            },
+        );
+        assert_eq!(metrics.trials, 10);
+        assert_eq!(metrics.trial_requests.total(), metrics.trials);
     }
 
     #[test]

@@ -54,6 +54,10 @@ impl WeakSearcher for BfsFlood {
     fn reserve(&mut self, nodes: usize, _edges: usize) {
         self.edges.reserve(nodes);
     }
+
+    fn frontier_rescans(&self) -> u64 {
+        self.edges.rescans()
+    }
 }
 
 /// Depth-first exploration: expand the most recently discovered vertex
@@ -106,6 +110,10 @@ impl WeakSearcher for DfsWalk {
     fn reserve(&mut self, nodes: usize, _edges: usize) {
         self.stack.reserve(nodes);
         self.edges.reserve(nodes);
+    }
+
+    fn frontier_rescans(&self) -> u64 {
+        self.edges.rescans()
     }
 }
 

@@ -67,6 +67,10 @@ impl WeakSearcher for GreedyIdProximity {
         self.heap.reserve(nodes);
         self.edges.reserve(nodes);
     }
+
+    fn frontier_rescans(&self) -> u64 {
+        self.edges.rescans()
+    }
 }
 
 /// Expand edges of the oldest (smallest-label) discovered vertex first.
@@ -120,6 +124,10 @@ impl WeakSearcher for OldestFirst {
     fn reserve(&mut self, nodes: usize, _edges: usize) {
         self.heap.reserve(nodes);
         self.edges.reserve(nodes);
+    }
+
+    fn frontier_rescans(&self) -> u64 {
+        self.edges.rescans()
     }
 }
 

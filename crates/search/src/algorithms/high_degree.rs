@@ -72,6 +72,10 @@ impl WeakSearcher for HighDegreeGreedy {
         self.heap.reserve(nodes);
         self.edges.reserve(nodes);
     }
+
+    fn frontier_rescans(&self) -> u64 {
+        self.edges.rescans()
+    }
 }
 
 #[cfg(test)]

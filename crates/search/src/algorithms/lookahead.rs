@@ -89,6 +89,10 @@ impl WeakSearcher for LookaheadWalk {
         // which the expanding vertex's degree bounds.
         self.basket.reserve(2 * edges);
     }
+
+    fn frontier_rescans(&self) -> u64 {
+        self.edges.rescans()
+    }
 }
 
 /// A random walk that teleports back to the start every `restart_every`

@@ -105,6 +105,10 @@ impl WeakSearcher for AvoidingWalk {
     fn reserve(&mut self, nodes: usize, _edges: usize) {
         self.edges.reserve(nodes);
     }
+
+    fn frontier_rescans(&self) -> u64 {
+        self.edges.rescans()
+    }
 }
 
 #[cfg(test)]

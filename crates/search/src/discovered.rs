@@ -93,6 +93,14 @@ pub struct DiscoveredView {
     order: Vec<NodeId>,
     /// All discovered incident lists, back to back in discovery order.
     arena: Vec<EdgeId>,
+    /// Cumulative count of edges that became resolved (both endpoints
+    /// known), via requests or second sightings. Survives
+    /// [`reset`](DiscoveredView::reset) — metrics consumers take
+    /// before/after deltas.
+    edge_resolutions: u64,
+    /// Cumulative count of [`reset`](DiscoveredView::reset) calls
+    /// (one per search begun on this view).
+    resets: u64,
 }
 
 impl DiscoveredView {
@@ -122,6 +130,7 @@ impl DiscoveredView {
         self.arena.clear();
         self.nodes.reset();
         self.edges.reset();
+        self.resets += 1;
     }
 
     /// Grows the dense arrays to cover `nodes` vertices and `edges`
@@ -262,6 +271,7 @@ impl DiscoveredView {
                     // lists the same handle twice in one incident list.
                     *resolved = true;
                     self.edge_ends[i][1] = v;
+                    self.edge_resolutions += 1;
                 }
             }
             self.arena.push(e);
@@ -286,6 +296,7 @@ impl DiscoveredView {
         }
         if self.edges.insert(i, true) {
             self.edge_ends[i] = [u, other];
+            self.edge_resolutions += 1;
         } else if let Some(resolved) = self.edges.get_mut(i) {
             if !*resolved {
                 // Re-anchor on the requesting endpoint: the stored
@@ -294,8 +305,23 @@ impl DiscoveredView {
                 // would record the degenerate pair `{other, other}`.
                 *resolved = true;
                 self.edge_ends[i] = [u, other];
+                self.edge_resolutions += 1;
             }
         }
+    }
+
+    /// Cumulative count of edges that became resolved on this view,
+    /// across every search since construction (resets do not clear it).
+    /// Metrics consumers read it before and after a trial and record
+    /// the delta.
+    pub fn edge_resolutions(&self) -> u64 {
+        self.edge_resolutions
+    }
+
+    /// Cumulative count of [`reset`](DiscoveredView::reset) calls since
+    /// construction — one per search begun on this view.
+    pub fn resets(&self) -> u64 {
+        self.resets
     }
 }
 
@@ -466,6 +492,23 @@ mod tests {
         // And the restarted epoch keeps resetting cleanly.
         view.reset();
         assert!(!view.contains(v(0)));
+    }
+
+    #[test]
+    fn resolution_and_reset_counters_are_cumulative() {
+        let mut view = DiscoveredView::new();
+        assert_eq!((view.edge_resolutions(), view.resets()), (0, 0));
+        view.insert_vertex(v(0), &[e(0), e(1)]);
+        view.resolve_edge(v(0), e(0), v(1)); // request resolution
+        view.insert_vertex(v(2), &[e(1)]); // second-sighting resolution
+        assert_eq!(view.edge_resolutions(), 2);
+        view.resolve_edge(v(0), e(0), v(1)); // already resolved: no count
+        assert_eq!(view.edge_resolutions(), 2);
+        view.reset();
+        assert_eq!(view.resets(), 1);
+        // Counters survive the reset; the next search adds on top.
+        view.resolve_edge(v(3), e(7), v(5));
+        assert_eq!(view.edge_resolutions(), 3);
     }
 
     #[test]

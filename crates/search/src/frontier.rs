@@ -22,6 +22,11 @@ use nonsearch_graph::{EdgeId, NodeId};
 #[derive(Debug, Clone, Default)]
 pub struct FrontierCursors {
     cursors: StampedMap<usize>,
+    /// Cumulative count of resolved incident slots skipped by
+    /// [`next_unexplored`](FrontierCursors::next_unexplored) scans.
+    /// Survives [`reset`](FrontierCursors::reset) — metrics consumers
+    /// take before/after deltas.
+    rescans: u64,
 }
 
 impl FrontierCursors {
@@ -37,6 +42,7 @@ impl FrontierCursors {
     pub fn near_wrap() -> Self {
         FrontierCursors {
             cursors: StampedMap::near_wrap(),
+            rescans: 0,
         }
     }
 
@@ -72,9 +78,17 @@ impl FrontierCursors {
                 break;
             }
             cursor += 1;
+            self.rescans += 1;
         }
         self.cursors.put(i, cursor);
         found
+    }
+
+    /// Cumulative count of resolved slots these cursors have skipped
+    /// past since construction (resets do not clear it) — the wasted
+    /// scan work the amortized-O(1) cursor design keeps bounded.
+    pub fn rescans(&self) -> u64 {
+        self.rescans
     }
 
     /// Rewinds all cursors in O(1) via an epoch bump (for searcher reuse
@@ -113,6 +127,34 @@ mod tests {
         assert!(cursors
             .next_unexplored(state.view(), NodeId::new(0))
             .is_none());
+    }
+
+    #[test]
+    fn rescan_counter_counts_skipped_slots() {
+        let g = UndirectedCsr::from_edges(4, [(0, 1), (0, 2), (0, 3)]).unwrap();
+        let mut scratch = SearchScratch::new();
+        let mut state = WeakSearchState::new_in(&mut scratch, &g, NodeId::new(0)).unwrap();
+        let mut cursors = FrontierCursors::new();
+        assert_eq!(cursors.rescans(), 0);
+        // Resolve the first two edges, then scan: the cursor must skip
+        // both resolved slots to reach the third.
+        let e0 = cursors
+            .next_unexplored(state.view(), NodeId::new(0))
+            .unwrap();
+        state.request(NodeId::new(0), e0).unwrap();
+        let e1 = cursors
+            .next_unexplored(state.view(), NodeId::new(0))
+            .unwrap();
+        state.request(NodeId::new(0), e1).unwrap();
+        let before = cursors.rescans();
+        cursors
+            .next_unexplored(state.view(), NodeId::new(0))
+            .unwrap();
+        assert!(cursors.rescans() > before);
+        // The counter survives a reset (cumulative; callers diff it).
+        let total = cursors.rescans();
+        cursors.reset();
+        assert_eq!(cursors.rescans(), total);
     }
 
     #[test]

@@ -139,6 +139,10 @@ impl<S: StrongSearcher> WeakSearcher for SimulatedStrong<S> {
         self.revealed.reserve(2 * edges);
         self.inner.reserve(nodes, edges);
     }
+
+    fn frontier_rescans(&self) -> u64 {
+        self.edges.rescans()
+    }
 }
 
 #[cfg(test)]

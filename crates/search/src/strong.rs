@@ -124,6 +124,15 @@ pub trait StrongSearcher {
     /// ignore). The runners call this right after
     /// [`reset`](StrongSearcher::reset); a no-op once large enough.
     fn reserve(&mut self, _nodes: usize, _edges: usize) {}
+
+    /// Cumulative count of resolved frontier slots this searcher's
+    /// cursors have skipped past (see
+    /// [`FrontierCursors::rescans`](crate::FrontierCursors::rescans)).
+    /// Default `0` — the native strong searchers track expansion with
+    /// stamped sets, not cursors.
+    fn frontier_rescans(&self) -> u64 {
+        0
+    }
 }
 
 #[cfg(test)]

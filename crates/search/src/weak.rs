@@ -134,6 +134,15 @@ pub trait WeakSearcher {
     /// ignore). The runners call this right after
     /// [`reset`](WeakSearcher::reset); a no-op once large enough.
     fn reserve(&mut self, _nodes: usize, _edges: usize) {}
+
+    /// Cumulative count of resolved frontier slots this searcher's
+    /// cursors have skipped past (see
+    /// [`FrontierCursors::rescans`](crate::FrontierCursors::rescans)).
+    /// Default `0` for searchers that keep no cursors; metrics
+    /// consumers take before/after deltas per trial.
+    fn frontier_rescans(&self) -> u64 {
+        0
+    }
 }
 
 #[cfg(test)]

@@ -77,6 +77,72 @@ fn steady_state_trials_allocate_nothing() {
 }
 
 #[test]
+fn steady_state_trials_allocate_nothing_with_metrics_enabled() {
+    // The observability counters ride the hot path for free: harvesting
+    // a full `Metrics` delta per trial — outcome counters, cumulative
+    // view/frontier deltas, and a log2 histogram sample — is plain u64
+    // arithmetic into a fixed-size struct, so the steady-state
+    // allocation count stays exactly zero with metrics enabled.
+    use nonsearch_obs::Metrics;
+
+    let n = 512;
+    let graph = MergedMori::sample(n, 2, 0.5, &mut rng_from_seed(3))
+        .unwrap()
+        .undirected();
+    let task = SearchTask::new(NodeId::from_label(1), NodeId::from_label(n)).with_budget(50 * n);
+
+    let mut scratch = SearchScratch::new();
+    let mut metrics = Metrics::new();
+
+    for kind in [
+        SearcherKind::BfsFlood,
+        SearcherKind::Dfs,
+        SearcherKind::HighDegree,
+        SearcherKind::GreedyId,
+        SearcherKind::OldestFirst,
+        SearcherKind::RandomWalk,
+        SearcherKind::SimStrongHighDegree,
+    ] {
+        let mut searcher = kind.build();
+        let mut rng = rng_from_seed(11);
+        let warm = run_weak_in(&mut scratch, &graph, &task, &mut *searcher, &mut rng).unwrap();
+        assert!(warm.found, "{kind}");
+
+        // Steady state, with the full per-trial metrics harvest inside
+        // the measurement window — exactly what the engine's metered
+        // runners do per trial.
+        let mut rng = rng_from_seed(11);
+        let before = allocations();
+        let mut delta = Metrics::new();
+        let resolutions_before = scratch.view().edge_resolutions();
+        let resets_before = scratch.view().resets();
+        let rescans_before = searcher.frontier_rescans();
+        let steady = run_weak_in(&mut scratch, &graph, &task, &mut *searcher, &mut rng).unwrap();
+        delta.requests += steady.requests as u64;
+        delta.discoveries += steady.discovered as u64;
+        delta.frontier_rescans += searcher.frontier_rescans() - rescans_before;
+        delta.edge_resolutions += scratch.view().edge_resolutions() - resolutions_before;
+        delta.scratch_resets += scratch.view().resets() - resets_before;
+        delta.observe_trial_requests(steady.requests as u64);
+        delta.trials = 1;
+        metrics.merge(&delta);
+        let allocated = allocations() - before;
+        assert_eq!(steady, warm, "{kind}: metrics harvest changed the outcome");
+        assert_eq!(
+            allocated, 0,
+            "{kind}: metered steady-state trial performed {allocated} heap allocations"
+        );
+        assert!(delta.requests > 0, "{kind}: empty metrics delta");
+        assert_eq!(delta.scratch_resets, 1, "{kind}");
+    }
+
+    assert_eq!(metrics.trials, 7);
+    assert_eq!(metrics.trial_requests.total(), 7);
+    assert!(metrics.requests > 0);
+    assert!(metrics.discoveries > 0);
+}
+
+#[test]
 fn presized_first_trials_allocate_nothing() {
     // The stronger claim: with a scratch pre-sized via `for_graph_size`
     // and a searcher pre-sized via the `reserve` hook, even the *first*

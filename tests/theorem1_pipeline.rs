@@ -78,6 +78,7 @@ fn certification_exponent_respects_the_theory() {
         criterion: SuccessCriterion::DiscoverTarget,
         budget_multiplier: 100,
         threads: 0,
+        ..CertifyConfig::default()
     };
     let report = certify(&model, &config);
     let best = report.best_exponent().expect("fit exists");
