@@ -1,38 +1,9 @@
 //! E3 — Theorem 2: every Cooper–Frieze model with `0 < α < 1` needs
 //! `Ω(n^{1/2})` weak-model requests to find vertex `n`.
-
-use nonsearch_bench::{banner, quick, sweep, trials};
-use nonsearch_core::{certify, CertifyConfig, CooperFriezeModel};
-use nonsearch_engine::CliOptions;
-use nonsearch_search::{SearcherKind, SuccessCriterion};
+//!
+//! Thin wrapper over the registered `xp theorem2-cf` experiment; the
+//! implementation lives in `nonsearch_bench::experiments`.
 
 fn main() {
-    banner(
-        "E3 / Theorem 2 (Cooper–Frieze, weak model)",
-        "all Cooper–Frieze models with 0 < α < 1 require Ω(n^0.5) requests; \
-         measured best exponents should sit at or above ~0.5",
-    );
-
-    let sizes = sweep(&[512, 1024, 2048, 4096, 8192]);
-    let trial_count = trials(10);
-    let alphas = if quick() { vec![0.6] } else { vec![0.5, 0.8] };
-
-    for &alpha in &alphas {
-        let model = CooperFriezeModel::balanced(alpha);
-        let config = CertifyConfig {
-            sizes: sizes.clone(),
-            trials: trial_count,
-            seed: 0xE3,
-            searchers: SearcherKind::informed().to_vec(),
-            criterion: SuccessCriterion::DiscoverTarget,
-            budget_multiplier: 30,
-            threads: CliOptions::global().threads,
-            tracer: nonsearch_obs::Tracer::disabled(),
-        };
-        let report = certify(&model, &config);
-        println!("{report}");
-        if let Some(expo) = report.best_exponent() {
-            println!("fitted exponent of best algorithm: {expo:.3} (theory: ≥ 0.5)\n");
-        }
-    }
+    nonsearch_bench::experiments::run_legacy("theorem2-cf");
 }

@@ -55,6 +55,21 @@ fn record(ctx: &mut ExpContext, knob: &str, variant: &str, n: usize, trials: usi
                 &c.metrics,
             )
             .expect("write metrics record");
+        ctx.writer
+            .record_resource(
+                vec![
+                    ("model", JsonValue::from("mori")),
+                    ("knob", JsonValue::from(knob)),
+                    ("variant", JsonValue::from(variant)),
+                    ("n", JsonValue::from(n)),
+                ],
+                c.wall_ms as u64,
+                c.workers,
+                &c.phases,
+                c.allocations,
+                &c.resource,
+            )
+            .expect("write resource record");
     }
 }
 

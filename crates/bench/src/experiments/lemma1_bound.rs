@@ -119,6 +119,20 @@ fn run(ctx: &mut ExpContext) {
                     &profile.metrics,
                 )
                 .expect("write metrics record");
+            ctx.writer
+                .record_resource(
+                    vec![
+                        ("model", JsonValue::from("mori")),
+                        ("p", JsonValue::from(p)),
+                        ("n", JsonValue::from(profile.n)),
+                    ],
+                    profile.wall_ms as u64,
+                    profile.workers,
+                    &profile.phases,
+                    profile.allocations,
+                    &profile.resource,
+                )
+                .expect("write resource record");
         }
     }
     println!("best algorithm: {}", best.kind.name());

@@ -14,6 +14,7 @@ mod lemma3_event;
 mod null_model;
 mod theorem1_strong;
 mod theorem1_weak;
+mod theorem2_cf;
 
 use nonsearch_core::{GraphModel, ModelSource};
 use nonsearch_corpus::{Corpus, LoadMode};
@@ -24,6 +25,7 @@ pub fn registry() -> Registry {
     let mut r = Registry::new();
     r.register(theorem1_weak::SPEC)
         .register(theorem1_strong::SPEC)
+        .register(theorem2_cf::SPEC)
         .register(lemma1_bound::SPEC)
         .register(lemma2_equiv::SPEC)
         .register(lemma3_event::SPEC)
@@ -31,6 +33,9 @@ pub fn registry() -> Registry {
         .register(null_model::SPEC)
         .add_usage_note(
             "corpus build|info|verify — persistent graph-ensemble store (xp corpus help)",
+        )
+        .add_usage_note(
+            "bench [--quick]           — engine benchmark suite (writes BENCH_engine_suite.json)",
         );
     r
 }
@@ -101,12 +106,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_at_least_seven_experiments() {
+    fn registry_has_at_least_eight_experiments() {
         let r = registry();
-        assert!(r.specs().len() >= 7, "only {} registered", r.specs().len());
+        assert!(r.specs().len() >= 8, "only {} registered", r.specs().len());
         for name in [
             "theorem1-weak",
             "theorem1-strong",
+            "theorem2-cf",
             "lemma1-bound",
             "lemma2-equiv",
             "lemma3-event",

@@ -22,7 +22,10 @@
 use super::{open_corpus, print_banner, resolve_source};
 use nonsearch_analysis::{fit_log_log, Table};
 use nonsearch_core::{BarabasiAlbertModel, GraphModel};
-use nonsearch_engine::{run_lanes_metered, ExpContext, ExperimentSpec, GraphSource, JsonValue};
+use nonsearch_engine::{
+    elapsed_ns, resolved_workers, run_lanes_observed, ExpContext, ExperimentSpec, GraphSource,
+    JsonValue, ResourceSample,
+};
 use nonsearch_generators::{degree_preserving_rewire, SeedSequence};
 use nonsearch_graph::NodeId;
 use nonsearch_search::{run_weak_in, SearchScratch, SearchTask, SearcherKind, SuccessCriterion};
@@ -80,7 +83,7 @@ fn run(ctx: &mut ExpContext) {
         let _cell_span = tracer.span("size-cell");
         let size_seeds = seeds.subsequence(size_idx as u64);
         let cell_start = std::time::Instant::now();
-        let (lanes, metrics) = run_lanes_metered(
+        let (lanes, obs) = run_lanes_observed(
             trial_count,
             VARIANTS.len() * SEARCHERS.len(),
             ctx.options.threads,
@@ -95,8 +98,16 @@ fn run(ctx: &mut ExpContext) {
                         .collect::<Vec<_>>(),
                 )
             },
-            |(scratch, searchers), m, trial, trial_seeds| {
+            |(scratch, searchers), obs, trial, trial_seeds| {
+                let fetch_start = std::time::Instant::now();
                 let original = original_source.trial_graph(n, trial, &trial_seeds);
+                let fetch_ns = elapsed_ns(fetch_start);
+                if original_source.is_stored() {
+                    obs.phases.load_ns += fetch_ns;
+                } else {
+                    obs.phases.generate_ns += fetch_ns;
+                }
+                let rewire_start = std::time::Instant::now();
                 let rewired = match &variant_source {
                     Some(source) => source.trial_graph(n, trial, &trial_seeds),
                     None => {
@@ -108,9 +119,19 @@ fn run(ctx: &mut ExpContext) {
                         Arc::new(null)
                     }
                 };
+                // A stored variant is a load; an on-the-fly rewire is
+                // generation work.
+                let rewire_ns = elapsed_ns(rewire_start);
+                if variant_source.is_some() {
+                    obs.phases.load_ns += rewire_ns;
+                } else {
+                    obs.phases.generate_ns += rewire_ns;
+                }
                 let resolutions_before = scratch.view().edge_resolutions();
                 let resets_before = scratch.view().resets();
+                let m = &mut obs.metrics;
                 let requests_before = m.requests;
+                let search_start = std::time::Instant::now();
                 let mut measures = Vec::with_capacity(VARIANTS.len() * SEARCHERS.len());
                 for (v_idx, graph) in [&original, &rewired].into_iter().enumerate() {
                     let actual = graph.node_count();
@@ -133,13 +154,18 @@ fn run(ctx: &mut ExpContext) {
                         ));
                     }
                 }
+                let search_ns = elapsed_ns(search_start);
+                let harvest_start = std::time::Instant::now();
                 m.edge_resolutions += scratch.view().edge_resolutions() - resolutions_before;
                 m.scratch_resets += scratch.view().resets() - resets_before;
                 m.observe_trial_requests(m.requests - requests_before);
+                obs.phases.search_ns += search_ns;
+                obs.phases.harvest_ns += elapsed_ns(harvest_start);
                 measures
             },
         );
         let wall_ms = cell_start.elapsed().as_secs_f64() * 1e3;
+        let metrics = obs.metrics;
 
         for (lane_idx, lane) in lanes.iter().enumerate() {
             let v_idx = lane_idx / SEARCHERS.len();
@@ -197,6 +223,19 @@ fn run(ctx: &mut ExpContext) {
                     &metrics,
                 )
                 .expect("write metrics record");
+            ctx.writer
+                .record_resource(
+                    vec![
+                        ("model", JsonValue::from("barabasi-albert")),
+                        ("n", JsonValue::from(n)),
+                    ],
+                    wall_ms as u64,
+                    resolved_workers(ctx.options.threads, trial_count),
+                    &obs.phases,
+                    obs.allocations,
+                    &ResourceSample::current(),
+                )
+                .expect("write resource record");
         }
     }
     println!("{table}");

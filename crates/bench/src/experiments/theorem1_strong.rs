@@ -103,6 +103,21 @@ fn run(ctx: &mut ExpContext) {
                             &cell.metrics,
                         )
                         .expect("write metrics record");
+                    ctx.writer
+                        .record_resource(
+                            vec![
+                                ("model", JsonValue::from("mori")),
+                                ("p", JsonValue::from(p)),
+                                ("searcher", JsonValue::from(kind.name())),
+                                ("n", JsonValue::from(n)),
+                            ],
+                            cell.wall_ms as u64,
+                            cell.workers,
+                            &cell.phases,
+                            cell.allocations,
+                            &cell.resource,
+                        )
+                        .expect("write resource record");
                 }
                 series.push((n, cell.mean));
             }

@@ -113,6 +113,21 @@ fn run(ctx: &mut ExpContext) {
                             &profile.metrics,
                         )
                         .expect("write metrics record");
+                    ctx.writer
+                        .record_resource(
+                            vec![
+                                ("model", JsonValue::from("mori")),
+                                ("p", JsonValue::from(p)),
+                                ("m", JsonValue::from(m)),
+                                ("n", JsonValue::from(profile.n)),
+                            ],
+                            profile.wall_ms as u64,
+                            profile.workers,
+                            &profile.phases,
+                            profile.allocations,
+                            &profile.resource,
+                        )
+                        .expect("write resource record");
                 }
             }
 

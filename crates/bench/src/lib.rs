@@ -14,13 +14,16 @@
 //! for any thread count (and match the historical sequential loops'
 //! trial seeding).
 
+pub mod bench_suite;
 pub mod experiments;
 
 use nonsearch_core::{GraphModel, ModelSource};
-use nonsearch_engine::{run_cell_metered, CliOptions, GraphSource, TrialMeasure};
+use nonsearch_engine::{
+    resolved_workers, run_cell_observed, CliOptions, GraphSource, TrialMeasure, TrialObs,
+};
 use nonsearch_generators::SeedSequence;
 use nonsearch_graph::NodeId;
-use nonsearch_obs::Metrics;
+use nonsearch_obs::{elapsed_ns, Metrics, PhaseTimes, ResourceSample};
 use nonsearch_search::{
     run_strong_in, run_weak_in, SearchScratch, SearchTask, StrongSearcher, SuccessCriterion,
 };
@@ -73,6 +76,16 @@ pub struct CellStats {
     /// Deterministically merged per-worker counters for the cell
     /// (exact u64 sums, bit-identical for any thread count).
     pub metrics: Metrics,
+    /// Merged per-worker phase timers (generate / load / search /
+    /// harvest / merge) — volatile CPU-side busy time, like `wall_ms`.
+    pub phases: PhaseTimes,
+    /// Heap allocations during trial bodies (zero unless the binary
+    /// installs `nonsearch_alloc_counter::CountingAllocator`).
+    pub allocations: u64,
+    /// Process-wide resource sample taken when the cell finished.
+    pub resource: ResourceSample,
+    /// Worker threads the engine actually ran for this cell.
+    pub workers: usize,
 }
 
 impl CellStats {
@@ -80,7 +93,8 @@ impl CellStats {
         lane: &nonsearch_engine::LaneAggregate,
         trial_count: usize,
         wall_ms: f64,
-        metrics: Metrics,
+        obs: TrialObs,
+        workers: usize,
     ) -> CellStats {
         let requests = lane.mean() * trial_count as f64;
         CellStats {
@@ -89,7 +103,13 @@ impl CellStats {
             success: lane.success_rate(),
             wall_ms,
             requests_per_sec: requests / (wall_ms / 1e3).max(f64::EPSILON),
-            metrics,
+            metrics: obs.metrics,
+            phases: obs.phases,
+            allocations: obs.allocations,
+            // Sampled outside the trial hot path (reading /proc
+            // allocates), after every trial has finished.
+            resource: ResourceSample::current(),
+            workers,
         }
     }
 }
@@ -168,13 +188,20 @@ pub fn strong_cell_from(
     // Per-worker pool: scratch + searcher built once, reused (and reset)
     // across all of the worker's trials.
     let start = std::time::Instant::now();
-    let (lane, metrics) = run_cell_metered(
+    let (lane, obs) = run_cell_observed(
         trial_count,
         threads,
         seeds,
         || (SearchScratch::new(), kind.build()),
-        |(scratch, searcher), m, trial, cell_seeds| {
+        |(scratch, searcher), obs, trial, cell_seeds| {
+            let fetch_start = std::time::Instant::now();
             let graph = source.trial_graph(n, trial, &cell_seeds);
+            let fetch_ns = elapsed_ns(fetch_start);
+            if source.is_stored() {
+                obs.phases.load_ns += fetch_ns;
+            } else {
+                obs.phases.generate_ns += fetch_ns;
+            }
             let actual = graph.node_count();
             let task = SearchTask::new(NodeId::from_label(1), NodeId::from_label(actual))
                 .with_budget(50 * actual);
@@ -182,14 +209,19 @@ pub fn strong_cell_from(
             let resolutions_before = scratch.view().edge_resolutions();
             let resets_before = scratch.view().resets();
             let rescans_before = searcher.frontier_rescans();
+            let search_start = std::time::Instant::now();
             let outcome = run_strong_in(scratch, &graph, &task, &mut **searcher, &mut search_rng)
                 .expect("suite searchers never violate the protocol");
+            obs.phases.search_ns += elapsed_ns(search_start);
+            let harvest_start = std::time::Instant::now();
+            let m = &mut obs.metrics;
             m.requests += outcome.requests as u64;
             m.discoveries += outcome.discovered as u64;
             m.frontier_rescans += searcher.frontier_rescans() - rescans_before;
             m.edge_resolutions += scratch.view().edge_resolutions() - resolutions_before;
             m.scratch_resets += scratch.view().resets() - resets_before;
             m.observe_trial_requests(outcome.requests as u64);
+            obs.phases.harvest_ns += elapsed_ns(harvest_start);
             TrialMeasure::new(outcome.requests as f64, outcome.found)
         },
     );
@@ -197,7 +229,8 @@ pub fn strong_cell_from(
         &lane,
         trial_count,
         start.elapsed().as_secs_f64() * 1e3,
-        metrics,
+        obs,
+        resolved_workers(threads, trial_count),
     )
 }
 
@@ -280,13 +313,20 @@ pub fn weak_cell_with_policy_from(
     seeds: &SeedSequence,
 ) -> CellStats {
     let start = std::time::Instant::now();
-    let (lane, metrics) = run_cell_metered(
+    let (lane, obs) = run_cell_observed(
         trial_count,
         threads,
         seeds,
         || (SearchScratch::new(), kind.build()),
-        |(scratch, searcher), m, trial, cell_seeds| {
+        |(scratch, searcher), obs, trial, cell_seeds| {
+            let fetch_start = std::time::Instant::now();
             let graph = source.trial_graph(n, trial, &cell_seeds);
+            let fetch_ns = elapsed_ns(fetch_start);
+            if source.is_stored() {
+                obs.phases.load_ns += fetch_ns;
+            } else {
+                obs.phases.generate_ns += fetch_ns;
+            }
             let actual = graph.node_count();
             let start = start_policy.pick(actual, &mut cell_seeds.child_rng(2));
             let task = SearchTask::new(start, NodeId::from_label(actual))
@@ -296,14 +336,19 @@ pub fn weak_cell_with_policy_from(
             let resolutions_before = scratch.view().edge_resolutions();
             let resets_before = scratch.view().resets();
             let rescans_before = searcher.frontier_rescans();
+            let search_start = std::time::Instant::now();
             let outcome = run_weak_in(scratch, &graph, &task, &mut **searcher, &mut search_rng)
                 .expect("suite searchers never violate the protocol");
+            obs.phases.search_ns += elapsed_ns(search_start);
+            let harvest_start = std::time::Instant::now();
+            let m = &mut obs.metrics;
             m.requests += outcome.requests as u64;
             m.discoveries += outcome.discovered as u64;
             m.frontier_rescans += searcher.frontier_rescans() - rescans_before;
             m.edge_resolutions += scratch.view().edge_resolutions() - resolutions_before;
             m.scratch_resets += scratch.view().resets() - resets_before;
             m.observe_trial_requests(outcome.requests as u64);
+            obs.phases.harvest_ns += elapsed_ns(harvest_start);
             TrialMeasure::new(outcome.requests as f64, outcome.found)
         },
     );
@@ -311,7 +356,8 @@ pub fn weak_cell_with_policy_from(
         &lane,
         trial_count,
         start.elapsed().as_secs_f64() * 1e3,
-        metrics,
+        obs,
+        resolved_workers(threads, trial_count),
     )
 }
 
@@ -336,6 +382,16 @@ mod tests {
         assert!(cell.metrics.requests > 0);
         assert!(cell.metrics.discoveries > 0);
         assert_eq!(cell.metrics.scratch_resets, 4);
+        // Phase timers rode alongside: generate (this source is not
+        // stored), search, and the consumer's merge all registered.
+        assert!(cell.phases.generate_ns > 0);
+        assert_eq!(cell.phases.load_ns, 0);
+        assert!(cell.phases.search_ns > 0);
+        assert!(cell.phases.merge_ns > 0);
+        assert!(cell.workers >= 1);
+        if cfg!(target_os = "linux") {
+            assert!(cell.resource.peak_rss_bytes > 0);
+        }
     }
 
     #[test]

@@ -10,10 +10,10 @@
 
 use crate::model::GraphModel;
 use nonsearch_analysis::{fit_log_log, LinearFit, Table};
-use nonsearch_engine::{run_lanes_metered, GraphSource, TrialMeasure};
+use nonsearch_engine::{resolved_workers, run_lanes_observed, GraphSource, TrialMeasure, TrialObs};
 use nonsearch_generators::SeedSequence;
 use nonsearch_graph::NodeId;
-use nonsearch_obs::{Metrics, Tracer};
+use nonsearch_obs::{elapsed_ns, Metrics, PhaseTimes, ResourceSample, Tracer};
 use nonsearch_search::{
     run_weak_in, SearchScratch, SearchTask, SearcherKind, SuccessCriterion, WeakSearcher,
 };
@@ -120,6 +120,18 @@ pub struct CellProfile {
     /// strict trial order, bit-identical for any thread count (unlike
     /// the wall-clock fields around them).
     pub metrics: Metrics,
+    /// Merged per-worker phase timers (generate / load / search /
+    /// harvest / merge) — CPU-side busy time, volatile like `wall_ms`.
+    pub phases: PhaseTimes,
+    /// Heap allocations during trial bodies, harvested from the
+    /// per-thread counting allocator (zero unless the binary installs
+    /// `nonsearch_alloc_counter::CountingAllocator`).
+    pub allocations: u64,
+    /// Process-wide resource sample (peak RSS, faults, context
+    /// switches) taken once when the cell finishes.
+    pub resource: ResourceSample,
+    /// Worker threads the engine actually ran for this cell.
+    pub workers: usize,
 }
 
 /// The certification verdict for one model.
@@ -229,7 +241,7 @@ pub fn certify_with_source(
         let size_seeds = seeds.subsequence(size_idx as u64);
         let _cell_span = config.tracer.span("size-cell");
         let cell_start = std::time::Instant::now();
-        let (lanes, metrics) = run_lanes_metered(
+        let (lanes, obs) = run_lanes_observed(
             config.trials,
             n_searchers,
             config.threads,
@@ -245,12 +257,17 @@ pub fn certify_with_source(
                 searchers: config.searchers.iter().map(|kind| kind.build()).collect(),
                 _batch_span: config.tracer.span("trial-batch"),
             },
-            |pool, m, trial, trial_seeds| {
+            |pool, obs, trial, trial_seeds| {
                 let _trial_span = config.tracer.span("trial");
-                run_one_trial(pool, m, source, config, n, trial, &trial_seeds)
+                run_one_trial(pool, obs, source, config, n, trial, &trial_seeds)
             },
         );
         let wall_ms = cell_start.elapsed().as_secs_f64() * 1e3;
+        // Sampled outside the trial hot path: reading /proc allocates,
+        // but by now every trial has finished, so the allocation-free
+        // steady-state guarantee is untouched.
+        let resource = ResourceSample::current();
+        let metrics = obs.metrics;
         for (s_idx, lane) in lanes.iter().enumerate() {
             all_points[s_idx].push(ScalingPoint {
                 n,
@@ -271,6 +288,10 @@ pub fn certify_with_source(
             requests,
             requests_per_sec: requests / (wall_ms / 1e3).max(f64::EPSILON),
             metrics,
+            phases: obs.phases,
+            allocations: obs.allocations,
+            resource,
+            workers: resolved_workers(config.threads, config.trials),
         });
     }
 
@@ -306,22 +327,36 @@ struct TrialPool<'t> {
 /// One graph sample, all searchers raced on it — one engine lane per
 /// searcher, all running allocation-free on the worker's pool.
 ///
-/// Counter deltas land in `m`, the trial's zeroed [`Metrics`] bundle:
-/// requests and discoveries come off the search outcomes; frontier
-/// rescans off each searcher's cumulative counter; edge resolutions and
-/// scratch resets off the pooled view's cumulative counters. Reading
-/// counters never perturbs the search, so metered runs stay
-/// bit-identical to unmetered ones.
+/// Counter deltas land in `obs.metrics`, the trial's zeroed [`Metrics`]
+/// bundle: requests and discoveries come off the search outcomes;
+/// frontier rescans off each searcher's cumulative counter; edge
+/// resolutions and scratch resets off the pooled view's cumulative
+/// counters. Reading counters never perturbs the search, so metered
+/// runs stay bit-identical to unmetered ones.
+///
+/// Phase nanoseconds land in `obs.phases`: graph fetch is charged to
+/// `generate` or `load` depending on [`GraphSource::is_stored`], the
+/// searcher race to `search`, and the trailing counter sweep to
+/// `harvest` (the consumer charges `merge` itself). Timer reads are
+/// integer adds off the monotonic clock, so the instrumented trial
+/// stays allocation-free and bit-identical to an untimed one.
 fn run_one_trial(
     pool: &mut TrialPool<'_>,
-    m: &mut Metrics,
+    obs: &mut TrialObs,
     source: &(impl GraphSource + ?Sized),
     config: &CertifyConfig,
     n: usize,
     trial: usize,
     trial_seeds: &SeedSequence,
 ) -> Vec<TrialMeasure> {
+    let fetch_start = std::time::Instant::now();
     let graph = source.trial_graph(n, trial, trial_seeds);
+    let fetch_ns = elapsed_ns(fetch_start);
+    if source.is_stored() {
+        obs.phases.load_ns += fetch_ns;
+    } else {
+        obs.phases.generate_ns += fetch_ns;
+    }
     let actual = graph.node_count();
     let task = SearchTask::new(NodeId::from_label(1), NodeId::from_label(actual))
         .with_criterion(config.criterion)
@@ -331,7 +366,9 @@ fn run_one_trial(
     } = pool;
     let resolutions_before = scratch.view().edge_resolutions();
     let resets_before = scratch.view().resets();
+    let m = &mut obs.metrics;
     let requests_before = m.requests;
+    let search_start = std::time::Instant::now();
     // Collected eagerly: the view's cumulative counters are read *after*
     // every lane ran, so a lazily-evaluated map would under-count.
     let measures: Vec<TrialMeasure> = searchers
@@ -348,9 +385,13 @@ fn run_one_trial(
             TrialMeasure::new(outcome.requests as f64, outcome.found)
         })
         .collect();
+    let search_ns = elapsed_ns(search_start);
+    let harvest_start = std::time::Instant::now();
     m.edge_resolutions += scratch.view().edge_resolutions() - resolutions_before;
     m.scratch_resets += scratch.view().resets() - resets_before;
     m.observe_trial_requests(m.requests - requests_before);
+    obs.phases.search_ns += search_ns;
+    obs.phases.harvest_ns += elapsed_ns(harvest_start);
     measures
 }
 
@@ -421,6 +462,17 @@ mod tests {
             // The suite includes cursor-based searchers, which skip
             // resolved slots on dense vertices.
             assert!(m.frontier_rescans > 0);
+            // Phase timers rode alongside: the searcher race was timed,
+            // the graph fetch was charged to `generate` (this source is
+            // not stored), and `merge` captured the consumer's fold.
+            assert!(profile.phases.search_ns > 0);
+            assert!(profile.phases.generate_ns > 0);
+            assert_eq!(profile.phases.load_ns, 0);
+            assert!(profile.phases.merge_ns > 0);
+            assert!(profile.workers >= 1);
+            if cfg!(target_os = "linux") {
+                assert!(profile.resource.peak_rss_bytes > 0);
+            }
         }
     }
 

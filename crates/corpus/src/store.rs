@@ -389,6 +389,12 @@ impl GraphSource for CorpusSource {
             Some(v) => format!("corpus:{}#v{v}{mode}", self.inner.dir.display()),
         }
     }
+
+    /// Trial graphs come from stored `.nsg` files, so phase timers
+    /// attribute fetch time to `load`, not `generate`.
+    fn is_stored(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

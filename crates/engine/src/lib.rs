@@ -54,22 +54,27 @@ mod options;
 pub mod profile_diff;
 mod record;
 mod registry;
+pub mod report;
 mod runner;
 mod source;
 
 pub use json::{parse as parse_json, JsonError, JsonValue};
-pub use nonsearch_obs::{Log2Histogram, Metrics, SpanGuard, Tracer, HISTOGRAM_BUCKETS};
+pub use nonsearch_obs::{
+    elapsed_ns, prometheus_text, render_log2_histogram, Log2Histogram, Metrics, PhaseTimes,
+    ResourceSample, SpanGuard, Tracer, HISTOGRAM_BUCKETS,
+};
 pub use options::{CliOptions, OptionsError, OutputFormat};
 pub use record::{
-    git_describe, metrics_fields, RunSummary, RunWriter, CELL_TYPE, METRICS_TYPE, PROFILE_TYPE,
-    RUN_TYPE,
+    git_describe, metrics_fields, resource_fields, RunSummary, RunWriter, CELL_TYPE, METRICS_TYPE,
+    PROFILE_TYPE, RESOURCE_TYPE, RUN_TYPE,
 };
 pub use registry::{
     run_legacy, validate_chrome_trace, validate_jsonl, ExpContext, ExperimentSpec, Registry,
     ValidateSummary,
 };
 pub use runner::{
-    run_cell, run_cell_metered, run_cell_with, run_lanes, run_lanes_metered, run_lanes_with,
-    run_ordered, trial_seeds, LaneAggregate, TrialMeasure,
+    resolved_workers, run_cell, run_cell_metered, run_cell_observed, run_cell_with, run_lanes,
+    run_lanes_metered, run_lanes_observed, run_lanes_with, run_ordered, trial_seeds, LaneAggregate,
+    TrialMeasure, TrialObs,
 };
 pub use source::{FnSource, GraphSource};

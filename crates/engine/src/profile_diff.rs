@@ -8,7 +8,7 @@
 //!
 //! ```text
 //! xp profile-diff <run.jsonl> [--baseline FILE] [--threshold 0.7]
-//!                 [--write-baseline OUT] [--scale F]
+//!                 [--write-baseline OUT] [--scale F] [--suite]
 //! ```
 //!
 //! * `--baseline FILE` — compare against `FILE` (one JSON document,
@@ -25,6 +25,17 @@
 //!   and `OUT` lacks a `.quick.` marker, the baseline is written to
 //!   `OUT` with `.json` → `.quick.json` instead, so a truncated quick
 //!   sweep can never clobber a committed full-sweep baseline.
+//! * `--scale F` — on write, scales the written baseline values; on
+//!   compare, scales the baseline *up* before the threshold test. CI
+//!   uses compare-mode `--scale 2.0` as a must-fail self-check: if the
+//!   gate still passes with the bar doubled, the gate is broken.
+//! * `--suite` — the input and baseline are `xp bench` suite records
+//!   (`BENCH_engine_suite.json`), matched **exactly** on
+//!   `section`/`key` instead of nearest-`n`: every benchmark in the
+//!   suite is a named cell with a uniform higher-is-better
+//!   `throughput` field. Measured cells with no baseline entry (e.g. a
+//!   `--quick` suite gated against the committed full record) are
+//!   skipped with a note, never failed.
 //!
 //! Exit codes: `0` OK (or baseline written), `1` regression detected,
 //! `2` usage or I/O error — the same convention as the rest of `xp`.
@@ -38,7 +49,7 @@ use std::path::{Path, PathBuf};
 pub const DEFAULT_THRESHOLD: f64 = 0.7;
 
 const USAGE: &str = "usage: xp profile-diff <run.jsonl> [--baseline FILE] [--threshold F] \
-                     [--write-baseline OUT] [--scale F]";
+                     [--write-baseline OUT] [--scale F] [--suite]";
 
 /// What one run's profile records measured, keyed by cell size.
 #[derive(Debug, Clone, PartialEq)]
@@ -177,6 +188,108 @@ pub fn diff(
         .collect()
 }
 
+/// One named benchmark cell of an `xp bench` suite record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteCell {
+    /// Suite section (`oracle`, `corpus_load`, `thread_scaling`, …).
+    pub section: String,
+    /// Unique key within the section (e.g. `weak_flood_n10000`).
+    pub key: String,
+    /// The uniform higher-is-better measurement (req/s or loads/s).
+    pub throughput: f64,
+}
+
+/// Parses an `xp bench` suite record
+/// (`{"schema_version":1,"bench":"engine_suite","cells":[…]}`),
+/// rejecting unknown schema versions and non-finite or non-positive
+/// throughput values.
+pub fn suite_from_json(text: &str) -> Result<Vec<SuiteCell>, String> {
+    let doc = json::parse(text.trim()).map_err(|e| e.to_string())?;
+    match doc.get("schema_version").and_then(|v| v.as_f64()) {
+        Some(v) if v != 1.0 => return Err(format!("unsupported suite schema_version {v}")),
+        Some(_) => {}
+        None => return Err("suite record has no \"schema_version\"".to_string()),
+    }
+    let cells = doc
+        .get("cells")
+        .and_then(|v| v.as_array())
+        .ok_or_else(|| "suite record has no \"cells\" array".to_string())?;
+    let mut out = Vec::with_capacity(cells.len());
+    for (i, cell) in cells.iter().enumerate() {
+        let field = |key: &str| -> Result<String, String> {
+            cell.get(key)
+                .and_then(|v| v.as_str())
+                .map(str::to_string)
+                .ok_or_else(|| format!("suite cell {i} has no string field {key:?}"))
+        };
+        let throughput = cell
+            .get("throughput")
+            .and_then(|v| v.as_f64())
+            .filter(|x| x.is_finite() && *x > 0.0)
+            .ok_or_else(|| format!("suite cell {i} has no usable \"throughput\""))?;
+        out.push(SuiteCell {
+            section: field("section")?,
+            key: field("key")?,
+            throughput,
+        });
+    }
+    if out.is_empty() {
+        return Err("suite \"cells\" array is empty".to_string());
+    }
+    Ok(out)
+}
+
+/// One compared suite cell, matched exactly on `section`/`key`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteDiffRow {
+    /// `section/key` of the matched benchmark.
+    pub name: String,
+    /// Measured throughput.
+    pub measured: f64,
+    /// Baseline throughput (after `--scale`).
+    pub baseline: f64,
+    /// `measured / baseline`.
+    pub ratio: f64,
+    /// Whether this cell fell below the threshold.
+    pub regressed: bool,
+}
+
+/// Compares a measured suite against a baseline suite at `threshold`,
+/// with baseline throughput pre-multiplied by `scale`. Returns the
+/// compared rows and the names of measured cells the baseline does not
+/// carry (skipped, e.g. a quick suite vs the committed full record).
+pub fn diff_suite(
+    measured: &[SuiteCell],
+    baseline: &[SuiteCell],
+    threshold: f64,
+    scale: f64,
+) -> (Vec<SuiteDiffRow>, Vec<String>) {
+    let by_name: BTreeMap<(&str, &str), f64> = baseline
+        .iter()
+        .map(|c| ((c.section.as_str(), c.key.as_str()), c.throughput))
+        .collect();
+    let mut rows = Vec::new();
+    let mut skipped = Vec::new();
+    for cell in measured {
+        let name = format!("{}/{}", cell.section, cell.key);
+        match by_name.get(&(cell.section.as_str(), cell.key.as_str())) {
+            Some(&base) => {
+                let baseline = base * scale;
+                let ratio = cell.throughput / baseline;
+                rows.push(SuiteDiffRow {
+                    name,
+                    measured: cell.throughput,
+                    baseline,
+                    ratio,
+                    regressed: ratio < threshold,
+                });
+            }
+            None => skipped.push(name),
+        }
+    }
+    (rows, skipped)
+}
+
 /// Serializes a baseline document from measured throughput, scaling
 /// each cell's requests/sec by `scale`.
 pub fn baseline_to_json(measured: &MeasuredProfile, scale: f64) -> String {
@@ -222,6 +335,7 @@ pub fn main(args: &[String]) -> i32 {
     let mut write_baseline: Option<PathBuf> = None;
     let mut threshold = DEFAULT_THRESHOLD;
     let mut scale = 1.0f64;
+    let mut suite = false;
 
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
@@ -249,6 +363,10 @@ pub fn main(args: &[String]) -> i32 {
                     .map(|x| scale = x)
                     .ok_or_else(|| format!("--scale: cannot parse {v:?}"))
             }),
+            "--suite" => {
+                suite = true;
+                Ok(())
+            }
             other if other.starts_with("--") => Err(format!("unknown argument {other:?}")),
             _ if run_path.is_none() => {
                 run_path = Some(PathBuf::from(arg));
@@ -274,6 +392,11 @@ pub fn main(args: &[String]) -> i32 {
             return 2;
         }
     };
+
+    if suite {
+        return suite_main(&run_path, &text, baseline_path, threshold, scale);
+    }
+
     let measured = match measured_from_jsonl(&text) {
         Ok(measured) => measured,
         Err(e) => {
@@ -323,6 +446,9 @@ pub fn main(args: &[String]) -> i32 {
         }
     };
 
+    // Compare-mode --scale raises the bar: the baseline each cell is
+    // measured against is scale × committed value.
+    let baseline: BTreeMap<u64, f64> = baseline.into_iter().map(|(n, x)| (n, x * scale)).collect();
     let rows = diff(&measured, &baseline, threshold);
     let mut regressed = false;
     for row in &rows {
@@ -345,6 +471,75 @@ pub fn main(args: &[String]) -> i32 {
         1
     } else {
         println!("profile-diff: all {} cells within threshold", rows.len());
+        0
+    }
+}
+
+/// The `--suite` compare body: both sides are `xp bench` suite records.
+fn suite_main(
+    run_path: &Path,
+    text: &str,
+    baseline_path: Option<PathBuf>,
+    threshold: f64,
+    scale: f64,
+) -> i32 {
+    let measured = match suite_from_json(text) {
+        Ok(measured) => measured,
+        Err(e) => {
+            eprintln!("xp profile-diff: {}: {e}", run_path.display());
+            return 2;
+        }
+    };
+    let Some(baseline_path) = baseline_path else {
+        eprintln!("xp profile-diff: --suite requires --baseline FILE");
+        eprintln!("{USAGE}");
+        return 2;
+    };
+    let baseline = match std::fs::read_to_string(&baseline_path)
+        .map_err(|e| e.to_string())
+        .and_then(|text| suite_from_json(&text))
+    {
+        Ok(baseline) => baseline,
+        Err(e) => {
+            eprintln!("xp profile-diff: {}: {e}", baseline_path.display());
+            return 2;
+        }
+    };
+    let (rows, skipped) = diff_suite(&measured, &baseline, threshold, scale);
+    for name in &skipped {
+        println!("note: {name} has no baseline entry — skipped");
+    }
+    if rows.is_empty() {
+        eprintln!(
+            "xp profile-diff: no measured suite cell matches the baseline (all {} skipped)",
+            skipped.len()
+        );
+        return 2;
+    }
+    let mut regressed = false;
+    for row in &rows {
+        let verdict = if row.regressed {
+            regressed = true;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "{:<40} measured {:>14.1} vs baseline {:>14.1} ratio {:.3} [{verdict}]",
+            row.name, row.measured, row.baseline, row.ratio
+        );
+    }
+    if regressed {
+        eprintln!(
+            "xp profile-diff: suite regression — at least one benchmark below {threshold:.2}× \
+             baseline"
+        );
+        1
+    } else {
+        println!(
+            "profile-diff: all {} suite cells within threshold",
+            rows.len()
+        );
         0
     }
 }
@@ -438,6 +633,136 @@ mod tests {
         // Non-quick runs and already-marked paths pass through untouched.
         assert_eq!(guarded_baseline_path(&full, false), full);
         assert_eq!(guarded_baseline_path(&guarded, true), guarded);
+    }
+
+    #[test]
+    fn empty_baseline_documents_are_rejected() {
+        // A zero-byte file, an empty object, and an empty cells array
+        // are all hard errors — never a silent pass of the gate.
+        assert!(baseline_from_json("").is_err());
+        assert!(baseline_from_json("{}").is_err());
+        let err = baseline_from_json("{\"cells\":[]}").unwrap_err();
+        assert!(err.contains("empty"), "{err}");
+    }
+
+    #[test]
+    fn baseline_with_no_matching_n_still_gates_via_nearest() {
+        // Nearest-n matching means a baseline that never measured the
+        // run's sizes still produces a verdict (against its closest
+        // cell) rather than skipping the gate.
+        let measured = measured_from_jsonl(&run_jsonl(&[(100_000, 10.0)], false)).unwrap();
+        let baseline =
+            baseline_from_json("{\"cells\":[{\"n\":128,\"requests_per_sec\":1000.0}]}").unwrap();
+        let rows = diff(&measured, &baseline, 0.7);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].baseline_n, 128);
+        assert!(rows[0].regressed, "0.01× of the only baseline cell");
+    }
+
+    #[test]
+    fn non_finite_and_negative_throughput_is_rejected() {
+        // NaN/Infinity are not valid JSON numbers, so they surface as
+        // parse errors; negative and zero rps are filtered by value.
+        assert!(baseline_from_json("{\"cells\":[{\"n\":1,\"requests_per_sec\":NaN}]}").is_err());
+        let err =
+            baseline_from_json("{\"cells\":[{\"n\":1,\"requests_per_sec\":-5.0}]}").unwrap_err();
+        assert!(err.contains("requests_per_sec"), "{err}");
+        assert!(baseline_from_json("{\"cells\":[{\"n\":1,\"requests_per_sec\":0.0}]}").is_err());
+        let err = measured_from_jsonl("{\"type\":\"profile\",\"n\":1,\"requests_per_sec\":-1.0}\n")
+            .unwrap_err();
+        assert!(err.contains("requests_per_sec"), "{err}");
+    }
+
+    #[test]
+    fn threshold_boundary_is_exclusive() {
+        // Regression means strictly below threshold × baseline: a cell
+        // measuring exactly the boundary passes. 700 = 0.7 × 1000 is
+        // exact in binary? 0.7 is not, so use a threshold with an exact
+        // representation (0.5) for the equality case and check 0.7's
+        // behaviour on both sides of the bar.
+        let measured = measured_from_jsonl(&run_jsonl(&[(128, 500.0)], false)).unwrap();
+        let baseline =
+            baseline_from_json("{\"cells\":[{\"n\":128,\"requests_per_sec\":1000.0}]}").unwrap();
+        let rows = diff(&measured, &baseline, 0.5);
+        assert_eq!(rows[0].ratio, 0.5);
+        assert!(
+            !rows[0].regressed,
+            "measured == threshold × baseline must pass"
+        );
+        // One ulp below the bar regresses; at the bar passes.
+        let rows = diff(&measured, &baseline, 0.5 + f64::EPSILON);
+        assert!(rows[0].regressed);
+    }
+
+    #[test]
+    fn suite_records_parse_and_diff_exactly() {
+        let measured = suite_from_json(
+            "{\"schema_version\":1,\"bench\":\"engine_suite\",\"cells\":[\
+             {\"section\":\"oracle\",\"key\":\"weak_flood_n1000\",\"throughput\":5000.0},\
+             {\"section\":\"corpus_load\",\"key\":\"heap_n10000\",\"throughput\":800.0},\
+             {\"section\":\"oracle\",\"key\":\"only_in_quick\",\"throughput\":1.0}]}",
+        )
+        .unwrap();
+        assert_eq!(measured.len(), 3);
+        let baseline = suite_from_json(
+            "{\"schema_version\":1,\"bench\":\"engine_suite\",\"cells\":[\
+             {\"section\":\"oracle\",\"key\":\"weak_flood_n1000\",\"throughput\":4000.0},\
+             {\"section\":\"corpus_load\",\"key\":\"heap_n10000\",\"throughput\":2000.0}]}",
+        )
+        .unwrap();
+        let (rows, skipped) = diff_suite(&measured, &baseline, 0.7, 1.0);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(skipped, vec!["oracle/only_in_quick".to_string()]);
+        assert!(!rows[0].regressed, "1.25× passes");
+        assert!(rows[1].regressed, "0.4× regresses");
+        // Scaling the baseline 2× fails the previously-passing cell
+        // (0.625 < 0.7) — the must-fail self-check CI relies on.
+        let (rows, _) = diff_suite(&measured, &baseline, 0.7, 2.0);
+        assert!(rows[0].regressed);
+        // Schema and value validation.
+        assert!(suite_from_json("{\"cells\":[]}").is_err());
+        assert!(suite_from_json("{\"schema_version\":2,\"cells\":[]}").is_err());
+        let err = suite_from_json(
+            "{\"schema_version\":1,\"cells\":[{\"section\":\"a\",\"key\":\"b\",\
+             \"throughput\":-1.0}]}",
+        )
+        .unwrap_err();
+        assert!(err.contains("throughput"), "{err}");
+    }
+
+    #[test]
+    fn suite_main_gates_end_to_end() {
+        let dir = std::env::temp_dir();
+        let unique = format!("{}_suite", std::process::id());
+        let suite_path = dir.join(format!("pd_suite_{unique}.json"));
+        std::fs::write(
+            &suite_path,
+            "{\"schema_version\":1,\"bench\":\"engine_suite\",\"cells\":[\
+             {\"section\":\"oracle\",\"key\":\"weak_flood_n1000\",\"throughput\":5000.0}]}",
+        )
+        .unwrap();
+        let s = |x: &str| x.to_string();
+        let p = s(suite_path.to_str().unwrap());
+        // Against itself: every ratio is 1.0 — passes.
+        assert_eq!(
+            main(&[p.clone(), s("--suite"), s("--baseline"), p.clone()]),
+            0
+        );
+        // Doubling the baseline via --scale must fail at default 0.7.
+        assert_eq!(
+            main(&[
+                p.clone(),
+                s("--suite"),
+                s("--baseline"),
+                p.clone(),
+                s("--scale"),
+                s("2.0"),
+            ]),
+            1
+        );
+        // --suite without --baseline is a usage error.
+        assert_eq!(main(&[p.clone(), s("--suite")]), 2);
+        std::fs::remove_file(&suite_path).ok();
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use crate::json::JsonValue;
 use crate::options::{CliOptions, OutputFormat};
-use nonsearch_obs::Metrics;
+use nonsearch_obs::{Metrics, PhaseTimes, ResourceSample};
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
@@ -24,6 +24,10 @@ pub const RUN_TYPE: &str = "run";
 pub const PROFILE_TYPE: &str = "profile";
 /// The JSONL `type` tag of per-cell engine-metrics records.
 pub const METRICS_TYPE: &str = "metrics";
+/// The JSONL `type` tag of per-cell resource records (phase timers,
+/// allocation counts, `/proc` samples). Wall-clock data: volatile by
+/// definition, JSONL-only, never part of determinism-gated lines.
+pub const RESOURCE_TYPE: &str = "resource";
 
 /// Sink for one experiment run's structured records.
 ///
@@ -42,6 +46,7 @@ pub struct RunWriter {
     cells: usize,
     profiles: usize,
     metrics: usize,
+    resources: usize,
     start: Instant,
 }
 
@@ -95,6 +100,7 @@ impl RunWriter {
             cells: 0,
             profiles: 0,
             metrics: 0,
+            resources: 0,
             start: Instant::now(),
         })
     }
@@ -174,6 +180,36 @@ impl RunWriter {
         Ok(())
     }
 
+    /// Writes one resource record: the identifying `fields` (model,
+    /// size, …) followed by [`resource_fields`]. Resource records carry
+    /// wall-clock phase timers and `/proc` samples — volatile by
+    /// definition — so like profiles they ride the JSONL stream only
+    /// and determinism `cmp` gates keep filtering on `"type":"cell"`.
+    pub fn record_resource(
+        &mut self,
+        fields: Vec<(&str, JsonValue)>,
+        wall_ms: u64,
+        workers: usize,
+        phases: &PhaseTimes,
+        allocations: u64,
+        sample: &ResourceSample,
+    ) -> io::Result<()> {
+        self.resources += 1;
+        if let Some((_, w)) = &mut self.jsonl {
+            let mut pairs: Vec<(String, JsonValue)> = Vec::with_capacity(fields.len() + 14);
+            pairs.push(("type".into(), JsonValue::from(RESOURCE_TYPE)));
+            pairs.push(("experiment".into(), JsonValue::Str(self.experiment.clone())));
+            pairs.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
+            pairs.extend(
+                resource_fields(wall_ms, workers, phases, allocations, sample)
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v)),
+            );
+            writeln!(w, "{}", JsonValue::Object(pairs))?;
+        }
+        Ok(())
+    }
+
     /// Writes the run footer (seed, quick, threads, git describe, wall
     /// time, cell count), flushes, and reports what was written.
     pub fn finish(mut self, seed: u64) -> io::Result<RunSummary> {
@@ -191,6 +227,7 @@ impl RunWriter {
                 ("cells", JsonValue::from(self.cells)),
                 ("profiles", JsonValue::from(self.profiles)),
                 ("metrics", JsonValue::from(self.metrics)),
+                ("resources", JsonValue::from(self.resources)),
             ]);
             writeln!(w, "{footer}")?;
             w.flush()?;
@@ -291,6 +328,43 @@ pub fn metrics_fields(metrics: &Metrics) -> Vec<(&'static str, JsonValue)> {
             ),
         ),
     ]
+}
+
+/// The canonical JSON field set of a resource record's payload, in a
+/// fixed order: cell wall time and worker count (the envelope the
+/// phase sums are bounded by — per-worker busy time can total up to
+/// `wall_ms × (workers + 1)`, the `+ 1` being the consumer thread that
+/// owns the merge phase), the five phase timers, the heap-allocation
+/// count harvested across trial bodies, and the `/proc` process
+/// sample. `xp validate` checks these bounds.
+pub fn resource_fields(
+    wall_ms: u64,
+    workers: usize,
+    phases: &PhaseTimes,
+    allocations: u64,
+    sample: &ResourceSample,
+) -> Vec<(&'static str, JsonValue)> {
+    let mut fields = vec![
+        ("wall_ms", JsonValue::from(wall_ms)),
+        ("workers", JsonValue::from(workers)),
+    ];
+    fields.extend(
+        phases
+            .named()
+            .into_iter()
+            .map(|(name, ns)| (name, JsonValue::from(ns))),
+    );
+    fields.extend([
+        ("allocations", JsonValue::from(allocations)),
+        ("peak_rss_bytes", JsonValue::from(sample.peak_rss_bytes)),
+        ("minor_faults", JsonValue::from(sample.minor_faults)),
+        ("major_faults", JsonValue::from(sample.major_faults)),
+        (
+            "voluntary_ctx_switches",
+            JsonValue::from(sample.voluntary_ctx_switches),
+        ),
+    ]);
+    fields
 }
 
 /// `git describe --always --dirty`, or `"unknown"` outside a work tree.
@@ -536,6 +610,80 @@ mod tests {
         let csv_path = path.with_extension("csv");
         let csv = std::fs::read_to_string(&csv_path).unwrap();
         assert_eq!(csv.lines().count(), 2);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&csv_path).ok();
+    }
+
+    #[test]
+    fn resource_records_are_jsonl_only_and_counted() {
+        let path = temp_path("resource.jsonl");
+        let options = CliOptions {
+            out: Some(path.clone()),
+            format: OutputFormat::Both,
+            ..CliOptions::default()
+        };
+        let mut w = RunWriter::create("demo", &options).unwrap();
+        w.record_cell(demo_fields(64)).unwrap();
+        let phases = PhaseTimes {
+            generate_ns: 1_000,
+            search_ns: 5_000,
+            harvest_ns: 100,
+            merge_ns: 50,
+            ..PhaseTimes::new()
+        };
+        let sample = ResourceSample {
+            peak_rss_bytes: 4096,
+            minor_faults: 10,
+            major_faults: 1,
+            voluntary_ctx_switches: 3,
+        };
+        w.record_resource(
+            vec![("n", JsonValue::from(64usize))],
+            12,
+            4,
+            &phases,
+            7,
+            &sample,
+        )
+        .unwrap();
+        w.finish(1).unwrap();
+
+        let jsonl = std::fs::read_to_string(&path).unwrap();
+        let line = jsonl
+            .lines()
+            .find(|l| l.contains("\"type\":\"resource\""))
+            .expect("resource record in JSONL");
+        let parsed = json::parse(line).unwrap();
+        assert_eq!(
+            parsed.get("type").and_then(|v| v.as_str()),
+            Some(RESOURCE_TYPE)
+        );
+        assert_eq!(parsed.get("n").and_then(|v| v.as_f64()), Some(64.0));
+        assert_eq!(parsed.get("wall_ms").and_then(|v| v.as_f64()), Some(12.0));
+        assert_eq!(parsed.get("workers").and_then(|v| v.as_f64()), Some(4.0));
+        assert_eq!(
+            parsed.get("phase_search_ns").and_then(|v| v.as_f64()),
+            Some(5000.0)
+        );
+        assert_eq!(
+            parsed.get("phase_load_ns").and_then(|v| v.as_f64()),
+            Some(0.0)
+        );
+        assert_eq!(
+            parsed.get("allocations").and_then(|v| v.as_f64()),
+            Some(7.0)
+        );
+        assert_eq!(
+            parsed.get("peak_rss_bytes").and_then(|v| v.as_f64()),
+            Some(4096.0)
+        );
+        let footer = json::parse(jsonl.lines().last().unwrap()).unwrap();
+        assert_eq!(footer.get("resources").and_then(|v| v.as_f64()), Some(1.0));
+        // No resource rows leak into the CSV sibling.
+        let csv_path = path.with_extension("csv");
+        let csv = std::fs::read_to_string(&csv_path).unwrap();
+        assert_eq!(csv.lines().count(), 2);
+        assert!(!csv.contains("resource"));
         std::fs::remove_file(&path).ok();
         std::fs::remove_file(&csv_path).ok();
     }

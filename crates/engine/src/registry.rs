@@ -10,9 +10,11 @@
 
 use crate::json;
 use crate::options::CliOptions;
-use crate::record::{RunSummary, RunWriter, CELL_TYPE, METRICS_TYPE, PROFILE_TYPE, RUN_TYPE};
+use crate::record::{
+    RunSummary, RunWriter, CELL_TYPE, METRICS_TYPE, PROFILE_TYPE, RESOURCE_TYPE, RUN_TYPE,
+};
 use nonsearch_analysis::Table;
-use nonsearch_obs::Tracer;
+use nonsearch_obs::{PhaseTimes, Tracer};
 use std::io;
 use std::io::Write;
 
@@ -173,6 +175,7 @@ impl Registry {
                 i32::from(!ok)
             }
             Some("profile-diff") => crate::profile_diff::main(&args[1..]),
+            Some("report") => crate::report::main(&args[1..]),
             Some(name) => {
                 let options = match CliOptions::from_args(args[1..].iter().cloned()) {
                     Ok(options) => options,
@@ -243,6 +246,7 @@ impl Registry {
              \x20 xp <experiment> [flags]      run one experiment\n\
              \x20 xp validate <file>...        check emitted JSONL run records (and .trace.json exports)\n\
              \x20 xp profile-diff <run.jsonl>  compare a run's profile records to a committed baseline\n\
+             \x20 xp report <run.jsonl>        render a run's records as a terminal summary\n\
              \n\
              shared flags:\n\
              \x20 --quick            reduced sweep (also NONSEARCH_QUICK=1;\n\
@@ -287,14 +291,17 @@ pub struct ValidateSummary {
     pub profiles: usize,
     /// `"type":"metrics"` engine-counter records.
     pub metrics: usize,
+    /// `"type":"resource"` phase-timer/process-sample records.
+    pub resources: usize,
 }
 
 impl std::fmt::Display for ValidateSummary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} cell records, {} run footers, {} profile records, {} metrics records — OK",
-            self.cells, self.runs, self.profiles, self.metrics
+            "{} cell records, {} run footers, {} profile records, {} metrics records, \
+             {} resource records — OK",
+            self.cells, self.runs, self.profiles, self.metrics, self.resources
         )
     }
 }
@@ -314,18 +321,38 @@ const METRICS_REQUIRED: [&str; 6] = [
     "scratch_resets",
 ];
 
+/// The numeric fields every `"type":"resource"` record must carry,
+/// each a finite non-negative number.
+const RESOURCE_REQUIRED: [&str; 12] = [
+    "wall_ms",
+    "workers",
+    "phase_generate_ns",
+    "phase_load_ns",
+    "phase_search_ns",
+    "phase_harvest_ns",
+    "phase_merge_ns",
+    "allocations",
+    "peak_rss_bytes",
+    "minor_faults",
+    "major_faults",
+    "voluntary_ctx_switches",
+];
+
 /// Checks that every non-empty line is a JSON object tagged `cell`,
-/// `run`, `profile`, or `metrics`; that profile records carry
-/// well-formed throughput fields; that metrics records carry finite
-/// non-negative counters and a `hist_requests_log2` histogram whose
-/// bucket counts sum to `trials`; and that at least one record is
-/// present.
+/// `run`, `profile`, `metrics`, or `resource`; that profile records
+/// carry well-formed throughput fields; that metrics records carry
+/// finite non-negative counters and a `hist_requests_log2` histogram
+/// whose bucket counts sum to `trials`; that resource records carry
+/// finite non-negative fields, phase sums within the per-worker wall
+/// envelope, and (on Linux, where `/proc` sampling always works) a
+/// positive peak RSS; and that at least one record is present.
 pub fn validate_jsonl(text: &str) -> Result<ValidateSummary, String> {
     let mut summary = ValidateSummary {
         cells: 0,
         runs: 0,
         profiles: 0,
         metrics: 0,
+        resources: 0,
     };
     for (lineno, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
@@ -412,6 +439,54 @@ pub fn validate_jsonl(text: &str) -> Result<ValidateSummary, String> {
                 }
                 summary.metrics += 1;
             }
+            Some(t) if t == RESOURCE_TYPE => {
+                let field = |key: &str| -> Result<f64, String> {
+                    match value.get(key).and_then(|v| v.as_f64()) {
+                        Some(x) if x.is_finite() && x >= 0.0 => Ok(x),
+                        Some(x) => Err(format!(
+                            "line {}: resource field {key:?} is not a finite non-negative \
+                             number (got {x})",
+                            lineno + 1
+                        )),
+                        None => Err(format!(
+                            "line {}: resource record is missing numeric field {key:?}",
+                            lineno + 1
+                        )),
+                    }
+                };
+                for key in RESOURCE_REQUIRED {
+                    field(key)?;
+                }
+                let wall_ms = field("wall_ms")?;
+                let workers = field("workers")?;
+                let phase_sum: f64 = PhaseTimes::new()
+                    .named()
+                    .iter()
+                    .map(|&(key, _)| field(key))
+                    .sum::<Result<f64, String>>()?;
+                // Per-worker busy time is bounded by the wall envelope:
+                // wall × (workers + 1), the +1 being the consumer thread
+                // that owns the merge phase. wall_ms is floored to whole
+                // milliseconds, so allow one extra ms of slack.
+                let envelope_ns = (wall_ms + 1.0) * 1e6 * (workers + 1.0);
+                if phase_sum > envelope_ns {
+                    return Err(format!(
+                        "line {}: phase times sum to {phase_sum} ns, exceeding the \
+                         wall envelope of {envelope_ns} ns ({} ms × {} threads)",
+                        lineno + 1,
+                        wall_ms + 1.0,
+                        workers + 1.0
+                    ));
+                }
+                if cfg!(target_os = "linux") && field("peak_rss_bytes")? == 0.0 {
+                    return Err(format!(
+                        "line {}: resource record claims zero peak RSS (the /proc \
+                         sampler always reports a positive VmHWM on Linux)",
+                        lineno + 1
+                    ));
+                }
+                summary.resources += 1;
+            }
             Some(t) => return Err(format!("line {}: unknown record type {t:?}", lineno + 1)),
             None => {
                 return Err(format!(
@@ -421,7 +496,7 @@ pub fn validate_jsonl(text: &str) -> Result<ValidateSummary, String> {
             }
         }
     }
-    if summary.cells + summary.runs + summary.profiles + summary.metrics == 0 {
+    if summary.cells + summary.runs + summary.profiles + summary.metrics + summary.resources == 0 {
         return Err("no records found".to_string());
     }
     Ok(summary)
@@ -554,7 +629,8 @@ mod tests {
                 cells: 2,
                 runs: 1,
                 profiles: 0,
-                metrics: 0
+                metrics: 0,
+                resources: 0
             }
         );
         let first = json::parse(text.lines().next().unwrap()).unwrap();
@@ -583,7 +659,8 @@ mod tests {
                 cells: 1,
                 runs: 1,
                 profiles: 0,
-                metrics: 0
+                metrics: 0,
+                resources: 0
             }
         );
     }
@@ -599,7 +676,8 @@ mod tests {
                 cells: 0,
                 runs: 0,
                 profiles: 1,
-                metrics: 0
+                metrics: 0,
+                resources: 0
             }
         );
         // A missing throughput field is an error, not a shrug.
@@ -625,7 +703,8 @@ mod tests {
                 cells: 0,
                 runs: 0,
                 profiles: 0,
-                metrics: 1
+                metrics: 1,
+                resources: 0
             }
         );
         // A missing counter is an error.
@@ -644,6 +723,50 @@ mod tests {
         let negative = good.replace("\"discoveries\":9", "\"discoveries\":-1");
         let err = validate_jsonl(&negative).unwrap_err();
         assert!(err.contains("discoveries"), "{err}");
+    }
+
+    #[test]
+    fn validate_checks_resource_fields_and_bounds() {
+        let good = "{\"type\":\"resource\",\"n\":128,\"wall_ms\":10,\"workers\":2,\
+                    \"phase_generate_ns\":2000000,\"phase_load_ns\":0,\
+                    \"phase_search_ns\":18000000,\"phase_harvest_ns\":500000,\
+                    \"phase_merge_ns\":1000000,\"allocations\":0,\
+                    \"peak_rss_bytes\":52428800,\"minor_faults\":120,\
+                    \"major_faults\":0,\"voluntary_ctx_switches\":4}\n";
+        let ok = validate_jsonl(good).unwrap();
+        assert_eq!(
+            ok,
+            ValidateSummary {
+                cells: 0,
+                runs: 0,
+                profiles: 0,
+                metrics: 0,
+                resources: 1
+            }
+        );
+        // A missing field is an error.
+        let missing = good.replace(",\"phase_merge_ns\":1000000", "");
+        let err = validate_jsonl(&missing).unwrap_err();
+        assert!(err.contains("phase_merge_ns"), "{err}");
+        // Non-finite and negative values are rejected.
+        let negative = good.replace("\"minor_faults\":120", "\"minor_faults\":-1");
+        let err = validate_jsonl(&negative).unwrap_err();
+        assert!(err.contains("minor_faults"), "{err}");
+        // Phase sums beyond the wall × (workers + 1) envelope are
+        // rejected: 10+1 ms × 3 threads = 33e6 ns, so 40e6 in one
+        // phase breaks the bound.
+        let runaway = good.replace(
+            "\"phase_search_ns\":18000000",
+            "\"phase_search_ns\":40000000",
+        );
+        let err = validate_jsonl(&runaway).unwrap_err();
+        assert!(err.contains("envelope"), "{err}");
+        // Zero RSS is impossible on Linux, where /proc always answers.
+        if cfg!(target_os = "linux") {
+            let no_rss = good.replace("\"peak_rss_bytes\":52428800", "\"peak_rss_bytes\":0");
+            let err = validate_jsonl(&no_rss).unwrap_err();
+            assert!(err.contains("RSS"), "{err}");
+        }
     }
 
     #[test]

@@ -19,10 +19,46 @@
 
 use nonsearch_analysis::StreamingStats;
 use nonsearch_generators::SeedSequence;
-use nonsearch_obs::Metrics;
+use nonsearch_obs::{elapsed_ns, Metrics, PhaseTimes};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Everything one trial reports back besides its lane measurements:
+/// work counters, phase timers, and heap-allocation counts — the
+/// payload of the observed runner seam ([`run_lanes_observed`]).
+///
+/// Like [`Metrics`] it is plain `Copy` data merged by field-wise
+/// addition in strict trial order. The `metrics` half is exact and
+/// deterministic; `phases` and `allocations` are wall-clock /
+/// environment data that vary run to run and must only ever ride
+/// volatile (`"type":"resource"`) record lines.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct TrialObs {
+    /// Deterministic work counters (merged bit-identically).
+    pub metrics: Metrics,
+    /// Nanosecond phase timers (volatile; per-worker busy time).
+    pub phases: PhaseTimes,
+    /// Heap allocations during trial bodies, harvested from the
+    /// per-thread `nonsearch_alloc_counter` — zero unless the binary
+    /// installs the counting allocator.
+    pub allocations: u64,
+}
+
+impl TrialObs {
+    /// An all-zero bundle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds every counter, phase, and allocation of `other` into `self`.
+    pub fn merge(&mut self, other: &TrialObs) {
+        self.metrics.merge(&other.metrics);
+        self.phases.merge(&other.phases);
+        self.allocations += other.allocations;
+    }
+}
 
 /// One trial's contribution to a lane: a scalar measurement plus a
 /// success flag.
@@ -185,9 +221,48 @@ where
     I: Fn() -> C + Sync,
     F: Fn(&mut C, &mut Metrics, usize, SeedSequence) -> Vec<TrialMeasure> + Sync,
 {
+    let (aggregates, obs) =
+        run_lanes_observed(trials, lanes, threads, seeds, init, |ctx, obs, trial, s| {
+            trial_fn(ctx, &mut obs.metrics, trial, s)
+        });
+    (aggregates, obs.metrics)
+}
+
+/// [`run_lanes_metered`] widened to the full [`TrialObs`] bundle —
+/// metrics plus phase timers plus allocation counts.
+///
+/// `trial_fn` receives a zeroed `TrialObs` per trial; instrumented
+/// call sites add phase nanoseconds to `obs.phases` with
+/// [`elapsed_ns`] readings around their generate/load/search/harvest
+/// sections, while the runner itself accounts for what trial bodies
+/// cannot see: it stamps `metrics.trials = 1`, harvests the worker
+/// thread's heap-allocation delta across the trial body into
+/// `obs.allocations`, and charges the consumer's reorder-buffer fold
+/// to `phases.merge_ns` on the merged bundle.
+///
+/// Determinism note: the deterministic half (`metrics`) is merged in
+/// strict trial order exactly as in [`run_lanes_metered`]; the timers
+/// ride alongside without being consulted by anything, so observing a
+/// run cannot perturb it.
+///
+/// # Panics
+///
+/// Same contract as [`run_lanes`].
+pub fn run_lanes_observed<C, I, F>(
+    trials: usize,
+    lanes: usize,
+    threads: usize,
+    seeds: &SeedSequence,
+    init: I,
+    trial_fn: F,
+) -> (Vec<LaneAggregate>, TrialObs)
+where
+    I: Fn() -> C + Sync,
+    F: Fn(&mut C, &mut TrialObs, usize, SeedSequence) -> Vec<TrialMeasure> + Sync,
+{
     let mut aggregates = vec![LaneAggregate::default(); lanes];
     if trials == 0 || lanes == 0 {
-        return (aggregates, Metrics::new());
+        return (aggregates, TrialObs::new());
     }
     let workers = resolve_workers(threads, trials);
 
@@ -223,8 +298,8 @@ where
     }
 
     let next_trial = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, Vec<TrialMeasure>, Metrics)>();
-    let (folded, metrics) = std::thread::scope(|scope| {
+    let (tx, rx) = mpsc::channel::<(usize, Vec<TrialMeasure>, TrialObs)>();
+    let (folded, observed) = std::thread::scope(|scope| {
         for _ in 0..workers {
             let tx = tx.clone();
             let next_trial = &next_trial;
@@ -260,11 +335,17 @@ where
                     // A fresh delta per trial: the consumer folds them in
                     // trial order, so per-worker accumulation never leaks
                     // into the merged bundle.
-                    let mut delta = Metrics::new();
+                    let mut delta = TrialObs::new();
+                    // The allocation delta is read from this worker
+                    // thread's own counter, so concurrent workers never
+                    // see each other's allocations.
+                    let allocs_before = nonsearch_alloc_counter::allocations();
                     let measures = trial_fn(&mut ctx, &mut delta, trial, trial_seeds(seeds, trial));
+                    delta.allocations +=
+                        nonsearch_alloc_counter::allocations().saturating_sub(allocs_before);
                     // Stamped here, not by trial_fn, so the bucket-sum ==
                     // trials invariant can't drift per experiment.
-                    delta.trials = 1;
+                    delta.metrics.trials = 1;
                     // The consumer only disconnects on panic; stop quietly.
                     if tx.send((trial, measures, delta)).is_err() {
                         break;
@@ -285,10 +366,15 @@ where
             armed: true,
         };
 
-        let mut pending: BTreeMap<usize, (Vec<TrialMeasure>, Metrics)> = BTreeMap::new();
-        let mut merged = Metrics::new();
+        let mut pending: BTreeMap<usize, (Vec<TrialMeasure>, TrialObs)> = BTreeMap::new();
+        let mut merged = TrialObs::new();
         let mut next_expected = 0usize;
         for (trial, measures, delta) in rx {
+            // The merge phase is the consumer thread's own busy time:
+            // everything from receiving a delta to advancing the fold
+            // frontier, charged to the merged bundle directly (workers
+            // never see it).
+            let merge_start = Instant::now();
             // Validated here (not in the worker) so the panic reaches the
             // caller with its message instead of scope's generic payload.
             assert_eq!(
@@ -311,13 +397,14 @@ where
                 frontier.lock().expect("frontier lock").0 = next_expected;
                 frontier_moved.notify_all();
             }
+            merged.phases.merge_ns += elapsed_ns(merge_start);
         }
         // Completeness is asserted after the scope joins the workers, so
         // a worker panic propagates as itself, not as a count mismatch.
         (next_expected, merged)
     });
     assert_eq!(folded, trials, "trial stream incomplete");
-    (aggregates, metrics)
+    (aggregates, observed)
 }
 
 /// Single-lane convenience wrapper around [`run_lanes`].
@@ -376,6 +463,28 @@ where
     (
         aggregates.into_iter().next().expect("one lane requested"),
         metrics,
+    )
+}
+
+/// Single-lane convenience wrapper around [`run_lanes_observed`].
+pub fn run_cell_observed<C, I, F>(
+    trials: usize,
+    threads: usize,
+    seeds: &SeedSequence,
+    init: I,
+    trial_fn: F,
+) -> (LaneAggregate, TrialObs)
+where
+    I: Fn() -> C + Sync,
+    F: Fn(&mut C, &mut TrialObs, usize, SeedSequence) -> TrialMeasure + Sync,
+{
+    let (aggregates, obs) =
+        run_lanes_observed(trials, 1, threads, seeds, init, |ctx, o, trial, seeds| {
+            vec![trial_fn(ctx, o, trial, seeds)]
+        });
+    (
+        aggregates.into_iter().next().expect("one lane requested"),
+        obs,
     )
 }
 
@@ -459,6 +568,14 @@ pub(crate) fn resolve_thread_setting(threads: usize) -> usize {
 
 fn resolve_workers(threads: usize, trials: usize) -> usize {
     resolve_thread_setting(threads).min(trials).max(1)
+}
+
+/// The worker count the [`run_lanes`] family resolves from a
+/// `--threads` setting (`0` = all cores) and a trial count — exposed so
+/// resource records can report how many workers actually ran a cell
+/// (the phase-sum validation envelope scales with it).
+pub fn resolved_workers(threads: usize, trials: usize) -> usize {
+    resolve_workers(threads, trials)
 }
 
 #[cfg(test)]
@@ -692,6 +809,78 @@ mod tests {
         );
         assert_eq!(metrics.trials, 10);
         assert_eq!(metrics.trial_requests.total(), metrics.trials);
+    }
+
+    #[test]
+    fn observed_runs_carry_phases_without_perturbing_metrics() {
+        // Phase timers ride alongside the deterministic bundle: the
+        // metrics half must stay bit-identical across thread counts
+        // even though the nanosecond sums differ run to run.
+        let seeds = SeedSequence::new(93);
+        let observed = |threads: usize| {
+            run_cell_observed(
+                64,
+                threads,
+                &seeds,
+                || (),
+                |(), obs, trial, s| {
+                    let t0 = Instant::now();
+                    let measure = synthetic(trial, s);
+                    obs.metrics.requests = measure.value as u64;
+                    obs.metrics.observe_trial_requests(obs.metrics.requests);
+                    obs.phases.search_ns += elapsed_ns(t0);
+                    measure
+                },
+            )
+        };
+        let (baseline_agg, baseline_obs) = observed(1);
+        assert_eq!(baseline_obs.metrics.trials, 64);
+        // The consumer charges its fold to merge_ns on every run.
+        assert!(baseline_obs.phases.merge_ns > 0);
+        for threads in [2, 4] {
+            let (agg, obs) = observed(threads);
+            assert_eq!(agg, baseline_agg, "threads={threads}");
+            assert_eq!(obs.metrics, baseline_obs.metrics, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn observed_allocation_counts_are_zero_without_the_allocator() {
+        // The test binary does not install CountingAllocator, so the
+        // harvested deltas must read as zero — the runner may call the
+        // counter unconditionally without lying.
+        let seeds = SeedSequence::new(94);
+        let (_, obs) = run_cell_observed(
+            16,
+            2,
+            &seeds,
+            || (),
+            |(), _obs, trial, s| {
+                // A real heap allocation (Box, not a stack array) that
+                // would count if the allocator were installed.
+                let _heap = Box::new([trial; 8]);
+                synthetic(trial, s)
+            },
+        );
+        assert_eq!(obs.allocations, 0);
+    }
+
+    #[test]
+    fn trial_obs_merge_is_fieldwise() {
+        let mut a = TrialObs::new();
+        a.metrics.requests = 5;
+        a.phases.search_ns = 100;
+        a.allocations = 2;
+        let mut b = TrialObs::new();
+        b.metrics.requests = 7;
+        b.phases.search_ns = 10;
+        b.phases.merge_ns = 1;
+        b.allocations = 3;
+        a.merge(&b);
+        assert_eq!(a.metrics.requests, 12);
+        assert_eq!(a.phases.search_ns, 110);
+        assert_eq!(a.phases.merge_ns, 1);
+        assert_eq!(a.allocations, 5);
     }
 
     #[test]

@@ -36,6 +36,14 @@ pub trait GraphSource: Sync {
     /// Human-readable description for banners and run records, e.g.
     /// `generate:mori(p=0.6,m=1)` or `corpus:/path/to/dir`.
     fn describe(&self) -> String;
+
+    /// Whether trial graphs come from persistent storage rather than a
+    /// generator. Phase timers use this to attribute graph-fetch time
+    /// to the `load` phase (corpus-backed) instead of `generate`;
+    /// nothing deterministic may depend on it. Defaults to `false`.
+    fn is_stored(&self) -> bool {
+        false
+    }
 }
 
 impl<S: GraphSource + ?Sized> GraphSource for &S {
@@ -45,6 +53,10 @@ impl<S: GraphSource + ?Sized> GraphSource for &S {
 
     fn describe(&self) -> String {
         (**self).describe()
+    }
+
+    fn is_stored(&self) -> bool {
+        (**self).is_stored()
     }
 }
 

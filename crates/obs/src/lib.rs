@@ -20,6 +20,13 @@
 //!   event buffer, which may allocate — tracing is opt-in per run and
 //!   sits outside the allocation-free guarantee, which covers the
 //!   metrics path only.
+//! * **Resources** — fixed-shape per-worker phase timers
+//!   ([`PhaseTimes`]) that decompose trial wall time like `Metrics`
+//!   decomposes trial work, a `/proc`-backed process sampler
+//!   ([`ResourceSample`]) for peak RSS / faults / context switches,
+//!   and text renderers ([`render_log2_histogram`],
+//!   [`prometheus_text`]) shared by `xp report` and the future
+//!   daemon's stats endpoint.
 //!
 //! This crate is a leaf on purpose: `nonsearch_engine`, `core`, and
 //! `bench` all depend on it, so it cannot depend on any of them (the
@@ -29,6 +36,14 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+mod phase;
+mod render;
+mod resource;
+
+pub use phase::{elapsed_ns, PhaseTimes};
+pub use render::{prometheus_text, render_log2_histogram};
+pub use resource::ResourceSample;
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -80,6 +95,16 @@ impl Log2Histogram {
     /// Records one sample.
     pub fn record(&mut self, value: u64) {
         self.buckets[Self::bucket_of(value)] += 1;
+    }
+
+    /// Adds `count` samples directly to bucket `index` — for rebuilding
+    /// a histogram from its serialized bucket array (`xp report`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= HISTOGRAM_BUCKETS`.
+    pub fn add_to_bucket(&mut self, index: usize, count: u64) {
+        self.buckets[index] += count;
     }
 
     /// Adds every bucket of `other` into `self`.

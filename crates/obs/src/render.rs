@@ -1,0 +1,172 @@
+//! Text renderers for the metrics substrate: an ASCII view of the
+//! log₂ request histogram for `xp report`, and a Prometheus-style
+//! text exposition of [`Metrics`] — the stats format the future
+//! `nonsearchd` daemon will serve from its `/metrics` endpoint, kept
+//! here so the CLI and the daemon render identical output.
+
+use crate::{Log2Histogram, Metrics};
+
+/// Renders the nonzero buckets of a log₂ histogram as right-aligned
+/// range labels with `#` bars scaled so the fullest bucket spans
+/// `width` columns. An empty histogram renders as a single
+/// `(no samples)` line. Bucket `0` is labeled `0`; bucket `k ≥ 1`
+/// is labeled `[2^(k-1), 2^k)`.
+pub fn render_log2_histogram(histogram: &Log2Histogram, width: usize) -> String {
+    let buckets = histogram.trimmed();
+    let max = buckets.iter().copied().max().unwrap_or(0);
+    if max == 0 {
+        return "  (no samples)\n".to_string();
+    }
+    let width = width.max(1) as u64;
+    let mut out = String::new();
+    for (k, &count) in buckets.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let label = if k == 0 {
+            "0".to_string()
+        } else {
+            format!("[{}, {})", 1u128 << (k - 1), 1u128 << k)
+        };
+        // Ceiling division so any nonzero bucket shows at least one mark.
+        let bar_len = ((count * width).div_ceil(max)) as usize;
+        out.push_str(&format!(
+            "  {label:>24} {count:>8} {}\n",
+            "#".repeat(bar_len)
+        ));
+    }
+    out
+}
+
+/// Serializes a [`Metrics`] bundle in the Prometheus text exposition
+/// format (version 0.0.4): one `counter` family per field and the
+/// trial-request histogram as cumulative `le`-labeled buckets.
+///
+/// The histogram's `_sum` is reported as `metrics.requests`: the
+/// engine records exactly one sample per trial whose value is that
+/// trial's request total, so the sample sum equals the global request
+/// counter by construction, and `_count` is the trial count. Bucket
+/// `k ≥ 1` covers `[2^(k-1), 2^k)`; with integer samples its inclusive
+/// upper bound is `2^k − 1`, which is the `le` value emitted.
+pub fn prometheus_text(metrics: &Metrics) -> String {
+    let mut out = String::new();
+    let counters: [(&str, &str, u64); 6] = [
+        (
+            "nonsearch_trials_total",
+            "Trials folded into this bundle.",
+            metrics.trials,
+        ),
+        (
+            "nonsearch_requests_total",
+            "Oracle requests served (weak + strong).",
+            metrics.requests,
+        ),
+        (
+            "nonsearch_discoveries_total",
+            "Vertices discovered across all searches.",
+            metrics.discoveries,
+        ),
+        (
+            "nonsearch_edge_resolutions_total",
+            "Edges whose second endpoint became known.",
+            metrics.edge_resolutions,
+        ),
+        (
+            "nonsearch_frontier_rescans_total",
+            "Resolved edges skipped by frontier cursor scans.",
+            metrics.frontier_rescans,
+        ),
+        (
+            "nonsearch_scratch_resets_total",
+            "Pooled scratch views reset for a fresh search.",
+            metrics.scratch_resets,
+        ),
+    ];
+    for (name, help, value) in counters {
+        out.push_str(&format!("# HELP {name} {help}\n"));
+        out.push_str(&format!("# TYPE {name} counter\n"));
+        out.push_str(&format!("{name} {value}\n"));
+    }
+    let name = "nonsearch_trial_requests";
+    out.push_str(&format!("# HELP {name} Per-trial oracle request totals.\n"));
+    out.push_str(&format!("# TYPE {name} histogram\n"));
+    let mut cumulative = 0u64;
+    for (k, &count) in metrics.trial_requests.trimmed().iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        cumulative += count;
+        let le = if k == 0 { 0u128 } else { (1u128 << k) - 1 };
+        out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+    }
+    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+    out.push_str(&format!("{name}_sum {}\n", metrics.requests));
+    out.push_str(&format!("{name}_count {}\n", metrics.trials));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_render_scales_to_width() {
+        let mut h = Log2Histogram::new();
+        for _ in 0..40 {
+            h.record(5); // bucket 3: [4, 8)
+        }
+        h.record(0);
+        h.record(1000); // bucket 10: [512, 1024)
+        let text = render_log2_histogram(&h, 20);
+        assert!(text.contains("[4, 8)"), "{text}");
+        assert!(text.contains("[512, 1024)"), "{text}");
+        assert!(text.contains(&"#".repeat(20)), "{text}");
+        // The singleton buckets still get a visible mark.
+        for line in text.lines() {
+            assert!(line.contains('#'), "bar-less line: {line}");
+        }
+        // Zero-count buckets between nonzero ones are skipped.
+        assert!(!text.contains("[8, 16)"), "{text}");
+    }
+
+    #[test]
+    fn empty_histogram_renders_placeholder() {
+        let text = render_log2_histogram(&Log2Histogram::new(), 40);
+        assert_eq!(text, "  (no samples)\n");
+    }
+
+    #[test]
+    fn prometheus_counters_and_histogram_agree() {
+        let mut m = Metrics {
+            trials: 3,
+            requests: 10 + 20 + 2,
+            discoveries: 7,
+            edge_resolutions: 5,
+            frontier_rescans: 1,
+            scratch_resets: 3,
+            ..Metrics::new()
+        };
+        m.observe_trial_requests(10);
+        m.observe_trial_requests(20);
+        m.observe_trial_requests(2);
+        let text = prometheus_text(&m);
+        assert!(text.contains("# TYPE nonsearch_trials_total counter"));
+        assert!(text.contains("nonsearch_trials_total 3\n"));
+        assert!(text.contains("nonsearch_requests_total 32\n"));
+        // 2 ∈ [2,4) → le=3; 10 ∈ [8,16) → le=15; 20 ∈ [16,32) → le=31.
+        assert!(text.contains("nonsearch_trial_requests_bucket{le=\"3\"} 1\n"));
+        assert!(text.contains("nonsearch_trial_requests_bucket{le=\"15\"} 2\n"));
+        assert!(text.contains("nonsearch_trial_requests_bucket{le=\"31\"} 3\n"));
+        assert!(text.contains("nonsearch_trial_requests_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("nonsearch_trial_requests_sum 32\n"));
+        assert!(text.contains("nonsearch_trial_requests_count 3\n"));
+    }
+
+    #[test]
+    fn prometheus_empty_bundle_is_well_formed() {
+        let text = prometheus_text(&Metrics::new());
+        assert!(text.contains("nonsearch_trials_total 0\n"));
+        assert!(text.contains("nonsearch_trial_requests_bucket{le=\"+Inf\"} 0\n"));
+        assert!(text.contains("nonsearch_trial_requests_count 0\n"));
+    }
+}

@@ -82,8 +82,13 @@ fn steady_state_trials_allocate_nothing_with_metrics_enabled() {
     // a full `Metrics` delta per trial — outcome counters, cumulative
     // view/frontier deltas, and a log2 histogram sample — is plain u64
     // arithmetic into a fixed-size struct, so the steady-state
-    // allocation count stays exactly zero with metrics enabled.
-    use nonsearch_obs::Metrics;
+    // allocation count stays exactly zero with metrics enabled. The
+    // same holds for the phase timers (`Instant` reads folded into a
+    // fixed-shape `PhaseTimes`) and for sampling the per-thread
+    // allocation counter itself — everything an observed engine worker
+    // does per trial.
+    use nonsearch_obs::{elapsed_ns, Metrics, PhaseTimes, ResourceSample};
+    use std::time::Instant;
 
     let n = 512;
     let graph = MergedMori::sample(n, 2, 0.5, &mut rng_from_seed(3))
@@ -93,6 +98,7 @@ fn steady_state_trials_allocate_nothing_with_metrics_enabled() {
 
     let mut scratch = SearchScratch::new();
     let mut metrics = Metrics::new();
+    let mut phases = PhaseTimes::default();
 
     for kind in [
         SearcherKind::BfsFlood,
@@ -117,7 +123,10 @@ fn steady_state_trials_allocate_nothing_with_metrics_enabled() {
         let resolutions_before = scratch.view().edge_resolutions();
         let resets_before = scratch.view().resets();
         let rescans_before = searcher.frontier_rescans();
+        let search_start = Instant::now();
         let steady = run_weak_in(&mut scratch, &graph, &task, &mut *searcher, &mut rng).unwrap();
+        let search_ns = elapsed_ns(search_start);
+        let harvest_start = Instant::now();
         delta.requests += steady.requests as u64;
         delta.discoveries += steady.discovered as u64;
         delta.frontier_rescans += searcher.frontier_rescans() - rescans_before;
@@ -126,6 +135,11 @@ fn steady_state_trials_allocate_nothing_with_metrics_enabled() {
         delta.observe_trial_requests(steady.requests as u64);
         delta.trials = 1;
         metrics.merge(&delta);
+        phases.search_ns += search_ns;
+        phases.harvest_ns += elapsed_ns(harvest_start);
+        // Reading the per-thread allocation counter mid-window is also
+        // free — the observed runner samples it once per trial.
+        let _mid_window_sample = allocations();
         let allocated = allocations() - before;
         assert_eq!(steady, warm, "{kind}: metrics harvest changed the outcome");
         assert_eq!(
@@ -140,6 +154,25 @@ fn steady_state_trials_allocate_nothing_with_metrics_enabled() {
     assert_eq!(metrics.trial_requests.total(), 7);
     assert!(metrics.requests > 0);
     assert!(metrics.discoveries > 0);
+
+    // Phase timers accumulated real time inside the zero-alloc windows,
+    // and the fixed-shape record shows exactly what ran: search and
+    // harvest only, never generate/load/merge (no engine in this test).
+    assert!(phases.search_ns > 0, "no search time recorded");
+    let named = phases.named();
+    assert_eq!(named.len(), 5);
+    assert_eq!(named[0].0, "phase_generate_ns");
+    assert_eq!(named[0].1, 0);
+    assert_eq!(named[1], ("phase_load_ns", 0));
+    assert_eq!(named[4], ("phase_merge_ns", 0));
+
+    // `ResourceSample::current()` reads /proc and *does* allocate — it
+    // belongs outside the trial windows, once per cell, which is where
+    // the engine calls it. Sanity-check it works from a test harness.
+    let sample = ResourceSample::current();
+    if cfg!(target_os = "linux") {
+        assert!(sample.peak_rss_bytes > 0, "peak RSS not sampled");
+    }
 }
 
 #[test]
