@@ -25,6 +25,7 @@
 
 #![warn(missing_docs)]
 
+// lint: allow(unsafe-confinement): this crate IS the blessed GlobalAlloc shim — a forbid(unsafe_code) here would contradict its one job
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 

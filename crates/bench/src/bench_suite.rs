@@ -99,6 +99,7 @@ fn oracle_section(quick: bool, cells: &mut Vec<Cell>) {
         // Warm the pooled scratch so the measured trials are steady
         // state (no growth allocations).
         let requests = weak_flood(&mut scratch, &mut cursors, &graph);
+        // lint: allow(clock-env): benchmark wall-clock measurement; throughput is the deliverable, not an aggregate
         let start = Instant::now();
         for _ in 0..reps {
             weak_flood(&mut scratch, &mut cursors, &graph);
@@ -139,6 +140,7 @@ fn corpus_section(quick: bool, cells: &mut Vec<Cell>) -> Result<(), String> {
 
     for (mode, key) in [(LoadMode::Heap, "heap"), (LoadMode::Mmap, "mmap")] {
         let mut total_loads = 0u64;
+        // lint: allow(clock-env): benchmark wall-clock measurement; throughput is the deliverable, not an aggregate
         let start = Instant::now();
         for _ in 0..rounds {
             // Reopen per round: `Corpus::load` caches per handle, so a

@@ -1,62 +1,9 @@
 //! E7 — Móri's maximum degree: the max degree of `G_t` grows like `t^p`
 //! (Móri 2005), the ingredient of Theorem 1's strong-model transfer.
-
-use nonsearch_analysis::{fit_log_log, SampleStats, Table};
-use nonsearch_bench::{banner, sweep, trials};
-use nonsearch_core::mori_max_degree_exponent;
-use nonsearch_generators::{MoriTree, SeedSequence};
+//!
+//! Thin wrapper over the registered `xp maxdeg` experiment; the
+//! implementation lives in `nonsearch_bench::experiments`.
 
 fn main() {
-    banner(
-        "E7 / max degree growth",
-        "max degree of the Móri tree grows like t^p — log-log slope ≈ p",
-    );
-
-    let sizes = sweep(&[1024, 4096, 16384, 65536, 262144]);
-    let trial_count = trials(8);
-    let seeds = SeedSequence::new(0xE7);
-
-    let mut table = Table::with_columns(&["p", "t", "mean max degree", "ci95", "fitted slope"]);
-    for (pi, &p) in [0.2f64, 0.5, 0.8].iter().enumerate() {
-        let mut xs = Vec::new();
-        let mut ys = Vec::new();
-        let mut rows = Vec::new();
-        for (si, &t) in sizes.iter().enumerate() {
-            let mut maxima = Vec::new();
-            for trial in 0..trial_count {
-                let mut rng = seeds
-                    .subsequence(pi as u64)
-                    .subsequence(si as u64)
-                    .child_rng(trial as u64);
-                let tree = MoriTree::sample(t, p, &mut rng).expect("valid size");
-                let graph = tree.undirected();
-                let (_, d) = graph.max_degree().expect("non-empty");
-                maxima.push(d as f64);
-            }
-            let stats = SampleStats::from_slice(&maxima).expect("trials ≥ 1");
-            xs.push(t as f64);
-            ys.push(stats.mean());
-            rows.push((t, stats.mean(), stats.ci95_half_width()));
-        }
-        let slope = fit_log_log(&xs, &ys).map(|f| f.slope);
-        for (i, (t, mean, ci)) in rows.into_iter().enumerate() {
-            let slope_cell = if i + 1 == xs.len() {
-                slope.map_or("-".into(), |s| {
-                    format!("{s:.3} (theory {:.1})", mori_max_degree_exponent(p))
-                })
-            } else {
-                String::new()
-            };
-            table.row(vec![
-                format!("{p:.1}"),
-                t.to_string(),
-                format!("{mean:.1}"),
-                format!("{ci:.1}"),
-                slope_cell,
-            ]);
-        }
-    }
-    println!("{table}");
-    println!("for p < 1/2 the max degree stays below √t — exactly the regime");
-    println!("where the strong-model lower bound Ω(n^(1/2−p−ε)) is non-trivial.");
+    nonsearch_bench::experiments::run_legacy("maxdeg");
 }

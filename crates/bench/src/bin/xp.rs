@@ -32,5 +32,8 @@ fn main() {
     if args.first().map(String::as_str) == Some("bench") {
         std::process::exit(nonsearch_bench::bench_suite::main(&args[1..]));
     }
+    if args.first().map(String::as_str) == Some("lint") {
+        std::process::exit(nonsearch_lint::cli::main(&args[1..]));
+    }
     std::process::exit(nonsearch_bench::experiments::registry().main(&args));
 }

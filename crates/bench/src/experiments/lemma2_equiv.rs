@@ -83,6 +83,7 @@ fn run(ctx: &mut ExpContext) {
         for &a in &[50usize, 200] {
             let _cell_span = tracer.span("size-cell");
             let w = EquivalenceWindow::from_anchor(a);
+            // lint: allow(clock-env): profile/phase wall-clock, reported in telemetry records, never aggregated
             let cell_start = std::time::Instant::now();
             let report = sampled_window_symmetry(&w, p, sample_trials, ctx.seed)
                 .expect("event has constant probability, some trials accept");

@@ -56,6 +56,7 @@ fn run(ctx: &mut ExpContext) {
             let exact =
                 mori_event_probability_exact(w.a(), w.b(), p).expect("valid window parameters");
             // Monte Carlo on the big anchors is costly; sample the small ones.
+            // lint: allow(clock-env): profile/phase wall-clock, reported in telemetry records, never aggregated
             let mc_start = std::time::Instant::now();
             let estimate = if a <= 1_000 {
                 Some(

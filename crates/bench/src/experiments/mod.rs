@@ -11,6 +11,7 @@ mod ablation;
 mod lemma1_bound;
 mod lemma2_equiv;
 mod lemma3_event;
+mod maxdeg;
 mod null_model;
 mod theorem1_strong;
 mod theorem1_weak;
@@ -29,6 +30,7 @@ pub fn registry() -> Registry {
         .register(lemma1_bound::SPEC)
         .register(lemma2_equiv::SPEC)
         .register(lemma3_event::SPEC)
+        .register(maxdeg::SPEC)
         .register(ablation::SPEC)
         .register(null_model::SPEC)
         .add_usage_note(
@@ -36,6 +38,9 @@ pub fn registry() -> Registry {
         )
         .add_usage_note(
             "bench [--quick]           — engine benchmark suite (writes BENCH_engine_suite.json)",
+        )
+        .add_usage_note(
+            "lint [--root DIR] [--out FILE] — invariant linter (xp lint --help for the rules)",
         );
     r
 }
@@ -106,9 +111,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_at_least_eight_experiments() {
+    fn registry_has_at_least_nine_experiments() {
         let r = registry();
-        assert!(r.specs().len() >= 8, "only {} registered", r.specs().len());
+        assert!(r.specs().len() >= 9, "only {} registered", r.specs().len());
         for name in [
             "theorem1-weak",
             "theorem1-strong",
@@ -116,6 +121,7 @@ mod tests {
             "lemma1-bound",
             "lemma2-equiv",
             "lemma3-event",
+            "maxdeg",
             "ablation",
             "null-model",
         ] {

@@ -82,6 +82,7 @@ fn run(ctx: &mut ExpContext) {
     for (size_idx, &n) in sizes.iter().enumerate() {
         let _cell_span = tracer.span("size-cell");
         let size_seeds = seeds.subsequence(size_idx as u64);
+        // lint: allow(clock-env): profile/phase wall-clock, reported in telemetry records, never aggregated
         let cell_start = std::time::Instant::now();
         let (lanes, obs) = run_lanes_observed(
             trial_count,
@@ -99,6 +100,7 @@ fn run(ctx: &mut ExpContext) {
                 )
             },
             |(scratch, searchers), obs, trial, trial_seeds| {
+                // lint: allow(clock-env): profile/phase wall-clock, reported in telemetry records, never aggregated
                 let fetch_start = std::time::Instant::now();
                 let original = original_source.trial_graph(n, trial, &trial_seeds);
                 let fetch_ns = elapsed_ns(fetch_start);
@@ -107,6 +109,7 @@ fn run(ctx: &mut ExpContext) {
                 } else {
                     obs.phases.generate_ns += fetch_ns;
                 }
+                // lint: allow(clock-env): profile/phase wall-clock, reported in telemetry records, never aggregated
                 let rewire_start = std::time::Instant::now();
                 let rewired = match &variant_source {
                     Some(source) => source.trial_graph(n, trial, &trial_seeds),
@@ -131,6 +134,7 @@ fn run(ctx: &mut ExpContext) {
                 let resets_before = scratch.view().resets();
                 let m = &mut obs.metrics;
                 let requests_before = m.requests;
+                // lint: allow(clock-env): profile/phase wall-clock, reported in telemetry records, never aggregated
                 let search_start = std::time::Instant::now();
                 let mut measures = Vec::with_capacity(VARIANTS.len() * SEARCHERS.len());
                 for (v_idx, graph) in [&original, &rewired].into_iter().enumerate() {
@@ -155,6 +159,7 @@ fn run(ctx: &mut ExpContext) {
                     }
                 }
                 let search_ns = elapsed_ns(search_start);
+                // lint: allow(clock-env): profile/phase wall-clock, reported in telemetry records, never aggregated
                 let harvest_start = std::time::Instant::now();
                 m.edge_resolutions += scratch.view().edge_resolutions() - resolutions_before;
                 m.scratch_resets += scratch.view().resets() - resets_before;

@@ -14,6 +14,8 @@
 //! for any thread count (and match the historical sequential loops'
 //! trial seeding).
 
+#![forbid(unsafe_code)]
+
 pub mod bench_suite;
 pub mod experiments;
 
@@ -187,6 +189,7 @@ pub fn strong_cell_from(
 ) -> CellStats {
     // Per-worker pool: scratch + searcher built once, reused (and reset)
     // across all of the worker's trials.
+    // lint: allow(clock-env): profile/phase wall-clock, reported in telemetry records, never aggregated
     let start = std::time::Instant::now();
     let (lane, obs) = run_cell_observed(
         trial_count,
@@ -194,6 +197,7 @@ pub fn strong_cell_from(
         seeds,
         || (SearchScratch::new(), kind.build()),
         |(scratch, searcher), obs, trial, cell_seeds| {
+            // lint: allow(clock-env): profile/phase wall-clock, reported in telemetry records, never aggregated
             let fetch_start = std::time::Instant::now();
             let graph = source.trial_graph(n, trial, &cell_seeds);
             let fetch_ns = elapsed_ns(fetch_start);
@@ -209,10 +213,12 @@ pub fn strong_cell_from(
             let resolutions_before = scratch.view().edge_resolutions();
             let resets_before = scratch.view().resets();
             let rescans_before = searcher.frontier_rescans();
+            // lint: allow(clock-env): profile/phase wall-clock, reported in telemetry records, never aggregated
             let search_start = std::time::Instant::now();
             let outcome = run_strong_in(scratch, &graph, &task, &mut **searcher, &mut search_rng)
                 .expect("suite searchers never violate the protocol");
             obs.phases.search_ns += elapsed_ns(search_start);
+            // lint: allow(clock-env): profile/phase wall-clock, reported in telemetry records, never aggregated
             let harvest_start = std::time::Instant::now();
             let m = &mut obs.metrics;
             m.requests += outcome.requests as u64;
@@ -312,6 +318,7 @@ pub fn weak_cell_with_policy_from(
     threads: usize,
     seeds: &SeedSequence,
 ) -> CellStats {
+    // lint: allow(clock-env): profile/phase wall-clock, reported in telemetry records, never aggregated
     let start = std::time::Instant::now();
     let (lane, obs) = run_cell_observed(
         trial_count,
@@ -319,6 +326,7 @@ pub fn weak_cell_with_policy_from(
         seeds,
         || (SearchScratch::new(), kind.build()),
         |(scratch, searcher), obs, trial, cell_seeds| {
+            // lint: allow(clock-env): profile/phase wall-clock, reported in telemetry records, never aggregated
             let fetch_start = std::time::Instant::now();
             let graph = source.trial_graph(n, trial, &cell_seeds);
             let fetch_ns = elapsed_ns(fetch_start);
@@ -336,10 +344,12 @@ pub fn weak_cell_with_policy_from(
             let resolutions_before = scratch.view().edge_resolutions();
             let resets_before = scratch.view().resets();
             let rescans_before = searcher.frontier_rescans();
+            // lint: allow(clock-env): profile/phase wall-clock, reported in telemetry records, never aggregated
             let search_start = std::time::Instant::now();
             let outcome = run_weak_in(scratch, &graph, &task, &mut **searcher, &mut search_rng)
                 .expect("suite searchers never violate the protocol");
             obs.phases.search_ns += elapsed_ns(search_start);
+            // lint: allow(clock-env): profile/phase wall-clock, reported in telemetry records, never aggregated
             let harvest_start = std::time::Instant::now();
             let m = &mut obs.metrics;
             m.requests += outcome.requests as u64;

@@ -240,6 +240,7 @@ pub fn certify_with_source(
     for (size_idx, &n) in config.sizes.iter().enumerate() {
         let size_seeds = seeds.subsequence(size_idx as u64);
         let _cell_span = config.tracer.span("size-cell");
+        // lint: allow(clock-env): profile/phase wall-clock, reported in telemetry records, never aggregated
         let cell_start = std::time::Instant::now();
         let (lanes, obs) = run_lanes_observed(
             config.trials,
@@ -349,6 +350,7 @@ fn run_one_trial(
     trial: usize,
     trial_seeds: &SeedSequence,
 ) -> Vec<TrialMeasure> {
+    // lint: allow(clock-env): profile/phase wall-clock, reported in telemetry records, never aggregated
     let fetch_start = std::time::Instant::now();
     let graph = source.trial_graph(n, trial, trial_seeds);
     let fetch_ns = elapsed_ns(fetch_start);
@@ -368,6 +370,7 @@ fn run_one_trial(
     let resets_before = scratch.view().resets();
     let m = &mut obs.metrics;
     let requests_before = m.requests;
+    // lint: allow(clock-env): profile/phase wall-clock, reported in telemetry records, never aggregated
     let search_start = std::time::Instant::now();
     // Collected eagerly: the view's cumulative counters are read *after*
     // every lane ran, so a lazily-evaluated map would under-count.
@@ -386,6 +389,7 @@ fn run_one_trial(
         })
         .collect();
     let search_ns = elapsed_ns(search_start);
+    // lint: allow(clock-env): profile/phase wall-clock, reported in telemetry records, never aggregated
     let harvest_start = std::time::Instant::now();
     m.edge_resolutions += scratch.view().edge_resolutions() - resolutions_before;
     m.scratch_resets += scratch.view().resets() - resets_before;

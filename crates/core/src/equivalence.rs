@@ -20,7 +20,7 @@ use crate::window::EquivalenceWindow;
 use crate::Permutation;
 use nonsearch_generators::{MoriTree, SeedSequence};
 use nonsearch_graph::NodeId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Result of the exact exchangeability check.
@@ -69,8 +69,10 @@ pub fn exact_window_exchangeability(
     let in_event = |fathers: &Vec<usize>| -> bool {
         ((window.a() + 1)..=window.b()).all(|k| fathers[k - 2] <= window.a())
     };
-    // Index outcomes satisfying the event.
-    let mut event_prob: HashMap<Vec<usize>, f64> = HashMap::new();
+    // Index outcomes satisfying the event. A BTreeMap (not HashMap)
+    // keeps the discrepancy fold below in sorted-key order, so the
+    // reported maximum is reproducible bit for bit across runs.
+    let mut event_prob: BTreeMap<Vec<usize>, f64> = BTreeMap::new();
     let mut event_mass = 0.0;
     for (fathers, prob) in dist.outcomes() {
         if in_event(fathers) {

@@ -93,6 +93,7 @@ pub struct BuildReport {
 /// Returns [`CorpusError`] for unparseable model specs, filesystem
 /// failures, or variant rewiring on non-simple graphs.
 pub fn build(dir: &Path, spec: &BuildSpec) -> Result<BuildReport, CorpusError> {
+    // lint: allow(clock-env): build wall-time for the report footer only; graph bytes derive from seeds alone
     let start = Instant::now();
     let model = parse_model(&spec.model_spec)?;
     let graphs_dir = dir.join(GRAPHS_DIR);

@@ -18,6 +18,7 @@ use crate::nsg;
 use nonsearch_engine::GraphSource;
 use nonsearch_generators::SeedSequence;
 use nonsearch_graph::{CsrBytes, UndirectedCsr};
+// lint: allow(determinism): keyed cache lookup only; the map is never iterated, so order cannot surface
 use std::collections::{BTreeMap, HashMap};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
@@ -50,6 +51,7 @@ struct Inner {
     /// Requested size → indices into `manifest.graphs`, trial order.
     by_n: BTreeMap<usize, Vec<usize>>,
     /// Relative file → load slot, filled on first access.
+    // lint: allow(determinism): keyed cache lookup only; the map is never iterated, so order cannot surface
     cache: Mutex<HashMap<String, CacheSlot>>,
 }
 
@@ -122,6 +124,7 @@ impl Corpus {
                 mode,
                 trust_checksums,
                 by_n,
+                // lint: allow(determinism): keyed cache lookup only; the map is never iterated, so order cannot surface
                 cache: Mutex::new(HashMap::new()),
             }),
         })

@@ -65,8 +65,8 @@ pub use nonsearch_obs::{
 };
 pub use options::{CliOptions, OptionsError, OutputFormat};
 pub use record::{
-    git_describe, metrics_fields, resource_fields, RunSummary, RunWriter, CELL_TYPE, METRICS_TYPE,
-    PROFILE_TYPE, RESOURCE_TYPE, RUN_TYPE,
+    git_describe, metrics_fields, resource_fields, RunSummary, RunWriter, CELL_TYPE,
+    DIAGNOSTIC_TYPE, LINT_TYPE, METRICS_TYPE, PROFILE_TYPE, RESOURCE_TYPE, RUN_TYPE,
 };
 pub use registry::{
     run_legacy, validate_chrome_trace, validate_jsonl, ExpContext, ExperimentSpec, Registry,

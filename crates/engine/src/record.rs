@@ -28,6 +28,12 @@ pub const METRICS_TYPE: &str = "metrics";
 /// allocation counts, `/proc` samples). Wall-clock data: volatile by
 /// definition, JSONL-only, never part of determinism-gated lines.
 pub const RESOURCE_TYPE: &str = "resource";
+/// The JSONL `type` tag of `xp lint` static-analysis findings (one per
+/// flagged source line, waived or not).
+pub const DIAGNOSTIC_TYPE: &str = "diagnostic";
+/// The JSONL `type` tag of the `xp lint` report footer (file and
+/// finding counts for the whole pass).
+pub const LINT_TYPE: &str = "lint";
 
 /// Sink for one experiment run's structured records.
 ///

@@ -11,7 +11,8 @@
 use crate::json;
 use crate::options::CliOptions;
 use crate::record::{
-    RunSummary, RunWriter, CELL_TYPE, METRICS_TYPE, PROFILE_TYPE, RESOURCE_TYPE, RUN_TYPE,
+    RunSummary, RunWriter, CELL_TYPE, DIAGNOSTIC_TYPE, LINT_TYPE, METRICS_TYPE, PROFILE_TYPE,
+    RESOURCE_TYPE, RUN_TYPE,
 };
 use nonsearch_analysis::Table;
 use nonsearch_obs::{PhaseTimes, Tracer};
@@ -281,7 +282,7 @@ impl Registry {
 }
 
 /// What [`validate_jsonl`] found in a well-formed record stream.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ValidateSummary {
     /// `"type":"cell"` records.
     pub cells: usize,
@@ -293,6 +294,10 @@ pub struct ValidateSummary {
     pub metrics: usize,
     /// `"type":"resource"` phase-timer/process-sample records.
     pub resources: usize,
+    /// `"type":"diagnostic"` `xp lint` findings.
+    pub diagnostics: usize,
+    /// `"type":"lint"` `xp lint` report footers.
+    pub lints: usize,
 }
 
 impl std::fmt::Display for ValidateSummary {
@@ -300,8 +305,14 @@ impl std::fmt::Display for ValidateSummary {
         write!(
             f,
             "{} cell records, {} run footers, {} profile records, {} metrics records, \
-             {} resource records — OK",
-            self.cells, self.runs, self.profiles, self.metrics, self.resources
+             {} resource records, {} diagnostic records, {} lint footers — OK",
+            self.cells,
+            self.runs,
+            self.profiles,
+            self.metrics,
+            self.resources,
+            self.diagnostics,
+            self.lints
         )
     }
 }
@@ -321,6 +332,14 @@ const METRICS_REQUIRED: [&str; 6] = [
     "scratch_resets",
 ];
 
+/// The string fields every `"type":"diagnostic"` record must carry,
+/// each non-empty.
+const DIAGNOSTIC_REQUIRED_STR: [&str; 3] = ["rule", "path", "message"];
+
+/// The numeric fields every `"type":"lint"` footer must carry, each a
+/// finite non-negative number.
+const LINT_REQUIRED: [&str; 4] = ["files", "diagnostics", "waived", "violations"];
+
 /// The numeric fields every `"type":"resource"` record must carry,
 /// each a finite non-negative number.
 const RESOURCE_REQUIRED: [&str; 12] = [
@@ -339,7 +358,8 @@ const RESOURCE_REQUIRED: [&str; 12] = [
 ];
 
 /// Checks that every non-empty line is a JSON object tagged `cell`,
-/// `run`, `profile`, `metrics`, or `resource`; that profile records
+/// `run`, `profile`, `metrics`, `resource`, `diagnostic`, or `lint`
+/// (the last two are `xp lint` reports); that profile records
 /// carry well-formed throughput fields; that metrics records carry
 /// finite non-negative counters and a `hist_requests_log2` histogram
 /// whose bucket counts sum to `trials`; that resource records carry
@@ -347,13 +367,7 @@ const RESOURCE_REQUIRED: [&str; 12] = [
 /// envelope, and (on Linux, where `/proc` sampling always works) a
 /// positive peak RSS; and that at least one record is present.
 pub fn validate_jsonl(text: &str) -> Result<ValidateSummary, String> {
-    let mut summary = ValidateSummary {
-        cells: 0,
-        runs: 0,
-        profiles: 0,
-        metrics: 0,
-        resources: 0,
-    };
+    let mut summary = ValidateSummary::default();
     for (lineno, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -487,6 +501,52 @@ pub fn validate_jsonl(text: &str) -> Result<ValidateSummary, String> {
                 }
                 summary.resources += 1;
             }
+            Some(t) if t == DIAGNOSTIC_TYPE => {
+                for key in DIAGNOSTIC_REQUIRED_STR {
+                    match value.get(key).and_then(|v| v.as_str()) {
+                        Some(s) if !s.is_empty() => {}
+                        _ => {
+                            return Err(format!(
+                                "line {}: diagnostic record is missing non-empty string \
+                                 field {key:?}",
+                                lineno + 1
+                            ))
+                        }
+                    }
+                }
+                match value.get("line").and_then(|v| v.as_f64()) {
+                    Some(x) if x.is_finite() && x >= 0.0 => {}
+                    _ => {
+                        return Err(format!(
+                            "line {}: diagnostic record is missing a finite non-negative \
+                             \"line\" field",
+                            lineno + 1
+                        ))
+                    }
+                }
+                if value.get("waived").and_then(|v| v.as_bool()).is_none() {
+                    return Err(format!(
+                        "line {}: diagnostic record is missing boolean field \"waived\"",
+                        lineno + 1
+                    ));
+                }
+                summary.diagnostics += 1;
+            }
+            Some(t) if t == LINT_TYPE => {
+                for key in LINT_REQUIRED {
+                    match value.get(key).and_then(|v| v.as_f64()) {
+                        Some(x) if x.is_finite() && x >= 0.0 => {}
+                        _ => {
+                            return Err(format!(
+                                "line {}: lint footer is missing a finite non-negative \
+                                 field {key:?}",
+                                lineno + 1
+                            ))
+                        }
+                    }
+                }
+                summary.lints += 1;
+            }
             Some(t) => return Err(format!("line {}: unknown record type {t:?}", lineno + 1)),
             None => {
                 return Err(format!(
@@ -496,7 +556,14 @@ pub fn validate_jsonl(text: &str) -> Result<ValidateSummary, String> {
             }
         }
     }
-    if summary.cells + summary.runs + summary.profiles + summary.metrics + summary.resources == 0 {
+    let total = summary.cells
+        + summary.runs
+        + summary.profiles
+        + summary.metrics
+        + summary.resources
+        + summary.diagnostics
+        + summary.lints;
+    if total == 0 {
         return Err("no records found".to_string());
     }
     Ok(summary)
@@ -628,9 +695,7 @@ mod tests {
             ValidateSummary {
                 cells: 2,
                 runs: 1,
-                profiles: 0,
-                metrics: 0,
-                resources: 0
+                ..Default::default()
             }
         );
         let first = json::parse(text.lines().next().unwrap()).unwrap();
@@ -658,9 +723,7 @@ mod tests {
             ValidateSummary {
                 cells: 1,
                 runs: 1,
-                profiles: 0,
-                metrics: 0,
-                resources: 0
+                ..Default::default()
             }
         );
     }
@@ -673,11 +736,8 @@ mod tests {
         assert_eq!(
             ok,
             ValidateSummary {
-                cells: 0,
-                runs: 0,
                 profiles: 1,
-                metrics: 0,
-                resources: 0
+                ..Default::default()
             }
         );
         // A missing throughput field is an error, not a shrug.
@@ -700,11 +760,8 @@ mod tests {
         assert_eq!(
             ok,
             ValidateSummary {
-                cells: 0,
-                runs: 0,
-                profiles: 0,
                 metrics: 1,
-                resources: 0
+                ..Default::default()
             }
         );
         // A missing counter is an error.
@@ -737,11 +794,8 @@ mod tests {
         assert_eq!(
             ok,
             ValidateSummary {
-                cells: 0,
-                runs: 0,
-                profiles: 0,
-                metrics: 0,
-                resources: 1
+                resources: 1,
+                ..Default::default()
             }
         );
         // A missing field is an error.
@@ -767,6 +821,57 @@ mod tests {
             let err = validate_jsonl(&no_rss).unwrap_err();
             assert!(err.contains("RSS"), "{err}");
         }
+    }
+
+    #[test]
+    fn validate_checks_diagnostic_fields() {
+        let good = "{\"type\":\"diagnostic\",\"rule\":\"clock-env\",\
+                    \"path\":\"crates/bench/src/lib.rs\",\"line\":190,\
+                    \"message\":\"Instant::now outside the obs seam\",\
+                    \"waived\":true}\n";
+        let ok = validate_jsonl(good).unwrap();
+        assert_eq!(
+            ok,
+            ValidateSummary {
+                diagnostics: 1,
+                ..Default::default()
+            }
+        );
+        // Every identifying string must be present and non-empty.
+        let missing = good.replace(",\"path\":\"crates/bench/src/lib.rs\"", "");
+        let err = validate_jsonl(&missing).unwrap_err();
+        assert!(err.contains("path"), "{err}");
+        let empty = good.replace("\"rule\":\"clock-env\"", "\"rule\":\"\"");
+        let err = validate_jsonl(&empty).unwrap_err();
+        assert!(err.contains("rule"), "{err}");
+        // The line number must be a finite non-negative number.
+        let bad_line = good.replace("\"line\":190", "\"line\":-3");
+        let err = validate_jsonl(&bad_line).unwrap_err();
+        assert!(err.contains("line"), "{err}");
+        // Waived must be a boolean, not a reason string.
+        let bad_waived = good.replace("\"waived\":true", "\"waived\":\"yes\"");
+        let err = validate_jsonl(&bad_waived).unwrap_err();
+        assert!(err.contains("waived"), "{err}");
+    }
+
+    #[test]
+    fn validate_checks_lint_footer_fields() {
+        let good = "{\"type\":\"lint\",\"files\":42,\"diagnostics\":3,\
+                    \"waived\":3,\"violations\":0}\n";
+        let ok = validate_jsonl(good).unwrap();
+        assert_eq!(
+            ok,
+            ValidateSummary {
+                lints: 1,
+                ..Default::default()
+            }
+        );
+        let missing = good.replace(",\"violations\":0", "");
+        let err = validate_jsonl(&missing).unwrap_err();
+        assert!(err.contains("violations"), "{err}");
+        let negative = good.replace("\"diagnostics\":3", "\"diagnostics\":-1");
+        let err = validate_jsonl(&negative).unwrap_err();
+        assert!(err.contains("diagnostics"), "{err}");
     }
 
     #[test]

@@ -374,6 +374,7 @@ where
             // everything from receiving a delta to advancing the fold
             // frontier, charged to the merged bundle directly (workers
             // never see it).
+            // lint: allow(clock-env): merge-phase timer feeds resource telemetry, never the trial aggregates
             let merge_start = Instant::now();
             // Validated here (not in the worker) so the panic reaches the
             // caller with its message instead of scope's generic payload.

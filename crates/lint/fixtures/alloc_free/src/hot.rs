@@ -1,0 +1,7 @@
+//! Deliberate violation: allocation inside an alloc-free function.
+
+// lint: alloc-free
+pub fn reset(buf: &mut Vec<u8>) {
+    let spill = Vec::new();
+    *buf = spill;
+}

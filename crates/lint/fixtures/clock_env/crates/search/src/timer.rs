@@ -1,0 +1,5 @@
+//! Deliberate violation: wall clock outside the obs seam.
+
+pub fn stamp() -> u128 {
+    std::time::Instant::now().elapsed().as_nanos()
+}

@@ -1,0 +1,11 @@
+//! Deliberate violation: hash-ordered collection in aggregate code.
+
+use std::collections::HashMap;
+
+pub fn tally(xs: &[u32]) -> f64 {
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    counts.values().map(|&c| c as f64).sum()
+}

@@ -1,0 +1,14 @@
+//! Deliberate violation: epoch-wrap logic outside stamped.rs.
+
+pub struct Cursor {
+    epoch: u32,
+}
+
+impl Cursor {
+    pub fn reset(&mut self) {
+        if self.epoch == u32::MAX {
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+}

@@ -1,0 +1,4 @@
+//! Deliberate violation: a record tag with no validate arm.
+
+pub const CELL_TYPE: &str = "cell";
+pub const ROGUE_TYPE: &str = "rogue";

@@ -1,0 +1,7 @@
+//! Validator that dispatches on CELL_TYPE only.
+
+use super::record::{CELL_TYPE, ROGUE_TYPE};
+
+pub fn validate(tag: &str) -> bool {
+    tag == CELL_TYPE
+}

@@ -1,0 +1,5 @@
+//! Deliberate violation: unsafe outside the blessed modules.
+
+pub fn peek(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,417 @@
+//! A comment- and string-literal-aware Rust line scanner.
+//!
+//! The rules in [`crate::rules`] must never fire on the *word*
+//! `HashMap` inside a doc comment or on `"u32::MAX"` inside a string
+//! literal — only on actual code. This module does the minimum lexing
+//! needed to make that distinction without `syn` or any proc-macro
+//! machinery: a character-level state machine that classifies every
+//! character of a source file as code, comment, or literal, and
+//! produces per-line views:
+//!
+//! * [`ScannedLine::code`] — the source line with comments, string
+//!   literals, and char literals masked to spaces (one space per
+//!   masked character, so tokens never fuse across a removed literal);
+//! * [`ScannedLine::comment`] — the concatenated comment text of the
+//!   line (where `// lint: allow(...)` waivers live);
+//! * [`ScannedLine::strings`] — the contents of string literals that
+//!   appear on the line (the record-schema rule needs the `"cell"` tag
+//!   values);
+//! * [`ScannedLine::in_test`] — whether the line sits inside a
+//!   `#[cfg(test)]` region (brace-matched on the masked code).
+//!
+//! The lexer understands line comments, nested block comments, string
+//! literals with escapes, raw strings (`r#"…"#` with any hash depth,
+//! plus `b`/`br` prefixes), char literals (including escapes), and
+//! tells lifetimes (`'a`) apart from char literals (`'a'`).
+
+/// One source line, split into its code / comment / literal parts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScannedLine {
+    /// The line's code with every non-code character masked to a space.
+    pub code: String,
+    /// The concatenated comment text appearing on the line.
+    pub comment: String,
+    /// Contents of string literals appearing on the line (a literal
+    /// spanning lines contributes its text to each line it touches).
+    pub strings: Vec<String>,
+    /// `true` when the line is inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+/// A whole scanned file: one [`ScannedLine`] per source line.
+#[derive(Debug, Clone, Default)]
+pub struct ScannedFile {
+    /// The file's lines, in order (index 0 is line 1).
+    pub lines: Vec<ScannedLine>,
+}
+
+enum Mode {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    CharLit { escaped: bool },
+}
+
+/// Lexes `source` into per-line code/comment/literal views.
+///
+/// Total: never panics on any input (malformed or truncated literals
+/// simply run to end of file), which the proptests in this crate lean
+/// on.
+pub fn scan(source: &str) -> ScannedFile {
+    let chars: Vec<char> = source.chars().collect();
+    let mut lines: Vec<ScannedLine> = Vec::new();
+    let mut line = ScannedLine::default();
+    let mut cur_str = String::new();
+    let mut mode = Mode::Code;
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            // A literal spanning the newline contributes what it has so
+            // far to this line and keeps accumulating on the next.
+            if matches!(mode, Mode::Str | Mode::RawStr(_)) && !cur_str.is_empty() {
+                line.strings.push(std::mem::take(&mut cur_str));
+            }
+            if matches!(mode, Mode::LineComment) {
+                mode = Mode::Code;
+            }
+            lines.push(std::mem::take(&mut line));
+            i += 1;
+            continue;
+        }
+        match mode {
+            Mode::Code => {
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    line.code.push_str("  ");
+                    mode = Mode::LineComment;
+                    i += 2;
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    line.code.push_str("  ");
+                    mode = Mode::BlockComment(1);
+                    i += 2;
+                } else if let Some((hashes, opener)) = raw_string_start(&chars, i) {
+                    // r"…", r#"…"#, br#"…"# — mask the whole opener.
+                    for _ in 0..opener {
+                        line.code.push(' ');
+                    }
+                    mode = Mode::RawStr(hashes);
+                    i += opener;
+                } else if c == '"' {
+                    line.code.push(' ');
+                    mode = Mode::Str;
+                    i += 1;
+                } else if c == '\'' {
+                    if chars.get(i + 1) == Some(&'\\') {
+                        line.code.push(' ');
+                        mode = Mode::CharLit { escaped: false };
+                        i += 1;
+                    } else if chars.get(i + 2) == Some(&'\'')
+                        && !matches!(chars.get(i + 1), Some(&'\'') | Some(&'\n'))
+                    {
+                        // 'x' — a plain one-character literal.
+                        line.code.push_str("   ");
+                        i += 3;
+                    } else {
+                        // A lifetime or loop label: genuine code.
+                        line.code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    line.code.push(c);
+                    i += 1;
+                }
+            }
+            Mode::LineComment => {
+                line.comment.push(c);
+                i += 1;
+            }
+            Mode::BlockComment(depth) => {
+                if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    mode = Mode::BlockComment(depth + 1);
+                    i += 2;
+                } else if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    mode = if depth == 1 {
+                        Mode::Code
+                    } else {
+                        Mode::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else {
+                    line.comment.push(c);
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if c == '\\' {
+                    // Only the backslash is consumed when the escape
+                    // continues the line (`\<newline>`): the newline
+                    // must still break the line on the next iteration.
+                    match chars.get(i + 1) {
+                        Some(&next) if next != '\n' => {
+                            cur_str.push(next);
+                            i += 2;
+                        }
+                        _ => i += 1,
+                    }
+                    line.code.push(' ');
+                } else if c == '"' {
+                    line.code.push(' ');
+                    line.strings.push(std::mem::take(&mut cur_str));
+                    mode = Mode::Code;
+                    i += 1;
+                } else {
+                    cur_str.push(c);
+                    line.code.push(' ');
+                    i += 1;
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if c == '"' && closes_raw_string(&chars, i, hashes) {
+                    let closer = 1 + hashes as usize;
+                    for _ in 0..closer {
+                        line.code.push(' ');
+                    }
+                    line.strings.push(std::mem::take(&mut cur_str));
+                    mode = Mode::Code;
+                    i += closer;
+                } else {
+                    cur_str.push(c);
+                    line.code.push(' ');
+                    i += 1;
+                }
+            }
+            Mode::CharLit { escaped } => {
+                line.code.push(' ');
+                if escaped {
+                    mode = Mode::CharLit { escaped: false };
+                } else if c == '\\' {
+                    mode = Mode::CharLit { escaped: true };
+                } else if c == '\'' {
+                    mode = Mode::Code;
+                }
+                i += 1;
+            }
+        }
+    }
+    if matches!(mode, Mode::Str | Mode::RawStr(_)) && !cur_str.is_empty() {
+        line.strings.push(cur_str);
+    }
+    if !line.code.is_empty() || !line.comment.is_empty() || !line.strings.is_empty() {
+        lines.push(line);
+    }
+    let mut file = ScannedFile { lines };
+    mark_test_regions(&mut file);
+    file
+}
+
+/// Does a raw string literal (`r"`, `r#"`, `br##"` …) start at `i`?
+/// Returns the hash depth and total opener length when it does.
+fn raw_string_start(chars: &[char], start: usize) -> Option<(u32, usize)> {
+    if start > 0 && is_ident_char(chars[start - 1]) {
+        return None; // part of an identifier like `var` or `br_x`
+    }
+    let mut i = start;
+    if chars.get(i) == Some(&'b') && chars.get(i + 1) == Some(&'r') {
+        i += 1; // allow the byte-string prefix, then fall through to `r`
+    }
+    if chars.get(i) != Some(&'r') {
+        return None;
+    }
+    let mut hashes = 0u32;
+    let mut j = i + 1;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (chars.get(j) == Some(&'"')).then_some((hashes, j + 1 - start))
+}
+
+/// Does the `"` at `i` close a raw string of the given hash depth?
+fn closes_raw_string(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Marks lines inside `#[cfg(test)]` regions by brace-matching the
+/// masked code from each attribute to the end of the item it covers.
+fn mark_test_regions(file: &mut ScannedFile) {
+    let mut i = 0;
+    while i < file.lines.len() {
+        if !file.lines[i].code.contains("cfg(test)") {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let mut depth = 0i64;
+        let mut opened = false;
+        let mut end = file.lines.len() - 1;
+        'outer: for (j, line) in file.lines.iter().enumerate().skip(start) {
+            for c in line.code.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+                if opened && depth <= 0 {
+                    end = j;
+                    break 'outer;
+                }
+            }
+        }
+        for line in &mut file.lines[start..=end] {
+            line.in_test = true;
+        }
+        i = end + 1;
+    }
+}
+
+/// Does `code` contain `token` as a standalone token — i.e. not glued
+/// to identifier characters on either side? (`unsafe` matches
+/// `unsafe {` but not `unsafe_code`; `to_string` matches
+/// `.to_string()` but not `into_string`.)
+pub fn has_token(code: &str, token: &str) -> bool {
+    find_token(code, token).is_some()
+}
+
+/// Byte offset of the first standalone occurrence of `token` in `code`.
+pub fn find_token(code: &str, token: &str) -> Option<usize> {
+    let hay = code.as_bytes();
+    let needle = token.as_bytes();
+    if needle.is_empty() || hay.len() < needle.len() {
+        return None;
+    }
+    let ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    for start in 0..=(hay.len() - needle.len()) {
+        if &hay[start..start + needle.len()] != needle {
+            continue;
+        }
+        if start > 0 && ident(hay[start - 1]) {
+            continue;
+        }
+        let end = start + needle.len();
+        if end < hay.len() && ident(hay[end]) {
+            continue;
+        }
+        return Some(start);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_line_comments_but_keeps_their_text() {
+        let file = scan("let x = 1; // HashMap here\n");
+        assert_eq!(file.lines.len(), 1);
+        assert!(!file.lines[0].code.contains("HashMap"));
+        assert!(file.lines[0].comment.contains("HashMap"));
+        assert!(file.lines[0].code.contains("let x = 1;"));
+    }
+
+    #[test]
+    fn masks_string_literals_and_captures_them() {
+        let file = scan("let tag = \"u32::MAX\";\n");
+        assert!(!file.lines[0].code.contains("u32::MAX"));
+        assert_eq!(file.lines[0].strings, vec!["u32::MAX".to_string()]);
+        // Masking is space-for-space: tokens must not fuse.
+        let fused = scan("foo\"bar\"baz\n");
+        assert!(fused.lines[0].code.contains("foo"));
+        assert!(fused.lines[0].code.contains("baz"));
+        assert!(!fused.lines[0].code.contains("foobaz"));
+    }
+
+    #[test]
+    fn handles_escapes_inside_strings() {
+        let file = scan(r#"let s = "a\"b\\c";"#);
+        assert_eq!(file.lines[0].strings, vec!["a\"b\\c".to_string()]);
+        assert!(file.lines[0].code.ends_with(';'));
+    }
+
+    #[test]
+    fn handles_raw_strings_with_hashes() {
+        let file = scan("let s = r#\"quote \" inside\"#; let t = 1;\n");
+        assert_eq!(file.lines[0].strings, vec!["quote \" inside".to_string()]);
+        assert!(file.lines[0].code.contains("let t = 1;"));
+        let byte = scan("let b = br##\"x\"# y\"##;\n");
+        assert_eq!(byte.lines[0].strings, vec!["x\"# y".to_string()]);
+    }
+
+    #[test]
+    fn raw_string_prefix_requires_a_token_boundary() {
+        // `var"` is not a raw string start; the identifier keeps lexing.
+        let file = scan("let var\"x\" = 1;\n");
+        assert!(file.lines[0].code.contains("let var"));
+        assert_eq!(file.lines[0].strings, vec!["x".to_string()]);
+    }
+
+    #[test]
+    fn handles_nested_block_comments() {
+        let file = scan("a /* one /* two */ still comment */ b\n");
+        assert!(file.lines[0].code.contains('a'));
+        assert!(file.lines[0].code.contains('b'));
+        assert!(!file.lines[0].code.contains("still"));
+        assert!(file.lines[0].comment.contains("still comment"));
+    }
+
+    #[test]
+    fn multiline_block_comments_and_strings_span_lines() {
+        let file = scan("before /* x\ny */ after\nlet s = \"l1\nl2\";\n");
+        assert!(file.lines[0].code.contains("before"));
+        assert!(file.lines[1].code.contains("after"));
+        assert!(!file.lines[1].code.contains('y'));
+        assert_eq!(file.lines[2].strings, vec!["l1".to_string()]);
+        assert_eq!(file.lines[3].strings, vec!["l2".to_string()]);
+    }
+
+    #[test]
+    fn char_literals_are_masked_but_lifetimes_survive() {
+        let file = scan("let c = '\"'; let e = '\\n'; fn f<'a>(x: &'a str) {}\n");
+        let code = &file.lines[0].code;
+        assert!(code.contains("fn f<'a>(x: &'a str)"), "{code:?}");
+        assert_eq!(file.lines[0].strings, Vec::<String>::new());
+    }
+
+    #[test]
+    fn cfg_test_regions_are_brace_matched() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let file = scan(src);
+        assert!(!file.lines[0].in_test);
+        assert!(file.lines[1].in_test);
+        assert!(file.lines[2].in_test);
+        assert!(file.lines[3].in_test);
+        assert!(file.lines[4].in_test);
+        assert!(!file.lines[5].in_test);
+    }
+
+    #[test]
+    fn token_boundaries() {
+        assert!(has_token("unsafe {", "unsafe"));
+        assert!(!has_token("deny(unsafe_code)", "unsafe"));
+        assert!(has_token(".to_string()", "to_string"));
+        assert!(!has_token("into_string()", "to_string"));
+        assert!(has_token("vec![0; n]", "vec!"));
+        assert!(has_token("if self.epoch == u32::MAX {", "u32::MAX"));
+        assert!(has_token("env::var_os(\"HOME\")", "env::var_os"));
+        assert!(!has_token("env::var_os(x)", "env::var"));
+        assert!(!has_token("", "x"));
+    }
+
+    #[test]
+    fn truncated_literals_do_not_panic() {
+        scan("let s = \"unterminated");
+        scan("let s = r#\"unterminated");
+        scan("let c = '\\");
+        scan("/* unterminated");
+        scan("'");
+    }
+}

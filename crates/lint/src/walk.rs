@@ -1,0 +1,81 @@
+//! Workspace source discovery for `xp lint`.
+//!
+//! Collects every `.rs` file under a root into the repo-relative,
+//! forward-slash path map [`crate::rules::lint_files`] consumes,
+//! skipping build output (`target/`), the offline dependency stubs
+//! (`vendor/`), version control internals (`.git/`), and lint fixture
+//! trees (`fixtures/` — those contain deliberate violations).
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Directory names never descended into.
+const SKIP_DIRS: [&str; 4] = ["target", "vendor", ".git", "fixtures"];
+
+/// Reads every `.rs` file under `root` into a path → source map. Paths
+/// are relative to `root` and use `/` separators on every platform, so
+/// rule path matching is portable.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error when `root` or one of its
+/// children cannot be read.
+pub fn collect_workspace(root: &Path) -> io::Result<BTreeMap<String, String>> {
+    let mut files = BTreeMap::new();
+    walk(root, Path::new(""), &mut files)?;
+    Ok(files)
+}
+
+fn walk(dir: &Path, rel: &Path, files: &mut BTreeMap<String, String>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<io::Result<_>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let name = entry.file_name();
+        let name_str = name.to_string_lossy();
+        let path = entry.path();
+        let rel_path = rel.join(&name);
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name_str.as_ref()) {
+                continue;
+            }
+            walk(&path, &rel_path, files)?;
+        } else if name_str.ends_with(".rs") {
+            let text = fs::read_to_string(&path)?;
+            let key = rel_path
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            files.insert(key, text);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collects_rs_files_and_skips_vendor_target_fixtures() {
+        let root = std::env::temp_dir().join(format!("lint_walk_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(root.join("crates/x/src")).unwrap();
+        fs::create_dir_all(root.join("vendor/fake/src")).unwrap();
+        fs::create_dir_all(root.join("target/debug")).unwrap();
+        fs::create_dir_all(root.join("crates/x/fixtures/bad")).unwrap();
+        fs::write(root.join("crates/x/src/lib.rs"), "fn a() {}\n").unwrap();
+        fs::write(root.join("crates/x/src/notes.txt"), "not rust\n").unwrap();
+        fs::write(root.join("vendor/fake/src/lib.rs"), "fn v() {}\n").unwrap();
+        fs::write(root.join("target/debug/gen.rs"), "fn t() {}\n").unwrap();
+        fs::write(root.join("crates/x/fixtures/bad/e.rs"), "unsafe {}\n").unwrap();
+        let files = collect_workspace(&root).unwrap();
+        assert_eq!(
+            files.keys().collect::<Vec<_>>(),
+            vec!["crates/x/src/lib.rs"]
+        );
+        fs::remove_dir_all(&root).unwrap();
+    }
+}

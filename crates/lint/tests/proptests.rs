@@ -1,0 +1,119 @@
+//! Property-based tests for the lint scanner: total on arbitrary
+//! input, and literal/comment masking that never leaks tokens into the
+//! code view.
+
+use nonsearch_lint::{has_token, scan_source};
+use proptest::prelude::*;
+
+/// The adversarial alphabet: every character that drives the lexer's
+/// state machine, plus ordinary identifier characters. `\r` is
+/// excluded so `str::lines` and the scanner agree on line counts.
+const ALPHABET: &[char] = &[
+    '"', '\'', '\\', '/', '*', '#', 'r', 'b', '{', '}', '\n', ' ', 'a', 'z', '_', '0', '!', ':',
+    '(', ')', 'é',
+];
+
+fn text_from(indices: &[usize]) -> String {
+    indices
+        .iter()
+        .map(|&i| ALPHABET[i % ALPHABET.len()])
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The scanner is total: no panic, no truncation, one scanned line
+    /// per source line, and the masked code of a line is never longer
+    /// than the line itself.
+    #[test]
+    fn scanner_never_panics_and_keeps_line_structure(
+        indices in proptest::collection::vec(0usize..1000, 0..400),
+    ) {
+        let source = text_from(&indices);
+        let file = scan_source(&source);
+        prop_assert_eq!(file.lines.len(), source.lines().count());
+        for (line, raw) in file.lines.iter().zip(source.lines()) {
+            prop_assert!(
+                line.code.chars().count() <= raw.chars().count(),
+                "masked code longer than source line {raw:?}"
+            );
+        }
+    }
+
+    /// A sentinel token placed inside a plain string literal never
+    /// reaches the code view, while the same token as real code always
+    /// does — for arbitrary surrounding junk on the line.
+    #[test]
+    fn string_literals_are_skipped(
+        prefix in proptest::collection::vec(0usize..1000, 0..20),
+        suffix in proptest::collection::vec(0usize..1000, 0..20),
+    ) {
+        // Junk stays on one line and cannot open a literal or comment
+        // that would swallow the quoted sentinel.
+        let sanitize = |raw: String| -> String {
+            raw.chars()
+                .map(|c| match c {
+                    '"' | '\'' | '\\' | '/' | '*' | '\n' | '#' | 'r' | 'b' => '_',
+                    other => other,
+                })
+                .collect::<String>()
+        };
+        let pre = sanitize(text_from(&prefix));
+        let post = sanitize(text_from(&suffix));
+        let quoted = format!("{pre}\"sentinel_token\"{post}\n");
+        let file = scan_source(&quoted);
+        prop_assert_eq!(file.lines.len(), 1);
+        prop_assert!(!has_token(&file.lines[0].code, "sentinel_token"));
+        prop_assert!(file.lines[0].strings.contains(&"sentinel_token".to_string()));
+        let bare = format!("{pre} sentinel_token {post}\n");
+        let file = scan_source(&bare);
+        prop_assert!(has_token(&file.lines[0].code, "sentinel_token"));
+    }
+
+    /// Raw strings mask their contents for every hash depth, including
+    /// contents full of quotes and lesser hash runs.
+    #[test]
+    fn raw_strings_are_skipped_at_any_hash_depth(
+        depth in 1usize..6,
+        inner in proptest::collection::vec(0usize..1000, 0..30),
+    ) {
+        let hashes = "#".repeat(depth);
+        // Strip closers of this depth (or deeper) from the body so the
+        // literal ends exactly where we close it.
+        let body: String = text_from(&inner)
+            .replace('\n', " ")
+            .replace('"', "'")
+            .replace('#', if depth == 1 { " " } else { "#" });
+        let body = body.replace(&format!("'{hashes}"), "  ");
+        let source = format!("let x = r{hashes}\"{body}sentinel_token\"{hashes}; real_code\n");
+        let file = scan_source(&source);
+        prop_assert_eq!(file.lines.len(), 1);
+        prop_assert!(!has_token(&file.lines[0].code, "sentinel_token"), "{:?}", file.lines[0]);
+        prop_assert!(has_token(&file.lines[0].code, "real_code"));
+    }
+
+    /// Block comments nest to arbitrary depth; the code view resumes
+    /// exactly after the matching closer.
+    #[test]
+    fn nested_block_comments_are_skipped(
+        depth in 1usize..8,
+        inner in proptest::collection::vec(0usize..1000, 0..30),
+    ) {
+        // Neutralize openers/closers inside the filler.
+        let filler: String = text_from(&inner)
+            .replace('\n', " ")
+            .replace('*', "x")
+            .replace('/', "y");
+        let open = "/*".repeat(depth);
+        let close = "*/".repeat(depth);
+        let source = format!("before {open}{filler} hidden_token {close} after\n");
+        let file = scan_source(&source);
+        prop_assert_eq!(file.lines.len(), 1);
+        let code = &file.lines[0].code;
+        prop_assert!(has_token(code, "before"));
+        prop_assert!(has_token(code, "after"), "{code:?}");
+        prop_assert!(!has_token(code, "hidden_token"));
+        prop_assert!(file.lines[0].comment.contains("hidden_token"));
+    }
+}

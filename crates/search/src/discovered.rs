@@ -125,6 +125,7 @@ impl DiscoveredView {
     /// truncates the discovery-order list and arena, keeping every
     /// allocation for the next search. The once-per-2^32 wrap path is
     /// [`StampedMap::reset`]'s.
+    // lint: alloc-free
     pub fn reset(&mut self) {
         self.order.clear();
         self.arena.clear();
@@ -249,6 +250,7 @@ impl DiscoveredView {
         self.insert_with(v, slots.iter().map(|&(_, e)| e));
     }
 
+    // lint: alloc-free
     fn insert_with(&mut self, v: NodeId, incident: impl Iterator<Item = EdgeId>) {
         if self.contains(v) {
             return;
@@ -289,6 +291,7 @@ impl DiscoveredView {
     /// Records the answer to a request on `(u, e)`: the far endpoint is
     /// `other`. Oracle-side API, public for the same reason as
     /// [`insert_vertex`](DiscoveredView::insert_vertex).
+    // lint: alloc-free
     pub fn resolve_edge(&mut self, u: NodeId, e: EdgeId, other: NodeId) {
         let i = e.index();
         if i >= self.edges.capacity() {

@@ -55,6 +55,7 @@ impl FrontierCursors {
     /// The next unresolved incident edge of `v`, advancing the cursor
     /// past resolved edges. Returns `None` when `v` is exhausted (or not
     /// discovered).
+    // lint: alloc-free
     pub fn next_unexplored(&mut self, view: &DiscoveredView, v: NodeId) -> Option<EdgeId> {
         let info = view.vertex(v)?;
         let incident = info.incident();
@@ -93,6 +94,7 @@ impl FrontierCursors {
 
     /// Rewinds all cursors in O(1) via an epoch bump (for searcher reuse
     /// across runs); the backing array keeps its allocation.
+    // lint: alloc-free
     pub fn reset(&mut self) {
         self.cursors.reset();
     }

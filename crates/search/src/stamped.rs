@@ -128,6 +128,7 @@ impl<V> StampedMap<V> {
     /// This is the crate's single epoch-wrap implementation: the bump
     /// path touches no slot; the wrap path (once per `u32::MAX - 1`
     /// resets) zero-fills the stamps and restarts the epoch at 1.
+    // lint: alloc-free
     pub fn reset(&mut self) {
         self.live = 0;
         if self.epoch == u32::MAX {

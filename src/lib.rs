@@ -45,6 +45,8 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use nonsearch_analysis as analysis;
 pub use nonsearch_core as core;
 pub use nonsearch_corpus as corpus;
