@@ -1,108 +1,8 @@
 //! E8 — scale-freeness of the models: power-law degree distributions.
 //!
-//! The paper's premise is that the Móri and Cooper–Frieze models are
-//! scale-free; this experiment fits the discrete MLE exponent and prints
-//! log-binned CCDF rows for visual inspection.
-
-use nonsearch_analysis::{fit_power_law_mle, log_binned_histogram, SampleStats, Table};
-use nonsearch_bench::{banner, quick, trials};
-use nonsearch_generators::{
-    BarabasiAlbert, CooperFrieze, CooperFriezeConfig, MoriTree, SeedSequence, UniformAttachment,
-};
-use nonsearch_graph::degree_sequence;
+//! Thin wrapper over the registered `xp degree-dist` experiment; the
+//! implementation lives in `nonsearch_bench::experiments`.
 
 fn main() {
-    banner(
-        "E8 / degree distributions",
-        "Móri & Cooper–Frieze graphs are scale-free (power-law degrees); \
-         uniform attachment is the non-scale-free control",
-    );
-
-    let n = if quick() { 20_000 } else { 100_000 };
-    let trial_count = trials(5);
-    let seeds = SeedSequence::new(0xE8);
-
-    let mut table = Table::with_columns(&["model", "fitted k", "ci95", "tail n", "KS"]);
-    type Sampler = Box<dyn Fn(&mut rand_chacha::ChaCha8Rng) -> Vec<usize>>;
-    let models: Vec<(String, Sampler)> = vec![
-        (
-            "mori(p=0.3)".into(),
-            Box::new(move |rng| {
-                degree_sequence(&MoriTree::sample(n, 0.3, rng).unwrap().undirected())
-            }),
-        ),
-        (
-            "mori(p=0.6)".into(),
-            Box::new(move |rng| {
-                degree_sequence(&MoriTree::sample(n, 0.6, rng).unwrap().undirected())
-            }),
-        ),
-        (
-            "mori(p=0.9)".into(),
-            Box::new(move |rng| {
-                degree_sequence(&MoriTree::sample(n, 0.9, rng).unwrap().undirected())
-            }),
-        ),
-        (
-            "cooper-frieze(α=0.7)".into(),
-            Box::new(move |rng| {
-                let cfg = CooperFriezeConfig::balanced(0.7).unwrap();
-                degree_sequence(&CooperFrieze::sample(n, &cfg, rng).unwrap().undirected())
-            }),
-        ),
-        (
-            "barabasi-albert(m=2)".into(),
-            Box::new(move |rng| {
-                degree_sequence(&BarabasiAlbert::sample(n, 2, rng).unwrap().undirected())
-            }),
-        ),
-        (
-            "uniform-attachment(m=1)".into(),
-            Box::new(move |rng| {
-                degree_sequence(&UniformAttachment::sample(n, 1, rng).unwrap().undirected())
-            }),
-        ),
-    ];
-
-    for (mi, (name, sampler)) in models.iter().enumerate() {
-        let mut exponents = Vec::new();
-        let mut ks_values = Vec::new();
-        let mut tail = 0usize;
-        for t in 0..trial_count {
-            let mut rng = seeds.subsequence(mi as u64).child_rng(t as u64);
-            let degrees = sampler(&mut rng);
-            if let Some(fit) = fit_power_law_mle(&degrees, 3) {
-                exponents.push(fit.exponent);
-                ks_values.push(fit.ks_distance);
-                tail = fit.tail_size;
-            }
-        }
-        if let Some(stats) = SampleStats::from_slice(&exponents) {
-            let ks = SampleStats::from_slice(&ks_values).expect("same length");
-            table.row(vec![
-                name.clone(),
-                format!("{:.2}", stats.mean()),
-                format!("{:.2}", stats.ci95_half_width()),
-                tail.to_string(),
-                format!("{:.3}", ks.mean()),
-            ]);
-        }
-    }
-    println!("{table}");
-
-    // CCDF sketch for one Móri run: log-binned densities.
-    let mut rng = seeds.subsequence(99).child_rng(0);
-    let degrees = degree_sequence(&MoriTree::sample(n, 0.6, &mut rng).unwrap().undirected());
-    println!("log-binned degree histogram, mori(p=0.6), n = {n}:");
-    let mut hist_table = Table::with_columns(&["bin", "count", "density"]);
-    for bin in log_binned_histogram(&degrees, 2.0) {
-        hist_table.row(vec![
-            format!("[{}, {})", bin.lo, bin.hi),
-            bin.count.to_string(),
-            format!("{:.2}", bin.density),
-        ]);
-    }
-    println!("{hist_table}");
-    println!("power-law tails (straight lines in log-log) for the attachment");
-    println!("models; the uniform-attachment control decays geometrically.");
+    nonsearch_bench::experiments::run_legacy("degree-dist");
 }

@@ -13,7 +13,9 @@
 //! run records are bit-identical for any `--threads` value with the
 //! same seed. The `corpus` tool subcommands manage the persistent
 //! graph-ensemble store (`nonsearch_corpus`); `xp bench` runs the
-//! standardized engine benchmark suite (`BENCH_engine_suite.json`).
+//! standardized engine benchmark suite (`BENCH_engine_suite.json`);
+//! `xp chaos` is the deterministic fault-injection gate (byte-identical
+//! cell records under injected faults, corpus self-heal, watchdog).
 
 use nonsearch_alloc_counter::CountingAllocator;
 
@@ -34,6 +36,9 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("lint") {
         std::process::exit(nonsearch_lint::cli::main(&args[1..]));
+    }
+    if args.first().map(String::as_str) == Some("chaos") {
+        std::process::exit(nonsearch_bench::chaos::main(&args[1..]));
     }
     std::process::exit(nonsearch_bench::experiments::registry().main(&args));
 }

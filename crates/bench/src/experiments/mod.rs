@@ -8,6 +8,7 @@
 //! binaries; see `EXPERIMENTS.md` for the full map.
 
 mod ablation;
+mod degree_dist;
 mod lemma1_bound;
 mod lemma2_equiv;
 mod lemma3_event;
@@ -31,6 +32,7 @@ pub fn registry() -> Registry {
         .register(lemma2_equiv::SPEC)
         .register(lemma3_event::SPEC)
         .register(maxdeg::SPEC)
+        .register(degree_dist::SPEC)
         .register(ablation::SPEC)
         .register(null_model::SPEC)
         .add_usage_note(
@@ -41,7 +43,8 @@ pub fn registry() -> Registry {
         )
         .add_usage_note(
             "lint [--root DIR] [--out FILE] — invariant linter (xp lint --help for the rules)",
-        );
+        )
+        .add_usage_note("chaos [EXPERIMENT] [flags]  — fault-injection gate (xp chaos --help)");
     r
 }
 
@@ -111,9 +114,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_at_least_nine_experiments() {
+    fn registry_has_at_least_ten_experiments() {
         let r = registry();
-        assert!(r.specs().len() >= 9, "only {} registered", r.specs().len());
+        assert!(r.specs().len() >= 10, "only {} registered", r.specs().len());
         for name in [
             "theorem1-weak",
             "theorem1-strong",
@@ -122,6 +125,7 @@ mod tests {
             "lemma2-equiv",
             "lemma3-event",
             "maxdeg",
+            "degree-dist",
             "ablation",
             "null-model",
         ] {

@@ -17,6 +17,7 @@
 #![forbid(unsafe_code)]
 
 pub mod bench_suite;
+pub mod chaos;
 pub mod experiments;
 
 use nonsearch_core::{GraphModel, ModelSource};

@@ -45,6 +45,9 @@ pub fn usage() -> String {
          \x20 null model per graph), --swaps N (default 10 swaps/edge)\n\
          info/verify flag: --mmap — validate through the zero-copy\n\
          \x20 memory-mapped load path (what experiments run with --mmap use)\n\
+         verify flag: --heal — quarantine corrupt blobs to quarantine/\n\
+         \x20 and regenerate them from the manifest's model spec + seed,\n\
+         \x20 re-checking against the original manifest checksums\n\
          experiment flag: --trust-checksums — skip per-load payload\n\
          \x20 hashing on corpus opens; verify always hashes regardless\n"
     )
@@ -195,10 +198,20 @@ pub fn main(args: &[String]) -> i32 {
                 1
             }
         },
-        "verify" => match Corpus::open_with(&dir, load_mode(&options)).and_then(|c| c.verify()) {
+        "verify" => match Corpus::open_healing(&dir, load_mode(&options), false, options.heal)
+            .and_then(|c| c.verify())
+        {
             Ok(report) => {
+                let healed = if report.healed > 0 {
+                    format!(
+                        " ({} healed, {} quarantined)",
+                        report.healed, report.quarantined
+                    )
+                } else {
+                    String::new()
+                };
                 println!(
-                    "[corpus verify] {}: {} files, {} KiB — OK{}",
+                    "[corpus verify] {}: {} files, {} KiB — OK{}{healed}",
                     dir.display(),
                     report.files,
                     report.bytes / 1024,
@@ -285,6 +298,12 @@ mod tests {
         bytes[last] ^= 1;
         std::fs::write(&victim, bytes).unwrap();
         assert_eq!(run(&["verify", dir_str]), 1);
+
+        // --heal quarantines + regenerates, after which a plain verify
+        // passes against the original manifest checksums.
+        assert_eq!(run(&["verify", dir_str, "--heal"]), 0);
+        assert!(dir.join(crate::store::QUARANTINE_DIR).is_dir());
+        assert_eq!(run(&["verify", dir_str]), 0);
 
         std::fs::remove_dir_all(&dir).ok();
     }

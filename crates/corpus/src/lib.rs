@@ -28,6 +28,12 @@
 //!   [`GraphSource`](nonsearch_engine::GraphSource): trials map onto
 //!   stored graphs round-robin, with cached shared loads.
 //! * [`cli`] — the `xp corpus build | info | verify` subcommands.
+//! * Self-healing ([`Corpus::open_healing`], `corpus verify --heal`) —
+//!   a corrupt stored file is quarantined to `quarantine/` and
+//!   **regenerated** from the manifest's model spec and seed
+//!   derivation, byte-identical to the original, then re-checked
+//!   against the manifest checksum; [`force_heap_fallback`] is the
+//!   chaos seam proving the mmap fallback is invisible.
 //!
 //! # Example
 //!
@@ -72,9 +78,9 @@ mod store;
 pub use builder::{build, BuildReport, BuildSpec, GRAPHS_DIR};
 pub use error::CorpusError;
 pub use manifest::{BuildInfo, GraphEntry, Manifest, VariantEntry, MANIFEST_FILE};
-pub use mmap::MappedFile;
+pub use mmap::{force_heap_fallback, MappedFile};
 pub use model_spec::{parse_model, BoxedModel, DEFAULT_MODEL_SPEC};
-pub use store::{Corpus, CorpusSource, LoadMode, VerifyReport};
+pub use store::{Corpus, CorpusSource, LoadMode, VerifyReport, QUARANTINE_DIR};
 
 /// Result alias used across this crate.
 pub type Result<T> = std::result::Result<T, CorpusError>;

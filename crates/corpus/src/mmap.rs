@@ -18,6 +18,36 @@ use nonsearch_graph::{AlignedBytes, CsrBytes};
 use std::fs::File;
 use std::io::Read;
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// When set, every [`MappedFile::open`] skips the `mmap(2)` attempt and
+/// takes the aligned-heap fallback — the chaos seam `xp chaos` uses to
+/// prove the fallback serves bit-identical graphs.
+static FORCE_HEAP: AtomicBool = AtomicBool::new(false);
+
+/// Forces (or stops forcing) the heap fallback for all subsequent
+/// [`MappedFile::open`] calls in this process.
+///
+/// Fault-injection seam: a run under `nonsearch_fault::FaultPlan` with
+/// forced-heap on must produce byte-identical results to a mapped run,
+/// because [`LoadMode::Mmap`](crate::LoadMode::Mmap) documents the
+/// fallback as invisible. Process-global by design — chaos runs flip it
+/// once before the sweep, not per load.
+pub fn force_heap_fallback(on: bool) {
+    FORCE_HEAP.store(on, Ordering::SeqCst);
+}
+
+pub(crate) fn heap_forced() -> bool {
+    FORCE_HEAP.load(Ordering::SeqCst)
+}
+
+/// Serializes tests that assert on the *actual* mapped/heap backing, so
+/// the [`force_heap_fallback`] toggle cannot race them.
+#[cfg(test)]
+pub(crate) fn backing_test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 // The raw-ABI declaration below (i64 offset = off_t) matches 64-bit
 // linux only; 32-bit glibc takes a 32-bit off_t, so mapping is gated to
@@ -106,7 +136,7 @@ impl MappedFile {
         // mmap(2) rejects zero-length mappings; an empty heap buffer is
         // the honest representation anyway.
         #[cfg(all(target_os = "linux", target_pointer_width = "64"))]
-        if len > 0 {
+        if len > 0 && !heap_forced() {
             {
                 use std::os::fd::AsRawFd;
                 // SAFETY: a fresh anonymous address (addr = null), a
@@ -207,6 +237,7 @@ mod tests {
 
     #[test]
     fn maps_file_contents_faithfully() {
+        let _serial = backing_test_lock();
         let contents: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
         let path = temp_file("contents", &contents);
         let mapped = MappedFile::open(&path).unwrap();
@@ -218,6 +249,24 @@ mod tests {
         // The bytes must be pointer-stable across calls (the CsrBytes
         // contract borrowed CSR views rely on).
         assert_eq!(mapped.bytes().as_ptr(), mapped.bytes().as_ptr());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn forced_heap_fallback_serves_identical_bytes_unmapped() {
+        let _serial = backing_test_lock();
+        let contents: Vec<u8> = (0..=255u8).cycle().take(4096).collect();
+        let path = temp_file("forced_heap", &contents);
+
+        force_heap_fallback(true);
+        let forced = MappedFile::open(&path).unwrap();
+        force_heap_fallback(false);
+
+        assert!(!forced.is_mapped(), "forced opens must not map");
+        assert_eq!(forced.bytes(), &contents[..]);
+        // With the force released, mapping resumes on 64-bit linux.
+        #[cfg(all(target_os = "linux", target_pointer_width = "64"))]
+        assert!(MappedFile::open(&path).unwrap().is_mapped());
         std::fs::remove_file(&path).ok();
     }
 

@@ -14,14 +14,23 @@
 use crate::error::CorpusError;
 use crate::manifest::Manifest;
 use crate::mmap::MappedFile;
+use crate::model_spec::parse_model;
 use crate::nsg;
 use nonsearch_engine::GraphSource;
-use nonsearch_generators::SeedSequence;
+use nonsearch_generators::{degree_preserving_rewire, SeedSequence};
 use nonsearch_graph::{CsrBytes, UndirectedCsr};
 // lint: allow(determinism): keyed cache lookup only; the map is never iterated, so order cannot surface
 use std::collections::{BTreeMap, HashMap};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Subdirectory of a corpus where healing parks corrupt blobs.
+pub const QUARANTINE_DIR: &str = "quarantine";
+
+/// Attempts for the regenerate write before a heal gives up (each retry
+/// backs off twice as long as the last).
+const HEAL_WRITE_ATTEMPTS: u32 = 3;
 
 /// How a [`Corpus`] materializes stored graphs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -48,6 +57,9 @@ struct Inner {
     /// Skip the per-file payload checksum on load (`--trust-checksums`);
     /// [`Corpus::verify`] always hashes regardless.
     trust_checksums: bool,
+    /// Quarantine + regenerate corrupt stored files (`--heal`) instead
+    /// of failing the load or verify.
+    heal: bool,
     /// Requested size → indices into `manifest.graphs`, trial order.
     by_n: BTreeMap<usize, Vec<usize>>,
     /// Relative file → load slot, filled on first access.
@@ -70,6 +82,11 @@ pub struct VerifyReport {
     pub bytes: u64,
     /// Which load path performed the validation.
     pub mode: LoadMode,
+    /// Files regenerated from the manifest's provenance (healing only).
+    pub healed: usize,
+    /// Corrupt blobs moved to `quarantine/` before regeneration — can
+    /// trail `healed` when the corrupt file was missing outright.
+    pub quarantined: usize,
 }
 
 impl Corpus {
@@ -108,6 +125,29 @@ impl Corpus {
         mode: LoadMode,
         trust_checksums: bool,
     ) -> Result<Corpus, CorpusError> {
+        Self::open_healing(dir, mode, trust_checksums, false)
+    }
+
+    /// Opens the corpus at `dir` with every policy explicit. With
+    /// `heal` a corrupt stored file is **quarantined and regenerated**
+    /// instead of failing the operation: the bad blob moves to
+    /// `quarantine/<name>`, the graph is re-sampled from the manifest's
+    /// model spec and seed derivation (the same `(seed, size_idx,
+    /// trial)` streams the builder used, so the bytes come back
+    /// identical), and the regenerated file is re-checked against the
+    /// manifest checksum. Both [`Corpus::load`] and [`Corpus::verify`]
+    /// take the heal path; a regeneration that still mismatches the
+    /// manifest is reported as the original corruption would have been.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CorpusError`] if the manifest is missing or malformed.
+    pub fn open_healing(
+        dir: impl Into<PathBuf>,
+        mode: LoadMode,
+        trust_checksums: bool,
+        heal: bool,
+    ) -> Result<Corpus, CorpusError> {
         let dir = dir.into();
         let manifest = Manifest::read_from(&dir)?;
         let mut by_n: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
@@ -123,6 +163,7 @@ impl Corpus {
                 manifest,
                 mode,
                 trust_checksums,
+                heal,
                 by_n,
                 // lint: allow(determinism): keyed cache lookup only; the map is never iterated, so order cannot surface
                 cache: Mutex::new(HashMap::new()),
@@ -144,6 +185,12 @@ impl Corpus {
     /// [`Corpus::open_with_trust`]).
     pub fn trusts_checksums(&self) -> bool {
         self.inner.trust_checksums
+    }
+
+    /// `true` if corrupt stored files are quarantined and regenerated
+    /// (see [`Corpus::open_healing`]).
+    pub fn heals(&self) -> bool {
+        self.inner.heal
     }
 
     /// The corpus directory.
@@ -248,10 +295,21 @@ impl Corpus {
         } else {
             nsg::Checksum::Check
         };
-        let graph = Arc::new(match self.inner.mode {
-            LoadMode::Heap => nsg::read_graph_file_with(&path, checksum)?,
-            LoadMode::Mmap => nsg::map_graph_file_with(&path, checksum)?,
-        });
+        let load_once = || match self.inner.mode {
+            LoadMode::Heap => nsg::read_graph_file_with(&path, checksum),
+            LoadMode::Mmap => nsg::map_graph_file_with(&path, checksum),
+        };
+        let graph = match load_once() {
+            Ok(graph) => graph,
+            // One heal attempt per failed load: regenerate from the
+            // manifest's provenance, then read the repaired file.
+            Err(e) if self.inner.heal && healable(&e) => {
+                self.heal_file(file)?;
+                load_once()?
+            }
+            Err(e) => return Err(e),
+        };
+        let graph = Arc::new(graph);
         *loaded = Some(Arc::clone(&graph));
         Ok(graph)
     }
@@ -289,64 +347,214 @@ impl Corpus {
     /// checksums, CSR structural consistency, and the manifest's
     /// node/edge counts. With [`LoadMode::Mmap`] the files are mapped
     /// and validated through the zero-copy path, proving exactly the
-    /// machinery experiments will use.
+    /// machinery experiments will use. On a healing corpus
+    /// ([`Corpus::open_healing`], `corpus verify --heal`) each corrupt
+    /// file is quarantined, regenerated, and re-verified in place, and
+    /// the report counts the repairs.
     ///
     /// # Errors
     ///
-    /// Returns the first violation found.
+    /// Returns the first violation found (non-healing), or the first
+    /// violation that regeneration could not repair.
     pub fn verify(&self) -> Result<VerifyReport, CorpusError> {
         let mut report = VerifyReport {
             files: 0,
             bytes: 0,
             mode: self.inner.mode,
+            healed: 0,
+            quarantined: 0,
         };
         for entry in &self.inner.manifest.graphs {
             let checks = std::iter::once((&entry.file, entry.checksum))
                 .chain(entry.variants.iter().map(|v| (&v.file, v.checksum)));
             for (file, expected) in checks {
-                let path = self.inner.dir.join(file);
-                let region: Arc<dyn CsrBytes> = match self.inner.mode {
-                    LoadMode::Heap => {
-                        Arc::new(std::fs::read(&path).map_err(|e| CorpusError::io(&path, e))?)
+                let len = match self.verify_file(file, expected, entry.nodes, entry.edges) {
+                    Ok(len) => len,
+                    Err(e) if self.inner.heal && healable(&e) => {
+                        if self.heal_file(file)? {
+                            report.quarantined += 1;
+                        }
+                        report.healed += 1;
+                        // The regenerated file must pass outright now.
+                        self.verify_file(file, expected, entry.nodes, entry.edges)?
                     }
-                    LoadMode::Mmap => Arc::new(MappedFile::open(&path)?),
+                    Err(e) => return Err(e),
                 };
-                let bytes = region.bytes();
-                let actual = nsg::fnv1a64(bytes);
-                if actual != expected {
-                    return Err(CorpusError::Checksum {
-                        path,
-                        expected,
-                        actual,
-                    });
-                }
-                let len = bytes.len();
-                // The manifest checksum above covered every byte of the
-                // file (header included), so the structural pass can
-                // trust the bytes instead of FNV-hashing the payload a
-                // second time — verify stays one read + one hash per
-                // file.
-                let graph = match self.inner.mode {
-                    LoadMode::Heap => nsg::decode_graph_inner(bytes, nsg::Checksum::Trusted)?,
-                    LoadMode::Mmap => {
-                        nsg::graph_from_region_inner(Arc::clone(&region), nsg::Checksum::Trusted)?
-                    }
-                };
-                if graph.node_count() != entry.nodes || graph.edge_count() != entry.edges {
-                    return Err(CorpusError::format(format!(
-                        "{file}: graph is {}v/{}e but the manifest says {}v/{}e",
-                        graph.node_count(),
-                        graph.edge_count(),
-                        entry.nodes,
-                        entry.edges
-                    )));
-                }
                 report.files += 1;
                 report.bytes += len as u64;
             }
         }
         Ok(report)
     }
+
+    /// One file's verify pass: manifest checksum over every byte, then
+    /// a structural decode, then the manifest's node/edge counts.
+    /// Returns the file length.
+    fn verify_file(
+        &self,
+        file: &str,
+        expected: u64,
+        nodes: usize,
+        edges: usize,
+    ) -> Result<usize, CorpusError> {
+        let path = self.inner.dir.join(file);
+        let region: Arc<dyn CsrBytes> = match self.inner.mode {
+            LoadMode::Heap => {
+                Arc::new(std::fs::read(&path).map_err(|e| CorpusError::io(&path, e))?)
+            }
+            LoadMode::Mmap => Arc::new(MappedFile::open(&path)?),
+        };
+        let bytes = region.bytes();
+        let actual = nsg::fnv1a64(bytes);
+        if actual != expected {
+            return Err(CorpusError::Checksum {
+                path,
+                expected,
+                actual,
+            });
+        }
+        let len = bytes.len();
+        // The manifest checksum above covered every byte of the file
+        // (header included), so the structural pass can trust the bytes
+        // instead of FNV-hashing the payload a second time — verify
+        // stays one read + one hash per file.
+        let graph = match self.inner.mode {
+            LoadMode::Heap => nsg::decode_graph_inner(bytes, nsg::Checksum::Trusted)?,
+            LoadMode::Mmap => {
+                nsg::graph_from_region_inner(Arc::clone(&region), nsg::Checksum::Trusted)?
+            }
+        };
+        if graph.node_count() != nodes || graph.edge_count() != edges {
+            return Err(CorpusError::format(format!(
+                "{file}: graph is {}v/{}e but the manifest says {nodes}v/{edges}e",
+                graph.node_count(),
+                graph.edge_count(),
+            )));
+        }
+        Ok(len)
+    }
+
+    /// Quarantines the corrupt stored `file` (if it still exists) and
+    /// regenerates it from the manifest's provenance: the model spec is
+    /// re-parsed, the graph re-sampled from the exact `(seed, size_idx,
+    /// trial)` seed streams the builder derives, variants re-rewired
+    /// from their recorded swap chain — so the healed bytes are
+    /// **identical** to the originals and re-hash to the manifest
+    /// checksum. Returns `true` if a corrupt blob was moved to
+    /// `quarantine/` (false when the file was missing outright).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CorpusError::Unsupported`] for files the manifest does
+    /// not index, [`CorpusError::Checksum`] if the regenerated bytes
+    /// still mismatch the manifest (corrupt *manifest*, changed
+    /// generator), and I/O errors once the bounded write retries are
+    /// exhausted.
+    fn heal_file(&self, file: &str) -> Result<bool, CorpusError> {
+        let manifest = &self.inner.manifest;
+        let mut found = None;
+        'graphs: for entry in &manifest.graphs {
+            if entry.file == file {
+                found = Some((entry, None, entry.checksum));
+                break;
+            }
+            for (v, variant) in entry.variants.iter().enumerate() {
+                if variant.file == file {
+                    found = Some((entry, Some(v), variant.checksum));
+                    break 'graphs;
+                }
+            }
+        }
+        let Some((entry, variant, expected)) = found else {
+            return Err(CorpusError::Unsupported {
+                reason: format!("{file} is not in the manifest, so it cannot be regenerated"),
+            });
+        };
+
+        let path = self.inner.dir.join(file);
+        let quarantined = quarantine(&self.inner.dir, &path)?;
+
+        // The builder's derivation, replayed for one file: stream
+        // (size_idx, trial) off the manifest's root seed, child 0 for
+        // the original sample, subsequence(1)/child v for variant v.
+        let model = parse_model(&manifest.model_spec)?;
+        let root = SeedSequence::new(manifest.seed);
+        let trial_seeds = root
+            .subsequence(entry.size_idx as u64)
+            .subsequence(entry.trial as u64);
+        let graph = model.sample_graph(entry.n, &mut trial_seeds.child_rng(0));
+        let graph = match variant {
+            None => graph,
+            Some(v) => {
+                let mut rng = trial_seeds.subsequence(1).child_rng(v as u64);
+                degree_preserving_rewire(&graph, manifest.swaps_per_edge, &mut rng)?.0
+            }
+        };
+        let actual = write_with_retry(&path, &graph)?;
+        if actual != expected {
+            return Err(CorpusError::Checksum {
+                path,
+                expected,
+                actual,
+            });
+        }
+        // Drop any cached load slot for the healed file so the next
+        // access reads the regenerated bytes.
+        self.inner
+            .cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(file);
+        Ok(quarantined)
+    }
+}
+
+/// `true` for failures healing can repair by regenerating the file:
+/// corruption (checksum or structure) and I/O (missing or unreadable
+/// blobs). Manifest and model-spec failures stay fatal — there is no
+/// provenance left to regenerate from.
+fn healable(e: &CorpusError) -> bool {
+    matches!(
+        e,
+        CorpusError::Checksum { .. } | CorpusError::Format { .. } | CorpusError::Io { .. }
+    )
+}
+
+/// Moves a corrupt blob into `<dir>/quarantine/<basename>`, creating
+/// the directory on first use. A missing blob quarantines nothing and
+/// is not an error (the corruption may have been a deletion).
+fn quarantine(dir: &Path, path: &Path) -> Result<bool, CorpusError> {
+    if !path.exists() {
+        return Ok(false);
+    }
+    let qdir = dir.join(QUARANTINE_DIR);
+    std::fs::create_dir_all(&qdir).map_err(|e| CorpusError::io(&qdir, e))?;
+    let name = path
+        .file_name()
+        .ok_or_else(|| CorpusError::format(format!("{} has no file name", path.display())))?;
+    std::fs::rename(path, qdir.join(name)).map_err(|e| CorpusError::io(path, e))?;
+    Ok(true)
+}
+
+/// Writes the regenerated graph with bounded retry/backoff, so a
+/// transiently failing filesystem does not abort a heal that would
+/// succeed a few milliseconds later. Only I/O errors retry; encoding
+/// errors are deterministic and fail immediately.
+fn write_with_retry(path: &Path, graph: &UndirectedCsr) -> Result<u64, CorpusError> {
+    let mut backoff = Duration::from_millis(5);
+    let mut last_io = None;
+    for _ in 0..HEAL_WRITE_ATTEMPTS {
+        match nsg::write_graph_file(path, graph) {
+            Ok(checksum) => return Ok(checksum),
+            Err(e @ CorpusError::Io { .. }) => {
+                last_io = Some(e);
+                std::thread::sleep(backoff);
+                backoff *= 2;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last_io.expect("the retry loop only exits after recording an I/O error"))
 }
 
 /// A corpus-backed [`GraphSource`]: trial `t` at size `n` is served the
@@ -493,6 +701,7 @@ mod tests {
 
     #[test]
     fn mmap_mode_serves_identical_graphs() {
+        let _serial = crate::mmap::backing_test_lock();
         let (dir, heap) = built_corpus("mmap_identity");
         let mapped = Corpus::open_with(&dir, LoadMode::Mmap).unwrap();
         assert_eq!(mapped.load_mode(), LoadMode::Mmap);
@@ -636,6 +845,112 @@ mod tests {
 
             std::fs::remove_dir_all(&dir).ok();
         }
+    }
+
+    #[test]
+    fn healing_verify_quarantines_and_regenerates_byte_identical_files() {
+        let (dir, plain) = built_corpus("heal_verify");
+        assert!(!plain.heals());
+        let victim_rel = plain.manifest().graphs[0].file.clone();
+        let victim = dir.join(&victim_rel);
+        let original = std::fs::read(&victim).unwrap();
+
+        // Flip one payload bit.
+        let mut corrupt = original.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0x10;
+        std::fs::write(&victim, &corrupt).unwrap();
+
+        // Without healing the corruption is fatal; with healing the
+        // verify repairs it and reports the repair.
+        assert!(plain.verify().is_err());
+        let healing = Corpus::open_healing(&dir, LoadMode::Heap, false, true).unwrap();
+        assert!(healing.heals());
+        let report = healing.verify().unwrap();
+        assert_eq!(report.files, healing.manifest().file_count());
+        assert_eq!(report.healed, 1);
+        assert_eq!(report.quarantined, 1);
+
+        // The regenerated bytes are identical to the originals, the
+        // corrupt blob sits in quarantine, and a fresh non-healing
+        // corpus passes verify against the untouched manifest.
+        assert_eq!(std::fs::read(&victim).unwrap(), original);
+        let basename = victim.file_name().unwrap();
+        let parked = dir.join(QUARANTINE_DIR).join(basename);
+        assert_eq!(std::fs::read(&parked).unwrap(), corrupt);
+        let report = Corpus::open(&dir).unwrap().verify().unwrap();
+        assert_eq!(report.healed, 0);
+        assert_eq!(report.quarantined, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn healing_verify_restores_deleted_files_without_quarantining() {
+        let (dir, _) = built_corpus("heal_missing");
+        let healing = Corpus::open_healing(&dir, LoadMode::Heap, false, true).unwrap();
+        // Delete one original and one variant outright.
+        let entry = healing.manifest().graphs[1].clone();
+        std::fs::remove_file(dir.join(&entry.file)).unwrap();
+        std::fs::remove_file(dir.join(&entry.variants[0].file)).unwrap();
+
+        let report = healing.verify().unwrap();
+        assert_eq!(report.healed, 2);
+        assert_eq!(report.quarantined, 0, "nothing to park for deletions");
+        assert_eq!(report.files, healing.manifest().file_count());
+        assert!(Corpus::open(&dir).unwrap().verify().is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn healing_load_repairs_the_file_it_was_asked_for() {
+        for mode in [LoadMode::Heap, LoadMode::Mmap] {
+            let (dir, _) = built_corpus(match mode {
+                LoadMode::Heap => "heal_load_heap",
+                LoadMode::Mmap => "heal_load_mmap",
+            });
+            let clean = Corpus::open_with(&dir, mode).unwrap();
+            let victim = dir.join(&clean.manifest().graphs[0].file);
+            // An owned decode, not a mapped view: the corruption below
+            // rewrites the file, which a live mapping would observe.
+            let expected = nsg::read_graph_file(&victim).unwrap();
+
+            // Truncate the stored file mid-payload.
+            let bytes = std::fs::read(&victim).unwrap();
+            std::fs::write(&victim, &bytes[..bytes.len() / 2]).unwrap();
+            assert!(Corpus::open_with(&dir, mode)
+                .unwrap()
+                .load(0, None)
+                .is_err());
+
+            let healing = Corpus::open_healing(&dir, mode, false, true).unwrap();
+            let healed = healing.load(0, None).unwrap();
+            assert_eq!(*healed, expected, "{mode:?}: healed graph differs");
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn healing_regenerates_variants_through_the_recorded_swap_chain() {
+        let (dir, plain) = built_corpus("heal_variant");
+        let vfile = plain.manifest().graphs[0].variants[0].file.clone();
+        let vpath = dir.join(&vfile);
+        let original = std::fs::read(&vpath).unwrap();
+        std::fs::write(&vpath, b"NSG1 but not really").unwrap();
+
+        let healing = Corpus::open_healing(&dir, LoadMode::Heap, false, true).unwrap();
+        let report = healing.verify().unwrap();
+        assert_eq!(report.healed, 1);
+        assert_eq!(std::fs::read(&vpath).unwrap(), original);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn files_outside_the_manifest_cannot_be_healed() {
+        let (dir, _) = built_corpus("heal_unknown");
+        let healing = Corpus::open_healing(&dir, LoadMode::Heap, false, true).unwrap();
+        let err = healing.heal_file("graphs/s9999_t9999.nsg").unwrap_err();
+        assert!(err.to_string().contains("cannot be regenerated"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

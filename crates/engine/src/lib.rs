@@ -13,6 +13,12 @@
 //! * [`run_ordered`] — the deterministic parallel *map* companion:
 //!   results come back in job order for any worker count (the corpus
 //!   builder shards graph generation through it).
+//! * [`install_faults`] / [`FailurePolicy`] — the chaos seam: a
+//!   thread-local fault bundle the runner snapshots at cell entry to
+//!   inject deterministic trial panics/stalls (e.g. from a seeded
+//!   `nonsearch_fault::FaultPlan`) and contain, retry, or skip the
+//!   failing trials, with an optional watchdog that degrades a stuck
+//!   cell gracefully instead of hanging the run.
 //! * [`GraphSource`] — where a trial's graph comes from: generated on
 //!   the fly or served from a persistent corpus (`nonsearch_corpus`).
 //! * [`CliOptions`] — the experiment flag set (`--quick`, `--threads`,
@@ -49,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod faults;
 pub mod json;
 mod options;
 pub mod profile_diff;
@@ -58,6 +65,9 @@ pub mod report;
 mod runner;
 mod source;
 
+pub use faults::{
+    install_faults, FailurePolicy, FaultHook, FaultInjection, FaultScope, InjectedFault,
+};
 pub use json::{parse as parse_json, JsonError, JsonValue};
 pub use nonsearch_obs::{
     elapsed_ns, prometheus_text, render_log2_histogram, Log2Histogram, Metrics, PhaseTimes,
@@ -66,7 +76,7 @@ pub use nonsearch_obs::{
 pub use options::{CliOptions, OptionsError, OutputFormat};
 pub use record::{
     git_describe, metrics_fields, resource_fields, RunSummary, RunWriter, CELL_TYPE,
-    DIAGNOSTIC_TYPE, LINT_TYPE, METRICS_TYPE, PROFILE_TYPE, RESOURCE_TYPE, RUN_TYPE,
+    DIAGNOSTIC_TYPE, FAULT_TYPE, LINT_TYPE, METRICS_TYPE, PROFILE_TYPE, RESOURCE_TYPE, RUN_TYPE,
 };
 pub use registry::{
     run_legacy, validate_chrome_trace, validate_jsonl, ExpContext, ExperimentSpec, Registry,

@@ -17,8 +17,9 @@
 //! | `--trust-checksums` | skip per-load payload checksums (run `corpus verify` first) |
 //! | `--profile` | emit per-cell throughput records (`"type":"profile"`) alongside cells |
 //! | `--trace PATH` | record run/cell/trial spans and write Chrome Trace Event JSON to `PATH` |
+//! | `--heal` | quarantine + regenerate corrupt corpus blobs instead of failing the load |
 //!
-//! `--quick`, `--mmap`, `--trust-checksums`, and `--profile` are boolean flags: they take no value, and
+//! `--quick`, `--mmap`, `--trust-checksums`, `--profile`, and `--heal` are boolean flags: they take no value, and
 //! the strict (`xp`) parser rejects `--quick=...` outright — silently
 //! treating `--quick=false` as *enabling* quick mode was a real bug.
 //! `NONSEARCH_QUICK` enables quick mode unless it is empty or one of
@@ -148,6 +149,11 @@ pub struct CliOptions {
     /// (`--trace PATH`): run → size-cell → trial-batch scopes, loadable
     /// in Perfetto / `chrome://tracing`. `None` disables tracing.
     pub trace: Option<PathBuf>,
+    /// Self-heal corrupt corpus blobs (`--heal`): a checksum-failing
+    /// `.nsg` file is quarantined and regenerated from the manifest's
+    /// model spec + seed instead of failing the load. Meaningful only
+    /// together with `--corpus`.
+    pub heal: bool,
 }
 
 impl CliOptions {
@@ -230,6 +236,7 @@ impl CliOptions {
                     boolean("--trust-checksums").map(|b| opts.trust_checksums = b)
                 }
                 "--profile" => boolean("--profile").map(|b| opts.profile = b),
+                "--heal" => boolean("--heal").map(|b| opts.heal = b),
                 "--threads" => value("--threads")
                     .and_then(|v| parse_num(&v, "--threads"))
                     .map(|n| opts.threads = n),
@@ -370,6 +377,7 @@ mod tests {
             "corpus-dir",
             "--trust-checksums",
             "--profile",
+            "--heal",
             "--trace",
             "run.trace.json",
         ])
@@ -377,6 +385,7 @@ mod tests {
         assert!(opts.quick);
         assert!(opts.trust_checksums);
         assert!(opts.profile);
+        assert!(opts.heal);
         assert_eq!(
             opts.trace.as_deref(),
             Some(std::path::Path::new("run.trace.json"))
@@ -490,6 +499,7 @@ mod tests {
             "--mmap=0",
             "--trust-checksums=1",
             "--profile=true",
+            "--heal=1",
         ] {
             let err = strict(&[arg]).unwrap_err();
             assert!(
@@ -522,6 +532,15 @@ mod tests {
         assert!(!CliOptions::default().profile);
         let opts = CliOptions::from_args_lenient(["--profile"]);
         assert!(opts.profile);
+    }
+
+    #[test]
+    fn heal_flag_parses() {
+        let opts = strict(&["--heal", "--corpus", "dir"]).unwrap();
+        assert!(opts.heal);
+        assert!(!CliOptions::default().heal);
+        let opts = CliOptions::from_args_lenient(["--heal"]);
+        assert!(opts.heal);
     }
 
     #[test]

@@ -28,6 +28,13 @@ pub const METRICS_TYPE: &str = "metrics";
 /// allocation counts, `/proc` samples). Wall-clock data: volatile by
 /// definition, JSONL-only, never part of determinism-gated lines.
 pub const RESOURCE_TYPE: &str = "resource";
+/// The JSONL `type` tag of injected-fault records emitted by chaos runs
+/// (`xp chaos`): one per fault a seeded plan injected, carrying the
+/// trial/attempt (or file) it hit and how the run absorbed it. Fault
+/// records describe the *perturbation*, never the measurements, so they
+/// are JSONL-only and determinism gates keep filtering on
+/// `"type":"cell"`.
+pub const FAULT_TYPE: &str = "fault";
 /// The JSONL `type` tag of `xp lint` static-analysis findings (one per
 /// flagged source line, waived or not).
 pub const DIAGNOSTIC_TYPE: &str = "diagnostic";
@@ -53,6 +60,7 @@ pub struct RunWriter {
     profiles: usize,
     metrics: usize,
     resources: usize,
+    faults: usize,
     start: Instant,
 }
 
@@ -107,6 +115,7 @@ impl RunWriter {
             profiles: 0,
             metrics: 0,
             resources: 0,
+            faults: 0,
             start: Instant::now(),
         })
     }
@@ -125,14 +134,30 @@ impl RunWriter {
     /// `experiment` are prepended. Within one run every cell should use
     /// the same key set, so the CSV rows line up under one header.
     pub fn record_cell(&mut self, fields: Vec<(&str, JsonValue)>) -> io::Result<()> {
+        self.record_cell_degraded(fields, false)
+    }
+
+    /// [`record_cell`](RunWriter::record_cell) for cells that may have
+    /// been abandoned by the chaos watchdog: when `degraded` is true a
+    /// trailing `"degraded":true` field marks the record as a partial
+    /// aggregate. Healthy cells carry no such field, so fault-free runs
+    /// emit byte-identical lines through either method.
+    pub fn record_cell_degraded(
+        &mut self,
+        fields: Vec<(&str, JsonValue)>,
+        degraded: bool,
+    ) -> io::Result<()> {
         self.cells += 1;
         if !self.is_active() {
             return Ok(());
         }
-        let mut pairs: Vec<(String, JsonValue)> = Vec::with_capacity(fields.len() + 2);
+        let mut pairs: Vec<(String, JsonValue)> = Vec::with_capacity(fields.len() + 3);
         pairs.push(("type".into(), JsonValue::from(CELL_TYPE)));
         pairs.push(("experiment".into(), JsonValue::Str(self.experiment.clone())));
         pairs.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
+        if degraded {
+            pairs.push(("degraded".into(), JsonValue::from(true)));
+        }
         if let Some((_, w)) = &mut self.jsonl {
             writeln!(w, "{}", JsonValue::Object(pairs.clone()))?;
         }
@@ -152,6 +177,23 @@ impl RunWriter {
         if let Some((_, w)) = &mut self.jsonl {
             let mut pairs: Vec<(String, JsonValue)> = Vec::with_capacity(fields.len() + 2);
             pairs.push(("type".into(), JsonValue::from(PROFILE_TYPE)));
+            pairs.push(("experiment".into(), JsonValue::Str(self.experiment.clone())));
+            pairs.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
+            writeln!(w, "{}", JsonValue::Object(pairs))?;
+        }
+        Ok(())
+    }
+
+    /// Writes one injected-fault record (`xp chaos`). Like profile
+    /// records these carry run-specific perturbation data — which
+    /// trial/attempt or file a seeded fault hit and how it was absorbed
+    /// — so they ride the JSONL stream only and determinism `cmp` gates
+    /// keep filtering on `"type":"cell"`.
+    pub fn record_fault(&mut self, fields: Vec<(&str, JsonValue)>) -> io::Result<()> {
+        self.faults += 1;
+        if let Some((_, w)) = &mut self.jsonl {
+            let mut pairs: Vec<(String, JsonValue)> = Vec::with_capacity(fields.len() + 2);
+            pairs.push(("type".into(), JsonValue::from(FAULT_TYPE)));
             pairs.push(("experiment".into(), JsonValue::Str(self.experiment.clone())));
             pairs.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
             writeln!(w, "{}", JsonValue::Object(pairs))?;
@@ -234,6 +276,7 @@ impl RunWriter {
                 ("profiles", JsonValue::from(self.profiles)),
                 ("metrics", JsonValue::from(self.metrics)),
                 ("resources", JsonValue::from(self.resources)),
+                ("faults", JsonValue::from(self.faults)),
             ]);
             writeln!(w, "{footer}")?;
             w.flush()?;
@@ -303,11 +346,13 @@ fn csv_escape(s: &str) -> String {
 }
 
 /// The canonical JSON field set of a [`Metrics`] bundle, in a fixed
-/// order: the six counters, then `hist_requests_log2` — the per-trial
-/// request-count histogram in its trimmed form (bucket `0` counts
-/// zero-request trials; bucket `k ≥ 1` counts trials with total
-/// requests in `[2^(k−1), 2^k)`). `xp validate` checks the bucket
-/// counts sum to `trials`.
+/// order: the nine counters (the six work counters, then the three
+/// chaos counters — `faults_injected`, `trials_retried`,
+/// `trials_skipped`, all zero in fault-free runs), then
+/// `hist_requests_log2` — the per-trial request-count histogram in its
+/// trimmed form (bucket `0` counts zero-request trials; bucket `k ≥ 1`
+/// counts trials with total requests in `[2^(k−1), 2^k)`). `xp
+/// validate` checks the bucket counts sum to `trials`.
 pub fn metrics_fields(metrics: &Metrics) -> Vec<(&'static str, JsonValue)> {
     vec![
         ("trials", JsonValue::from(metrics.trials)),
@@ -322,6 +367,9 @@ pub fn metrics_fields(metrics: &Metrics) -> Vec<(&'static str, JsonValue)> {
             JsonValue::from(metrics.frontier_rescans),
         ),
         ("scratch_resets", JsonValue::from(metrics.scratch_resets)),
+        ("faults_injected", JsonValue::from(metrics.faults_injected)),
+        ("trials_retried", JsonValue::from(metrics.trials_retried)),
+        ("trials_skipped", JsonValue::from(metrics.trials_skipped)),
         (
             "hist_requests_log2",
             JsonValue::Array(
@@ -567,6 +615,74 @@ mod tests {
         assert!(!csv.contains("profile"));
         std::fs::remove_file(&path).ok();
         std::fs::remove_file(&csv_path).ok();
+    }
+
+    #[test]
+    fn fault_records_are_jsonl_only_and_counted() {
+        let path = temp_path("fault.jsonl");
+        let options = CliOptions {
+            out: Some(path.clone()),
+            format: OutputFormat::Both,
+            ..CliOptions::default()
+        };
+        let mut w = RunWriter::create("demo", &options).unwrap();
+        w.record_cell(demo_fields(64)).unwrap();
+        w.record_fault(vec![
+            ("kind", JsonValue::from("panic")),
+            ("trial", JsonValue::from(3usize)),
+            ("attempt", JsonValue::from(0usize)),
+            ("outcome", JsonValue::from("retried")),
+        ])
+        .unwrap();
+        w.finish(1).unwrap();
+
+        let jsonl = std::fs::read_to_string(&path).unwrap();
+        let line = jsonl
+            .lines()
+            .find(|l| l.contains("\"type\":\"fault\""))
+            .expect("fault record in JSONL");
+        let parsed = json::parse(line).unwrap();
+        assert_eq!(
+            parsed.get("type").and_then(|v| v.as_str()),
+            Some(FAULT_TYPE)
+        );
+        assert_eq!(parsed.get("kind").and_then(|v| v.as_str()), Some("panic"));
+        assert_eq!(parsed.get("trial").and_then(|v| v.as_f64()), Some(3.0));
+        let footer = json::parse(jsonl.lines().last().unwrap()).unwrap();
+        assert_eq!(footer.get("faults").and_then(|v| v.as_f64()), Some(1.0));
+        // No fault rows leak into the CSV sibling.
+        let csv_path = path.with_extension("csv");
+        let csv = std::fs::read_to_string(&csv_path).unwrap();
+        assert_eq!(csv.lines().count(), 2);
+        assert!(!csv.contains("fault"));
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&csv_path).ok();
+    }
+
+    #[test]
+    fn degraded_cells_carry_the_flag_and_healthy_cells_do_not() {
+        let path = temp_path("degraded.jsonl");
+        let options = CliOptions {
+            out: Some(path.clone()),
+            ..CliOptions::default()
+        };
+        let mut w = RunWriter::create("demo", &options).unwrap();
+        w.record_cell_degraded(demo_fields(64), false).unwrap();
+        w.record_cell_degraded(demo_fields(128), true).unwrap();
+        w.finish(1).unwrap();
+
+        let jsonl = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        let healthy = json::parse(lines[0]).unwrap();
+        assert!(healthy.get("degraded").is_none(), "healthy cell flagged");
+        let degraded = json::parse(lines[1]).unwrap();
+        assert_eq!(
+            degraded.get("degraded").and_then(|v| v.as_bool()),
+            Some(true)
+        );
+        let footer = json::parse(lines[2]).unwrap();
+        assert_eq!(footer.get("cells").and_then(|v| v.as_f64()), Some(2.0));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

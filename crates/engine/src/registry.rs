@@ -11,8 +11,8 @@
 use crate::json;
 use crate::options::CliOptions;
 use crate::record::{
-    RunSummary, RunWriter, CELL_TYPE, DIAGNOSTIC_TYPE, LINT_TYPE, METRICS_TYPE, PROFILE_TYPE,
-    RESOURCE_TYPE, RUN_TYPE,
+    RunSummary, RunWriter, CELL_TYPE, DIAGNOSTIC_TYPE, FAULT_TYPE, LINT_TYPE, METRICS_TYPE,
+    PROFILE_TYPE, RESOURCE_TYPE, RUN_TYPE,
 };
 use nonsearch_analysis::Table;
 use nonsearch_obs::{PhaseTimes, Tracer};
@@ -262,6 +262,7 @@ impl Registry {
              \x20 --mmap             zero-copy corpus loads via memory-mapped files\n\
              \x20 --profile          per-cell throughput records (requests/sec) in the JSONL out\n\
              \x20 --trace PATH       write run/cell/trial spans as Chrome Trace Event JSON\n\
+             \x20 --heal             quarantine + regenerate corrupt corpus blobs instead of failing\n\
              \n\
              experiments:\n",
         );
@@ -294,6 +295,8 @@ pub struct ValidateSummary {
     pub metrics: usize,
     /// `"type":"resource"` phase-timer/process-sample records.
     pub resources: usize,
+    /// `"type":"fault"` injected-fault records (`xp chaos`).
+    pub faults: usize,
     /// `"type":"diagnostic"` `xp lint` findings.
     pub diagnostics: usize,
     /// `"type":"lint"` `xp lint` report footers.
@@ -305,12 +308,13 @@ impl std::fmt::Display for ValidateSummary {
         write!(
             f,
             "{} cell records, {} run footers, {} profile records, {} metrics records, \
-             {} resource records, {} diagnostic records, {} lint footers — OK",
+             {} resource records, {} fault records, {} diagnostic records, {} lint footers — OK",
             self.cells,
             self.runs,
             self.profiles,
             self.metrics,
             self.resources,
+            self.faults,
             self.diagnostics,
             self.lints
         )
@@ -322,15 +326,24 @@ impl std::fmt::Display for ValidateSummary {
 const PROFILE_REQUIRED: [&str; 5] = ["n", "trials", "requests", "wall_ms", "requests_per_sec"];
 
 /// The counter fields every `"type":"metrics"` record must carry, each a
-/// finite non-negative number.
-const METRICS_REQUIRED: [&str; 6] = [
+/// finite non-negative number (the last three are the chaos counters,
+/// zero in fault-free runs).
+const METRICS_REQUIRED: [&str; 9] = [
     "trials",
     "requests",
     "discoveries",
     "edge_resolutions",
     "frontier_rescans",
     "scratch_resets",
+    "faults_injected",
+    "trials_retried",
+    "trials_skipped",
 ];
+
+/// The string fields every `"type":"fault"` record must carry, each
+/// non-empty: the fault kind (`panic`, `stall`, `storage`, …) and how
+/// the run absorbed it (`retried`, `skipped`, `healed`, …).
+const FAULT_REQUIRED_STR: [&str; 2] = ["kind", "outcome"];
 
 /// The string fields every `"type":"diagnostic"` record must carry,
 /// each non-empty.
@@ -358,7 +371,8 @@ const RESOURCE_REQUIRED: [&str; 12] = [
 ];
 
 /// Checks that every non-empty line is a JSON object tagged `cell`,
-/// `run`, `profile`, `metrics`, `resource`, `diagnostic`, or `lint`
+/// `run`, `profile`, `metrics`, `resource`, `fault` (`xp chaos`
+/// injected-fault records), `diagnostic`, or `lint`
 /// (the last two are `xp lint` reports); that profile records
 /// carry well-formed throughput fields; that metrics records carry
 /// finite non-negative counters and a `hist_requests_log2` histogram
@@ -501,6 +515,21 @@ pub fn validate_jsonl(text: &str) -> Result<ValidateSummary, String> {
                 }
                 summary.resources += 1;
             }
+            Some(t) if t == FAULT_TYPE => {
+                for key in FAULT_REQUIRED_STR {
+                    match value.get(key).and_then(|v| v.as_str()) {
+                        Some(s) if !s.is_empty() => {}
+                        _ => {
+                            return Err(format!(
+                                "line {}: fault record is missing non-empty string \
+                                 field {key:?}",
+                                lineno + 1
+                            ))
+                        }
+                    }
+                }
+                summary.faults += 1;
+            }
             Some(t) if t == DIAGNOSTIC_TYPE => {
                 for key in DIAGNOSTIC_REQUIRED_STR {
                     match value.get(key).and_then(|v| v.as_str()) {
@@ -561,6 +590,7 @@ pub fn validate_jsonl(text: &str) -> Result<ValidateSummary, String> {
         + summary.profiles
         + summary.metrics
         + summary.resources
+        + summary.faults
         + summary.diagnostics
         + summary.lints;
     if total == 0 {
@@ -755,6 +785,7 @@ mod tests {
     fn validate_checks_metrics_fields_and_histogram_sum() {
         let good = "{\"type\":\"metrics\",\"trials\":3,\"requests\":21,\"discoveries\":9,\
                     \"edge_resolutions\":12,\"frontier_rescans\":2,\"scratch_resets\":3,\
+                    \"faults_injected\":1,\"trials_retried\":1,\"trials_skipped\":0,\
                     \"hist_requests_log2\":[0,0,0,3]}\n";
         let ok = validate_jsonl(good).unwrap();
         assert_eq!(
@@ -780,6 +811,27 @@ mod tests {
         let negative = good.replace("\"discoveries\":9", "\"discoveries\":-1");
         let err = validate_jsonl(&negative).unwrap_err();
         assert!(err.contains("discoveries"), "{err}");
+    }
+
+    #[test]
+    fn validate_checks_fault_fields() {
+        let good = "{\"type\":\"fault\",\"experiment\":\"maxdeg\",\"kind\":\"panic\",\
+                    \"trial\":7,\"attempt\":0,\"outcome\":\"retried\"}\n";
+        let ok = validate_jsonl(good).unwrap();
+        assert_eq!(
+            ok,
+            ValidateSummary {
+                faults: 1,
+                ..Default::default()
+            }
+        );
+        // The fault kind and outcome must be present and non-empty.
+        let missing = good.replace(",\"kind\":\"panic\"", "");
+        let err = validate_jsonl(&missing).unwrap_err();
+        assert!(err.contains("kind"), "{err}");
+        let empty = good.replace("\"outcome\":\"retried\"", "\"outcome\":\"\"");
+        let err = validate_jsonl(&empty).unwrap_err();
+        assert!(err.contains("outcome"), "{err}");
     }
 
     #[test]

@@ -17,13 +17,15 @@
 //!   O(workers) trials past the fold frontier — so even a pathological
 //!   straggler trial keeps memory at O(window), not O(trials).
 
+use crate::faults::{FailurePolicy, FaultInjection, InjectedFault};
 use nonsearch_analysis::StreamingStats;
 use nonsearch_generators::SeedSequence;
 use nonsearch_obs::{elapsed_ns, Metrics, PhaseTimes};
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Condvar, Mutex};
-use std::time::Instant;
+use std::sync::{mpsc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 /// Everything one trial reports back besides its lane measurements:
 /// work counters, phase timers, and heap-allocation counts — the
@@ -44,6 +46,12 @@ pub struct TrialObs {
     /// per-thread `nonsearch_alloc_counter` — zero unless the binary
     /// installs the counting allocator.
     pub allocations: u64,
+    /// Set when the cell's watchdog deadline fired and the run was
+    /// abandoned gracefully: the aggregates cover only the strict
+    /// prefix of trials folded before the deadline. Always `false`
+    /// unless a fault bundle with a `cell_deadline_ms` was installed
+    /// (see [`crate::install_faults`]).
+    pub degraded: bool,
 }
 
 impl TrialObs {
@@ -52,11 +60,14 @@ impl TrialObs {
         Self::default()
     }
 
-    /// Adds every counter, phase, and allocation of `other` into `self`.
+    /// Adds every counter, phase, and allocation of `other` into `self`
+    /// (and ORs the degraded flag: a merge of any degraded bundle is
+    /// degraded).
     pub fn merge(&mut self, other: &TrialObs) {
         self.metrics.merge(&other.metrics);
         self.phases.merge(&other.phases);
         self.allocations += other.allocations;
+        self.degraded |= other.degraded;
     }
 }
 
@@ -228,6 +239,87 @@ where
     (aggregates, obs.metrics)
 }
 
+/// Locks the backpressure gate, recovering from poisoning.
+///
+/// The guarded state is a plain `(folded count, aborted flag)` pair
+/// mutated only by single assignments, so a panic while a thread holds
+/// the lock cannot leave it torn — recovering the guard is sound, and
+/// it keeps a *contained* worker panic (see [`crate::install_faults`])
+/// from cascading into a secondary "poisoned lock" panic.
+fn lock_gate<'a>(frontier: &'a Mutex<(usize, bool)>) -> MutexGuard<'a, (usize, bool)> {
+    frontier.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs one trial *contained*: each attempt is wrapped in
+/// `catch_unwind`, the installed hook may inject a fault ahead of the
+/// body, and the bundle's [`FailurePolicy`] decides whether a panicking
+/// attempt propagates, retries, or skips the trial.
+///
+/// Returns `(Some(measures), delta)` for a (possibly retried) success —
+/// the delta carries the attempt's counters plus the fault bookkeeping —
+/// or `(None, delta)` for a skipped trial, whose delta carries only the
+/// fault counters (`trials_skipped = 1`, nothing else). Retried
+/// attempts re-derive the trial's seed stream from the trial index, and
+/// injected faults fire *before* the body, so a successful retry is
+/// bit-identical to a fault-free execution of the same trial.
+fn run_contained<C, F>(
+    cfg: &FaultInjection,
+    ctx: &mut C,
+    trial_fn: &F,
+    trial: usize,
+    seeds: &SeedSequence,
+) -> (Option<Vec<TrialMeasure>>, TrialObs)
+where
+    F: Fn(&mut C, &mut TrialObs, usize, SeedSequence) -> Vec<TrialMeasure> + Sync,
+{
+    let mut injected = 0u64;
+    let mut retried = 0u64;
+    let mut attempt = 0u32;
+    loop {
+        // A fresh delta per attempt: a failed attempt's partial counters
+        // are discarded wholesale, so retries cannot double-count.
+        let mut delta = TrialObs::new();
+        let fault = cfg.hook.as_ref().and_then(|hook| hook(trial, attempt));
+        injected += fault.is_some() as u64;
+        let allocs_before = nonsearch_alloc_counter::allocations();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            match fault {
+                Some(InjectedFault::Stall { ms }) => {
+                    std::thread::sleep(Duration::from_millis(ms));
+                }
+                Some(InjectedFault::Panic) => {
+                    panic!("injected fault: trial {trial} attempt {attempt}");
+                }
+                None => {}
+            }
+            trial_fn(ctx, &mut delta, trial, trial_seeds(seeds, trial))
+        }));
+        match outcome {
+            Ok(measures) => {
+                delta.allocations +=
+                    nonsearch_alloc_counter::allocations().saturating_sub(allocs_before);
+                delta.metrics.faults_injected += injected;
+                delta.metrics.trials_retried += retried;
+                return (Some(measures), delta);
+            }
+            Err(payload) => match cfg.policy {
+                FailurePolicy::Propagate => resume_unwind(payload),
+                FailurePolicy::Retry { max } if attempt < max => {
+                    retried += 1;
+                    attempt += 1;
+                }
+                FailurePolicy::Retry { .. } | FailurePolicy::Skip => {
+                    let mut skipped = TrialObs::new();
+                    skipped.metrics.faults_injected = injected;
+                    skipped.metrics.trials_retried = retried;
+                    skipped.metrics.trials_skipped = 1;
+                    return (None, skipped);
+                }
+            },
+        }
+    }
+}
+
 /// [`run_lanes_metered`] widened to the full [`TrialObs`] bundle —
 /// metrics plus phase timers plus allocation counts.
 ///
@@ -245,9 +337,18 @@ where
 /// ride alongside without being consulted by anything, so observing a
 /// run cannot perturb it.
 ///
+/// This is also the engine's **fault-injection seam**: when a
+/// [`FaultInjection`] bundle is installed on the calling thread (see
+/// [`crate::install_faults`]), it is snapshotted once at cell entry and
+/// every trial runs contained — injected faults fire ahead of the body,
+/// panicking attempts are retried or skipped per the bundle's
+/// [`FailurePolicy`], and an optional watchdog deadline degrades the
+/// cell gracefully ([`TrialObs::degraded`]) instead of hanging.
+///
 /// # Panics
 ///
-/// Same contract as [`run_lanes`].
+/// Same contract as [`run_lanes`] (injected panics still propagate
+/// under [`FailurePolicy::Propagate`], the default).
 pub fn run_lanes_observed<C, I, F>(
     trials: usize,
     lanes: usize,
@@ -265,6 +366,11 @@ where
         return (aggregates, TrialObs::new());
     }
     let workers = resolve_workers(threads, trials);
+
+    // The fault bundle is snapshotted once per cell, on the caller's
+    // thread (installation is thread-local); workers share this one
+    // snapshot by reference so chaos cannot differ per worker.
+    let faults = crate::faults::active();
 
     // Backpressure: workers may run at most `window` trials past the
     // fold frontier, bounding the reorder buffer + channel queue at
@@ -290,21 +396,20 @@ where
             if !self.armed {
                 return;
             }
-            if let Ok(mut gate) = self.frontier.lock() {
-                gate.1 = true;
-            }
+            lock_gate(self.frontier).1 = true;
             self.frontier_moved.notify_all();
         }
     }
 
     let next_trial = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, Vec<TrialMeasure>, TrialObs)>();
-    let (folded, observed) = std::thread::scope(|scope| {
+    let (folded, observed, degraded) = std::thread::scope(|scope| {
         for _ in 0..workers {
             let tx = tx.clone();
             let next_trial = &next_trial;
             let init = &init;
             let trial_fn = &trial_fn;
+            let faults = &faults;
             let (frontier, frontier_moved) = (&frontier, &frontier_moved);
             scope.spawn(move || {
                 // Disarmed on clean exit; fires only if trial_fn panics.
@@ -322,9 +427,9 @@ where
                         break;
                     }
                     {
-                        let mut gate = frontier.lock().expect("frontier lock");
+                        let mut gate = lock_gate(frontier);
                         while trial >= gate.0 + window && !gate.1 {
-                            gate = frontier_moved.wait(gate).expect("frontier lock");
+                            gate = frontier_moved.wait(gate).unwrap_or_else(|e| e.into_inner());
                         }
                         // An aborted run (consumer or sibling worker died)
                         // never advances the frontier; bail, don't wait.
@@ -334,18 +439,38 @@ where
                     }
                     // A fresh delta per trial: the consumer folds them in
                     // trial order, so per-worker accumulation never leaks
-                    // into the merged bundle.
-                    let mut delta = TrialObs::new();
-                    // The allocation delta is read from this worker
-                    // thread's own counter, so concurrent workers never
-                    // see each other's allocations.
-                    let allocs_before = nonsearch_alloc_counter::allocations();
-                    let measures = trial_fn(&mut ctx, &mut delta, trial, trial_seeds(seeds, trial));
-                    delta.allocations +=
-                        nonsearch_alloc_counter::allocations().saturating_sub(allocs_before);
-                    // Stamped here, not by trial_fn, so the bucket-sum ==
-                    // trials invariant can't drift per experiment.
-                    delta.metrics.trials = 1;
+                    // into the merged bundle. The allocation delta is read
+                    // from this worker thread's own counter, so concurrent
+                    // workers never see each other's allocations.
+                    let (measures, mut delta) = match faults.as_deref() {
+                        // Fault-free fast path: no catch_unwind frame.
+                        None => {
+                            let mut delta = TrialObs::new();
+                            let allocs_before = nonsearch_alloc_counter::allocations();
+                            let measures =
+                                trial_fn(&mut ctx, &mut delta, trial, trial_seeds(seeds, trial));
+                            delta.allocations += nonsearch_alloc_counter::allocations()
+                                .saturating_sub(allocs_before);
+                            (Some(measures), delta)
+                        }
+                        Some(cfg) => run_contained(cfg, &mut ctx, trial_fn, trial, seeds),
+                    };
+                    let measures = match measures {
+                        Some(measures) => {
+                            // Stamped here, not by trial_fn, so the
+                            // bucket-sum == trials invariant can't drift
+                            // per experiment.
+                            delta.metrics.trials = 1;
+                            measures
+                        }
+                        // Skipped trial: an empty measurement vector is
+                        // the skip marker — unambiguous because a
+                        // zero-lane cell returns before spawning workers,
+                        // so real trials always carry `lanes >= 1`
+                        // measurements. No `trials` stamp: the trial
+                        // contributed nothing to fold.
+                        None => Vec::new(),
+                    };
                     // The consumer only disconnects on panic; stop quietly.
                     if tx.send((trial, measures, delta)).is_err() {
                         break;
@@ -369,7 +494,33 @@ where
         let mut pending: BTreeMap<usize, (Vec<TrialMeasure>, TrialObs)> = BTreeMap::new();
         let mut merged = TrialObs::new();
         let mut next_expected = 0usize;
-        for (trial, measures, delta) in rx {
+        // The watchdog deadline (chaos runs only): past it the cell is
+        // abandoned gracefully — partial aggregates with `degraded` set —
+        // instead of hanging the run on a stuck worker.
+        let deadline = faults
+            .as_deref()
+            .and_then(|cfg| cfg.cell_deadline_ms)
+            // lint: allow(clock-env): watchdog deadline (chaos seam), never consulted by trial aggregates
+            .map(|ms| Instant::now() + Duration::from_millis(ms));
+        let mut degraded = false;
+        loop {
+            let received = match deadline {
+                None => rx.recv().ok(),
+                Some(deadline) => {
+                    // lint: allow(clock-env): watchdog deadline check (chaos seam), never consulted by trial aggregates
+                    match rx.recv_timeout(deadline.saturating_duration_since(Instant::now())) {
+                        Ok(item) => Some(item),
+                        Err(mpsc::RecvTimeoutError::Timeout) => {
+                            degraded = true;
+                            None
+                        }
+                        Err(mpsc::RecvTimeoutError::Disconnected) => None,
+                    }
+                }
+            };
+            let Some((trial, measures, delta)) = received else {
+                break;
+            };
             // The merge phase is the consumer thread's own busy time:
             // everything from receiving a delta to advancing the fold
             // frontier, charged to the merged bundle directly (workers
@@ -378,12 +529,16 @@ where
             let merge_start = Instant::now();
             // Validated here (not in the worker) so the panic reaches the
             // caller with its message instead of scope's generic payload.
-            assert_eq!(
-                measures.len(),
-                lanes,
-                "trial_fn returned {} measurements for a {lanes}-lane cell",
-                measures.len()
-            );
+            // An empty vector is a skipped trial's marker, not a lane
+            // mismatch: its delta merges but nothing folds.
+            if !measures.is_empty() {
+                assert_eq!(
+                    measures.len(),
+                    lanes,
+                    "trial_fn returned {} measurements for a {lanes}-lane cell",
+                    measures.len()
+                );
+            }
             pending.insert(trial, (measures, delta));
             debug_assert!(pending.len() <= window, "reorder buffer exceeded window");
             let before = next_expected;
@@ -395,16 +550,29 @@ where
                 next_expected += 1;
             }
             if next_expected != before {
-                frontier.lock().expect("frontier lock").0 = next_expected;
+                lock_gate(&frontier).0 = next_expected;
                 frontier_moved.notify_all();
             }
             merged.phases.merge_ns += elapsed_ns(merge_start);
         }
+        if degraded {
+            // Abandon the cell: raise the abort flag so gated workers
+            // bail out, then drain (without folding) whatever in-flight
+            // workers still deliver so the channel empties and the
+            // scope's join cannot block on a full send.
+            lock_gate(&frontier).1 = true;
+            frontier_moved.notify_all();
+            while rx.recv().is_ok() {}
+        }
         // Completeness is asserted after the scope joins the workers, so
         // a worker panic propagates as itself, not as a count mismatch.
-        (next_expected, merged)
+        (next_expected, merged, degraded)
     });
-    assert_eq!(folded, trials, "trial stream incomplete");
+    let mut observed = observed;
+    observed.degraded = degraded;
+    if !degraded {
+        assert_eq!(folded, trials, "trial stream incomplete");
+    }
     (aggregates, observed)
 }
 
@@ -877,11 +1045,171 @@ mod tests {
         b.phases.search_ns = 10;
         b.phases.merge_ns = 1;
         b.allocations = 3;
+        b.degraded = true;
         a.merge(&b);
         assert_eq!(a.metrics.requests, 12);
         assert_eq!(a.phases.search_ns, 110);
         assert_eq!(a.phases.merge_ns, 1);
         assert_eq!(a.allocations, 5);
+        assert!(a.degraded, "degraded must OR through merges");
+    }
+
+    #[test]
+    fn gate_lock_recovers_from_poisoning() {
+        // A panic while holding the gate poisons the mutex; lock_gate
+        // must recover the guard (the state is a plain pair, never torn)
+        // so contained worker panics don't cascade.
+        let gate = Mutex::new((3usize, false));
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = lock_gate(&gate);
+            panic!("poison the gate");
+        }));
+        assert!(gate.is_poisoned());
+        assert_eq!(*lock_gate(&gate), (3, false));
+    }
+
+    /// A metered trial body shared by the fault-policy tests so clean
+    /// and chaotic runs execute identical code.
+    fn metered_body(m: &mut Metrics, trial: usize, s: SeedSequence) -> TrialMeasure {
+        let measure = synthetic(trial, s);
+        m.requests = measure.value as u64;
+        m.discoveries = trial as u64 % 7;
+        m.observe_trial_requests(m.requests);
+        measure
+    }
+
+    #[test]
+    fn retry_aggregates_are_bit_identical_to_fault_free_runs() {
+        let seeds = SeedSequence::new(55);
+        let (clean_agg, clean_metrics) =
+            run_cell_metered(97, 1, &seeds, || (), |(), m, t, s| metered_body(m, t, s));
+        for threads in [1, 2, 4, 8] {
+            let _scope = crate::faults::install_faults(FaultInjection {
+                policy: FailurePolicy::Retry { max: 2 },
+                hook: Some(std::sync::Arc::new(|trial, attempt| {
+                    (attempt == 0 && trial % 5 == 0).then_some(InjectedFault::Panic)
+                })),
+                cell_deadline_ms: None,
+            });
+            let (agg, metrics) = run_cell_metered(
+                97,
+                threads,
+                &seeds,
+                || (),
+                |(), m, t, s| metered_body(m, t, s),
+            );
+            assert_eq!(agg, clean_agg, "threads={threads}");
+            // Trials 0, 5, …, 95 each faulted once and retried once.
+            assert_eq!(metrics.faults_injected, 20, "threads={threads}");
+            assert_eq!(metrics.trials_retried, 20, "threads={threads}");
+            assert_eq!(metrics.trials_skipped, 0, "threads={threads}");
+            // Beyond the fault bookkeeping, the merged bundle is the
+            // clean one, bit for bit.
+            let mut washed = metrics;
+            washed.faults_injected = 0;
+            washed.trials_retried = 0;
+            assert_eq!(washed, clean_metrics, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn skip_policy_drops_faulted_trials_and_counts_them() {
+        let seeds = SeedSequence::new(56);
+        let _scope = crate::faults::install_faults(FaultInjection {
+            policy: FailurePolicy::Skip,
+            hook: Some(std::sync::Arc::new(|trial, _| {
+                (trial < 3).then_some(InjectedFault::Panic)
+            })),
+            cell_deadline_ms: None,
+        });
+        let (agg, metrics) =
+            run_cell_metered(20, 4, &seeds, || (), |(), m, t, s| metered_body(m, t, s));
+        // Trials 0–2 were dropped: they fold no measurements and no
+        // `trials` stamp, so the histogram invariant still holds.
+        assert_eq!(agg.count(), 17);
+        assert_eq!(metrics.trials, 17);
+        assert_eq!(metrics.trial_requests.total(), 17);
+        assert_eq!(metrics.trials_skipped, 3);
+        assert_eq!(metrics.faults_injected, 3);
+        assert_eq!(metrics.trials_retried, 0);
+    }
+
+    #[test]
+    fn exhausted_retries_fall_back_to_skip() {
+        // A hook that faults every attempt defeats Retry; after `max`
+        // re-runs the trial must be skipped, not spun forever.
+        let seeds = SeedSequence::new(61);
+        let _scope = crate::faults::install_faults(FaultInjection {
+            policy: FailurePolicy::Retry { max: 2 },
+            hook: Some(std::sync::Arc::new(|trial, _attempt| {
+                (trial == 4).then_some(InjectedFault::Panic)
+            })),
+            cell_deadline_ms: None,
+        });
+        let (agg, metrics) =
+            run_cell_metered(10, 2, &seeds, || (), |(), m, t, s| metered_body(m, t, s));
+        assert_eq!(agg.count(), 9);
+        assert_eq!(metrics.trials_skipped, 1);
+        assert_eq!(metrics.faults_injected, 3); // initial attempt + 2 retries
+        assert_eq!(metrics.trials_retried, 2);
+    }
+
+    #[test]
+    #[should_panic] // scope re-raises with its own generic payload
+    fn propagate_policy_reraises_injected_panics() {
+        let seeds = SeedSequence::new(58);
+        let _scope = crate::faults::install_faults(FaultInjection {
+            policy: FailurePolicy::Propagate,
+            hook: Some(std::sync::Arc::new(|trial, _| {
+                (trial == 2).then_some(InjectedFault::Panic)
+            })),
+            cell_deadline_ms: None,
+        });
+        let _ = run_cell(16, 2, &seeds, synthetic);
+    }
+
+    #[test]
+    fn injected_stalls_do_not_perturb_aggregates() {
+        let seeds = SeedSequence::new(59);
+        let clean = run_cell(40, 1, &seeds, synthetic);
+        let _scope = crate::faults::install_faults(FaultInjection {
+            policy: FailurePolicy::Propagate,
+            hook: Some(std::sync::Arc::new(|trial, _| {
+                (trial == 0).then_some(InjectedFault::Stall { ms: 30 })
+            })),
+            cell_deadline_ms: None,
+        });
+        let stalled = run_cell(40, 8, &seeds, synthetic);
+        assert_eq!(stalled, clean);
+    }
+
+    #[test]
+    fn installed_default_bundle_leaves_runs_bit_identical() {
+        // Installing an empty bundle routes trials through the contained
+        // path; the results must not change.
+        let seeds = SeedSequence::new(57);
+        let clean = run_cell(64, 4, &seeds, synthetic);
+        let _scope = crate::faults::install_faults(FaultInjection::default());
+        let contained = run_cell(64, 4, &seeds, synthetic);
+        assert_eq!(contained, clean);
+    }
+
+    #[test]
+    fn watchdog_degrades_gracefully_instead_of_hanging() {
+        // Trial 0 stalls far past the deadline; the cell must come back
+        // degraded with partial (here: empty) aggregates instead of
+        // blocking on the stuck worker's fold.
+        let seeds = SeedSequence::new(60);
+        let _scope = crate::faults::install_faults(FaultInjection {
+            policy: FailurePolicy::Propagate,
+            hook: Some(std::sync::Arc::new(|trial, _| {
+                (trial == 0).then_some(InjectedFault::Stall { ms: 1_000 })
+            })),
+            cell_deadline_ms: Some(50),
+        });
+        let (agg, obs) = run_cell_observed(8, 2, &seeds, || (), |(), _o, t, s| synthetic(t, s));
+        assert!(obs.degraded);
+        assert!(agg.count() < 8, "degraded cell folded all trials");
     }
 
     #[test]

@@ -1,10 +1,15 @@
 //! Property-based tests: engine determinism and seed-sharding safety
 //! under arbitrary parameters.
 
-use nonsearch_engine::{parse_json, run_cell, run_lanes, trial_seeds, JsonValue, TrialMeasure};
+use nonsearch_engine::{
+    install_faults, parse_json, run_cell, run_lanes, trial_seeds, FailurePolicy, FaultHook,
+    FaultInjection, InjectedFault, JsonValue, TrialMeasure,
+};
+use nonsearch_fault::{FaultPlan, TrialFault};
 use nonsearch_generators::SeedSequence;
 use proptest::prelude::*;
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// A deterministic synthetic measurement: everything derives from the
 /// trial's seed stream, exactly like a real graph-sampling trial.
@@ -79,6 +84,40 @@ proptest! {
         for lane in &a {
             prop_assert_eq!(lane.count(), trials as u64);
         }
+    }
+
+    /// `FailurePolicy::Retry` is invisible in the aggregates: a cell
+    /// whose trials panic per an arbitrary seeded fault plan and are
+    /// retried produces bit-identical results to a fault-free
+    /// single-thread run, for any worker count.
+    #[test]
+    fn retried_aggregates_are_bit_identical_to_fault_free(
+        root in 0u64..u64::MAX,
+        plan_seed in 0u64..u64::MAX,
+        trials in 1usize..60,
+        threads in 1usize..5,
+        panic_every in 1u64..4,
+    ) {
+        let seeds = SeedSequence::new(root);
+        let reference = run_cell(trials, 1, &seeds, |_, s| synthetic_measure(&s));
+
+        let plan = FaultPlan::new(plan_seed).with_trial_panics(panic_every);
+        let hook: FaultHook = Arc::new(move |trial, attempt| {
+            plan.trial_fault(trial, attempt).map(|fault| match fault {
+                TrialFault::Panic => InjectedFault::Panic,
+                TrialFault::Stall { ms } => InjectedFault::Stall { ms },
+            })
+        });
+        let scope = install_faults(FaultInjection {
+            policy: FailurePolicy::Retry { max: 3 },
+            hook: Some(hook),
+            cell_deadline_ms: None,
+        });
+        let retried = run_cell(trials, threads, &seeds, |_, s| synthetic_measure(&s));
+        drop(scope);
+
+        prop_assert_eq!(reference, retried);
+        prop_assert_eq!(retried.count(), trials as u64);
     }
 
     /// JSON documents built from arbitrary scalars round-trip through

@@ -159,6 +159,19 @@ pub struct Metrics {
     pub frontier_rescans: u64,
     /// Times a pooled scratch view was reset for a fresh search.
     pub scratch_resets: u64,
+    /// Faults the engine injected into trials (chaos runs only; always
+    /// zero in fault-free runs).
+    pub faults_injected: u64,
+    /// Trial attempts that panicked and were re-run under
+    /// `FailurePolicy::Retry` — each retried attempt re-derives the
+    /// trial's seed stream, so the retried trial's contribution to the
+    /// aggregates is bit-identical to a fault-free run's.
+    pub trials_retried: u64,
+    /// Trials dropped after exhausting their retry budget (or
+    /// immediately, under `FailurePolicy::Skip`). Skipped trials fold
+    /// no measurements, so a run with skips is *not* comparable to a
+    /// fault-free run — this counter is how you notice.
+    pub trials_skipped: u64,
     /// Per-trial total request counts, log₂-bucketed.
     pub trial_requests: Log2Histogram,
 }
@@ -177,6 +190,9 @@ impl Metrics {
         self.edge_resolutions += other.edge_resolutions;
         self.frontier_rescans += other.frontier_rescans;
         self.scratch_resets += other.scratch_resets;
+        self.faults_injected += other.faults_injected;
+        self.trials_retried += other.trials_retried;
+        self.trials_skipped += other.trials_skipped;
         self.trial_requests.merge(&other.trial_requests);
     }
 
@@ -386,6 +402,27 @@ mod tests {
         assert_eq!(a.discoveries, 4);
         assert_eq!(a.edge_resolutions, 9);
         assert_eq!(a.trial_requests.total(), 2);
+    }
+
+    #[test]
+    fn fault_counters_merge_fieldwise() {
+        let mut a = Metrics {
+            faults_injected: 2,
+            trials_retried: 1,
+            ..Metrics::new()
+        };
+        let b = Metrics {
+            faults_injected: 1,
+            trials_retried: 3,
+            trials_skipped: 1,
+            ..Metrics::new()
+        };
+        a.merge(&b);
+        assert_eq!(a.faults_injected, 3);
+        assert_eq!(a.trials_retried, 4);
+        assert_eq!(a.trials_skipped, 1);
+        // Fault-free bundles keep the counters at zero.
+        assert_eq!(Metrics::new().faults_injected, 0);
     }
 
     #[test]
